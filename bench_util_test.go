@@ -1,0 +1,18 @@
+package vitri
+
+import (
+	"fmt"
+	"sort"
+
+	"vitri/internal/btree"
+)
+
+// Small helpers for bench_test.go kept out of the main bench file.
+
+func fmtSscan(s string, v *float64) (int, error) { return fmt.Sscan(s, v) }
+
+func fmtF(format string, args ...interface{}) string { return fmt.Sprintf(format, args...) }
+
+func sortEntries(entries []btree.Entry) {
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+}

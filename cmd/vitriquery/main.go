@@ -1,0 +1,115 @@
+// Command vitriquery loads a corpus written by vitrigen, builds a ViTri
+// database over it, and runs KNN queries.
+//
+// Queries are given as corpus video ids on the command line (or with
+// -random N, as N random corpus videos). For each query it prints the
+// top-k matches with estimated similarities and the query's I/O cost.
+//
+// Example:
+//
+//	vitrigen -scale 0.02 -o corpus.gob
+//	vitriquery -corpus corpus.gob -k 10 -random 3
+//	vitriquery -corpus corpus.gob 0 17 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+
+	"vitri"
+	"vitri/internal/dataset"
+)
+
+func main() {
+	var (
+		corpusPath = flag.String("corpus", "corpus.gob", "corpus file from vitrigen")
+		epsilon    = flag.Float64("epsilon", 0.3, "frame similarity threshold")
+		k          = flag.Int("k", 10, "number of results per query")
+		random     = flag.Int("random", 0, "query this many random corpus videos")
+		seed       = flag.Int64("seed", 1, "random seed")
+		exact      = flag.Bool("exact", false, "also print the exact frame-level similarity of each match (slow)")
+		stats      = flag.Bool("stats", false, "print index structure statistics")
+	)
+	flag.Parse()
+
+	c, err := dataset.Load(*corpusPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("corpus: %d videos, %d frames, %d dims\n", len(c.Videos), c.FrameCount(), c.Dim)
+
+	db := vitri.New(vitri.Options{Epsilon: *epsilon, Seed: *seed})
+	byID := make(map[int][]vitri.Vector, len(c.Videos))
+	for i := range c.Videos {
+		v := &c.Videos[i]
+		if err := db.Add(v.ID, v.Frames); err != nil {
+			fatalf("add video %d: %v", v.ID, err)
+		}
+		byID[v.ID] = v.Frames
+	}
+	fmt.Printf("indexed %d videos as %d triplets\n", db.Len(), db.Triplets())
+	if *stats {
+		// The index builds lazily; force it so stats are meaningful.
+		warm := vitri.Summarize(-1, c.Videos[0].Frames, *epsilon, *seed)
+		if _, _, err := db.SearchSummary(&warm, 1, vitri.Composed); err != nil {
+			fatalf("warmup: %v", err)
+		}
+		st, err := db.Stats()
+		if err != nil {
+			fatalf("stats: %v", err)
+		}
+		fmt.Printf("B+-tree: height %d, %d internal + %d leaf nodes, %.0f%% leaf fill\n",
+			st.Height, st.InternalNodes, st.LeafNodes, st.LeafFill*100)
+		if err := db.CheckIndex(); err != nil {
+			fatalf("integrity check failed: %v", err)
+		}
+		fmt.Println("integrity check: ok")
+	}
+
+	var queryIDs []int
+	for _, arg := range flag.Args() {
+		id, err := strconv.Atoi(arg)
+		if err != nil {
+			fatalf("bad video id %q", arg)
+		}
+		queryIDs = append(queryIDs, id)
+	}
+	if *random > 0 {
+		rng := rand.New(rand.NewSource(*seed))
+		for _, i := range rng.Perm(len(c.Videos))[:min(*random, len(c.Videos))] {
+			queryIDs = append(queryIDs, c.Videos[i].ID)
+		}
+	}
+	if len(queryIDs) == 0 {
+		fatalf("no queries: pass video ids or -random N")
+	}
+
+	for _, id := range queryIDs {
+		frames, ok := byID[id]
+		if !ok {
+			fatalf("video %d not in corpus", id)
+		}
+		q := vitri.Summarize(-1, frames, *epsilon, *seed)
+		matches, stats, err := db.SearchSummary(&q, *k, vitri.Composed)
+		if err != nil {
+			fatalf("query %d: %v", id, err)
+		}
+		fmt.Printf("\nquery video %d (%d frames, %d triplets): %d matches, %d page reads, %d similarity ops\n",
+			id, len(frames), len(q.Triplets), len(matches), stats.PageReads, stats.SimilarityOps)
+		for rank, m := range matches {
+			line := fmt.Sprintf("  #%-2d video %-6d similarity %.4f", rank+1, m.VideoID, m.Similarity)
+			if *exact {
+				line += fmt.Sprintf("  exact %.4f", vitri.ExactSimilarity(frames, byID[m.VideoID], *epsilon))
+			}
+			fmt.Println(line)
+		}
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "vitriquery: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Ad archive deduplication: the paper's motivating workload. A broadcast
+// monitor captures thousands of TV advertisement airings; the same ad
+// airs dozens of times in several cuts. This example ingests a synthetic
+// capture corpus and produces a dedup report — for every video, its
+// near-duplicate airings discovered through the ViTri index — then checks
+// a sample of the discovered pairs against the exact frame-level measure.
+//
+// Run with:
+//
+//	go run ./examples/adarchive
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"vitri"
+	"vitri/internal/dataset"
+)
+
+const (
+	epsilon      = 0.3
+	dupThreshold = 0.5 // estimated similarity above which we call it a duplicate
+)
+
+func main() {
+	// A 1% scale capture session: ~65 ad airings across duration classes.
+	corpus, err := dataset.GenerateHist(dataset.DefaultHistConfig(0.01, 7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("captured %d airings (%d frames)\n", len(corpus.Videos), corpus.FrameCount())
+
+	db := vitri.New(vitri.Options{Epsilon: epsilon, Seed: 1})
+	byID := map[int][]vitri.Vector{}
+	for i := range corpus.Videos {
+		v := &corpus.Videos[i]
+		if err := db.Add(v.ID, v.Frames); err != nil {
+			log.Fatal(err)
+		}
+		byID[v.ID] = v.Frames
+	}
+	fmt.Printf("indexed as %d triplets\n\n", db.Triplets())
+
+	// Dedup sweep: search each video, keep matches above the threshold.
+	groups := map[int][]vitri.Match{}
+	var pageReads uint64
+	for i := range corpus.Videos {
+		v := &corpus.Videos[i]
+		q := vitri.Summarize(-1, v.Frames, epsilon, 1)
+		matches, stats, err := db.SearchSummary(&q, 20, vitri.Composed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pageReads += stats.PageReads
+		for _, m := range matches {
+			if m.VideoID != v.ID && m.Similarity >= dupThreshold {
+				groups[v.ID] = append(groups[v.ID], m)
+			}
+		}
+	}
+
+	ids := make([]int, 0, len(groups))
+	for id := range groups {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	fmt.Printf("dedup report (threshold %.2f), %d videos with duplicates, %d page reads total:\n",
+		dupThreshold, len(ids), pageReads)
+	shown := 0
+	for _, id := range ids {
+		if shown >= 8 {
+			fmt.Printf("  ... and %d more groups\n", len(ids)-shown)
+			break
+		}
+		fmt.Printf("  video %-4d:", id)
+		for _, m := range groups[id] {
+			fmt.Printf(" %d(%.2f)", m.VideoID, m.Similarity)
+		}
+		fmt.Println()
+		shown++
+	}
+
+	// Spot-check the first few reported pairs against the exact measure.
+	fmt.Println("\nspot check (estimated vs exact):")
+	checked := 0
+	for _, id := range ids {
+		for _, m := range groups[id] {
+			if checked >= 5 {
+				return
+			}
+			exact := vitri.ExactSimilarity(byID[id], byID[m.VideoID], epsilon)
+			fmt.Printf("  %d ~ %d: estimated %.3f, exact %.3f\n", id, m.VideoID, m.Similarity, exact)
+			checked++
+		}
+	}
+}

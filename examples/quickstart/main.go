@@ -1,0 +1,81 @@
+// Quickstart: build a small video database, search it, inspect a summary.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"vitri"
+)
+
+// makeVideo synthesizes a toy "video": a few shots, each a cloud of
+// nearby frame vectors in [0,1]^16 (in a real system these would come
+// from a feature extractor such as the 64-d RGB histograms in
+// internal/feature).
+func makeVideo(rng *rand.Rand, shots, framesPerShot int) []vitri.Vector {
+	const dim = 16
+	var frames []vitri.Vector
+	for s := 0; s < shots; s++ {
+		shot := make(vitri.Vector, dim)
+		for j := range shot {
+			shot[j] = 0.2 + 0.6*rng.Float64()
+		}
+		for f := 0; f < framesPerShot; f++ {
+			frame := make(vitri.Vector, dim)
+			for j := range frame {
+				frame[j] = shot[j] + rng.NormFloat64()*0.02
+			}
+			frames = append(frames, frame)
+		}
+	}
+	return frames
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+
+	// A database needs one parameter: the frame similarity threshold ε.
+	db := vitri.New(vitri.Options{Epsilon: 0.3, Seed: 1})
+
+	// Ingest 20 videos. Add summarizes each video into a handful of
+	// Video Triplets and indexes them.
+	videos := make([][]vitri.Vector, 20)
+	for id := range videos {
+		videos[id] = makeVideo(rng, 3, 30)
+		if err := db.Add(id, videos[id]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("database: %d videos summarized into %d triplets\n", db.Len(), db.Triplets())
+
+	// Query with a noisy copy of video 7 — a re-encoded duplicate.
+	query := make([]vitri.Vector, len(videos[7]))
+	for i, f := range videos[7] {
+		q := make(vitri.Vector, len(f))
+		for j := range f {
+			q[j] = f[j] + rng.NormFloat64()*0.01
+		}
+		query[i] = q
+	}
+	matches, err := db.Search(query, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop matches for a noisy copy of video 7:")
+	for rank, m := range matches {
+		fmt.Printf("  #%d  video %-3d similarity %.3f\n", rank+1, m.VideoID, m.Similarity)
+	}
+
+	// Summaries can also be used directly, without a database.
+	a := vitri.Summarize(0, videos[0], 0.3, 1)
+	b := vitri.Summarize(7, videos[7], 0.3, 1)
+	fmt.Printf("\nvideo 0 summary: %d triplets over %d frames\n", len(a.Triplets), a.FrameCount)
+	fmt.Printf("direct similarity video0 vs video7: %.4f\n", vitri.Similarity(&a, &b))
+	fmt.Printf("exact frame-level similarity:       %.4f\n",
+		vitri.ExactSimilarity(videos[0], videos[7], 0.3))
+}

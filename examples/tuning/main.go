@@ -1,0 +1,69 @@
+// Tuning ε: the frame similarity threshold is ViTri's single parameter
+// and trades retrieval precision against summary compactness and query
+// cost (paper §6.2). This example sweeps ε over a small corpus and prints,
+// for each value: the number of triplets the corpus summarizes into, the
+// retrieval precision of indexed search against exact frame-level ground
+// truth, and the average page reads per query.
+//
+// Run with:
+//
+//	go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vitri"
+	"vitri/internal/dataset"
+	"vitri/internal/metrics"
+)
+
+func main() {
+	corpus, err := dataset.GenerateHist(dataset.DefaultHistConfig(0.01, 11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	byID := corpus.ByID()
+	fmt.Printf("corpus: %d videos, %d frames\n\n", len(corpus.Videos), corpus.FrameCount())
+
+	const k = 10
+	queryIDs := []int{0, 7, 14, 21, 28}
+	fmt.Printf("%-6s  %-9s  %-10s  %-10s\n", "eps", "triplets", "precision", "pages/query")
+	for _, eps := range []float64{0.2, 0.3, 0.4, 0.5, 0.6} {
+		db := vitri.New(vitri.Options{Epsilon: eps, Seed: 1})
+		for i := range corpus.Videos {
+			v := &corpus.Videos[i]
+			if err := db.Add(v.ID, v.Frames); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+		var precisions []float64
+		var pages uint64
+		for _, qid := range queryIDs {
+			frames := byID[qid]
+			// Ground truth: exact frame-level KNN at this ε.
+			gt := corpus.GroundTruth(frames, eps, k)
+			rel := make([]int, len(gt))
+			for i, g := range gt {
+				rel[i] = g.VideoID
+			}
+			q := vitri.Summarize(-1, frames, eps, 1)
+			matches, stats, err := db.SearchSummary(&q, k, vitri.Composed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ret := make([]int, len(matches))
+			for i, m := range matches {
+				ret[i] = m.VideoID
+			}
+			precisions = append(precisions, metrics.Precision(rel, ret))
+			pages += stats.PageReads
+		}
+		fmt.Printf("%-6.1f  %-9d  %-10.3f  %-10.1f\n",
+			eps, db.Triplets(), metrics.Mean(precisions), float64(pages)/float64(len(queryIDs)))
+	}
+	fmt.Println("\nsmaller eps: finer summaries, better precision, more triplets to store and search")
+	fmt.Println("larger eps:  coarser summaries, cheaper queries, blurrier matching")
+}

@@ -1,0 +1,3 @@
+module vitri
+
+go 1.22

@@ -1,0 +1,183 @@
+package vitri
+
+import (
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"vitri/internal/pager"
+)
+
+// TestDiskBackedDatabase runs the whole stack over a file-backed page
+// store: build, search, dynamic insert, rebuild.
+func TestDiskBackedDatabase(t *testing.T) {
+	dir := t.TempDir()
+	n := 0
+	db := New(Options{
+		Epsilon: 0.3,
+		Seed:    1,
+		NewPager: func() pager.Pager {
+			n++
+			p, err := pager.OpenFile(filepath.Join(dir, filenameN(n)))
+			if err != nil {
+				t.Fatalf("open pager: %v", err)
+			}
+			return p
+		},
+	})
+	r := rand.New(rand.NewSource(60))
+	videos := make([][]Vector, 20)
+	for i := range videos {
+		videos[i] = synthVideo(r, 8, 3, 25)
+		if err := db.Add(i, videos[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	query := noisyCopy(r, videos[11], 0.01)
+	matches, err := db.Search(query, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 || matches[0].VideoID != 11 {
+		t.Fatalf("disk-backed top match = %+v", matches)
+	}
+	// Dynamic insert and rebuild exercise a second pager file.
+	if err := db.Add(100, synthVideo(r, 8, 2, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	matches, err = db.Search(query, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matches[0].VideoID != 11 {
+		t.Fatalf("post-rebuild top match = %+v", matches[0])
+	}
+}
+
+func filenameN(n int) string {
+	return "index-" + string(rune('a'+n-1)) + ".pages"
+}
+
+// TestConcurrentSearches hammers one database from many goroutines while
+// asserting result consistency. Run with -race to check synchronization.
+func TestConcurrentSearches(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	db := New(Options{Epsilon: 0.3, Seed: 1})
+	videos := make([][]Vector, 30)
+	for i := range videos {
+		videos[i] = synthVideo(r, 8, 2, 20)
+		if err := db.Add(i, videos[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Precompute queries and expected top matches single-threaded.
+	type testCase struct {
+		q    Summary
+		want int
+	}
+	cases := make([]testCase, 8)
+	for i := range cases {
+		src := i * 3
+		q := Summarize(-1, noisyCopy(r, videos[src], 0.01), 0.3, int64(i))
+		cases[i] = testCase{q: q, want: src}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 10; rep++ {
+				c := &cases[(w+rep)%len(cases)]
+				matches, _, err := db.SearchSummary(&c.q, 3, Composed)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(matches) == 0 || matches[0].VideoID != c.want {
+					errs <- errMismatch(c.want, matches)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type mismatchError struct {
+	want int
+	got  []Match
+}
+
+func (e *mismatchError) Error() string { return "concurrent search mismatch" }
+
+func errMismatch(want int, got []Match) error { return &mismatchError{want, got} }
+
+// TestConcurrentInsertAndSearch interleaves writers and readers.
+func TestConcurrentInsertAndSearch(t *testing.T) {
+	r := rand.New(rand.NewSource(62))
+	db := New(Options{Epsilon: 0.3, Seed: 1})
+	for i := 0; i < 10; i++ {
+		if err := db.Add(i, synthVideo(r, 8, 2, 15)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	target := synthVideo(r, 8, 2, 15)
+	if err := db.Add(999, target); err != nil {
+		t.Fatal(err)
+	}
+	q := Summarize(-1, noisyCopy(r, target, 0.01), 0.3, 1)
+
+	// Pre-generate writer payloads outside the goroutines (rand.Rand is
+	// not safe for concurrent use).
+	payloads := make([][]Vector, 20)
+	for i := range payloads {
+		payloads[i] = synthVideo(r, 8, 1, 10)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i, p := range payloads {
+			if err := db.Add(1000+i, p); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 15; rep++ {
+				matches, _, err := db.SearchSummary(&q, 3, Composed)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(matches) == 0 || matches[0].VideoID != 999 {
+					errs <- errMismatch(999, matches)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if db.Len() != 31 {
+		t.Fatalf("Len = %d after concurrent inserts", db.Len())
+	}
+}

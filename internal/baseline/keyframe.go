@@ -1,0 +1,53 @@
+package baseline
+
+import (
+	"math/rand"
+
+	"vitri/internal/cluster"
+	"vitri/internal/vec"
+)
+
+// KeyframeSummary is the comparator summary of [5] (Chang, Sull, Lee):
+// a video reduced to representative keyframes, with all local cluster
+// information (volume, density) discarded — the information loss ViTri is
+// designed to avoid.
+type KeyframeSummary struct {
+	VideoID   int
+	Keyframes []vec.Vector
+}
+
+// SummarizeKeyframes selects keyframes as the centers of the same
+// ε-bounded clusters ViTri uses, so the two methods are compared on equal
+// summarization budgets (one representative per cluster), isolating the
+// effect of the representation itself.
+func SummarizeKeyframes(videoID int, frames []vec.Vector, epsilon float64, seed int64) KeyframeSummary {
+	rng := rand.New(rand.NewSource(seed))
+	clusters := cluster.Generate(frames, epsilon, rng)
+	ks := KeyframeSummary{VideoID: videoID, Keyframes: make([]vec.Vector, 0, len(clusters))}
+	for _, c := range clusters {
+		ks.Keyframes = append(ks.Keyframes, c.Center)
+	}
+	return ks
+}
+
+// KeyframeSimilarity is the [5] measure: the percentage of keyframes in
+// each summary that have a similar (within ε) keyframe in the other.
+func KeyframeSimilarity(x, y *KeyframeSummary, epsilon float64) float64 {
+	if len(x.Keyframes) == 0 || len(y.Keyframes) == 0 {
+		return 0
+	}
+	return ExactSimilarity(x.Keyframes, y.Keyframes, epsilon)
+}
+
+// KeyframeKNN ranks a corpus of keyframe summaries against a query
+// summary and returns the top k.
+func KeyframeKNN(q *KeyframeSummary, corpus []KeyframeSummary, epsilon float64, k int) []Ranked {
+	scores := make([]Ranked, len(corpus))
+	for i := range corpus {
+		scores[i] = Ranked{
+			VideoID:    corpus[i].VideoID,
+			Similarity: KeyframeSimilarity(q, &corpus[i], epsilon),
+		}
+	}
+	return rankTopK(scores, k)
+}

@@ -1,0 +1,152 @@
+package baseline
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"vitri/internal/vec"
+)
+
+// ExactSearcher accelerates the exact §3.1 measure without changing its
+// result: frames of every video are ordered by their distance to a fixed
+// reference point, so the "∃ similar frame" test only examines candidates
+// whose key lies within ε of the probe's key (the same triangle-inequality
+// pruning the paper's index uses, applied at frame granularity). Results
+// are bit-identical to ExactSimilarity.
+type ExactSearcher struct {
+	ref    vec.Vector
+	videos map[int]*sortedFrames
+}
+
+// sortedFrames holds one video's frames ordered by key.
+type sortedFrames struct {
+	frames []vec.Vector // sorted by key
+	keys   []float64
+}
+
+// newSortedFrames indexes one frame sequence against the reference.
+func newSortedFrames(frames []vec.Vector, ref vec.Vector) *sortedFrames {
+	sf := &sortedFrames{
+		frames: make([]vec.Vector, len(frames)),
+		keys:   make([]float64, len(frames)),
+	}
+	type kf struct {
+		k float64
+		f vec.Vector
+	}
+	tmp := make([]kf, len(frames))
+	for i, f := range frames {
+		tmp[i] = kf{vec.Dist(f, ref), f}
+	}
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i].k < tmp[j].k })
+	for i, t := range tmp {
+		sf.frames[i], sf.keys[i] = t.f, t.k
+	}
+	return sf
+}
+
+// hasMatch reports whether some frame lies within eps of probe, scanning
+// only the key window [key-eps, key+eps].
+func (sf *sortedFrames) hasMatch(probe vec.Vector, key, eps float64) bool {
+	eps2 := eps * eps
+	lo := sort.SearchFloat64s(sf.keys, key-eps)
+	for i := lo; i < len(sf.keys) && sf.keys[i] <= key+eps; i++ {
+		if vec.Dist2(probe, sf.frames[i]) <= eps2 {
+			return true
+		}
+	}
+	return false
+}
+
+// countMatched returns how many of the probe frames (with precomputed
+// keys) have a match in sf.
+func (sf *sortedFrames) countMatched(probes []vec.Vector, keys []float64, eps float64) int {
+	n := 0
+	for i, p := range probes {
+		if sf.hasMatch(p, keys[i], eps) {
+			n++
+		}
+	}
+	return n
+}
+
+// NewExactSearcher indexes a corpus for repeated exact-measure queries.
+// The reference point is the centroid of a frame sample (any fixed point
+// is correct; the centroid keeps key windows tight).
+func NewExactSearcher(corpus map[int][]vec.Vector) *ExactSearcher {
+	var sample []vec.Vector
+	for _, frames := range corpus {
+		for i := 0; i < len(frames); i += 1 + len(frames)/32 {
+			sample = append(sample, frames[i])
+		}
+	}
+	if len(sample) == 0 {
+		return &ExactSearcher{videos: map[int]*sortedFrames{}}
+	}
+	ref := vec.Mean(sample)
+	s := &ExactSearcher{ref: ref, videos: make(map[int]*sortedFrames, len(corpus))}
+	for id, frames := range corpus {
+		s.videos[id] = newSortedFrames(frames, ref)
+	}
+	return s
+}
+
+// Similarity computes ExactSimilarity(query, corpus[videoID], eps).
+func (s *ExactSearcher) Similarity(query []vec.Vector, videoID int, eps float64) float64 {
+	sf := s.videos[videoID]
+	if sf == nil || len(query) == 0 || len(sf.frames) == 0 {
+		return 0
+	}
+	qk := make([]float64, len(query))
+	for i, q := range query {
+		qk[i] = vec.Dist(q, s.ref)
+	}
+	qsf := newSortedFrames(query, s.ref)
+	matched := sf.countMatched(query, qk, eps) +
+		qsf.countMatched(sf.frames, sf.keys, eps)
+	return float64(matched) / float64(len(query)+len(sf.frames))
+}
+
+// KNN ranks the whole corpus against the query with the exact measure,
+// spread across CPUs, and returns the top k.
+func (s *ExactSearcher) KNN(query []vec.Vector, eps float64, k int) []Ranked {
+	if len(query) == 0 {
+		return nil
+	}
+	qk := make([]float64, len(query))
+	for i, q := range query {
+		qk[i] = vec.Dist(q, s.ref)
+	}
+	qsf := newSortedFrames(query, s.ref)
+
+	ids := make([]int, 0, len(s.videos))
+	for id := range s.videos {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	scores := make([]Ranked, len(ids))
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				sf := s.videos[ids[i]]
+				matched := sf.countMatched(query, qk, eps) +
+					qsf.countMatched(sf.frames, sf.keys, eps)
+				scores[i] = Ranked{
+					VideoID:    ids[i],
+					Similarity: float64(matched) / float64(len(query)+len(sf.frames)),
+				}
+			}
+		}()
+	}
+	for i := range ids {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	return rankTopK(scores, k)
+}

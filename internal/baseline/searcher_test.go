@@ -1,0 +1,58 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vitri/internal/vec"
+)
+
+func TestExactSearcherMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	corpus := make(map[int][]vec.Vector)
+	for i := 0; i < 15; i++ {
+		corpus[i] = makeVideo(r, 6, 2, 12)
+	}
+	s := NewExactSearcher(corpus)
+	for trial := 0; trial < 10; trial++ {
+		q := perturb(r, corpus[r.Intn(15)], 0.03)
+		for id, frames := range corpus {
+			want := ExactSimilarity(q, frames, 0.3)
+			got := s.Similarity(q, id, 0.3)
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("video %d: searcher %v vs naive %v", id, got, want)
+			}
+		}
+	}
+}
+
+func TestExactSearcherKNNMatchesExactKNN(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	corpus := make(map[int][]vec.Vector)
+	for i := 0; i < 20; i++ {
+		corpus[i] = makeVideo(r, 6, 2, 10)
+	}
+	s := NewExactSearcher(corpus)
+	q := perturb(r, corpus[4], 0.02)
+	a := ExactKNN(q, corpus, 0.3, 10)
+	b := s.KNN(q, 0.3, 10)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].VideoID != b[i].VideoID || math.Abs(a[i].Similarity-b[i].Similarity) > 1e-12 {
+			t.Fatalf("rank %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestExactSearcherEdgeCases(t *testing.T) {
+	s := NewExactSearcher(map[int][]vec.Vector{})
+	if got := s.Similarity([]vec.Vector{{1}}, 99, 0.3); got != 0 {
+		t.Fatalf("missing video similarity = %v", got)
+	}
+	if got := s.KNN(nil, 0.3, 5); got != nil {
+		t.Fatalf("empty query KNN = %v", got)
+	}
+}

@@ -1,0 +1,98 @@
+package baseline
+
+import (
+	"errors"
+	"math/rand"
+
+	"vitri/internal/vec"
+)
+
+// SignatureScheme is the randomized summarization of Cheung & Zakhor [6]:
+// m seed vectors are drawn once for the whole database; a video's
+// signature assigns to every seed the video frame closest to it. Two
+// videos are similar to the extent their signatures agree seed-by-seed.
+// The paper notes its weakness — seeds may sample non-matching frames from
+// two almost-identical sequences — which is visible in the precision
+// experiments.
+type SignatureScheme struct {
+	Seeds   []vec.Vector
+	epsilon float64
+}
+
+// Signature is one video's signature under a scheme.
+type Signature struct {
+	VideoID int
+	Nearest []vec.Vector // Nearest[i] = the frame closest to scheme seed i
+}
+
+// NewSignatureScheme draws m seeds by sampling random frames from the
+// provided corpus sample (the usual construction: seeds live where data
+// lives).
+func NewSignatureScheme(sample []vec.Vector, m int, epsilon float64, seed int64) (*SignatureScheme, error) {
+	if m <= 0 {
+		return nil, errors.New("baseline: signature seed count must be positive")
+	}
+	if len(sample) == 0 {
+		return nil, errors.New("baseline: empty sample for signature seeds")
+	}
+	if epsilon <= 0 {
+		return nil, errors.New("baseline: epsilon must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := &SignatureScheme{epsilon: epsilon}
+	for i := 0; i < m; i++ {
+		s.Seeds = append(s.Seeds, vec.Clone(sample[rng.Intn(len(sample))]))
+	}
+	return s, nil
+}
+
+// Summarize computes a video's signature.
+func (s *SignatureScheme) Summarize(videoID int, frames []vec.Vector) Signature {
+	sig := Signature{VideoID: videoID, Nearest: make([]vec.Vector, len(s.Seeds))}
+	if len(frames) == 0 {
+		return sig
+	}
+	for i, seed := range s.Seeds {
+		best, bestD := 0, vec.Dist2(frames[0], seed)
+		for fi := 1; fi < len(frames); fi++ {
+			if d := vec.Dist2(frames[fi], seed); d < bestD {
+				best, bestD = fi, d
+			}
+		}
+		sig.Nearest[i] = frames[best]
+	}
+	return sig
+}
+
+// Similarity is the fraction of seeds whose assigned frames from the two
+// videos are within ε of each other.
+func (s *SignatureScheme) Similarity(a, b *Signature) float64 {
+	if len(a.Nearest) != len(s.Seeds) || len(b.Nearest) != len(s.Seeds) {
+		return 0
+	}
+	eps2 := s.epsilon * s.epsilon
+	hits := 0
+	total := 0
+	for i := range s.Seeds {
+		if a.Nearest[i] == nil || b.Nearest[i] == nil {
+			continue
+		}
+		total++
+		if vec.Dist2(a.Nearest[i], b.Nearest[i]) <= eps2 {
+			hits++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// KNN ranks corpus signatures against the query signature.
+func (s *SignatureScheme) KNN(q *Signature, corpus []Signature, k int) []Ranked {
+	scores := make([]Ranked, len(corpus))
+	for i := range corpus {
+		scores[i] = Ranked{VideoID: corpus[i].VideoID, Similarity: s.Similarity(q, &corpus[i])}
+	}
+	return rankTopK(scores, k)
+}

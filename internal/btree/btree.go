@@ -1,0 +1,408 @@
+package btree
+
+import (
+	"errors"
+	"fmt"
+
+	"sync"
+
+	"vitri/internal/pager"
+)
+
+// Tree is a B+-tree over float64 keys with fixed-size values, stored in a
+// pager. A Tree is safe for concurrent use: scans take a read lock,
+// mutations a write lock (the paging layer itself is also thread-safe).
+type Tree struct {
+	mu      sync.RWMutex
+	pg      pager.Pager
+	valSize int
+	root    pager.PageID
+	height  int // 1 = root is a leaf
+	count   int64
+}
+
+// Create initializes a new tree in pg (which must be empty) for values of
+// valSize bytes.
+func Create(pg pager.Pager, valSize int) (*Tree, error) {
+	if valSize <= 0 || leafCapacity(valSize) < 2 {
+		return nil, fmt.Errorf("btree: value size %d leaves capacity %d (< 2) per leaf",
+			valSize, leafCapacity(valSize))
+	}
+	if pg.NumPages() != 0 {
+		return nil, errors.New("btree: Create requires an empty pager")
+	}
+	metaID, err := pg.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	if metaID != 0 {
+		return nil, errors.New("btree: meta page must be page 0")
+	}
+	t := &Tree{pg: pg, valSize: valSize, height: 1}
+	rootID, err := t.allocNode(nodeLeaf)
+	if err != nil {
+		return nil, err
+	}
+	t.root = rootID
+	if err := t.writeMeta(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Open loads an existing tree from pg (e.g. a reopened file pager).
+func Open(pg pager.Pager) (*Tree, error) {
+	if pg.NumPages() == 0 {
+		return nil, errors.New("btree: Open on empty pager (use Create)")
+	}
+	var p pager.Page
+	if err := pg.Read(0, &p); err != nil {
+		return nil, err
+	}
+	m, err := decodeMeta(&p)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{pg: pg, valSize: m.valSize, root: m.root, height: m.height, count: m.count}, nil
+}
+
+// ValSize returns the fixed value size in bytes.
+func (t *Tree) ValSize() int { return t.valSize }
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.count
+}
+
+// Height returns the tree height (1 = the root is a leaf).
+func (t *Tree) Height() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.height
+}
+
+// Sync persists the metadata page (and, for file pagers, is the point at
+// which callers should also call the pager's own Sync).
+func (t *Tree) Sync() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.writeMeta()
+}
+
+// writeMeta persists root/height/count to page 0. Caller holds mu.
+func (t *Tree) writeMeta() error {
+	var p pager.Page
+	encodeMeta(meta{root: t.root, valSize: t.valSize, height: t.height, count: t.count}, &p)
+	return t.pg.Write(0, &p)
+}
+
+// allocNode allocates and seals an empty node of the given type.
+func (t *Tree) allocNode(typ byte) (pager.PageID, error) {
+	id, err := t.pg.Alloc()
+	if err != nil {
+		return 0, err
+	}
+	n := &node{id: id}
+	n.page[offType] = typ
+	n.setLink(pager.InvalidPage)
+	if err := t.writeNode(n); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// readNode fetches and verifies a node page.
+func (t *Tree) readNode(id pager.PageID) (*node, error) {
+	n := &node{id: id}
+	if err := t.pg.Read(id, &n.page); err != nil {
+		return nil, err
+	}
+	if err := n.verify(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// writeNode seals and writes a node page.
+func (t *Tree) writeNode(n *node) error {
+	n.seal()
+	return t.pg.Write(n.id, &n.page)
+}
+
+// Insert adds (key, value). Duplicate keys are allowed; within equal keys,
+// later inserts land after earlier ones.
+func (t *Tree) Insert(key float64, val []byte) error {
+	if len(val) != t.valSize {
+		return fmt.Errorf("btree: value size %d, tree expects %d", len(val), t.valSize)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sepKey, newChild, split, err := t.insertRec(t.root, key, val)
+	if err != nil {
+		return err
+	}
+	if split {
+		newRootID, err := t.allocNode(nodeInternal)
+		if err != nil {
+			return err
+		}
+		nr, err := t.readNode(newRootID)
+		if err != nil {
+			return err
+		}
+		nr.setLink(t.root) // leftmost child: the old root
+		nr.internalInsertAt(0, sepKey, newChild)
+		if err := t.writeNode(nr); err != nil {
+			return err
+		}
+		t.root = newRootID
+		t.height++
+	}
+	t.count++
+	return nil
+}
+
+// insertRec descends to the leaf, inserting and propagating splits upward.
+func (t *Tree) insertRec(id pager.PageID, key float64, val []byte) (sepKey float64, newChild pager.PageID, split bool, err error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if n.isLeaf() {
+		return t.leafInsert(n, key, val)
+	}
+	slot := n.childSlotFor(key)
+	sep, nc, childSplit, err := t.insertRec(n.childAt(slot), key, val)
+	if err != nil || !childSplit {
+		return 0, 0, false, err
+	}
+	// Insert the new separator positionally, directly after the child that
+	// split. A key-based search would misplace the new node within a run
+	// of equal separators and desynchronize the leaf sibling chain from
+	// the tree order.
+	pos := slot
+	if n.count() < internalCapacity() {
+		n.internalInsertAt(pos, sep, nc)
+		return 0, 0, false, t.writeNode(n)
+	}
+	return t.internalSplitInsert(n, pos, sep, nc)
+}
+
+// leafInsert places (key, val) into leaf n, splitting if full.
+func (t *Tree) leafInsert(n *node, key float64, val []byte) (float64, pager.PageID, bool, error) {
+	pos := n.leafUpperBound(t.valSize, key)
+	if n.count() < leafCapacity(t.valSize) {
+		n.leafInsertAt(pos, t.valSize, key, val)
+		return 0, 0, false, t.writeNode(n)
+	}
+	// Split: right sibling takes the upper half.
+	rightID, err := t.allocNode(nodeLeaf)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	right, err := t.readNode(rightID)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	cnt := n.count()
+	mid := cnt / 2
+	for i := mid; i < cnt; i++ {
+		right.setLeafEntry(i-mid, t.valSize, n.leafKey(i, t.valSize), n.leafVal(i, t.valSize))
+	}
+	right.setCount(cnt - mid)
+	n.setCount(mid)
+	right.setLink(n.link())
+	n.setLink(rightID)
+	// Insert the new entry into the proper side.
+	if pos <= mid {
+		n.leafInsertAt(pos, t.valSize, key, val)
+	} else {
+		right.leafInsertAt(pos-mid, t.valSize, key, val)
+	}
+	if err := t.writeNode(n); err != nil {
+		return 0, 0, false, err
+	}
+	if err := t.writeNode(right); err != nil {
+		return 0, 0, false, err
+	}
+	return right.leafKey(0, t.valSize), rightID, true, nil
+}
+
+// internalSplitInsert splits full internal node n while inserting
+// (sep, child) at position pos, and returns the promoted separator.
+func (t *Tree) internalSplitInsert(n *node, pos int, sep float64, child pager.PageID) (float64, pager.PageID, bool, error) {
+	cnt := n.count()
+	// Materialize the would-be entry list of cnt+1 entries.
+	keys := make([]float64, 0, cnt+1)
+	kids := make([]pager.PageID, 0, cnt+1)
+	for i := 0; i < cnt; i++ {
+		if i == pos {
+			keys = append(keys, sep)
+			kids = append(kids, child)
+		}
+		keys = append(keys, n.internalKey(i))
+		kids = append(kids, n.internalChild(i))
+	}
+	if pos == cnt {
+		keys = append(keys, sep)
+		kids = append(kids, child)
+	}
+	mid := len(keys) / 2
+	promoted := keys[mid]
+
+	rightID, err := t.allocNode(nodeInternal)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	right, err := t.readNode(rightID)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	// Left keeps entries [0, mid); the promoted entry's child becomes the
+	// right node's leftmost child; right takes (mid, end).
+	n.setCount(0)
+	for i := 0; i < mid; i++ {
+		n.internalInsertAt(i, keys[i], kids[i])
+	}
+	right.setLink(kids[mid])
+	for i := mid + 1; i < len(keys); i++ {
+		right.internalInsertAt(i-mid-1, keys[i], kids[i])
+	}
+	if err := t.writeNode(n); err != nil {
+		return 0, 0, false, err
+	}
+	if err := t.writeNode(right); err != nil {
+		return 0, 0, false, err
+	}
+	return promoted, rightID, true, nil
+}
+
+// descendToLeaf returns the leaf that would contain key.
+func (t *Tree) descendToLeaf(key float64) (*node, error) {
+	id := t.root
+	for {
+		n, err := t.readNode(id)
+		if err != nil {
+			return nil, err
+		}
+		if n.isLeaf() {
+			return n, nil
+		}
+		id = n.childFor(key)
+	}
+}
+
+// RangeScan visits every entry with lo <= key <= hi in key order, calling
+// fn for each. The val slice aliases an internal buffer and is only valid
+// during the call. fn returning false stops the scan early.
+func (t *Tree) RangeScan(lo, hi float64, fn func(key float64, val []byte) bool) error {
+	if lo > hi {
+		return nil
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n, err := t.descendToLeaf(lo)
+	if err != nil {
+		return err
+	}
+	i := n.leafLowerBound(t.valSize, lo)
+	for {
+		for ; i < n.count(); i++ {
+			k := n.leafKey(i, t.valSize)
+			if k > hi {
+				return nil
+			}
+			if !fn(k, n.leafVal(i, t.valSize)) {
+				return nil
+			}
+		}
+		next := n.link()
+		if next == pager.InvalidPage {
+			return nil
+		}
+		if n, err = t.readNode(next); err != nil {
+			return err
+		}
+		i = 0
+	}
+}
+
+// Scan visits every entry in key order.
+func (t *Tree) Scan(fn func(key float64, val []byte) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n, err := t.leftmostLeaf()
+	if err != nil {
+		return err
+	}
+	for {
+		for i := 0; i < n.count(); i++ {
+			if !fn(n.leafKey(i, t.valSize), n.leafVal(i, t.valSize)) {
+				return nil
+			}
+		}
+		next := n.link()
+		if next == pager.InvalidPage {
+			return nil
+		}
+		if n, err = t.readNode(next); err != nil {
+			return err
+		}
+	}
+}
+
+func (t *Tree) leftmostLeaf() (*node, error) {
+	id := t.root
+	for {
+		n, err := t.readNode(id)
+		if err != nil {
+			return nil, err
+		}
+		if n.isLeaf() {
+			return n, nil
+		}
+		id = n.link()
+	}
+}
+
+// Delete removes the first entry with the given key for which match
+// returns true (match == nil removes the first entry with the key).
+// It reports whether an entry was removed. Leaves are allowed to underflow
+// (no rebalancing): ViTri workloads are read- and insert-heavy, and
+// underflow only costs space, never correctness.
+func (t *Tree) Delete(key float64, match func(val []byte) bool) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n, err := t.descendToLeaf(key)
+	if err != nil {
+		return false, err
+	}
+	for {
+		for i := n.leafLowerBound(t.valSize, key); i < n.count(); i++ {
+			if n.leafKey(i, t.valSize) != key {
+				return false, nil
+			}
+			if match == nil || match(n.leafVal(i, t.valSize)) {
+				n.leafRemoveAt(i, t.valSize)
+				if err := t.writeNode(n); err != nil {
+					return false, err
+				}
+				t.count--
+				return true, nil
+			}
+		}
+		// Duplicates may continue on the next leaf.
+		next := n.link()
+		if next == pager.InvalidPage {
+			return false, nil
+		}
+		if n, err = t.readNode(next); err != nil {
+			return false, err
+		}
+		if n.count() == 0 || n.leafKey(0, t.valSize) != key {
+			return false, nil
+		}
+	}
+}

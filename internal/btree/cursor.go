@@ -1,0 +1,217 @@
+package btree
+
+import (
+	"fmt"
+	"math"
+
+	"vitri/internal/pager"
+)
+
+// Cursor iterates leaf entries in key order without callbacks. A cursor
+// holds a read lock on the tree for its lifetime: call Close when done.
+// Mutating the tree while a cursor is open deadlocks by design (single
+// process, RWMutex); cursors are for scans, not long-lived handles.
+type Cursor struct {
+	t      *Tree
+	node   *node
+	idx    int
+	hi     float64
+	valid  bool
+	closed bool
+}
+
+// Seek returns a cursor positioned at the first entry with key >= lo that
+// will iterate up to key <= hi.
+func (t *Tree) Seek(lo, hi float64) (*Cursor, error) {
+	t.mu.RLock()
+	c := &Cursor{t: t, hi: hi}
+	n, err := t.descendToLeaf(lo)
+	if err != nil {
+		t.mu.RUnlock()
+		return nil, err
+	}
+	c.node = n
+	c.idx = n.leafLowerBound(t.valSize, lo) - 1 // Next() advances first
+	c.valid = true
+	return c, nil
+}
+
+// Next advances to the next entry, reporting whether one exists within
+// the cursor's range.
+func (c *Cursor) Next() bool {
+	if !c.valid || c.closed {
+		return false
+	}
+	c.idx++
+	for c.idx >= c.node.count() {
+		next := c.node.link()
+		if next == pager.InvalidPage {
+			c.valid = false
+			return false
+		}
+		n, err := c.t.readNode(next)
+		if err != nil {
+			c.valid = false
+			return false
+		}
+		c.node = n
+		c.idx = 0
+	}
+	if c.Key() > c.hi {
+		c.valid = false
+		return false
+	}
+	return true
+}
+
+// Key returns the current entry's key. Valid only after Next reported
+// true.
+func (c *Cursor) Key() float64 { return c.node.leafKey(c.idx, c.t.valSize) }
+
+// Value returns the current entry's value. The slice aliases the cursor's
+// internal page buffer and is invalidated by the next call to Next.
+func (c *Cursor) Value() []byte { return c.node.leafVal(c.idx, c.t.valSize) }
+
+// Close releases the cursor's read lock. Safe to call more than once.
+func (c *Cursor) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.t.mu.RUnlock()
+}
+
+// TreeStats describes the tree's physical shape.
+type TreeStats struct {
+	Height        int
+	InternalNodes int
+	LeafNodes     int
+	Entries       int64
+	// LeafFill is the average leaf occupancy in [0, 1].
+	LeafFill float64
+}
+
+// Stats walks the tree and returns its shape.
+func (t *Tree) Stats() (TreeStats, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	st := TreeStats{Height: t.height, Entries: t.count}
+	cap := leafCapacity(t.valSize)
+	var walk func(id pager.PageID) error
+	walk = func(id pager.PageID) error {
+		n, err := t.readNode(id)
+		if err != nil {
+			return err
+		}
+		if n.isLeaf() {
+			st.LeafNodes++
+			st.LeafFill += float64(n.count()) / float64(cap)
+			return nil
+		}
+		st.InternalNodes++
+		if err := walk(n.link()); err != nil {
+			return err
+		}
+		for i := 0; i < n.count(); i++ {
+			if err := walk(n.internalChild(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root); err != nil {
+		return TreeStats{}, err
+	}
+	if st.LeafNodes > 0 {
+		st.LeafFill /= float64(st.LeafNodes)
+	}
+	return st, nil
+}
+
+// Check verifies the tree's structural invariants: per-node key ordering,
+// separator consistency (every key under a child lies within its
+// separator bounds), the leaf sibling chain visiting every leaf in order,
+// and the entry count. It returns the first violation found.
+func (t *Tree) Check() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var leaves []pager.PageID
+	var total int64
+	var walk func(id pager.PageID, lo, hi float64) error
+	walk = func(id pager.PageID, lo, hi float64) error {
+		n, err := t.readNode(id)
+		if err != nil {
+			return err
+		}
+		if n.isLeaf() {
+			for i := 0; i < n.count(); i++ {
+				k := n.leafKey(i, t.valSize)
+				if k < lo || k > hi {
+					return fmt.Errorf("btree: leaf %d key %v outside [%v, %v]", id, k, lo, hi)
+				}
+				if i > 0 && k < n.leafKey(i-1, t.valSize) {
+					return fmt.Errorf("btree: leaf %d keys out of order at %d", id, i)
+				}
+			}
+			leaves = append(leaves, id)
+			total += int64(n.count())
+			return nil
+		}
+		prev := lo
+		for i := 0; i < n.count(); i++ {
+			k := n.internalKey(i)
+			if k < prev {
+				return fmt.Errorf("btree: internal %d separators out of order at %d", id, i)
+			}
+			prev = k
+		}
+		// Child i covers [sep[i-1], sep[i]] (inclusive both sides:
+		// duplicates may sit on either side of an equal separator).
+		bound := func(i int) (float64, float64) {
+			l, h := lo, hi
+			if i > 0 {
+				l = n.internalKey(i - 1)
+			}
+			if i < n.count() {
+				h = n.internalKey(i)
+			}
+			return l, h
+		}
+		for i := 0; i <= n.count(); i++ {
+			l, h := bound(i)
+			if err := walk(n.childAt(i), l, h); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, math.Inf(-1), math.Inf(1)); err != nil {
+		return err
+	}
+	if total != t.count {
+		return fmt.Errorf("btree: %d entries found, metadata says %d", total, t.count)
+	}
+	// The sibling chain must visit exactly the leaves, in the same order.
+	n, err := t.leftmostLeaf()
+	if err != nil {
+		return err
+	}
+	for i := 0; ; i++ {
+		if i >= len(leaves) {
+			return fmt.Errorf("btree: sibling chain longer than tree (%d leaves)", len(leaves))
+		}
+		if n.id != leaves[i] {
+			return fmt.Errorf("btree: sibling chain visits %d, tree order expects %d", n.id, leaves[i])
+		}
+		next := n.link()
+		if next == pager.InvalidPage {
+			if i != len(leaves)-1 {
+				return fmt.Errorf("btree: sibling chain ends after %d of %d leaves", i+1, len(leaves))
+			}
+			return nil
+		}
+		if n, err = t.readNode(next); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package btree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vitri/internal/pager"
+)
+
+func TestCursorMatchesRangeScan(t *testing.T) {
+	tr := newMemTree(t, 8)
+	buildRandom(t, tr, 3000, 40)
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		lo := float64(r.Intn(700))
+		hi := lo + float64(r.Intn(150))
+		var want []float64
+		if err := tr.RangeScan(lo, hi, func(k float64, v []byte) bool {
+			want = append(want, k)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		c, err := tr.Seek(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []float64
+		for c.Next() {
+			got = append(got, c.Key())
+			if c.Value() == nil {
+				t.Fatal("nil cursor value")
+			}
+		}
+		c.Close()
+		if len(got) != len(want) {
+			t.Fatalf("[%v,%v] cursor %d entries, scan %d", lo, hi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("entry %d: %v vs %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCursorCloseIdempotent(t *testing.T) {
+	tr := newMemTree(t, 8)
+	if err := tr.Insert(1, val8(1)); err != nil {
+		t.Fatal(err)
+	}
+	c, err := tr.Seek(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	c.Close() // must not panic or double-unlock
+	if c.Next() {
+		t.Fatal("closed cursor advanced")
+	}
+	// Tree still usable for writes after close.
+	if err := tr.Insert(2, val8(2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	tr := newMemTree(t, 8)
+	buildRandom(t, tr, 5000, 42)
+	st, err := tr.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 5000 {
+		t.Fatalf("Entries = %d", st.Entries)
+	}
+	if st.Height != tr.Height() {
+		t.Fatalf("Height = %d vs %d", st.Height, tr.Height())
+	}
+	if st.LeafNodes == 0 || st.InternalNodes == 0 {
+		t.Fatalf("node counts: %+v", st)
+	}
+	if st.LeafFill <= 0 || st.LeafFill > 1 {
+		t.Fatalf("LeafFill = %v", st.LeafFill)
+	}
+}
+
+func TestCheckPassesOnHealthyTrees(t *testing.T) {
+	// Random inserts.
+	tr := newMemTree(t, 8)
+	buildRandom(t, tr, 4000, 43)
+	if err := tr.Check(); err != nil {
+		t.Fatalf("random-insert tree: %v", err)
+	}
+	// Bulk loaded.
+	r := rand.New(rand.NewSource(44))
+	entries := make([]Entry, 3000)
+	for i := range entries {
+		entries[i] = Entry{Key: r.Float64(), Val: val8(uint64(i))}
+	}
+	sortEntriesByKey(entries)
+	bulk, err := BulkLoad(pager.NewMem(), 8, entries, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bulk.Check(); err != nil {
+		t.Fatalf("bulk tree: %v", err)
+	}
+	// After deletions.
+	for i := 0; i < 500; i++ {
+		if _, err := tr.Delete(float64(r.Intn(1000)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatalf("post-delete tree: %v", err)
+	}
+}
+
+func TestCheckDetectsMetadataDrift(t *testing.T) {
+	tr := newMemTree(t, 8)
+	buildRandom(t, tr, 100, 45)
+	tr.count += 7 // corrupt the in-memory count
+	if err := tr.Check(); err == nil {
+		t.Fatal("expected count mismatch")
+	}
+	tr.count -= 7
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any random interleaving of inserts and deletes leaves a tree
+// that passes Check and agrees with a map-based model on total count.
+func TestQuickRandomOps(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr, err := Create(pager.NewMem(), 8)
+		if err != nil {
+			return false
+		}
+		counts := map[float64]int{}
+		total := 0
+		for op := 0; op < 400; op++ {
+			k := float64(r.Intn(40))
+			if r.Float64() < 0.7 {
+				if err := tr.Insert(k, val8(uint64(op))); err != nil {
+					return false
+				}
+				counts[k]++
+				total++
+			} else {
+				ok, err := tr.Delete(k, nil)
+				if err != nil {
+					return false
+				}
+				if ok != (counts[k] > 0) {
+					return false
+				}
+				if ok {
+					counts[k]--
+					total--
+				}
+			}
+		}
+		if int64(total) != tr.Len() {
+			return false
+		}
+		if err := tr.Check(); err != nil {
+			return false
+		}
+		// Per-key counts agree.
+		for k, want := range counts {
+			got := 0
+			if err := tr.RangeScan(k, k, func(float64, []byte) bool { got++; return true }); err != nil {
+				return false
+			}
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortEntriesByKey(entries []Entry) {
+	for i := 1; i < len(entries); i++ {
+		v := entries[i]
+		j := i - 1
+		for j >= 0 && entries[j].Key > v.Key {
+			entries[j+1] = entries[j]
+			j--
+		}
+		entries[j+1] = v
+	}
+}
+
+func TestCursorFullRange(t *testing.T) {
+	tr := newMemTree(t, 8)
+	model := buildRandom(t, tr, 1000, 46)
+	c, err := tr.Seek(math.Inf(-1), math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	n := 0
+	for c.Next() {
+		n++
+	}
+	if n != len(model) {
+		t.Fatalf("full cursor visited %d of %d", n, len(model))
+	}
+}

@@ -1,0 +1,269 @@
+// Package btree implements a disk-paged B+-tree over float64 keys with
+// fixed-size opaque values, the index structure the ViTri one-dimensional
+// transformation is built on (paper §5).
+//
+// Layout. Every node occupies one pager.Page. A 16-byte header holds the
+// node type, entry count, a link field (next-leaf pointer for leaves, the
+// leftmost child for internal nodes) and a CRC-32 checksum of the page
+// contents. Leaves store (key, value) pairs; internal nodes store
+// (separator key, child) pairs where the separator is the smallest key
+// reachable under that child. Duplicate keys are allowed and preserved in
+// insertion order within a key run.
+//
+// Page 0 is a metadata page recording the root, value size, height and
+// entry count, so file-backed trees can be reopened.
+package btree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"vitri/internal/pager"
+)
+
+const (
+	headerSize = 16
+
+	nodeLeaf     = byte(1)
+	nodeInternal = byte(2)
+
+	offType  = 0
+	offCount = 1 // uint16
+	offLink  = 4 // uint32: next leaf / leftmost child
+	offCRC   = 8 // uint32
+	// bytes 12..16 reserved
+
+	internalEntrySize = 8 + 4 // key + child page id
+
+	metaMagic = "VITRIBT1"
+)
+
+// ErrCorrupt reports a checksum mismatch on a node page.
+var ErrCorrupt = errors.New("btree: page checksum mismatch")
+
+// node is the in-memory view of one page.
+type node struct {
+	id    pager.PageID
+	page  pager.Page
+	dirty bool
+}
+
+func (n *node) typ() byte      { return n.page[offType] }
+func (n *node) isLeaf() bool   { return n.page[offType] == nodeLeaf }
+func (n *node) count() int     { return int(binary.LittleEndian.Uint16(n.page[offCount:])) }
+func (n *node) setCount(c int) { binary.LittleEndian.PutUint16(n.page[offCount:], uint16(c)) }
+func (n *node) link() pager.PageID {
+	return pager.PageID(binary.LittleEndian.Uint32(n.page[offLink:]))
+}
+func (n *node) setLink(id pager.PageID) {
+	binary.LittleEndian.PutUint32(n.page[offLink:], uint32(id))
+}
+
+// checksum computes the CRC over the page with the CRC field zeroed.
+func (n *node) checksum() uint32 {
+	var save [4]byte
+	copy(save[:], n.page[offCRC:offCRC+4])
+	for i := 0; i < 4; i++ {
+		n.page[offCRC+i] = 0
+	}
+	sum := crc32.ChecksumIEEE(n.page[:])
+	copy(n.page[offCRC:], save[:])
+	return sum
+}
+
+func (n *node) seal() {
+	sum := n.checksum()
+	binary.LittleEndian.PutUint32(n.page[offCRC:], sum)
+}
+
+func (n *node) verify() error {
+	want := binary.LittleEndian.Uint32(n.page[offCRC:])
+	if n.checksum() != want {
+		return fmt.Errorf("%w: page %d", ErrCorrupt, n.id)
+	}
+	return nil
+}
+
+// --- leaf entries ------------------------------------------------------
+
+// leafEntrySize returns the bytes per (key, value) pair.
+func leafEntrySize(valSize int) int { return 8 + valSize }
+
+// leafCapacity returns how many entries fit in a leaf.
+func leafCapacity(valSize int) int {
+	return (pager.PageSize - headerSize) / leafEntrySize(valSize)
+}
+
+// internalCapacity returns how many (key, child) pairs fit in an internal
+// node (the leftmost child lives in the header link field).
+func internalCapacity() int {
+	return (pager.PageSize - headerSize) / internalEntrySize
+}
+
+func (n *node) leafKey(i, valSize int) float64 {
+	off := headerSize + i*leafEntrySize(valSize)
+	return math.Float64frombits(binary.LittleEndian.Uint64(n.page[off:]))
+}
+
+func (n *node) leafVal(i, valSize int) []byte {
+	off := headerSize + i*leafEntrySize(valSize) + 8
+	return n.page[off : off+valSize]
+}
+
+func (n *node) setLeafEntry(i, valSize int, key float64, val []byte) {
+	off := headerSize + i*leafEntrySize(valSize)
+	binary.LittleEndian.PutUint64(n.page[off:], math.Float64bits(key))
+	copy(n.page[off+8:off+8+valSize], val)
+}
+
+// leafInsertAt shifts entries right and writes the new pair at position i.
+func (n *node) leafInsertAt(i, valSize int, key float64, val []byte) {
+	es := leafEntrySize(valSize)
+	cnt := n.count()
+	start := headerSize + i*es
+	end := headerSize + cnt*es
+	copy(n.page[start+es:end+es], n.page[start:end])
+	n.setLeafEntry(i, valSize, key, val)
+	n.setCount(cnt + 1)
+}
+
+// leafRemoveAt shifts entries left over position i.
+func (n *node) leafRemoveAt(i, valSize int) {
+	es := leafEntrySize(valSize)
+	cnt := n.count()
+	start := headerSize + i*es
+	end := headerSize + cnt*es
+	copy(n.page[start:end-es], n.page[start+es:end])
+	n.setCount(cnt - 1)
+}
+
+// leafLowerBound returns the first index with key >= k.
+func (n *node) leafLowerBound(valSize int, k float64) int {
+	lo, hi := 0, n.count()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.leafKey(mid, valSize) < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// leafUpperBound returns the first index with key > k.
+func (n *node) leafUpperBound(valSize int, k float64) int {
+	lo, hi := 0, n.count()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.leafKey(mid, valSize) <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// --- internal entries ---------------------------------------------------
+
+func (n *node) internalKey(i int) float64 {
+	off := headerSize + i*internalEntrySize
+	return math.Float64frombits(binary.LittleEndian.Uint64(n.page[off:]))
+}
+
+func (n *node) internalChild(i int) pager.PageID {
+	off := headerSize + i*internalEntrySize + 8
+	return pager.PageID(binary.LittleEndian.Uint32(n.page[off:]))
+}
+
+func (n *node) setInternalEntry(i int, key float64, child pager.PageID) {
+	off := headerSize + i*internalEntrySize
+	binary.LittleEndian.PutUint64(n.page[off:], math.Float64bits(key))
+	binary.LittleEndian.PutUint32(n.page[off+8:], uint32(child))
+}
+
+func (n *node) internalInsertAt(i int, key float64, child pager.PageID) {
+	cnt := n.count()
+	start := headerSize + i*internalEntrySize
+	end := headerSize + cnt*internalEntrySize
+	copy(n.page[start+internalEntrySize:end+internalEntrySize], n.page[start:end])
+	n.setInternalEntry(i, key, child)
+	n.setCount(cnt + 1)
+}
+
+// childFor returns the child page to descend into for key k: the link
+// (leftmost) child when every separator is >= k, otherwise the child of
+// the last separator strictly below k. Descending on strict inequality
+// means a key equal to a separator lands in the left subtree, which is
+// required for duplicate runs that straddle a split: a range scan starting
+// at the separator key then reaches the right-hand duplicates through the
+// leaf sibling links instead of skipping the left-hand ones.
+func (n *node) childFor(k float64) pager.PageID {
+	return n.childAt(n.childSlotFor(k))
+}
+
+// childSlotFor returns the child slot index to descend into for key k.
+// Slot 0 is the link (leftmost) child; slot i > 0 is the child of entry
+// i-1.
+func (n *node) childSlotFor(k float64) int {
+	lo, hi := 0, n.count()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.internalKey(mid) < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childAt returns the page id of child slot i.
+func (n *node) childAt(i int) pager.PageID {
+	if i == 0 {
+		return n.link()
+	}
+	return n.internalChild(i - 1)
+}
+
+// --- metadata page ------------------------------------------------------
+
+type meta struct {
+	root    pager.PageID
+	valSize int
+	height  int
+	count   int64
+}
+
+func encodeMeta(m meta, p *pager.Page) {
+	for i := range p {
+		p[i] = 0
+	}
+	copy(p[:8], metaMagic)
+	binary.LittleEndian.PutUint32(p[8:], uint32(m.root))
+	binary.LittleEndian.PutUint32(p[12:], uint32(m.valSize))
+	binary.LittleEndian.PutUint32(p[16:], uint32(m.height))
+	binary.LittleEndian.PutUint64(p[20:], uint64(m.count))
+	sum := crc32.ChecksumIEEE(p[:28])
+	binary.LittleEndian.PutUint32(p[28:], sum)
+}
+
+func decodeMeta(p *pager.Page) (meta, error) {
+	if string(p[:8]) != metaMagic {
+		return meta{}, errors.New("btree: bad meta magic")
+	}
+	sum := crc32.ChecksumIEEE(p[:28])
+	if binary.LittleEndian.Uint32(p[28:]) != sum {
+		return meta{}, fmt.Errorf("%w: meta page", ErrCorrupt)
+	}
+	return meta{
+		root:    pager.PageID(binary.LittleEndian.Uint32(p[8:])),
+		valSize: int(binary.LittleEndian.Uint32(p[12:])),
+		height:  int(binary.LittleEndian.Uint32(p[16:])),
+		count:   int64(binary.LittleEndian.Uint64(p[20:])),
+	}, nil
+}

@@ -1,0 +1,241 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vitri/internal/vec"
+)
+
+func gauss(r *rand.Rand, center vec.Vector, spread float64, count int) []vec.Vector {
+	out := make([]vec.Vector, count)
+	for i := range out {
+		p := make(vec.Vector, len(center))
+		for j := range p {
+			p[j] = center[j] + r.NormFloat64()*spread
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func TestKMeansSeparatesObviousClusters(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	a := gauss(r, vec.Vector{0, 0}, 0.1, 50)
+	b := gauss(r, vec.Vector{10, 10}, 0.1, 50)
+	points := append(append([]vec.Vector{}, a...), b...)
+	res := KMeans(points, 2, r, 0)
+	// All of a must share a label distinct from all of b.
+	la := res.Assign[0]
+	for i := 1; i < 50; i++ {
+		if res.Assign[i] != la {
+			t.Fatalf("cluster a split: point %d", i)
+		}
+	}
+	lb := res.Assign[50]
+	if lb == la {
+		t.Fatal("clusters merged")
+	}
+	for i := 51; i < 100; i++ {
+		if res.Assign[i] != lb {
+			t.Fatalf("cluster b split: point %d", i)
+		}
+	}
+	if res.Sizes[la] != 50 || res.Sizes[lb] != 50 {
+		t.Fatalf("sizes = %v", res.Sizes)
+	}
+}
+
+func TestKMeansKGreaterThanPoints(t *testing.T) {
+	points := []vec.Vector{{1}, {2}, {3}}
+	res := KMeans(points, 10, rand.New(rand.NewSource(2)), 0)
+	if len(res.Centers) != 3 {
+		t.Fatalf("expected 3 singleton clusters, got %d", len(res.Centers))
+	}
+	for i := range points {
+		if res.Assign[i] != i || res.Sizes[i] != 1 {
+			t.Fatalf("bad singleton assignment %v %v", res.Assign, res.Sizes)
+		}
+	}
+}
+
+func TestKMeansIdenticalPoints(t *testing.T) {
+	points := []vec.Vector{{5, 5}, {5, 5}, {5, 5}, {5, 5}}
+	res := KMeans(points, 2, rand.New(rand.NewSource(3)), 0)
+	total := 0
+	for _, s := range res.Sizes {
+		total += s
+	}
+	if total != 4 {
+		t.Fatalf("lost points: sizes=%v", res.Sizes)
+	}
+}
+
+func TestKMeansPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { KMeans(nil, 2, rand.New(rand.NewSource(1)), 0) },
+		func() { KMeans([]vec.Vector{{1}}, 0, rand.New(rand.NewSource(1)), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestKMeansAssignmentIsNearest(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	points := gauss(r, vec.Vector{0, 0, 0}, 3, 200)
+	res := KMeans(points, 5, r, 0)
+	for i, p := range points {
+		best, bestD := 0, math.Inf(1)
+		for c, ctr := range res.Centers {
+			if d := vec.Dist2(p, ctr); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if res.Assign[i] != best {
+			t.Fatalf("point %d assigned %d but nearest is %d", i, res.Assign[i], best)
+		}
+	}
+}
+
+func TestGenerateRadiusBound(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	// Three well-separated shot-like groups.
+	pts := append(gauss(r, vec.Vector{0, 0, 0, 0}, 0.02, 60),
+		append(gauss(r, vec.Vector{1, 0, 0, 0}, 0.02, 40),
+			gauss(r, vec.Vector{0, 1, 1, 0}, 0.02, 80)...)...)
+	eps := 0.3
+	clusters := Generate(pts, eps, r)
+	if len(clusters) < 3 {
+		t.Fatalf("expected >= 3 clusters, got %d", len(clusters))
+	}
+	total := 0
+	for _, c := range clusters {
+		if c.Radius > eps/2+1e-12 {
+			t.Errorf("cluster radius %v exceeds ε/2", c.Radius)
+		}
+		total += c.Size()
+	}
+	if total != len(pts) {
+		t.Fatalf("frames lost: %d != %d", total, len(pts))
+	}
+}
+
+func TestGeneratePartition(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	pts := gauss(r, vec.Vector{0, 0}, 1.0, 300)
+	clusters := Generate(pts, 0.4, r)
+	seen := make(map[int]bool)
+	for _, c := range clusters {
+		for _, m := range c.Members {
+			if seen[m] {
+				t.Fatalf("frame %d in two clusters", m)
+			}
+			seen[m] = true
+		}
+	}
+	if len(seen) != len(pts) {
+		t.Fatalf("partition covers %d of %d frames", len(seen), len(pts))
+	}
+}
+
+func TestGenerateSingleton(t *testing.T) {
+	clusters := Generate([]vec.Vector{{1, 2, 3}}, 0.5, rand.New(rand.NewSource(7)))
+	if len(clusters) != 1 || clusters[0].Radius != 0 || clusters[0].Size() != 1 {
+		t.Fatalf("singleton summary wrong: %+v", clusters)
+	}
+}
+
+func TestGenerateIdenticalFrames(t *testing.T) {
+	pts := []vec.Vector{{2, 2}, {2, 2}, {2, 2}, {2, 2}, {2, 2}}
+	clusters := Generate(pts, 0.1, rand.New(rand.NewSource(8)))
+	if len(clusters) != 1 {
+		t.Fatalf("identical frames should form one cluster, got %d", len(clusters))
+	}
+	if clusters[0].Radius != 0 || clusters[0].Size() != 5 {
+		t.Fatalf("bad cluster %+v", clusters[0])
+	}
+}
+
+func TestGenerateEmpty(t *testing.T) {
+	if got := Generate(nil, 0.5, rand.New(rand.NewSource(9))); got != nil {
+		t.Fatalf("expected nil for empty input, got %v", got)
+	}
+}
+
+func TestGeneratePanicsOnBadEpsilon(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Generate([]vec.Vector{{1}}, 0, rand.New(rand.NewSource(10)))
+}
+
+func TestGenerateEpsilonControlsClusterCount(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	pts := gauss(r, make(vec.Vector, 8), 0.3, 500)
+	prev := -1
+	// Smaller ε must produce at least as many clusters (Table 3's trend).
+	for _, eps := range []float64{0.6, 0.4, 0.2, 0.1} {
+		n := len(Generate(pts, eps, rand.New(rand.NewSource(12))))
+		if prev >= 0 && n < prev {
+			t.Fatalf("cluster count decreased when ε shrank: ε=%v gives %d < %d", eps, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestGenerateRefinedRadiusNotAboveMax(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	pts := gauss(r, vec.Vector{0, 0, 0}, 0.5, 400)
+	for _, c := range Generate(pts, 0.8, r) {
+		maxD := 0.0
+		for _, m := range c.Members {
+			if d := vec.Dist(pts[m], c.Center); d > maxD {
+				maxD = d
+			}
+		}
+		if c.Radius > maxD+1e-12 {
+			t.Fatalf("radius %v exceeds max member distance %v", c.Radius, maxD)
+		}
+		if c.Radius > c.Mu+c.Sigma+1e-12 {
+			t.Fatalf("radius %v exceeds µ+σ = %v", c.Radius, c.Mu+c.Sigma)
+		}
+	}
+}
+
+func TestValidateStrictCase(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	pts := gauss(r, vec.Vector{0, 0}, 0.01, 100)
+	eps := 0.5
+	for _, c := range Generate(pts, eps, r) {
+		// With such a compact blob the radius is far under ε/2 and every
+		// pair must be within ε.
+		if !c.Validate(pts, eps) {
+			t.Fatalf("validate failed for compact cluster")
+		}
+	}
+}
+
+func TestGenerateDeterministicWithSeed(t *testing.T) {
+	r := rand.New(rand.NewSource(15))
+	pts := gauss(r, vec.Vector{0, 0, 0, 0}, 0.4, 250)
+	a := Generate(pts, 0.3, rand.New(rand.NewSource(99)))
+	b := Generate(pts, 0.3, rand.New(rand.NewSource(99)))
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic cluster count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !vec.Equal(a[i].Center, b[i].Center) || a[i].Size() != b[i].Size() {
+			t.Fatalf("cluster %d differs between runs", i)
+		}
+	}
+}

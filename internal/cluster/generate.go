@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+
+	"vitri/internal/vec"
+)
+
+// Cluster is one tight group of similar frames produced by Generate: the
+// center, the refined radius min(R_max, µ+σ), the member frame indices
+// (into the original point slice), and the distance statistics that
+// produced the radius.
+type Cluster struct {
+	Center  vec.Vector
+	Radius  float64
+	Members []int
+	Mu      float64 // mean distance of members to Center
+	Sigma   float64 // population standard deviation of those distances
+}
+
+// Size returns the number of frames in the cluster (|C| in the paper).
+func (c *Cluster) Size() int { return len(c.Members) }
+
+// Generate implements the paper's Generate_Clusters algorithm (Figure 3):
+// recursively bisect points with 2-means until each cluster's refined
+// radius min(R, µ+σ) is at most ε/2, guaranteeing any two frames within a
+// cluster are within ε of each other. rng seeds the bisections; pass a
+// deterministic source for reproducible summaries.
+//
+// Degenerate inputs are handled conservatively: singleton and duplicate
+// point sets terminate immediately (radius 0), and a bisection that fails
+// to split (2-means puts everything on one side) falls back to a
+// median-distance split so recursion always makes progress.
+func Generate(points []vec.Vector, epsilon float64, rng *rand.Rand) []Cluster {
+	if epsilon <= 0 {
+		panic("cluster: Generate requires epsilon > 0")
+	}
+	if len(points) == 0 {
+		return nil
+	}
+	idx := make([]int, len(points))
+	for i := range idx {
+		idx[i] = i
+	}
+	var out []Cluster
+	generate(points, idx, epsilon, rng, &out, 0)
+	return out
+}
+
+// maxDepth caps the recursion; 2^64 clusters is unreachable so this only
+// guards against pathological non-progress.
+const maxDepth = 64
+
+func generate(points []vec.Vector, idx []int, epsilon float64, rng *rand.Rand, out *[]Cluster, depth int) {
+	c := summarizeGroup(points, idx)
+	if c.Radius <= epsilon/2 || len(idx) == 1 || depth >= maxDepth {
+		*out = append(*out, c)
+		return
+	}
+	left, right := bisect(points, idx, rng)
+	if len(left) == 0 || len(right) == 0 {
+		// No progress possible (identical points would have radius 0, so
+		// this indicates numeric degeneracy); accept the cluster as-is.
+		*out = append(*out, c)
+		return
+	}
+	generate(points, left, epsilon, rng, out, depth+1)
+	generate(points, right, epsilon, rng, out, depth+1)
+}
+
+// summarizeGroup computes the center, distance statistics and refined
+// radius min(maxDist, µ+σ) for the group of points selected by idx.
+func summarizeGroup(points []vec.Vector, idx []int) Cluster {
+	n := len(points[idx[0]])
+	center := make(vec.Vector, n)
+	for _, i := range idx {
+		vec.AddInPlace(center, points[i])
+	}
+	vec.ScaleInPlace(center, 1/float64(len(idx)))
+
+	var sum, sum2, maxD float64
+	for _, i := range idx {
+		d := vec.Dist(points[i], center)
+		sum += d
+		sum2 += d * d
+		if d > maxD {
+			maxD = d
+		}
+	}
+	m := float64(len(idx))
+	mu := sum / m
+	variance := sum2/m - mu*mu
+	if variance < 0 {
+		variance = 0
+	}
+	sigma := math.Sqrt(variance)
+	radius := math.Min(maxD, mu+sigma)
+	members := make([]int, len(idx))
+	copy(members, idx)
+	return Cluster{Center: center, Radius: radius, Members: members, Mu: mu, Sigma: sigma}
+}
+
+// bisect splits the group with 2-means and returns the two member index
+// lists. If 2-means degenerates to a single non-empty side, it falls back
+// to splitting at the median distance from the centroid.
+func bisect(points []vec.Vector, idx []int, rng *rand.Rand) (left, right []int) {
+	group := make([]vec.Vector, len(idx))
+	for i, id := range idx {
+		group[i] = points[id]
+	}
+	res := KMeans(group, 2, rng, 0)
+	for i, id := range idx {
+		if res.Assign[i] == 0 {
+			left = append(left, id)
+		} else {
+			right = append(right, id)
+		}
+	}
+	if len(left) > 0 && len(right) > 0 {
+		return left, right
+	}
+	// Fallback: order by distance to the centroid and cut at the median.
+	center := vec.Mean(group)
+	type distIdx struct {
+		d  float64
+		id int
+	}
+	items := make([]distIdx, len(idx))
+	for i, id := range idx {
+		items[i] = distIdx{vec.Dist(points[id], center), id}
+	}
+	// Insertion sort: groups here are small and already nearly ordered.
+	for i := 1; i < len(items); i++ {
+		v := items[i]
+		j := i - 1
+		for j >= 0 && items[j].d > v.d {
+			items[j+1] = items[j]
+			j--
+		}
+		items[j+1] = v
+	}
+	mid := len(items) / 2
+	left, right = left[:0], right[:0]
+	for i, it := range items {
+		if i < mid {
+			left = append(left, it.id)
+		} else {
+			right = append(right, it.id)
+		}
+	}
+	return left, right
+}
+
+// Validate reports whether every pair of frames in the cluster is within
+// epsilon. This holds strictly when Radius equals the max member distance;
+// when the µ+σ refinement shrank the radius below the true extent, a small
+// fraction of outlier pairs may exceed ε (the paper's deliberate
+// trade-off), so callers should only require Validate in the strict case.
+// Intended for tests and debugging; O(|C|²).
+func (c *Cluster) Validate(points []vec.Vector, epsilon float64) bool {
+	for i := 0; i < len(c.Members); i++ {
+		for j := i + 1; j < len(c.Members); j++ {
+			if vec.Dist(points[c.Members[i]], points[c.Members[j]]) > epsilon+1e-9 {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,160 @@
+// Package cluster implements the clustering substrate for ViTri
+// summarization: Lloyd's k-means with k-means++ seeding, and the paper's
+// recursive binary clustering algorithm (Figure 3) that keeps bisecting a
+// video's frames until every cluster is a tight hypersphere of radius
+// min(R, µ+σ) ≤ ε/2.
+package cluster
+
+import (
+	"math"
+	"math/rand"
+
+	"vitri/internal/vec"
+)
+
+// KMeansResult holds the outcome of a k-means run.
+type KMeansResult struct {
+	Centers []vec.Vector // k centroids
+	Assign  []int        // Assign[i] = index of the centroid owning point i
+	Sizes   []int        // number of points per centroid
+	Iters   int          // Lloyd iterations performed
+}
+
+// DefaultMaxIters bounds Lloyd's iteration; bisecting k-means converges in
+// a handful of passes on video frames.
+const DefaultMaxIters = 50
+
+// KMeans clusters points into k groups using k-means++ seeding followed by
+// Lloyd iterations. rng drives the seeding; maxIters <= 0 selects
+// DefaultMaxIters. If k >= len(points), every point becomes its own
+// (singleton) cluster.
+func KMeans(points []vec.Vector, k int, rng *rand.Rand, maxIters int) KMeansResult {
+	if len(points) == 0 {
+		panic("cluster: KMeans with no points")
+	}
+	if k <= 0 {
+		panic("cluster: KMeans with k <= 0")
+	}
+	if maxIters <= 0 {
+		maxIters = DefaultMaxIters
+	}
+	if k >= len(points) {
+		res := KMeansResult{
+			Centers: make([]vec.Vector, len(points)),
+			Assign:  make([]int, len(points)),
+			Sizes:   make([]int, len(points)),
+		}
+		for i, p := range points {
+			res.Centers[i] = vec.Clone(p)
+			res.Assign[i] = i
+			res.Sizes[i] = 1
+		}
+		return res
+	}
+
+	centers := seedPlusPlus(points, k, rng)
+	assign := make([]int, len(points))
+	sizes := make([]int, k)
+	iters := 0
+	for ; iters < maxIters; iters++ {
+		changed := 0
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centers {
+				if d := vec.Dist2(p, ctr); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best || iters == 0 {
+				changed++
+				assign[i] = best
+			}
+		}
+		if changed == 0 && iters > 0 {
+			break
+		}
+		// Recompute centroids.
+		for c := range centers {
+			for j := range centers[c] {
+				centers[c][j] = 0
+			}
+			sizes[c] = 0
+		}
+		for i, p := range points {
+			c := assign[i]
+			vec.AddInPlace(centers[c], p)
+			sizes[c]++
+		}
+		for c := range centers {
+			if sizes[c] == 0 {
+				// Re-seed an empty cluster on the point farthest from its
+				// centroid, a standard k-means repair.
+				far, farD := 0, -1.0
+				for i, p := range points {
+					if d := vec.Dist2(p, centers[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(centers[c], points[far])
+				continue
+			}
+			vec.ScaleInPlace(centers[c], 1/float64(sizes[c]))
+		}
+	}
+	// Final assignment pass so Assign/Sizes match the returned centers.
+	for c := range sizes {
+		sizes[c] = 0
+	}
+	for i, p := range points {
+		best, bestD := 0, math.Inf(1)
+		for c, ctr := range centers {
+			if d := vec.Dist2(p, ctr); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		assign[i] = best
+		sizes[best]++
+	}
+	return KMeansResult{Centers: centers, Assign: assign, Sizes: sizes, Iters: iters}
+}
+
+// seedPlusPlus picks k initial centers with the k-means++ D² weighting.
+func seedPlusPlus(points []vec.Vector, k int, rng *rand.Rand) []vec.Vector {
+	centers := make([]vec.Vector, 0, k)
+	first := points[rng.Intn(len(points))]
+	centers = append(centers, vec.Clone(first))
+	d2 := make([]float64, len(points))
+	for i, p := range points {
+		d2[i] = vec.Dist2(p, first)
+	}
+	for len(centers) < k {
+		var total float64
+		for _, d := range d2 {
+			total += d
+		}
+		var next int
+		if total == 0 {
+			// All remaining points coincide with chosen centers; pick any.
+			next = rng.Intn(len(points))
+		} else {
+			target := rng.Float64() * total
+			acc := 0.0
+			next = len(points) - 1
+			for i, d := range d2 {
+				acc += d
+				if acc >= target {
+					next = i
+					break
+				}
+			}
+		}
+		c := vec.Clone(points[next])
+		centers = append(centers, c)
+		for i, p := range points {
+			if d := vec.Dist2(p, c); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centers
+}

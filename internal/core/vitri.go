@@ -1,0 +1,194 @@
+// Package core implements the paper's primary contribution: the Video
+// Triplet (ViTri) summary model and its similarity measure.
+//
+// A video (a sequence of n-dimensional frame feature vectors) is
+// summarized into a small set of tight clusters (internal/cluster); each
+// cluster is modelled as a hypersphere and represented by the triplet
+// (position, radius, density). The similarity of two ViTris is the
+// estimated number of similar frames they share — the volume of
+// intersection of the two hyperspheres multiplied by the smaller density
+// (§4.2) — and the similarity of two videos aggregates those estimates
+// into the §3.1 percentage-of-similar-frames measure.
+//
+// Densities in high-dimensional spaces are astronomically large because
+// sphere volumes underflow float64 (see internal/geometry), so the triplet
+// stores the log-volume and all estimates are formed in log space.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vitri/internal/cluster"
+	"vitri/internal/geometry"
+	"vitri/internal/vec"
+)
+
+// ViTri is the paper's Video Triplet: a hypersphere-modelled cluster of
+// similar frames. Position is the cluster center O, Radius the refined
+// radius min(R, µ+σ), Count the number of member frames |C|. LogVolume
+// caches ln V_hypersphere(O, Radius) so density ratios never leave log
+// space.
+type ViTri struct {
+	Position  vec.Vector
+	Radius    float64
+	Count     int
+	LogVolume float64
+}
+
+// NewViTri builds a triplet from a cluster center, radius and frame count,
+// computing the cached log-volume. Radius must be positive: Summarize
+// floors degenerate zero radii before constructing triplets.
+func NewViTri(position vec.Vector, radius float64, count int) ViTri {
+	if radius <= 0 {
+		panic(fmt.Sprintf("core: NewViTri with non-positive radius %v", radius))
+	}
+	if count <= 0 {
+		panic(fmt.Sprintf("core: NewViTri with non-positive count %d", count))
+	}
+	return ViTri{
+		Position:  position,
+		Radius:    radius,
+		Count:     count,
+		LogVolume: geometry.LogSphereVolume(len(position), radius),
+	}
+}
+
+// Dim returns the dimensionality of the triplet's feature space.
+func (v *ViTri) Dim() int { return len(v.Position) }
+
+// LogDensity returns ln(D) = ln|C| − ln V. This is the quantity compared
+// when taking min(D1, D2); it is finite for all valid triplets.
+func (v *ViTri) LogDensity() float64 {
+	return math.Log(float64(v.Count)) - v.LogVolume
+}
+
+// Density returns the paper's D = |C| / V. In high-dimensional spaces this
+// overflows float64 (returns +Inf); use LogDensity for computation.
+func (v *ViTri) Density() float64 {
+	return math.Exp(v.LogDensity())
+}
+
+// SharedFrames estimates the number of similar frames shared by two
+// triplets: Volume(intersection) × min(D1, D2), evaluated in log space and
+// clamped to min(|C1|, |C2|) — a cluster cannot share more frames than it
+// contains. Returns 0 for disjoint spheres (§4.2 Case 1).
+func SharedFrames(a, b *ViTri) float64 {
+	if a.Dim() != b.Dim() {
+		panic("core: SharedFrames across different dimensionalities")
+	}
+	d := vec.Dist(a.Position, b.Position)
+	logVint := geometry.LogIntersectionVolume(a.Dim(), d, a.Radius, b.Radius)
+	if math.IsInf(logVint, -1) {
+		return 0
+	}
+	logD := math.Min(a.LogDensity(), b.LogDensity())
+	est := math.Exp(logVint + logD)
+	if limit := float64(min(a.Count, b.Count)); est > limit {
+		return limit
+	}
+	return est
+}
+
+// Summary is a video's ViTri summary: the triplets plus the original frame
+// count needed to normalize video-level similarity.
+type Summary struct {
+	VideoID    int
+	FrameCount int
+	Triplets   []ViTri
+}
+
+// Options configures Summarize.
+type Options struct {
+	// Epsilon is the frame similarity threshold ε. Clusters are split
+	// until radius ≤ ε/2. Must be positive.
+	Epsilon float64
+	// MinRadiusFraction floors a cluster's radius at
+	// Epsilon×MinRadiusFraction, so degenerate clusters of identical
+	// frames still have positive volume (and hence finite density).
+	// Zero selects DefaultMinRadiusFraction.
+	MinRadiusFraction float64
+	// Seed drives the k-means bisections; summaries are deterministic
+	// for a fixed seed.
+	Seed int64
+}
+
+// DefaultMinRadiusFraction is the default radius floor relative to ε.
+// 1/100 of ε is far below the ε/2 split threshold, so flooring never
+// changes the clustering decision, only keeps volumes positive.
+const DefaultMinRadiusFraction = 0.01
+
+// Summarize clusters a video's frames with the paper's recursive binary
+// algorithm and returns its ViTri summary. videoID is carried through for
+// identification in indexes and result sets.
+func Summarize(videoID int, frames []vec.Vector, opts Options) Summary {
+	if opts.Epsilon <= 0 {
+		panic("core: Summarize requires Epsilon > 0")
+	}
+	frac := opts.MinRadiusFraction
+	if frac == 0 {
+		frac = DefaultMinRadiusFraction
+	}
+	if frac < 0 || frac >= 0.5 {
+		panic(fmt.Sprintf("core: MinRadiusFraction %v out of (0, 0.5)", frac))
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	clusters := cluster.Generate(frames, opts.Epsilon, rng)
+	s := Summary{
+		VideoID:    videoID,
+		FrameCount: len(frames),
+		Triplets:   make([]ViTri, 0, len(clusters)),
+	}
+	floor := opts.Epsilon * frac
+	for _, c := range clusters {
+		r := c.Radius
+		if r < floor {
+			r = floor
+		}
+		s.Triplets = append(s.Triplets, NewViTri(c.Center, r, c.Size()))
+	}
+	return s
+}
+
+// SharedFrameEstimate returns, for two summaries, the estimated count of
+// frames of x having a similar frame in y plus frames of y having a
+// similar frame in x — the numerator of the §3.1 measure. Per-cluster
+// contributions are capped at the cluster size so a single dense overlap
+// cannot count the same frames twice.
+func SharedFrameEstimate(x, y *Summary) float64 {
+	if len(x.Triplets) == 0 || len(y.Triplets) == 0 {
+		return 0
+	}
+	sumX := make([]float64, len(x.Triplets))
+	sumY := make([]float64, len(y.Triplets))
+	for i := range x.Triplets {
+		for j := range y.Triplets {
+			s := SharedFrames(&x.Triplets[i], &y.Triplets[j])
+			sumX[i] += s
+			sumY[j] += s
+		}
+	}
+	var total float64
+	for i, s := range sumX {
+		total += math.Min(s, float64(x.Triplets[i].Count))
+	}
+	for j, s := range sumY {
+		total += math.Min(s, float64(y.Triplets[j].Count))
+	}
+	return total
+}
+
+// VideoSimilarity estimates the §3.1 video similarity of two summarized
+// videos: the estimated shared-frame count normalized by |X| + |Y|,
+// clamped to [0, 1].
+func VideoSimilarity(x, y *Summary) float64 {
+	if x.FrameCount == 0 || y.FrameCount == 0 {
+		return 0
+	}
+	sim := SharedFrameEstimate(x, y) / float64(x.FrameCount+y.FrameCount)
+	if sim > 1 {
+		return 1
+	}
+	return sim
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vitri/internal/geometry"
+	"vitri/internal/vec"
+)
+
+func TestNewViTri(t *testing.T) {
+	v := NewViTri(vec.Vector{0, 0, 0}, 0.5, 10)
+	if v.Dim() != 3 {
+		t.Fatalf("Dim = %d", v.Dim())
+	}
+	wantLV := geometry.LogSphereVolume(3, 0.5)
+	if v.LogVolume != wantLV {
+		t.Fatalf("LogVolume = %v want %v", v.LogVolume, wantLV)
+	}
+	wantD := 10 / geometry.SphereVolume(3, 0.5)
+	if math.Abs(v.Density()-wantD) > 1e-9*wantD {
+		t.Fatalf("Density = %v want %v", v.Density(), wantD)
+	}
+}
+
+func TestNewViTriPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewViTri(vec.Vector{0}, 0, 5) },
+		func() { NewViTri(vec.Vector{0}, -1, 5) },
+		func() { NewViTri(vec.Vector{0}, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLogDensityHighDimFinite(t *testing.T) {
+	pos := make(vec.Vector, 64)
+	v := NewViTri(pos, 0.15, 22)
+	ld := v.LogDensity()
+	if math.IsInf(ld, 0) || math.IsNaN(ld) {
+		t.Fatalf("LogDensity = %v", ld)
+	}
+	// Direct density is ~1e74 here; verify rough agreement in log space.
+	if math.Abs(ld-(math.Log(22)-geometry.LogSphereVolume(64, 0.15))) > 1e-12 {
+		t.Fatalf("LogDensity mismatch")
+	}
+}
+
+func TestSharedFramesDisjoint(t *testing.T) {
+	a := NewViTri(vec.Vector{0, 0}, 0.5, 10)
+	b := NewViTri(vec.Vector{10, 0}, 0.5, 10)
+	if got := SharedFrames(&a, &b); got != 0 {
+		t.Fatalf("disjoint shared = %v", got)
+	}
+}
+
+func TestSharedFramesIdenticalClusters(t *testing.T) {
+	// Two identical triplets: intersection = full sphere, min density =
+	// density, so estimate = |C|, clamped at |C|.
+	a := NewViTri(vec.Vector{1, 2, 3}, 0.4, 25)
+	b := NewViTri(vec.Vector{1, 2, 3}, 0.4, 25)
+	if got := SharedFrames(&a, &b); math.Abs(got-25) > 1e-9 {
+		t.Fatalf("identical clusters share %v, want 25", got)
+	}
+}
+
+func TestSharedFramesContained(t *testing.T) {
+	// Small dense cluster fully inside a big sparse one: the intersection
+	// is the small sphere; min density is the big one's. Estimate =
+	// D_big × V_small = |C_big| × (V_small / V_big).
+	big := NewViTri(vec.Vector{0, 0, 0}, 1.0, 1000)
+	small := NewViTri(vec.Vector{0.1, 0, 0}, 0.2, 50)
+	want := 1000 * geometry.SphereVolume(3, 0.2) / geometry.SphereVolume(3, 1.0)
+	got := SharedFrames(&big, &small)
+	if math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("contained shared = %v want %v", got, want)
+	}
+	if got2 := SharedFrames(&small, &big); math.Abs(got-got2) > 1e-12 {
+		t.Fatalf("asymmetric: %v vs %v", got, got2)
+	}
+}
+
+func TestSharedFramesClamped(t *testing.T) {
+	// Two tiny overlapping ultra-dense clusters cannot share more frames
+	// than the smaller holds.
+	a := NewViTri(vec.Vector{0, 0}, 0.01, 5)
+	b := NewViTri(vec.Vector{0.001, 0}, 0.01, 100000)
+	if got := SharedFrames(&a, &b); got > 5 {
+		t.Fatalf("clamp failed: %v", got)
+	}
+}
+
+func TestSharedFramesMonotoneInDistance(t *testing.T) {
+	a := NewViTri(make(vec.Vector, 16), 0.3, 40)
+	prev := math.Inf(1)
+	for d := 0.0; d < 0.7; d += 0.02 {
+		pos := make(vec.Vector, 16)
+		pos[0] = d
+		b := NewViTri(pos, 0.3, 40)
+		s := SharedFrames(&a, &b)
+		if s > prev+1e-9 {
+			t.Fatalf("shared frames increased with distance at d=%v", d)
+		}
+		if s < 0 {
+			t.Fatalf("negative shared frames %v", s)
+		}
+		prev = s
+	}
+}
+
+func makeFrames(r *rand.Rand, center vec.Vector, spread float64, count int) []vec.Vector {
+	out := make([]vec.Vector, count)
+	for i := range out {
+		p := make(vec.Vector, len(center))
+		for j := range p {
+			p[j] = center[j] + r.NormFloat64()*spread
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func TestSummarizeBasics(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	frames := append(makeFrames(r, vec.Vector{0, 0, 0, 0}, 0.01, 80),
+		makeFrames(r, vec.Vector{2, 0, 0, 0}, 0.01, 60)...)
+	s := Summarize(7, frames, Options{Epsilon: 0.3, Seed: 3})
+	if s.VideoID != 7 || s.FrameCount != 140 {
+		t.Fatalf("summary header wrong: %+v", s)
+	}
+	if len(s.Triplets) < 2 {
+		t.Fatalf("expected >= 2 triplets, got %d", len(s.Triplets))
+	}
+	total := 0
+	for _, v := range s.Triplets {
+		if v.Radius <= 0 || v.Radius > 0.15+1e-12 {
+			t.Fatalf("triplet radius %v outside (0, ε/2]", v.Radius)
+		}
+		total += v.Count
+	}
+	if total != 140 {
+		t.Fatalf("triplet counts sum to %d", total)
+	}
+}
+
+func TestSummarizeIdenticalFramesGetFloorRadius(t *testing.T) {
+	frames := []vec.Vector{{1, 1}, {1, 1}, {1, 1}}
+	s := Summarize(0, frames, Options{Epsilon: 0.4, Seed: 1})
+	if len(s.Triplets) != 1 {
+		t.Fatalf("triplets = %d", len(s.Triplets))
+	}
+	want := 0.4 * DefaultMinRadiusFraction
+	if s.Triplets[0].Radius != want {
+		t.Fatalf("floored radius = %v want %v", s.Triplets[0].Radius, want)
+	}
+}
+
+func TestSummarizePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Summarize(0, []vec.Vector{{1}}, Options{Epsilon: 0}) },
+		func() { Summarize(0, []vec.Vector{{1}}, Options{Epsilon: 0.3, MinRadiusFraction: 0.7}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestVideoSimilaritySelf(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	frames := makeFrames(r, vec.Vector{0, 0, 0, 0, 0, 0, 0, 0}, 0.05, 200)
+	s := Summarize(0, frames, Options{Epsilon: 0.3, Seed: 1})
+	sim := VideoSimilarity(&s, &s)
+	if sim < 0.95 || sim > 1 {
+		t.Fatalf("self similarity = %v, want ≈1", sim)
+	}
+}
+
+func TestVideoSimilarityDisjoint(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	a := Summarize(0, makeFrames(r, vec.Vector{0, 0, 0}, 0.02, 100), Options{Epsilon: 0.3, Seed: 1})
+	b := Summarize(1, makeFrames(r, vec.Vector{5, 5, 5}, 0.02, 100), Options{Epsilon: 0.3, Seed: 1})
+	if sim := VideoSimilarity(&a, &b); sim != 0 {
+		t.Fatalf("disjoint similarity = %v", sim)
+	}
+}
+
+func TestVideoSimilarityNearDuplicateBeatsUnrelated(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	base := makeFrames(r, vec.Vector{0.5, 0.5, 0.5, 0.5}, 0.04, 150)
+	// Near-duplicate: same frames with small perturbation.
+	dup := make([]vec.Vector, len(base))
+	for i, f := range base {
+		p := vec.Clone(f)
+		for j := range p {
+			p[j] += r.NormFloat64() * 0.01
+		}
+		dup[i] = p
+	}
+	other := makeFrames(r, vec.Vector{0.1, 0.9, 0.2, 0.7}, 0.04, 150)
+	q := Summarize(0, base, Options{Epsilon: 0.3, Seed: 1})
+	d := Summarize(1, dup, Options{Epsilon: 0.3, Seed: 2})
+	o := Summarize(2, other, Options{Epsilon: 0.3, Seed: 3})
+	simDup := VideoSimilarity(&q, &d)
+	simOther := VideoSimilarity(&q, &o)
+	if simDup <= simOther {
+		t.Fatalf("near-duplicate similarity %v not above unrelated %v", simDup, simOther)
+	}
+	if simDup < 0.5 {
+		t.Fatalf("near-duplicate similarity too low: %v", simDup)
+	}
+}
+
+func TestVideoSimilaritySymmetric(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	a := Summarize(0, makeFrames(r, vec.Vector{0, 0, 0, 0}, 0.2, 120), Options{Epsilon: 0.4, Seed: 1})
+	b := Summarize(1, makeFrames(r, vec.Vector{0.2, 0, 0, 0}, 0.2, 90), Options{Epsilon: 0.4, Seed: 2})
+	if s1, s2 := VideoSimilarity(&a, &b), VideoSimilarity(&b, &a); math.Abs(s1-s2) > 1e-12 {
+		t.Fatalf("similarity asymmetric: %v vs %v", s1, s2)
+	}
+}
+
+func TestVideoSimilarityEmpty(t *testing.T) {
+	empty := Summary{VideoID: 0}
+	r := rand.New(rand.NewSource(6))
+	s := Summarize(1, makeFrames(r, vec.Vector{0, 0}, 0.1, 10), Options{Epsilon: 0.3, Seed: 1})
+	if sim := VideoSimilarity(&empty, &s); sim != 0 {
+		t.Fatalf("similarity with empty video = %v", sim)
+	}
+}
+
+func TestSharedFrameEstimateBounded(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	a := Summarize(0, makeFrames(r, vec.Vector{0, 0, 0}, 0.05, 100), Options{Epsilon: 0.3, Seed: 1})
+	b := Summarize(1, makeFrames(r, vec.Vector{0, 0, 0}, 0.05, 80), Options{Epsilon: 0.3, Seed: 2})
+	est := SharedFrameEstimate(&a, &b)
+	if est < 0 || est > float64(a.FrameCount+b.FrameCount) {
+		t.Fatalf("estimate %v out of [0, %d]", est, a.FrameCount+b.FrameCount)
+	}
+}

@@ -1,0 +1,552 @@
+// Package dataset assembles the evaluation corpora. Two generation paths
+// feed the same Corpus type:
+//
+//   - the pixel path (GeneratePixel) renders procedural video with
+//     internal/videogen and extracts the paper's 64-d histograms with
+//     internal/feature — the full pipeline, used by tests, examples and
+//     the small-scale precision experiments; and
+//   - the histogram path (GenerateHist) synthesizes frame features
+//     directly with the same shot statistics (compact intra-shot
+//     clusters, sharp cuts, Zipf-skewed bin popularity for realistic
+//     correlation), which scales to the hundreds of thousands of frames
+//     the index experiments need.
+//
+// The paper's dataset (Table 2: 6,587 TV ads at 25 fps) is proprietary;
+// PaperSpec reproduces its duration mix at a configurable scale.
+package dataset
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"vitri/internal/baseline"
+	"vitri/internal/feature"
+	"vitri/internal/vec"
+	"vitri/internal/videogen"
+)
+
+// Video is one clip: its id, duration class and frame feature vectors.
+type Video struct {
+	ID          int
+	DurationSec float64
+	Frames      []vec.Vector
+}
+
+// Corpus is a dataset of feature-extracted videos.
+type Corpus struct {
+	Dim    int
+	FPS    int
+	Videos []Video
+}
+
+// FrameCount returns the total number of frames.
+func (c *Corpus) FrameCount() int {
+	n := 0
+	for i := range c.Videos {
+		n += len(c.Videos[i].Frames)
+	}
+	return n
+}
+
+// ByID returns frame sequences keyed by video id (the shape ExactKNN
+// consumes).
+func (c *Corpus) ByID() map[int][]vec.Vector {
+	out := make(map[int][]vec.Vector, len(c.Videos))
+	for i := range c.Videos {
+		out[c.Videos[i].ID] = c.Videos[i].Frames
+	}
+	return out
+}
+
+// DurationSpec is one duration class: videos of Seconds length, Count of
+// them.
+type DurationSpec struct {
+	Seconds float64
+	Count   int
+}
+
+// PaperSpec reproduces Table 2's duration mix (30s×2934, 15s×2519,
+// 10s×1134) scaled by the given factor; each class keeps at least one
+// video for any positive scale.
+func PaperSpec(scale float64) []DurationSpec {
+	mk := func(sec float64, count int) DurationSpec {
+		n := int(float64(count) * scale)
+		if n < 1 {
+			n = 1
+		}
+		return DurationSpec{Seconds: sec, Count: n}
+	}
+	return []DurationSpec{mk(30, 2934), mk(15, 2519), mk(10, 1134)}
+}
+
+// HistConfig parameterizes the histogram-space generator.
+//
+// The generator models what makes the paper's TV-advertisement corpus
+// interesting for this workload:
+//
+//   - a *shot library*: broadcast material reuses footage (station logos,
+//     stock shots, re-cut campaigns), so videos genuinely share frames —
+//     every shot is drawn from a global library with Zipf popularity,
+//     giving ground-truth near-neighbour structure;
+//   - a *color-profile gradient*: shot palettes interpolate between two
+//     global profiles, so the corpus has a dominant principal direction
+//     for the optimal reference point to exploit;
+//   - compact intra-shot jitter and hard cuts, reproducing Table 3's
+//     cluster statistics.
+type HistConfig struct {
+	Dim        int     // feature dimensionality (64 in the paper)
+	FPS        int     // frames per second (25 in the paper)
+	AvgShotSec float64 // mean shot length; ~2s matches Table 3's ε=0.3 row
+	ShotNoise  float64 // within-shot per-bin jitter scale
+	ActiveBins int     // active histogram bins per shot
+	// LibraryShots is the size of the global shot library; smaller values
+	// mean more footage sharing between videos.
+	LibraryShots int
+	Seed         int64
+	Durations    []DurationSpec
+}
+
+// DefaultHistConfig returns paper-matched parameters at the given corpus
+// scale. The library scales with the corpus so sharing density stays
+// constant.
+func DefaultHistConfig(scale float64, seed int64) HistConfig {
+	videos := 0
+	for _, s := range PaperSpec(scale) {
+		videos += s.Count
+	}
+	// A tight library: broadcast corpora re-use footage heavily, so a
+	// query's ground-truth neighbourhood (shared-footage videos) is deep.
+	lib := videos * 3 / 2
+	if lib < 16 {
+		lib = 16
+	}
+	return HistConfig{
+		Dim:          64,
+		FPS:          25,
+		AvgShotSec:   2.0,
+		ShotNoise:    0.004,
+		ActiveBins:   8,
+		LibraryShots: lib,
+		Seed:         seed,
+		Durations:    PaperSpec(scale),
+	}
+}
+
+func (cfg *HistConfig) validate() error {
+	if cfg.Dim < 2 {
+		return fmt.Errorf("dataset: dim %d too small", cfg.Dim)
+	}
+	if cfg.FPS <= 0 || cfg.AvgShotSec <= 0 || cfg.ActiveBins < 1 || len(cfg.Durations) == 0 {
+		return fmt.Errorf("dataset: invalid config %+v", *cfg)
+	}
+	if cfg.ActiveBins > cfg.Dim {
+		return fmt.Errorf("dataset: ActiveBins %d exceeds Dim %d", cfg.ActiveBins, cfg.Dim)
+	}
+	if cfg.LibraryShots < 1 {
+		return fmt.Errorf("dataset: LibraryShots %d", cfg.LibraryShots)
+	}
+	return nil
+}
+
+// shotLibrary is the global pool of shot palettes videos sample from,
+// grouped by visual family. A video belongs to one family and draws most
+// of its shots there (with occasional cross-family material, like shared
+// station graphics).
+type shotLibrary struct {
+	byFamily [][]libShot
+	picks    []*rand.Zipf // one popularity law per family
+	all      []libShot
+	pickAll  *rand.Zipf
+}
+
+// libShot is one piece of footage. Its frames spread around the base
+// palette along a low-rank motion subspace (camera pans and object motion
+// move a histogram within a plane, not isotropically): frame = base +
+// amp·(u1·dir1 + u2·dir2) + sensor noise. The low rank matters twice —
+// the recursive 2-means can actually shrink such clusters, and the µ+σ
+// radius is stable across renderings, so two videos' clusters over the
+// same footage agree in both position and radius. The amplitude is a
+// property of the footage (static packshot vs action shot); shots with
+// amp above the ε/2 bound are the ones the clustering splits, producing
+// Table 3's cluster-count scaling.
+type libShot struct {
+	from vec.Vector
+	dirs [2]vec.Vector // unit motion directions
+	amp  float64       // major motion amplitude (feature-space units)
+	amp2 float64       // minor amplitude: motion is an anisotropic ellipse,
+	// so when ε forces a split, 2-means cuts along the major axis — the
+	// same cut in every rendering, keeping split clusters aligned across
+	// videos
+	noise float64 // per-bin sensor noise
+}
+
+// corpusFamilies is the number of visual families in generated corpora.
+const corpusFamilies = 4
+
+// newShotLibrary builds the library over a set of visual families.
+func newShotLibrary(rng *rand.Rand, dim, activeBins, size int) *shotLibrary {
+	fams := familyPalettes(rng, dim, activeBins, corpusFamilies)
+	perFam := size / corpusFamilies
+	if perFam < 2 {
+		perFam = 2
+	}
+	lib := &shotLibrary{}
+	for f := 0; f < corpusFamilies; f++ {
+		shots := make([]libShot, perFam)
+		for j := range shots {
+			// Palette = shot-specific accent with a family tint. The
+			// accent dominates so *distinct* shots sit well over ε apart
+			// (frame-level matches come only from shared library shots),
+			// while the tint keeps corpus-level correlation.
+			accent := sharpProfile(rng, dim, activeBins)
+			from := blend(fams[f], accent, 0.3)
+			amp := 0.13 + 0.06*rng.Float64()
+			shots[j] = libShot{
+				from:  from,
+				dirs:  [2]vec.Vector{randomUnit(rng, dim), randomUnit(rng, dim)},
+				amp:   amp,
+				amp2:  amp * (0.3 + 0.3*rng.Float64()),
+				noise: 0.002,
+			}
+		}
+		lib.byFamily = append(lib.byFamily, shots)
+		// Flat-headed Zipf: a few shots (station idents, stock footage)
+		// recur across unrelated videos, but no shot dominates.
+		lib.picks = append(lib.picks, rand.NewZipf(rng, 1.15, 30, uint64(perFam-1)))
+		lib.all = append(lib.all, shots...)
+	}
+	lib.pickAll = rand.NewZipf(rng, 1.15, 30, uint64(len(lib.all)-1))
+	return lib
+}
+
+// shotFor samples a shot palette for a video of the given family: usually
+// from the family pool, occasionally from the global pool.
+func (lib *shotLibrary) shotFor(rng *rand.Rand, family int) libShot {
+	if rng.Float64() < 0.1 {
+		return lib.all[lib.pickAll.Uint64()]
+	}
+	return lib.byFamily[family][lib.picks[family].Uint64()]
+}
+
+// families returns the number of families in the library.
+func (lib *shotLibrary) families() int { return len(lib.byFamily) }
+
+// GenerateHist synthesizes a corpus directly in feature space.
+func GenerateHist(cfg HistConfig) (*Corpus, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	lib := newShotLibrary(rng, cfg.Dim, cfg.ActiveBins, cfg.LibraryShots)
+	c := &Corpus{Dim: cfg.Dim, FPS: cfg.FPS}
+
+	// Advertising campaigns: the same ad airs as several cuts (a 30s
+	// master plus 15s/10s edits) that share most of their footage. Videos
+	// are assigned round-robin across duration classes to a stream of
+	// campaigns, so a campaign's members usually span classes — the
+	// dominant source of genuine near-duplicates in the corpus.
+	camp := newCampaign(rng, lib)
+	left := campaignSize(rng)
+	id := 0
+	remaining := make([]int, len(cfg.Durations))
+	total := 0
+	for i, spec := range cfg.Durations {
+		remaining[i] = spec.Count
+		total += spec.Count
+	}
+	for total > 0 {
+		for i, spec := range cfg.Durations {
+			if remaining[i] == 0 {
+				continue
+			}
+			if left == 0 {
+				camp = newCampaign(rng, lib)
+				left = campaignSize(rng)
+			}
+			frames := genHistVideo(rng, lib, camp, &cfg, spec.Seconds)
+			c.Videos = append(c.Videos, Video{ID: id, DurationSec: spec.Seconds, Frames: frames})
+			id++
+			left--
+			remaining[i]--
+			total--
+		}
+	}
+	return c, nil
+}
+
+// campaign is one advertising campaign: a family, a pool of shots, and a
+// fixed *cut* (shot edit) per duration class. Every video of the campaign
+// is one *airing* of its class's cut — a fresh capture of the same edit,
+// which is where the corpus's dozens-of-near-duplicates-per-query
+// structure (a TV capture's defining property) comes from.
+type campaign struct {
+	family int
+	shots  []libShot
+	cuts   map[float64][]cutShot
+}
+
+// cutShot is one edit decision: which footage, for how many frames, and
+// the footage's motion path through its disk (pathSeed). The path belongs
+// to the cut — every airing renders the same camera motion — while sensor
+// noise is fresh per airing. Shared paths are what make two airings'
+// clusters agree in position and radius.
+type cutShot struct {
+	shot     libShot
+	frames   int
+	pathSeed int64
+}
+
+// campaignSize draws how many airings+cuts a campaign has. Captures of a
+// running campaign accumulate: a quarter of campaigns are one-offs, the
+// rest repeat heavily.
+func campaignSize(rng *rand.Rand) int {
+	if rng.Float64() < 0.2 {
+		return 1 + rng.Intn(2)
+	}
+	return 30 + rng.Intn(50)
+}
+
+// newCampaign samples a campaign's family and shot pool.
+func newCampaign(rng *rand.Rand, lib *shotLibrary) *campaign {
+	family := rng.Intn(lib.families())
+	n := 10 + rng.Intn(8)
+	shots := make([]libShot, n)
+	for i := range shots {
+		shots[i] = lib.byFamily[family][rng.Intn(len(lib.byFamily[family]))]
+	}
+	return &campaign{family: family, shots: shots, cuts: make(map[float64][]cutShot)}
+}
+
+// cutFor returns the campaign's edit for a duration class, creating it on
+// first use: a sequence of (shot, length) decisions. Lengths are
+// heavy-tailed (log-normal): real footage mixes half-second inserts with
+// long held shots, and the length spread is what separates density-aware
+// summaries from keyframe counting.
+func (camp *campaign) cutFor(rng *rand.Rand, lib *shotLibrary, cfg *HistConfig, seconds float64) []cutShot {
+	if cut, ok := camp.cuts[seconds]; ok {
+		return cut
+	}
+	total := int(seconds * float64(cfg.FPS))
+	if total < 1 {
+		total = 1
+	}
+	avgShot := int(cfg.AvgShotSec * float64(cfg.FPS))
+	if avgShot < 1 {
+		avgShot = 1
+	}
+	var cut []cutShot
+	placed := 0
+	for placed < total {
+		factor := math.Exp(rng.NormFloat64() * 0.7)
+		if factor < 0.2 {
+			factor = 0.2
+		} else if factor > 5 {
+			factor = 5
+		}
+		n := int(float64(avgShot) * factor)
+		if n < 1 {
+			n = 1
+		}
+		if rem := total - placed; n > rem {
+			n = rem
+		}
+		shot := camp.shots[rng.Intn(len(camp.shots))]
+		if rng.Float64() < 0.2 {
+			shot = lib.shotFor(rng, camp.family)
+		}
+		cut = append(cut, cutShot{shot: shot, frames: n, pathSeed: rng.Int63()})
+		placed += n
+	}
+	camp.cuts[seconds] = cut
+	return cut
+}
+
+// genHistVideo renders one *airing* of the campaign's cut for the given
+// duration class: the same edit as every other airing, with fresh capture
+// noise and small broadcast variations (clipped head/tail shots, an
+// occasionally replaced shot), which grade the ground-truth similarity
+// between airings instead of leaving them all tied at 1.
+func genHistVideo(rng *rand.Rand, lib *shotLibrary, camp *campaign, cfg *HistConfig, seconds float64) []vec.Vector {
+	cut := camp.cutFor(rng, lib, cfg, seconds)
+	var frames []vec.Vector
+	// Broadcast time compression: airings of the same cut run at slightly
+	// different speeds, so they share the same clusters with different
+	// frame counts — gradation that only a density-aware summary sees.
+	speed := 0.7 + 0.3*rng.Float64()
+	for i, cs := range cut {
+		shot, n, seed := cs.shot, cs.frames, cs.pathSeed
+		n = int(float64(n) * speed)
+		if n < 1 {
+			n = 1
+		}
+		switch {
+		case i == 0 && rng.Float64() < 0.4:
+			// Broadcast clipped the head of the ad.
+			n -= rng.Intn(n + 1)
+		case i == len(cut)-1 && rng.Float64() < 0.4:
+			n -= rng.Intn(n + 1)
+		case rng.Float64() < 0.08:
+			// A re-edited airing swaps one shot (fresh footage and path).
+			shot = lib.shotFor(rng, camp.family)
+			seed = rng.Int63()
+		}
+		frames = append(frames, renderShot(rng, seed, &shot, n, cfg.ShotNoise/0.004)...)
+	}
+	if len(frames) == 0 {
+		// Degenerate clipping of a one-shot cut: render one frame.
+		frames = renderShot(rng, cut[0].pathSeed, &cut[0].shot, 1, cfg.ShotNoise/0.004)
+	}
+	return frames
+}
+
+// jitterHistogram perturbs a base histogram with non-negative noise and
+// renormalizes, keeping the frame on the probability simplex.
+func jitterHistogram(rng *rand.Rand, base vec.Vector, noise float64) vec.Vector {
+	h := vec.Clone(base)
+	for i := range h {
+		h[i] += rng.NormFloat64() * noise
+		if h[i] < 0 {
+			h[i] = 0
+		}
+	}
+	if s := vec.Sum(h); s > 0 {
+		vec.ScaleInPlace(h, 1/s)
+	}
+	return h
+}
+
+// PixelConfig parameterizes the pixel path.
+type PixelConfig struct {
+	W, H       int
+	FPS        int
+	Bits       int // histogram bits per channel (2 in the paper)
+	AvgShotSec float64
+	Seed       int64
+	Durations  []DurationSpec
+}
+
+// DefaultPixelConfig uses the paper's capture parameters at a small,
+// test-friendly resolution scale factor of 1 (192×144).
+func DefaultPixelConfig(seed int64) PixelConfig {
+	return PixelConfig{W: 192, H: 144, FPS: 25, Bits: feature.DefaultBits, AvgShotSec: 2.0, Seed: seed}
+}
+
+// GeneratePixel renders procedural videos and extracts their histograms —
+// the full paper pipeline.
+func GeneratePixel(cfg PixelConfig) (*Corpus, error) {
+	if cfg.Bits < 1 || cfg.Bits > 8 {
+		return nil, fmt.Errorf("dataset: bits %d out of range", cfg.Bits)
+	}
+	if len(cfg.Durations) == 0 {
+		return nil, fmt.Errorf("dataset: no duration specs")
+	}
+	c := &Corpus{Dim: feature.Dims(cfg.Bits), FPS: cfg.FPS}
+	id := 0
+	for _, spec := range cfg.Durations {
+		for v := 0; v < spec.Count; v++ {
+			g := videogen.New(videogen.Config{W: cfg.W, H: cfg.H, FPS: cfg.FPS, Seed: cfg.Seed + int64(id)*7919})
+			frames := g.Video(spec.Seconds, cfg.AvgShotSec)
+			hists, err := feature.HistogramSeq(frames, cfg.Bits)
+			if err != nil {
+				return nil, err
+			}
+			c.Videos = append(c.Videos, Video{ID: id, DurationSec: spec.Seconds, Frames: hists})
+			id++
+		}
+	}
+	return c, nil
+}
+
+// Save persists a corpus with gob encoding.
+func (c *Corpus) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: save: %w", err)
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(c); err != nil {
+		return fmt.Errorf("dataset: encode: %w", err)
+	}
+	return f.Sync()
+}
+
+// Load reads a corpus written by Save.
+func Load(path string) (*Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: load: %w", err)
+	}
+	defer f.Close()
+	var c Corpus
+	if err := gob.NewDecoder(f).Decode(&c); err != nil {
+		return nil, fmt.Errorf("dataset: decode: %w", err)
+	}
+	return &c, nil
+}
+
+// GroundTruth ranks the corpus against query frames with the exact §3.1
+// measure — the paper's ground-truth procedure for precision experiments.
+func (c *Corpus) GroundTruth(query []vec.Vector, epsilon float64, k int) []baseline.Ranked {
+	return baseline.ExactKNN(query, c.ByID(), epsilon, k)
+}
+
+// randomUnit returns a uniformly random unit direction.
+func randomUnit(rng *rand.Rand, dim int) vec.Vector {
+	v := make(vec.Vector, dim)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	vec.Normalize(v)
+	return v
+}
+
+// renderShot renders n frames of a shot: the camera walks the motion disk
+// along the path determined by pathSeed (shared by every airing of the
+// cut), and each frame gets fresh per-airing sensor noise from rng,
+// clamped back onto the simplex. noiseScale rescales the shot's sensor
+// noise (HistConfig.ShotNoise relative to its default).
+func renderShot(rng *rand.Rand, pathSeed int64, shot *libShot, n int, noiseScale float64) []vec.Vector {
+	path := rand.New(rand.NewSource(pathSeed))
+	out := make([]vec.Vector, 0, n)
+	// Start at a uniform point of the unit disk (by rejection), then walk.
+	var u1, u2 float64
+	for {
+		u1 = 2*path.Float64() - 1
+		u2 = 2*path.Float64() - 1
+		if u1*u1+u2*u2 <= 1 {
+			break
+		}
+	}
+	// Step size scales with 1/√n so the walk covers the whole disk
+	// whatever the rendering length: every instance of the footage then
+	// summarizes to the same center and radius.
+	step := 2.4 / math.Sqrt(float64(n)+1)
+	sigma := shot.noise * noiseScale
+	for k := 0; k < n; k++ {
+		f := vec.Clone(shot.from)
+		vec.AXPY(f, shot.amp*u1, shot.dirs[0])
+		vec.AXPY(f, shot.amp2*u2, shot.dirs[1])
+		for i := range f {
+			f[i] += rng.NormFloat64() * sigma
+			if f[i] < 0 {
+				f[i] = 0
+			}
+		}
+		if s := vec.Sum(f); s > 0 {
+			vec.ScaleInPlace(f, 1/s)
+		}
+		out = append(out, f)
+		// Advance the walk, reflecting at the disk boundary.
+		u1 += path.NormFloat64() * step
+		u2 += path.NormFloat64() * step
+		if r2 := u1*u1 + u2*u2; r2 > 1 {
+			r := math.Sqrt(r2)
+			u1 /= r * r
+			u2 /= r * r
+		}
+	}
+	return out
+}

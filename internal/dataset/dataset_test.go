@@ -1,0 +1,259 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"vitri/internal/vec"
+)
+
+func tinyHistConfig(seed int64) HistConfig {
+	return HistConfig{
+		Dim:          16,
+		FPS:          10,
+		AvgShotSec:   1.0,
+		ShotNoise:    0.004,
+		ActiveBins:   5,
+		LibraryShots: 24,
+		Seed:         seed,
+		Durations:    []DurationSpec{{Seconds: 3, Count: 5}, {Seconds: 2, Count: 3}},
+	}
+}
+
+func TestPaperSpecScaling(t *testing.T) {
+	full := PaperSpec(1.0)
+	if full[0].Count != 2934 || full[1].Count != 2519 || full[2].Count != 1134 {
+		t.Fatalf("full spec = %+v", full)
+	}
+	tenth := PaperSpec(0.1)
+	if tenth[0].Count != 293 || tenth[1].Count != 251 || tenth[2].Count != 113 {
+		t.Fatalf("tenth spec = %+v", tenth)
+	}
+	tiny := PaperSpec(0.00001)
+	for _, s := range tiny {
+		if s.Count < 1 {
+			t.Fatalf("scale floor violated: %+v", tiny)
+		}
+	}
+}
+
+func TestGenerateHistShape(t *testing.T) {
+	c, err := GenerateHist(tinyHistConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Videos) != 8 {
+		t.Fatalf("videos = %d", len(c.Videos))
+	}
+	// Airings are time-compressed and clipped, so totals land below the
+	// nominal duration×fps but in a bounded band.
+	nominal := 5*30 + 3*20
+	if fc := c.FrameCount(); fc < nominal*2/5 || fc > nominal {
+		t.Fatalf("frames = %d, want within [%d, %d]", fc, nominal*2/5, nominal)
+	}
+	for _, v := range c.Videos {
+		if len(v.Frames) == 0 {
+			t.Fatalf("video %d has no frames", v.ID)
+		}
+	}
+	for _, v := range c.Videos {
+		for _, f := range v.Frames {
+			if len(f) != 16 {
+				t.Fatalf("frame dim = %d", len(f))
+			}
+			if s := vec.Sum(f); math.Abs(s-1) > 1e-9 {
+				t.Fatalf("frame sums to %v", s)
+			}
+			for _, x := range f {
+				if x < 0 {
+					t.Fatalf("negative bin %v", x)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateHistDeterministic(t *testing.T) {
+	a, err := GenerateHist(tinyHistConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateHist(tinyHistConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Videos {
+		for j := range a.Videos[i].Frames {
+			if !vec.Equal(a.Videos[i].Frames[j], b.Videos[i].Frames[j]) {
+				t.Fatalf("video %d frame %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateHistValidation(t *testing.T) {
+	bad := tinyHistConfig(1)
+	bad.Dim = 1
+	if _, err := GenerateHist(bad); err == nil {
+		t.Fatal("expected error for dim 1")
+	}
+	bad = tinyHistConfig(1)
+	bad.ActiveBins = 100
+	if _, err := GenerateHist(bad); err == nil {
+		t.Fatal("expected error for ActiveBins > Dim")
+	}
+	bad = tinyHistConfig(1)
+	bad.Durations = nil
+	if _, err := GenerateHist(bad); err == nil {
+		t.Fatal("expected error for empty durations")
+	}
+}
+
+func TestShotClusteringStatistics(t *testing.T) {
+	// Within-shot consecutive distances must be far below the ε=0.3
+	// threshold, with occasional large jumps at cuts.
+	c, err := GenerateHist(tinyHistConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var small, large int
+	for _, v := range c.Videos {
+		for i := 1; i < len(v.Frames); i++ {
+			if vec.Dist(v.Frames[i-1], v.Frames[i]) < 0.1 {
+				small++
+			} else {
+				large++
+			}
+		}
+	}
+	if large == 0 {
+		t.Fatal("no shot cuts present")
+	}
+	if small < large {
+		t.Fatalf("intra-shot transitions (%d) should dominate cuts (%d)", small, large)
+	}
+}
+
+func TestGeneratePixelPipeline(t *testing.T) {
+	cfg := PixelConfig{
+		W: 48, H: 36, FPS: 5, Bits: 2, AvgShotSec: 1.0, Seed: 3,
+		Durations: []DurationSpec{{Seconds: 2, Count: 2}},
+	}
+	c, err := GeneratePixel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Dim != 64 || len(c.Videos) != 2 || c.FrameCount() != 20 {
+		t.Fatalf("corpus shape: dim=%d videos=%d frames=%d", c.Dim, len(c.Videos), c.FrameCount())
+	}
+	for _, v := range c.Videos {
+		for _, f := range v.Frames {
+			if s := vec.Sum(f); math.Abs(s-1) > 1e-9 {
+				t.Fatalf("pixel histogram sums to %v", s)
+			}
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c, err := GenerateHist(tinyHistConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "corpus.gob")
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim != c.Dim || len(got.Videos) != len(c.Videos) {
+		t.Fatalf("reloaded shape differs")
+	}
+	for i := range c.Videos {
+		if got.Videos[i].ID != c.Videos[i].ID {
+			t.Fatalf("video %d id differs", i)
+		}
+		for j := range c.Videos[i].Frames {
+			if !vec.Equal(got.Videos[i].Frames[j], c.Videos[i].Frames[j]) {
+				t.Fatalf("video %d frame %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.gob")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestMakeQueriesAndGroundTruth(t *testing.T) {
+	c, err := GenerateHist(tinyHistConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := MakeQueries(c, 3, DefaultPerturb, 1000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 3 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	seen := map[int]bool{}
+	for _, q := range qs {
+		if seen[q.SourceID] {
+			t.Fatalf("duplicate source %d", q.SourceID)
+		}
+		seen[q.SourceID] = true
+		if len(q.Frames) == 0 {
+			t.Fatal("empty query")
+		}
+		// Ground truth must rank the source video at the top. With a
+		// small shared shot library two videos can tie at the maximum
+		// similarity (genuine duplicates), so accept the source anywhere
+		// within the top tie group.
+		gt := c.GroundTruth(q.Frames, 0.3, 5)
+		if len(gt) == 0 {
+			t.Fatal("empty ground truth")
+		}
+		found := false
+		for _, r := range gt {
+			if r.Similarity == gt[0].Similarity && r.VideoID == q.SourceID {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("ground truth top = %+v, want source %d in the top tie group", gt, q.SourceID)
+		}
+	}
+}
+
+func TestMakeQueriesValidation(t *testing.T) {
+	c, _ := GenerateHist(tinyHistConfig(1))
+	if _, err := MakeQueries(c, 0, DefaultPerturb, 0, 1); err == nil {
+		t.Fatal("expected error for zero queries")
+	}
+	if _, err := MakeQueries(c, 100, DefaultPerturb, 0, 1); err == nil {
+		t.Fatal("expected error for too many queries")
+	}
+}
+
+func TestPerturbFramesKeepsSimplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	frames := []vec.Vector{{0.5, 0.5, 0, 0}, {0.25, 0.25, 0.25, 0.25}}
+	out := PerturbFrames(frames, PerturbConfig{Noise: 0.05, MassShift: 0.1}, rng)
+	for _, f := range out {
+		if s := vec.Sum(f); math.Abs(s-1) > 1e-9 {
+			t.Fatalf("perturbed frame sums to %v", s)
+		}
+	}
+	// Extreme crop falls back to the full range.
+	out = PerturbFrames(frames, PerturbConfig{DropFraction: 2.0}, rng)
+	if len(out) != len(frames) {
+		t.Fatalf("extreme crop returned %d frames", len(out))
+	}
+}

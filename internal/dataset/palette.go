@@ -1,0 +1,91 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"vitri/internal/vec"
+)
+
+// Palette synthesis shared by the corpus and summary generators.
+//
+// Real video frames have *sharp* color histograms: a studio shot, a sky
+// pan or a packshot puts half of its pixels into one or two of the 64
+// color bins. And a broadcast corpus is *multi-modal*: footage falls into
+// a handful of visual families (studio graphics, daylight exteriors,
+// night scenes, ...). Both properties matter to the index experiments —
+// sharpness gives the feature space its spread (distances approach the
+// simplex diameter), and families cluster the one-dimensional keys so a
+// range search can skip whole regions. The generators model them with
+// sharpProfile and familyPalettes.
+
+// sharpProfile samples a normalized histogram whose dominant bin holds
+// 45–75% of the mass, with the remainder spread over k-1 other bins.
+func sharpProfile(rng *rand.Rand, dim, k int) vec.Vector {
+	return sharpProfileMass(rng, dim, k, 0.45+0.3*rng.Float64())
+}
+
+// sharpProfileMass is sharpProfile with an explicit dominant-bin mass:
+// the dominant bin holds exactly domMass, the remaining 1-domMass is
+// split over k-1 random bins with uniform proportions.
+func sharpProfileMass(rng *rand.Rand, dim, k int, domMass float64) vec.Vector {
+	h := make(vec.Vector, dim)
+	dom := rng.Intn(dim)
+	weights := make([]float64, k-1)
+	var wsum float64
+	for i := range weights {
+		weights[i] = rng.Float64()
+		wsum += weights[i]
+	}
+	rest := 1 - domMass
+	for _, w := range weights {
+		h[rng.Intn(dim)] += rest * w / wsum
+	}
+	h[dom] += domMass
+	return h
+}
+
+// familyPalettes places the corpus's visual families along a sharp color
+// gradient: two very peaked anchor profiles (distinct dominant bins, so
+// the anchors sit nearly a simplex diameter apart) with families at evenly
+// spaced blend positions. The resulting corpus has one dominant principal
+// direction — the gradient — with multi-modal structure along it, which is
+// what lets the PCA-optimal reference point spread the one-dimensional
+// keys over a wide range.
+func familyPalettes(rng *rand.Rand, dim, k, families int) []vec.Vector {
+	p0 := sharpProfileMass(rng, dim, k, 0.85)
+	p1 := sharpProfileMass(rng, dim, k, 0.85)
+	// Ensure distinct dominant bins (re-draw p1 on collision).
+	for dominantBin(p0) == dominantBin(p1) {
+		p1 = sharpProfileMass(rng, dim, k, 0.85)
+	}
+	out := make([]vec.Vector, families)
+	for f := range out {
+		t := 0.0
+		if families > 1 {
+			t = float64(f) / float64(families-1)
+		}
+		out[f] = blend(p1, p0, t)
+	}
+	return out
+}
+
+// dominantBin returns the index of the largest component.
+func dominantBin(h vec.Vector) int {
+	best := 0
+	for i, v := range h {
+		if v > h[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// blend returns normalize(w·a + (1-w)·b).
+func blend(a, b vec.Vector, w float64) vec.Vector {
+	out := make(vec.Vector, len(a))
+	for i := range out {
+		out[i] = w*a[i] + (1-w)*b[i]
+	}
+	vec.ScaleInPlace(out, 1/vec.Sum(out))
+	return out
+}

@@ -1,0 +1,91 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vitri/internal/vec"
+)
+
+// Query is a near-duplicate probe derived from a corpus video: the paper
+// evaluates 50NN retrieval of queries whose true matches are known.
+type Query struct {
+	ID       int
+	SourceID int // the corpus video the query was derived from
+	Frames   []vec.Vector
+}
+
+// PerturbConfig controls how queries are distorted relative to their
+// source video, modelling re-encoding artifacts in feature space.
+type PerturbConfig struct {
+	// Noise is the per-bin gaussian jitter (histograms are renormalized).
+	Noise float64
+	// DropFraction removes this fraction of frames from the front/back
+	// (temporal crop), split evenly.
+	DropFraction float64
+	// MassShift moves this fraction of histogram mass from each bin to
+	// its neighbour, approximating a brightness/hue shift.
+	MassShift float64
+}
+
+// DefaultPerturb is a mild re-encode: visible noise, slight trim.
+var DefaultPerturb = PerturbConfig{Noise: 0.003, DropFraction: 0.1, MassShift: 0.02}
+
+// MakeQueries derives n queries from distinct randomly chosen corpus
+// videos. IDs are assigned from baseID upward.
+func MakeQueries(c *Corpus, n int, cfg PerturbConfig, baseID int, seed int64) ([]Query, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dataset: query count %d", n)
+	}
+	if n > len(c.Videos) {
+		return nil, fmt.Errorf("dataset: %d queries requested from %d videos", n, len(c.Videos))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(c.Videos))[:n]
+	out := make([]Query, n)
+	for i, vi := range perm {
+		src := &c.Videos[vi]
+		out[i] = Query{
+			ID:       baseID + i,
+			SourceID: src.ID,
+			Frames:   PerturbFrames(src.Frames, cfg, rng),
+		}
+	}
+	return out, nil
+}
+
+// PerturbFrames applies the configured distortions to a frame sequence.
+func PerturbFrames(frames []vec.Vector, cfg PerturbConfig, rng *rand.Rand) []vec.Vector {
+	// Temporal crop.
+	drop := int(float64(len(frames)) * cfg.DropFraction / 2)
+	lo, hi := drop, len(frames)-drop
+	if hi <= lo {
+		lo, hi = 0, len(frames)
+	}
+	out := make([]vec.Vector, 0, hi-lo)
+	for _, f := range frames[lo:hi] {
+		p := vec.Clone(f)
+		if cfg.MassShift > 0 {
+			shifted := make(vec.Vector, len(p))
+			for i, v := range p {
+				move := v * cfg.MassShift
+				shifted[i] += v - move
+				shifted[(i+1)%len(p)] += move
+			}
+			p = shifted
+		}
+		if cfg.Noise > 0 {
+			for i := range p {
+				p[i] += rng.NormFloat64() * cfg.Noise
+				if p[i] < 0 {
+					p[i] = 0
+				}
+			}
+		}
+		if s := vec.Sum(p); s > 0 {
+			vec.ScaleInPlace(p, 1/s)
+		}
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"vitri/internal/baseline"
+	"vitri/internal/core"
+	"vitri/internal/metrics"
+	"vitri/internal/vec"
+)
+
+// ExtensionSummaries is not in the paper: it extends Figure 14's
+// comparison with the video-signature method of Cheung & Zakhor [6]
+// (random seed frames), which the paper discusses in related work as
+// suffering from seed-sampling mismatch. All three methods get the same
+// queries and the same frame-level ground truth at ε = Config.Epsilon.
+func ExtensionSummaries(cfg Config) ([]*metrics.Table, error) {
+	env, err := cfg.precisionEnv()
+	if err != nil {
+		return nil, err
+	}
+	eps := cfg.Epsilon
+	sums := summarizeCorpus(env.corpus, eps, cfg.Seed)
+	kfs := keyframesFromSummaries(sums)
+
+	// Signature scheme: seeds drawn from a corpus sample, one signature
+	// per database video.
+	var sample []vec.Vector
+	for i := range env.corpus.Videos {
+		frames := env.corpus.Videos[i].Frames
+		for j := 0; j < len(frames); j += 1 + len(frames)/8 {
+			sample = append(sample, frames[j])
+		}
+	}
+	scheme, err := baseline.NewSignatureScheme(sample, 64, eps, cfg.Seed+5)
+	if err != nil {
+		return nil, err
+	}
+	sigs := make([]baseline.Signature, len(env.corpus.Videos))
+	for i := range env.corpus.Videos {
+		v := &env.corpus.Videos[i]
+		sigs[i] = scheme.Summarize(v.ID, v.Frames)
+	}
+
+	var pv, pk, ps []float64
+	for _, q := range env.queries {
+		cfg.logf("  extension: query %d", q.ID)
+		rel := rankedIDs(env.searcher.KNN(q.Frames, eps, cfg.K))
+		if len(rel) == 0 {
+			continue
+		}
+		qSum := core.Summarize(q.ID, q.Frames, core.Options{Epsilon: eps, Seed: cfg.Seed})
+		pv = append(pv, metrics.Precision(rel, rankViTri(&qSum, sums, cfg.K)))
+
+		qKf := baseline.KeyframeSummary{VideoID: q.ID}
+		for i := range qSum.Triplets {
+			qKf.Keyframes = append(qKf.Keyframes, qSum.Triplets[i].Position)
+		}
+		pk = append(pk, metrics.Precision(rel, rankedIDs(baseline.KeyframeKNN(&qKf, kfs, eps, cfg.K))))
+
+		qSig := scheme.Summarize(q.ID, q.Frames)
+		ps = append(ps, metrics.Precision(rel, rankedIDs(scheme.KNN(&qSig, sigs, cfg.K))))
+	}
+	t := &metrics.Table{
+		Title:   "Extension: summarization methods at eps = 0.3 (not in the paper)",
+		Columns: []string{"method", "precision"},
+	}
+	t.AddRowf("ViTri", metrics.Mean(pv))
+	t.AddRowf("Keyframe [5]", metrics.Mean(pk))
+	t.AddRowf("Video signature [6]", metrics.Mean(ps))
+	return []*metrics.Table{t}, nil
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"vitri/internal/baseline"
+	"vitri/internal/core"
+	"vitri/internal/dataset"
+	"vitri/internal/metrics"
+)
+
+// precisionEnv is the shared setup of the precision experiments: the
+// corpus, its exact-measure searcher, and the query workload.
+type precisionEnv struct {
+	corpus   *dataset.Corpus
+	searcher *baseline.ExactSearcher
+	queries  []dataset.Query
+}
+
+func (cfg *Config) precisionEnv() (*precisionEnv, error) {
+	c, err := cfg.corpus()
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.Queries
+	if n > len(c.Videos) {
+		n = len(c.Videos)
+	}
+	// As in the paper's §6.1, queries are database videos themselves; the
+	// ground truth is their frame-level 50NN ranking.
+	qs, err := dataset.MakeQueries(c, n, dataset.PerturbConfig{}, 1_000_000, cfg.Seed+99)
+	if err != nil {
+		return nil, err
+	}
+	return &precisionEnv{
+		corpus:   c,
+		searcher: baseline.NewExactSearcher(c.ByID()),
+		queries:  qs,
+	}, nil
+}
+
+// Figure14 reproduces retrieval precision vs ε for ViTri and the keyframe
+// method (ground truth by the exact frame-level measure at the same ε).
+func Figure14(cfg Config) ([]*metrics.Table, error) {
+	env, err := cfg.precisionEnv()
+	if err != nil {
+		return nil, err
+	}
+	t := &metrics.Table{
+		Title:   "Figure 14: retrieval precision vs epsilon (50NN ground truth at frame level)",
+		Columns: []string{"eps", "ViTri precision", "Keyframe precision"},
+	}
+	for _, eps := range epsilonSweep {
+		cfg.logf("  figure 14: eps=%.1f", eps)
+		sums := summarizeCorpus(env.corpus, eps, cfg.Seed)
+		kfs := keyframesFromSummaries(sums)
+		var pvRows, pkRows []float64
+		for _, q := range env.queries {
+			rel := rankedIDs(env.searcher.KNN(q.Frames, eps, cfg.K))
+			if len(rel) == 0 {
+				continue
+			}
+			qSum := core.Summarize(q.ID, q.Frames, core.Options{Epsilon: eps, Seed: cfg.Seed})
+			pvRows = append(pvRows, metrics.Precision(rel, rankViTri(&qSum, sums, cfg.K)))
+			qKf := baseline.KeyframeSummary{VideoID: q.ID}
+			for i := range qSum.Triplets {
+				qKf.Keyframes = append(qKf.Keyframes, qSum.Triplets[i].Position)
+			}
+			pkRows = append(pkRows, metrics.Precision(rel, rankedIDs(baseline.KeyframeKNN(&qKf, kfs, eps, cfg.K))))
+		}
+		t.AddRowf(eps, metrics.Mean(pvRows), metrics.Mean(pkRows))
+	}
+	return []*metrics.Table{t}, nil
+}
+
+// Figure15 reproduces precision vs K at fixed ε = Config.Epsilon.
+func Figure15(cfg Config) ([]*metrics.Table, error) {
+	env, err := cfg.precisionEnv()
+	if err != nil {
+		return nil, err
+	}
+	eps := cfg.Epsilon
+	sums := summarizeCorpus(env.corpus, eps, cfg.Seed)
+	kfs := keyframesFromSummaries(sums)
+	ks := []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	maxK := ks[len(ks)-1]
+
+	// One full ranking per query, sliced per K.
+	type perQuery struct {
+		rel, vit, kf []int
+	}
+	var rankings []perQuery
+	for _, q := range env.queries {
+		cfg.logf("  figure 15: query %d", q.ID)
+		rel := rankedIDs(env.searcher.KNN(q.Frames, eps, maxK))
+		if len(rel) == 0 {
+			continue
+		}
+		qSum := core.Summarize(q.ID, q.Frames, core.Options{Epsilon: eps, Seed: cfg.Seed})
+		qKf := baseline.KeyframeSummary{VideoID: q.ID}
+		for i := range qSum.Triplets {
+			qKf.Keyframes = append(qKf.Keyframes, qSum.Triplets[i].Position)
+		}
+		rankings = append(rankings, perQuery{
+			rel: rel,
+			vit: rankViTri(&qSum, sums, maxK),
+			kf:  rankedIDs(baseline.KeyframeKNN(&qKf, kfs, eps, maxK)),
+		})
+	}
+
+	t := &metrics.Table{
+		Title:   "Figure 15: retrieval precision vs K (eps = 0.3)",
+		Columns: []string{"K", "ViTri precision", "Keyframe precision"},
+	}
+	clip := func(ids []int, k int) []int {
+		if len(ids) > k {
+			return ids[:k]
+		}
+		return ids
+	}
+	for _, k := range ks {
+		var pv, pk []float64
+		for _, r := range rankings {
+			rel := clip(r.rel, k)
+			pv = append(pv, metrics.Precision(rel, clip(r.vit, k)))
+			pk = append(pk, metrics.Precision(rel, clip(r.kf, k)))
+		}
+		t.AddRowf(k, metrics.Mean(pv), metrics.Mean(pk))
+	}
+	return []*metrics.Table{t}, nil
+}

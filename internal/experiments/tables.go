@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vitri/internal/metrics"
+)
+
+// Table2 reproduces the dataset-statistics table: videos and frames per
+// duration class (the paper's Table 2, scaled by Config.Scale).
+func Table2(cfg Config) ([]*metrics.Table, error) {
+	c, err := cfg.corpus()
+	if err != nil {
+		return nil, err
+	}
+	type agg struct {
+		videos, frames int
+	}
+	byDur := map[float64]*agg{}
+	var durs []float64
+	for i := range c.Videos {
+		v := &c.Videos[i]
+		a := byDur[v.DurationSec]
+		if a == nil {
+			a = &agg{}
+			byDur[v.DurationSec] = a
+			durs = append(durs, v.DurationSec)
+		}
+		a.videos++
+		a.frames += len(v.Frames)
+	}
+	t := &metrics.Table{
+		Title:   fmt.Sprintf("Table 2: data statistics (scale %.3g of the paper's corpus)", cfg.Scale),
+		Columns: []string{"Time Length (s)", "Number of Video", "Number of Frame"},
+	}
+	for _, d := range durs {
+		a := byDur[d]
+		t.AddRowf(d, a.videos, a.frames)
+	}
+	return []*metrics.Table{t}, nil
+}
+
+// Table3 reproduces the summary-statistics table: number of clusters and
+// average cluster size as ε varies (the paper's Table 3).
+func Table3(cfg Config) ([]*metrics.Table, error) {
+	c, err := cfg.corpus()
+	if err != nil {
+		return nil, err
+	}
+	t := &metrics.Table{
+		Title:   "Table 3: summary statistics",
+		Columns: []string{"Value of eps", "Number of clusters", "Average cluster size"},
+	}
+	total := c.FrameCount()
+	for _, eps := range epsilonSweep {
+		cfg.logf("  table 3: summarizing at eps=%.1f", eps)
+		sums := summarizeCorpus(c, eps, cfg.Seed)
+		clusters := 0
+		for i := range sums {
+			clusters += len(sums[i].Triplets)
+		}
+		avg := 0
+		if clusters > 0 {
+			avg = total / clusters
+		}
+		t.AddRowf(eps, clusters, avg)
+	}
+	return []*metrics.Table{t}, nil
+}

@@ -1,0 +1,89 @@
+// Package feature extracts the paper's frame descriptor: an RGB color
+// histogram over the b most significant bits of each channel, normalized
+// by the pixel count (§6.1 uses b = 2, giving 2^6 = 64 dimensions at
+// 192×144 resolution).
+package feature
+
+import (
+	"fmt"
+
+	"vitri/internal/vec"
+)
+
+// Frame is a raw RGB24 image: 3 bytes (R, G, B) per pixel, row-major.
+type Frame struct {
+	W, H int
+	Pix  []byte
+}
+
+// NewFrame allocates a zeroed (black) frame.
+func NewFrame(w, h int) *Frame {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("feature: invalid frame size %dx%d", w, h))
+	}
+	return &Frame{W: w, H: h, Pix: make([]byte, w*h*3)}
+}
+
+// At returns the RGB triple at (x, y).
+func (f *Frame) At(x, y int) (r, g, b byte) {
+	i := (y*f.W + x) * 3
+	return f.Pix[i], f.Pix[i+1], f.Pix[i+2]
+}
+
+// Set writes the RGB triple at (x, y).
+func (f *Frame) Set(x, y int, r, g, b byte) {
+	i := (y*f.W + x) * 3
+	f.Pix[i], f.Pix[i+1], f.Pix[i+2] = r, g, b
+}
+
+// Validate checks the pixel buffer length against the dimensions.
+func (f *Frame) Validate() error {
+	if want := f.W * f.H * 3; len(f.Pix) != want {
+		return fmt.Errorf("feature: frame %dx%d has %d pixel bytes, want %d", f.W, f.H, len(f.Pix), want)
+	}
+	return nil
+}
+
+// DefaultBits is the paper's choice of 2 most significant bits per channel.
+const DefaultBits = 2
+
+// Dims returns the histogram dimensionality for b bits per channel.
+func Dims(bitsPerChannel int) int { return 1 << (3 * bitsPerChannel) }
+
+// Histogram computes the normalized color histogram of the frame using the
+// bitsPerChannel most significant bits of each channel. The result sums to
+// 1 and has Dims(bitsPerChannel) dimensions.
+func Histogram(f *Frame, bitsPerChannel int) (vec.Vector, error) {
+	if bitsPerChannel < 1 || bitsPerChannel > 8 {
+		return nil, fmt.Errorf("feature: bits per channel %d out of [1, 8]", bitsPerChannel)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	shift := uint(8 - bitsPerChannel)
+	dims := Dims(bitsPerChannel)
+	hist := make(vec.Vector, dims)
+	for i := 0; i < len(f.Pix); i += 3 {
+		r := int(f.Pix[i] >> shift)
+		g := int(f.Pix[i+1] >> shift)
+		b := int(f.Pix[i+2] >> shift)
+		bin := (r<<(2*uint(bitsPerChannel)) | g<<uint(bitsPerChannel) | b)
+		hist[bin]++
+	}
+	inv := 1 / float64(f.W*f.H)
+	vec.ScaleInPlace(hist, inv)
+	return hist, nil
+}
+
+// HistogramSeq extracts histograms for a whole frame sequence.
+func HistogramSeq(frames []*Frame, bitsPerChannel int) ([]vec.Vector, error) {
+	out := make([]vec.Vector, len(frames))
+	for i, f := range frames {
+		h, err := Histogram(f, bitsPerChannel)
+		if err != nil {
+			return nil, fmt.Errorf("frame %d: %w", i, err)
+		}
+		out[i] = h
+	}
+	return out, nil
+}

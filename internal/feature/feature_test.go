@@ -1,0 +1,139 @@
+package feature
+
+import (
+	"math"
+	"testing"
+
+	"vitri/internal/vec"
+)
+
+func TestDims(t *testing.T) {
+	if Dims(2) != 64 || Dims(1) != 8 || Dims(3) != 512 {
+		t.Fatalf("Dims wrong: %d %d %d", Dims(2), Dims(1), Dims(3))
+	}
+}
+
+func TestHistogramSolidColor(t *testing.T) {
+	f := NewFrame(16, 16)
+	// Solid white: all channels 255 -> top bin for any b.
+	for i := range f.Pix {
+		f.Pix[i] = 255
+	}
+	h, err := Histogram(f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 64 {
+		t.Fatalf("dims = %d", len(h))
+	}
+	if h[63] != 1 {
+		t.Fatalf("white bin = %v, full histogram %v", h[63], h)
+	}
+	// Solid black -> bin 0.
+	f2 := NewFrame(4, 4)
+	h2, err := Histogram(f2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2[0] != 1 {
+		t.Fatalf("black bin = %v", h2[0])
+	}
+}
+
+func TestHistogramSumsToOne(t *testing.T) {
+	f := NewFrame(9, 7)
+	for i := range f.Pix {
+		f.Pix[i] = byte((i * 37) % 256)
+	}
+	for _, bits := range []int{1, 2, 3, 4} {
+		h, err := Histogram(f, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := vec.Sum(h); math.Abs(s-1) > 1e-9 {
+			t.Fatalf("bits=%d: histogram sums to %v", bits, s)
+		}
+		for _, v := range h {
+			if v < 0 {
+				t.Fatalf("negative bin %v", v)
+			}
+		}
+	}
+}
+
+func TestHistogramBinPlacement(t *testing.T) {
+	// r=192 (top 2 bits 11), g=64 (01), b=128 (10) -> bin 0b110110 = 54.
+	f := NewFrame(2, 2)
+	for y := 0; y < 2; y++ {
+		for x := 0; x < 2; x++ {
+			f.Set(x, y, 192, 64, 128)
+		}
+	}
+	h, err := Histogram(f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h[54] != 1 {
+		t.Fatalf("expected all mass in bin 54, got %v", h)
+	}
+}
+
+func TestHistogramHalfAndHalf(t *testing.T) {
+	f := NewFrame(2, 1)
+	f.Set(0, 0, 0, 0, 0)
+	f.Set(1, 0, 255, 255, 255)
+	h, err := Histogram(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h[0] != 0.5 || h[7] != 0.5 {
+		t.Fatalf("histogram = %v", h)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	f := NewFrame(4, 4)
+	if _, err := Histogram(f, 0); err == nil {
+		t.Fatal("expected error for 0 bits")
+	}
+	if _, err := Histogram(f, 9); err == nil {
+		t.Fatal("expected error for 9 bits")
+	}
+	f.Pix = f.Pix[:10]
+	if _, err := Histogram(f, 2); err == nil {
+		t.Fatal("expected error for short pixel buffer")
+	}
+}
+
+func TestNewFramePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewFrame(0, 10)
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	f := NewFrame(8, 8)
+	f.Set(3, 5, 10, 20, 30)
+	r, g, b := f.At(3, 5)
+	if r != 10 || g != 20 || b != 30 {
+		t.Fatalf("At = %d %d %d", r, g, b)
+	}
+}
+
+func TestHistogramSeq(t *testing.T) {
+	frames := []*Frame{NewFrame(4, 4), NewFrame(4, 4)}
+	hs, err := HistogramSeq(frames, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) != 2 || len(hs[0]) != 64 {
+		t.Fatalf("seq result %d x %d", len(hs), len(hs[0]))
+	}
+	frames[1].Pix = frames[1].Pix[:5]
+	if _, err := HistogramSeq(frames, 2); err == nil {
+		t.Fatal("expected error for invalid frame in sequence")
+	}
+}

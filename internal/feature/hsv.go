@@ -1,0 +1,109 @@
+package feature
+
+import (
+	"fmt"
+	"math"
+
+	"vitri/internal/vec"
+)
+
+// HSV histograms are the classic alternative to RGB for retrieval: hue is
+// robust to brightness changes (the weakness the copydetect example
+// exposes for RGB), at the cost of instability for unsaturated pixels.
+// HistogramHSV quantizes hue/saturation/value independently, giving
+// hBins·sBins·vBins dimensions; HSVDefault (16·2·2 = 64) matches the RGB
+// extractor's dimensionality so the two spaces are drop-in comparable.
+
+// HSVBins configures the per-channel quantization.
+type HSVBins struct {
+	H, S, V int
+}
+
+// HSVDefault matches the 64-d RGB histogram's dimensionality.
+var HSVDefault = HSVBins{H: 16, S: 2, V: 2}
+
+// Dims returns the histogram dimensionality.
+func (b HSVBins) Dims() int { return b.H * b.S * b.V }
+
+func (b HSVBins) validate() error {
+	if b.H < 1 || b.S < 1 || b.V < 1 {
+		return fmt.Errorf("feature: invalid HSV bins %+v", b)
+	}
+	if b.Dims() > 1<<16 {
+		return fmt.Errorf("feature: HSV bins %+v too fine (%d dims)", b, b.Dims())
+	}
+	return nil
+}
+
+// HistogramHSV computes the normalized HSV color histogram of a frame.
+func HistogramHSV(f *Frame, bins HSVBins) (vec.Vector, error) {
+	if err := bins.validate(); err != nil {
+		return nil, err
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	hist := make(vec.Vector, bins.Dims())
+	for i := 0; i < len(f.Pix); i += 3 {
+		h, s, v := rgbToHSV(f.Pix[i], f.Pix[i+1], f.Pix[i+2])
+		hi := int(h / 360 * float64(bins.H))
+		if hi >= bins.H {
+			hi = bins.H - 1
+		}
+		si := int(s * float64(bins.S))
+		if si >= bins.S {
+			si = bins.S - 1
+		}
+		vi := int(v * float64(bins.V))
+		if vi >= bins.V {
+			vi = bins.V - 1
+		}
+		hist[(hi*bins.S+si)*bins.V+vi]++
+	}
+	vec.ScaleInPlace(hist, 1/float64(f.W*f.H))
+	return hist, nil
+}
+
+// HistogramHSVSeq extracts HSV histograms for a whole frame sequence.
+func HistogramHSVSeq(frames []*Frame, bins HSVBins) ([]vec.Vector, error) {
+	out := make([]vec.Vector, len(frames))
+	for i, f := range frames {
+		h, err := HistogramHSV(f, bins)
+		if err != nil {
+			return nil, fmt.Errorf("frame %d: %w", i, err)
+		}
+		out[i] = h
+	}
+	return out, nil
+}
+
+// rgbToHSV converts 8-bit RGB to (hue in [0,360), saturation and value in
+// [0,1]). Grey pixels (max==min) have hue 0 by convention.
+func rgbToHSV(r8, g8, b8 byte) (h, s, v float64) {
+	r := float64(r8) / 255
+	g := float64(g8) / 255
+	b := float64(b8) / 255
+	max := math.Max(r, math.Max(g, b))
+	min := math.Min(r, math.Min(g, b))
+	v = max
+	d := max - min
+	if max > 0 {
+		s = d / max
+	}
+	if d == 0 {
+		return 0, s, v
+	}
+	switch max {
+	case r:
+		h = math.Mod((g-b)/d, 6)
+	case g:
+		h = (b-r)/d + 2
+	default:
+		h = (r-g)/d + 4
+	}
+	h *= 60
+	if h < 0 {
+		h += 360
+	}
+	return h, s, v
+}

@@ -1,0 +1,126 @@
+package feature
+
+import (
+	"math"
+	"testing"
+
+	"vitri/internal/vec"
+)
+
+func TestRGBToHSVKnown(t *testing.T) {
+	cases := []struct {
+		r, g, b byte
+		h, s, v float64
+	}{
+		{255, 0, 0, 0, 1, 1},     // red
+		{0, 255, 0, 120, 1, 1},   // green
+		{0, 0, 255, 240, 1, 1},   // blue
+		{255, 255, 0, 60, 1, 1},  // yellow
+		{0, 255, 255, 180, 1, 1}, // cyan
+		{255, 0, 255, 300, 1, 1}, // magenta
+		{0, 0, 0, 0, 0, 0},       // black
+		{255, 255, 255, 0, 0, 1}, // white
+		{128, 128, 128, 0, 0, 128.0 / 255},
+	}
+	for _, c := range cases {
+		h, s, v := rgbToHSV(c.r, c.g, c.b)
+		if math.Abs(h-c.h) > 1e-9 || math.Abs(s-c.s) > 1e-9 || math.Abs(v-c.v) > 1e-9 {
+			t.Errorf("rgbToHSV(%d,%d,%d) = %v,%v,%v want %v,%v,%v",
+				c.r, c.g, c.b, h, s, v, c.h, c.s, c.v)
+		}
+	}
+}
+
+func TestHistogramHSVSumsToOne(t *testing.T) {
+	f := NewFrame(7, 5)
+	for i := range f.Pix {
+		f.Pix[i] = byte((i * 53) % 256)
+	}
+	h, err := HistogramHSV(f, HSVDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 64 {
+		t.Fatalf("dims = %d", len(h))
+	}
+	if s := vec.Sum(h); math.Abs(s-1) > 1e-9 {
+		t.Fatalf("sums to %v", s)
+	}
+}
+
+func TestHistogramHSVSolidRed(t *testing.T) {
+	f := NewFrame(4, 4)
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			f.Set(x, y, 255, 0, 0)
+		}
+	}
+	h, err := HistogramHSV(f, HSVDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hue 0 -> bin 0; s=1 -> top s bin; v=1 -> top v bin.
+	bin := (0*HSVDefault.S+(HSVDefault.S-1))*HSVDefault.V + (HSVDefault.V - 1)
+	if h[bin] != 1 {
+		t.Fatalf("red mass not in bin %d: %v", bin, h)
+	}
+}
+
+// HSV hue is brightness-invariant: scaling V must keep the hue bin.
+func TestHistogramHSVBrightnessRobust(t *testing.T) {
+	dark := NewFrame(4, 4)
+	bright := NewFrame(4, 4)
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			dark.Set(x, y, 120, 30, 30)   // dark red
+			bright.Set(x, y, 240, 60, 60) // the same hue, doubled value
+		}
+	}
+	bins := HSVBins{H: 16, S: 1, V: 1} // hue only
+	hd, err := HistogramHSV(dark, bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := HistogramHSV(bright, bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vec.Equal(hd, hb) {
+		t.Fatalf("hue histogram changed under brightness scaling: %v vs %v", hd, hb)
+	}
+	// The RGB histogram, by contrast, moves.
+	rd, _ := Histogram(dark, 2)
+	rb, _ := Histogram(bright, 2)
+	if vec.Equal(rd, rb) {
+		t.Fatal("RGB histogram unexpectedly brightness-invariant")
+	}
+}
+
+func TestHistogramHSVValidation(t *testing.T) {
+	f := NewFrame(2, 2)
+	if _, err := HistogramHSV(f, HSVBins{H: 0, S: 1, V: 1}); err == nil {
+		t.Fatal("expected error for zero bins")
+	}
+	if _, err := HistogramHSV(f, HSVBins{H: 1 << 9, S: 1 << 9, V: 1}); err == nil {
+		t.Fatal("expected error for oversized bins")
+	}
+	f.Pix = f.Pix[:3]
+	if _, err := HistogramHSV(f, HSVDefault); err == nil {
+		t.Fatal("expected error for invalid frame")
+	}
+}
+
+func TestHistogramHSVSeq(t *testing.T) {
+	frames := []*Frame{NewFrame(3, 3), NewFrame(3, 3)}
+	hs, err := HistogramHSVSeq(frames, HSVDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) != 2 || len(hs[0]) != 64 {
+		t.Fatalf("seq shape %d x %d", len(hs), len(hs[0]))
+	}
+	frames[0].Pix = frames[0].Pix[:1]
+	if _, err := HistogramHSVSeq(frames, HSVDefault); err == nil {
+		t.Fatal("expected error for bad frame in sequence")
+	}
+}

@@ -1,0 +1,416 @@
+package geometry
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestSphereVolumeKnown(t *testing.T) {
+	cases := []struct {
+		n    int
+		r    float64
+		want float64
+	}{
+		{1, 1, 2},
+		{2, 1, math.Pi},
+		{3, 1, 4 * math.Pi / 3},
+		{4, 1, math.Pi * math.Pi / 2},
+		{5, 1, 8 * math.Pi * math.Pi / 15},
+		{2, 2, 4 * math.Pi},
+		{3, 0.5, 4 * math.Pi / 3 * 0.125},
+	}
+	for _, c := range cases {
+		if got := SphereVolume(c.n, c.r); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("SphereVolume(%d,%v) = %v want %v", c.n, c.r, got, c.want)
+		}
+	}
+}
+
+func TestSphereVolumeZeroRadius(t *testing.T) {
+	if v := SphereVolume(7, 0); v != 0 {
+		t.Errorf("zero-radius volume = %v", v)
+	}
+	if lv := LogSphereVolume(7, 0); !math.IsInf(lv, -1) {
+		t.Errorf("zero-radius log volume = %v", lv)
+	}
+}
+
+func TestLogSphereVolumeConsistent(t *testing.T) {
+	for n := 1; n <= 40; n++ {
+		r := 0.5 + float64(n)/20
+		if got, want := math.Exp(LogSphereVolume(n, r)), SphereVolume(n, r); !almostEq(got, want, 1e-12) {
+			t.Errorf("n=%d exp(log V)=%v, V=%v", n, got, want)
+		}
+	}
+}
+
+func TestHighDimensionLogVolumeFinite(t *testing.T) {
+	// A 64-d sphere of radius 0.15 underflows float64 but its log must be
+	// finite and sane; densities are built from these.
+	lv := LogSphereVolume(64, 0.15)
+	if math.IsInf(lv, 0) || math.IsNaN(lv) {
+		t.Fatalf("log volume not finite: %v", lv)
+	}
+	if lv > -100 || lv < -300 {
+		t.Fatalf("log volume out of expected range: %v", lv)
+	}
+	if SphereVolume(256, 0.1) != 0 {
+		t.Log("note: direct volume did not underflow (acceptable)")
+	}
+}
+
+func TestRegIncompleteBetaKnown(t *testing.T) {
+	// I_x(1,1) = x.
+	for _, x := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got := RegIncompleteBeta(1, 1, x); !almostEq(got, x, 1e-12) {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	// I_x(1/2,1/2) = (2/π) asin(√x).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		want := 2 / math.Pi * math.Asin(math.Sqrt(x))
+		if got := RegIncompleteBeta(0.5, 0.5, x); !almostEq(got, want, 1e-10) {
+			t.Errorf("I_%v(.5,.5) = %v want %v", x, got, want)
+		}
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		a := 0.5 + 10*r.Float64()
+		b := 0.5 + 10*r.Float64()
+		x := r.Float64()
+		if got, want := RegIncompleteBeta(a, b, x), 1-RegIncompleteBeta(b, a, 1-x); !almostEq(got, want, 1e-9) {
+			t.Fatalf("symmetry violated at a=%v b=%v x=%v: %v vs %v", a, b, x, got, want)
+		}
+	}
+}
+
+func TestRegIncompleteBetaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for a <= 0")
+		}
+	}()
+	RegIncompleteBeta(0, 1, 0.5)
+}
+
+func TestCapKnown2D(t *testing.T) {
+	// Circular segment with half-angle α: area = R²(α − sin α cos α).
+	for _, alpha := range []float64{0.2, 0.7, math.Pi / 2, 2.0, 3.0} {
+		want := 1 * 1 * (alpha - math.Sin(alpha)*math.Cos(alpha))
+		if alpha > math.Pi/2 {
+			// Same closed form holds for α in (π/2, π].
+			want = alpha - math.Sin(alpha)*math.Cos(alpha)
+		}
+		if got := CapVolume(2, 1, alpha); !almostEq(got, want, 1e-9) {
+			t.Errorf("CapVolume(2,1,%v) = %v want %v", alpha, got, want)
+		}
+	}
+}
+
+func TestCapKnown3D(t *testing.T) {
+	// Spherical cap of height h = R(1-cos α): V = π h²(3R-h)/3.
+	for _, alpha := range []float64{0.3, 1.0, math.Pi / 2, 2.2} {
+		h := 1 - math.Cos(alpha)
+		want := math.Pi * h * h * (3 - h) / 3
+		if got := CapVolume(3, 1, alpha); !almostEq(got, want, 1e-9) {
+			t.Errorf("CapVolume(3,1,%v) = %v want %v", alpha, got, want)
+		}
+	}
+}
+
+func TestCapComplementIdentity(t *testing.T) {
+	// cap(α) + cap(π-α) = sphere volume, for all n.
+	for n := 1; n <= 32; n++ {
+		for _, alpha := range []float64{0.1, 0.8, 1.5, 2.5} {
+			sum := CapVolume(n, 1.3, alpha) + CapVolume(n, 1.3, math.Pi-alpha)
+			if !almostEq(sum, SphereVolume(n, 1.3), 1e-9) {
+				t.Errorf("n=%d α=%v: cap+complement = %v want %v", n, alpha, sum, SphereVolume(n, 1.3))
+			}
+		}
+	}
+}
+
+func TestSectorHalfSphereAtRightAngle(t *testing.T) {
+	for n := 2; n <= 20; n++ {
+		if got, want := SectorVolume(n, 2, math.Pi/2), SphereVolume(n, 2)/2; !almostEq(got, want, 1e-10) {
+			t.Errorf("n=%d sector(π/2) = %v want %v", n, got, want)
+		}
+		if got, want := CapVolume(n, 2, math.Pi/2), SphereVolume(n, 2)/2; !almostEq(got, want, 1e-10) {
+			t.Errorf("n=%d cap(π/2) = %v want %v", n, got, want)
+		}
+	}
+}
+
+func TestCapEqualsSectorMinusCone(t *testing.T) {
+	for n := 2; n <= 24; n++ {
+		for _, alpha := range []float64{0.2, 0.9, 1.4, 2.0, 2.9} {
+			cap := CapVolume(n, 1, alpha)
+			want := SectorVolume(n, 1, alpha) - ConeVolume(n, 1, alpha)
+			if !almostEq(cap, want, 1e-8) {
+				t.Errorf("n=%d α=%v: cap=%v sector-cone=%v", n, alpha, cap, want)
+			}
+		}
+	}
+}
+
+func TestPaperSeriesMatchesBetaForm(t *testing.T) {
+	for n := 2; n <= 30; n++ {
+		for _, alpha := range []float64{0.1, 0.5, 1.0, math.Pi / 2} {
+			if got, want := CapVolumeSeries(n, 1.1, alpha), CapVolume(n, 1.1, alpha); !almostEq(got, want, 1e-8) {
+				t.Errorf("n=%d α=%v: series cap=%v beta cap=%v", n, alpha, got, want)
+			}
+			if got, want := SectorVolumeSeries(n, 1.1, alpha), SectorVolume(n, 1.1, alpha); !almostEq(got, want, 1e-8) {
+				t.Errorf("n=%d α=%v: series sector=%v beta sector=%v", n, alpha, got, want)
+			}
+		}
+	}
+}
+
+func TestWallisCoefficients(t *testing.T) {
+	// (2i)! / (2^{2i} (i!)^2): 1, 1/2, 3/8, 5/16, ...
+	want := []float64{1, 0.5, 0.375, 0.3125}
+	for i, w := range want {
+		if got := wallis(i); !almostEq(got, w, 1e-14) {
+			t.Errorf("wallis(%d) = %v want %v", i, got, w)
+		}
+	}
+	// 2^{2i} (i!)^2 / (2i+1)!: 1, 2/3, 8/15, 16/35, ...
+	want = []float64{1, 2.0 / 3, 8.0 / 15, 16.0 / 35}
+	for i, w := range want {
+		if got := invWallisOdd(i); !almostEq(got, w, 1e-14) {
+			t.Errorf("invWallisOdd(%d) = %v want %v", i, got, w)
+		}
+	}
+}
+
+func TestCapFractionMonotone(t *testing.T) {
+	for n := 2; n <= 40; n += 3 {
+		prev := -1.0
+		for alpha := 0.0; alpha <= math.Pi+1e-9; alpha += math.Pi / 50 {
+			f := CapFraction(n, alpha)
+			if f < prev-1e-12 {
+				t.Fatalf("n=%d CapFraction not monotone at α=%v", n, alpha)
+			}
+			if f < 0 || f > 1 {
+				t.Fatalf("n=%d CapFraction out of [0,1]: %v", n, f)
+			}
+			prev = f
+		}
+		if !almostEq(CapFraction(n, math.Pi), 1, 1e-12) {
+			t.Errorf("n=%d CapFraction(π) = %v", n, CapFraction(n, math.Pi))
+		}
+	}
+}
+
+func TestClassifyCases(t *testing.T) {
+	cases := []struct {
+		d, r1, r2 float64
+		want      IntersectCase
+	}{
+		{5, 2, 2, Disjoint},
+		{4, 2, 2, Disjoint}, // exactly touching
+		{3, 2, 2, Lune},
+		// α2 > π/2 while the small sphere pokes out: needs
+		// r1-r2 <= d and d² < r1²-r2².
+		{1.2, 2, 1, MajorOverlap},
+		{1.5, 2, 1, MajorOverlap},
+		{1.8, 2, 1, Lune}, // d² > r1²-r2² = 3
+		{0.9, 2, 1, Contained},
+		{0, 2, 2, Contained},
+		{1.2, 1, 2, MajorOverlap}, // radii given small-first
+	}
+	for _, c := range cases {
+		if got := Classify(c.d, c.r1, c.r2).Case; got != c.want {
+			t.Errorf("Classify(%v,%v,%v) = %v want %v", c.d, c.r1, c.r2, got, c.want)
+		}
+	}
+}
+
+func TestIntersectionVolume2DKnown(t *testing.T) {
+	// Two unit circles at distance d: lens area = 2 acos(d/2) − (d/2)√(4−d²).
+	for _, d := range []float64{0.2, 0.5, 1.0, 1.5, 1.9} {
+		want := 2*math.Acos(d/2) - d/2*math.Sqrt(4-d*d)
+		if got := IntersectionVolume(2, d, 1, 1); !almostEq(got, want, 1e-9) {
+			t.Errorf("lens(2, d=%v) = %v want %v", d, got, want)
+		}
+	}
+}
+
+func TestIntersectionVolume3DKnown(t *testing.T) {
+	// Two spheres radius R1,R2 distance d:
+	// V = π (R1+R2−d)² (d² + 2d(R1+R2) − 3(R1−R2)²) / (12 d).
+	check := func(d, r1, r2 float64) {
+		t.Helper()
+		want := math.Pi * math.Pow(r1+r2-d, 2) *
+			(d*d + 2*d*(r1+r2) - 3*(r1-r2)*(r1-r2)) / (12 * d)
+		if got := IntersectionVolume(3, d, r1, r2); !almostEq(got, want, 1e-9) {
+			t.Errorf("lens(3, d=%v, %v, %v) = %v want %v", d, r1, r2, got, want)
+		}
+	}
+	check(1.0, 1, 1)
+	check(1.5, 1, 1)
+	check(1.2, 1.5, 0.7)
+	check(1.0, 1.5, 0.7) // major overlap regime
+}
+
+func TestIntersectionVolumeLimits(t *testing.T) {
+	if v := IntersectionVolume(8, 3, 1, 1); v != 0 {
+		t.Errorf("disjoint volume = %v", v)
+	}
+	if got, want := IntersectionVolume(8, 0.1, 2, 0.5), SphereVolume(8, 0.5); !almostEq(got, want, 1e-12) {
+		t.Errorf("contained volume = %v want %v", got, want)
+	}
+	// Identical spheres at d=0.
+	if got, want := IntersectionVolume(4, 0, 1, 1), SphereVolume(4, 1); !almostEq(got, want, 1e-12) {
+		t.Errorf("identical spheres = %v want %v", got, want)
+	}
+}
+
+func TestIntersectionSymmetry(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		n := 2 + r.Intn(30)
+		r1 := 0.2 + r.Float64()
+		r2 := 0.2 + r.Float64()
+		d := r.Float64() * (r1 + r2) * 1.2
+		a := IntersectionVolume(n, d, r1, r2)
+		b := IntersectionVolume(n, d, r2, r1)
+		if !almostEq(a, b, 1e-12) {
+			t.Fatalf("asymmetric: %v vs %v", a, b)
+		}
+		if a < 0 {
+			t.Fatalf("negative volume %v", a)
+		}
+		if a > SphereVolume(n, math.Min(r1, r2))+1e-9 {
+			t.Fatalf("lens exceeds smaller sphere: %v", a)
+		}
+	}
+}
+
+func TestIntersectionMonotoneInDistance(t *testing.T) {
+	for n := 2; n <= 16; n += 7 {
+		prev := math.Inf(1)
+		for d := 0.0; d <= 2.1; d += 0.05 {
+			v := IntersectionVolume(n, d, 1, 1)
+			if v > prev+1e-9 {
+				t.Fatalf("n=%d lens volume increased with distance at d=%v", n, d)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestLogIntersectionConsistent(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 200; i++ {
+		n := 2 + r.Intn(20)
+		r1 := 0.2 + r.Float64()
+		r2 := 0.2 + r.Float64()
+		d := r.Float64() * (r1 + r2)
+		v := IntersectionVolume(n, d, r1, r2)
+		lv := LogIntersectionVolume(n, d, r1, r2)
+		if v == 0 {
+			if !math.IsInf(lv, -1) {
+				t.Fatalf("log of zero volume = %v", lv)
+			}
+			continue
+		}
+		if !almostEq(math.Exp(lv), v, 1e-9) {
+			t.Fatalf("exp(logV)=%v vs V=%v", math.Exp(lv), v)
+		}
+	}
+}
+
+// Monte-Carlo cross-check of the lens volume in dimensions without a simple
+// closed form.
+func TestIntersectionMonteCarlo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("monte carlo in -short mode")
+	}
+	r := rand.New(rand.NewSource(17))
+	for _, tc := range []struct {
+		n         int
+		d, r1, r2 float64
+	}{
+		{4, 0.9, 1, 1},
+		{5, 0.7, 1, 0.8},
+		{6, 0.5, 1, 0.6},
+		{7, 1.1, 1.2, 0.9},
+	} {
+		// Sample uniformly in the smaller sphere (centered at distance d
+		// along the first axis) and count points also inside the larger.
+		small, big := tc.r2, tc.r1
+		if small > big {
+			small, big = big, small
+		}
+		const samples = 200000
+		hits := 0
+		pt := make([]float64, tc.n)
+		for s := 0; s < samples; s++ {
+			// Rejection-sample the small ball.
+			for {
+				ok := true
+				var norm2 float64
+				for i := range pt {
+					pt[i] = (2*r.Float64() - 1) * small
+					norm2 += pt[i] * pt[i]
+				}
+				if norm2 <= small*small {
+					_ = ok
+					break
+				}
+			}
+			// Shift: the small sphere center is at (d, 0, ...); the big at
+			// origin. Point sampled relative to small center.
+			dx := pt[0] + tc.d
+			norm2 := dx * dx
+			for i := 1; i < tc.n; i++ {
+				norm2 += pt[i] * pt[i]
+			}
+			if norm2 <= big*big {
+				hits++
+			}
+		}
+		mc := float64(hits) / samples * SphereVolume(tc.n, small)
+		exact := IntersectionVolume(tc.n, tc.d, tc.r1, tc.r2)
+		if math.Abs(mc-exact) > 0.03*exact+1e-6 {
+			t.Errorf("n=%d d=%v: MC=%v exact=%v", tc.n, tc.d, mc, exact)
+		}
+	}
+}
+
+func TestConeVolumeKnown(t *testing.T) {
+	// n=3: cone volume = (1/3) π (R sinα)² (R cosα).
+	alpha := 0.9
+	want := math.Pi / 3 * math.Pow(math.Sin(alpha), 2) * math.Cos(alpha)
+	if got := ConeVolume(3, 1, alpha); !almostEq(got, want, 1e-12) {
+		t.Errorf("ConeVolume(3,1,%v) = %v want %v", alpha, got, want)
+	}
+	// Negative beyond π/2 by convention.
+	if ConeVolume(3, 1, 2.0) >= 0 {
+		t.Error("cone volume should be negative for α > π/2")
+	}
+}
+
+func TestVolumePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { SphereVolume(0, 1) },
+		func() { SphereVolume(3, -1) },
+		func() { CapVolume(3, 1, math.NaN()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,55 @@
+package index
+
+import (
+	"sort"
+
+	"vitri/internal/btree"
+	"vitri/internal/core"
+)
+
+// Summaries reconstructs every indexed video's summary from the stored
+// records and the catalog, ordered by video id. Triplets within a video
+// are ordered by their original cluster ordinal. This is the export path
+// used for persistence: the index's leaf records carry everything a
+// summary contains.
+func (ix *Index) Summaries() ([]core.Summary, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	recs, err := ix.allRecordsLocked()
+	if err != nil {
+		return nil, err
+	}
+	byVideo := make(map[int32][]Record)
+	for _, r := range recs {
+		byVideo[r.VideoID] = append(byVideo[r.VideoID], r)
+	}
+	out := make([]core.Summary, 0, len(byVideo))
+	for vid, group := range byVideo {
+		sort.Slice(group, func(i, j int) bool { return group[i].ClusterN < group[j].ClusterN })
+		s := core.Summary{
+			VideoID:    int(vid),
+			FrameCount: ix.catalog[vid].frameCount,
+			Triplets:   make([]core.ViTri, 0, len(group)),
+		}
+		for _, r := range group {
+			s.Triplets = append(s.Triplets, r.Triplet())
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].VideoID < out[j].VideoID })
+	return out, nil
+}
+
+// TreeStats exposes the physical shape of the underlying B+-tree.
+func (ix *Index) TreeStats() (btree.TreeStats, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.tree.Stats()
+}
+
+// CheckTree verifies the underlying B+-tree's structural invariants.
+func (ix *Index) CheckTree() error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.tree.Check()
+}

@@ -1,0 +1,383 @@
+package index
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"vitri/internal/btree"
+	"vitri/internal/core"
+	"vitri/internal/linalg"
+	"vitri/internal/pager"
+	"vitri/internal/refpoint"
+	"vitri/internal/vec"
+)
+
+// Options configures index construction.
+type Options struct {
+	// Epsilon is the frame similarity threshold ε used when the indexed
+	// summaries were built; it determines the search radius γ = R^Q + ε/2.
+	Epsilon float64
+	// RefKind selects the reference point strategy (default Optimal).
+	RefKind refpoint.Kind
+	// SpaceLo/SpaceHi bound the data space for the SpaceCenter strategy.
+	// Both zero selects [0, 1].
+	SpaceLo, SpaceHi float64
+	// OffsetFraction tunes the Optimal reference placement
+	// (refpoint.DefaultOffsetFraction when 0).
+	OffsetFraction float64
+	// Partitions is the partition count for the MultiRef (iDistance)
+	// strategy (refpoint.MultiPartitions when 0). Ignored otherwise.
+	Partitions int
+	// FillFactor for bulk loading (btree.DefaultFillFactor when 0).
+	FillFactor float64
+	// NewPager supplies page stores for the tree — once at build time and
+	// again on every rebuild. Defaults to in-memory pagers.
+	NewPager func() pager.Pager
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.SpaceLo == 0 && out.SpaceHi == 0 {
+		out.SpaceHi = 1
+	}
+	if out.NewPager == nil {
+		out.NewPager = func() pager.Pager { return pager.NewMem() }
+	}
+	return out
+}
+
+// videoInfo is the per-video catalog entry needed to turn shared-frame
+// estimates into the §3.1 normalized similarity.
+type videoInfo struct {
+	frameCount int
+	triplets   int
+	keys       []float64 // the 1-D keys of this video's triplets (for Remove)
+}
+
+// Index is the ViTri index: a reference-point transform plus a B+-tree of
+// ViTri records keyed by transformed position. Safe for concurrent
+// searches; mutations are serialized.
+type Index struct {
+	mu   sync.RWMutex
+	opts Options
+	dim  int
+	tr   refpoint.Mapper
+	tree *btree.Tree
+	pg   pager.Pager
+
+	catalog map[int32]videoInfo
+
+	// Running covariance accumulators over every indexed position, used
+	// for principal-direction drift detection (§6.3.3).
+	posCount int
+	posSum   vec.Vector
+	posOuter []float64 // dim×dim row-major Σ x·xᵀ
+}
+
+// Build constructs an index over the given summaries with one-off (bulk)
+// construction. All summaries must share one dimensionality and contain at
+// least one triplet overall.
+func Build(summaries []core.Summary, opts Options) (*Index, error) {
+	o := opts.withDefaults()
+	if o.Epsilon <= 0 {
+		return nil, errors.New("index: Epsilon must be positive")
+	}
+	positions, err := collectPositions(summaries)
+	if err != nil {
+		return nil, err
+	}
+	dim := len(positions[0])
+	tr, err := newMapper(&o, positions)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		opts:     o,
+		dim:      dim,
+		tr:       tr,
+		catalog:  make(map[int32]videoInfo),
+		posSum:   make(vec.Vector, dim),
+		posOuter: make([]float64, dim*dim),
+	}
+	entries := make([]btree.Entry, 0, len(positions))
+	for si := range summaries {
+		s := &summaries[si]
+		if _, dup := ix.catalog[int32(s.VideoID)]; dup {
+			return nil, fmt.Errorf("index: duplicate video id %d", s.VideoID)
+		}
+		info := videoInfo{frameCount: s.FrameCount, triplets: len(s.Triplets)}
+		for ti := range s.Triplets {
+			tpl := &s.Triplets[ti]
+			rec := Record{
+				VideoID:  int32(s.VideoID),
+				ClusterN: int32(ti),
+				Count:    int32(tpl.Count),
+				Radius:   tpl.Radius,
+				Position: tpl.Position,
+			}
+			buf := make([]byte, RecordSize(dim))
+			if err := EncodeRecord(&rec, buf); err != nil {
+				return nil, err
+			}
+			key := tr.Key(tpl.Position)
+			entries = append(entries, btree.Entry{Key: key, Val: buf})
+			info.keys = append(info.keys, key)
+			ix.accumulate(tpl.Position)
+		}
+		ix.catalog[int32(s.VideoID)] = info
+	}
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	pg := o.NewPager()
+	tree, err := btree.BulkLoad(pg, RecordSize(dim), entries, o.FillFactor)
+	if err != nil {
+		return nil, err
+	}
+	ix.tree, ix.pg = tree, pg
+	return ix, nil
+}
+
+// newMapper constructs the configured key mapping over the build points.
+func newMapper(o *Options, positions []vec.Vector) (refpoint.Mapper, error) {
+	if o.RefKind == refpoint.MultiRef {
+		return refpoint.NewMulti(positions, o.Partitions, 1)
+	}
+	return refpoint.New(refpoint.Config{
+		Kind:           o.RefKind,
+		SpaceLo:        o.SpaceLo,
+		SpaceHi:        o.SpaceHi,
+		OffsetFraction: o.OffsetFraction,
+	}, positions)
+}
+
+// collectPositions flattens and validates all triplet positions.
+func collectPositions(summaries []core.Summary) ([]vec.Vector, error) {
+	var out []vec.Vector
+	for i := range summaries {
+		for j := range summaries[i].Triplets {
+			out = append(out, summaries[i].Triplets[j].Position)
+		}
+	}
+	if len(out) == 0 {
+		return nil, errors.New("index: no triplets to index")
+	}
+	dim := len(out[0])
+	for _, p := range out {
+		if len(p) != dim {
+			return nil, fmt.Errorf("index: mixed dimensionality %d vs %d", len(p), dim)
+		}
+	}
+	return out, nil
+}
+
+// accumulate folds a position into the running covariance sums.
+func (ix *Index) accumulate(p vec.Vector) {
+	ix.posCount++
+	for i, v := range p {
+		ix.posSum[i] += v
+		row := ix.posOuter[i*ix.dim : (i+1)*ix.dim]
+		for j, w := range p {
+			row[j] += v * w
+		}
+	}
+}
+
+// Dim returns the dimensionality of indexed positions.
+func (ix *Index) Dim() int { return ix.dim }
+
+// Epsilon returns the frame similarity threshold the index was built for.
+func (ix *Index) Epsilon() float64 { return ix.opts.Epsilon }
+
+// Transform exposes the active reference-point mapping.
+func (ix *Index) Transform() refpoint.Mapper {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.tr
+}
+
+// Len returns the number of indexed ViTri records.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return int(ix.tree.Len())
+}
+
+// Videos returns the number of indexed videos.
+func (ix *Index) Videos() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.catalog)
+}
+
+// PagerStats returns the physical I/O counters of the active page store.
+func (ix *Index) PagerStats() pager.Stats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.pg.Stats()
+}
+
+// ResetPagerStats zeroes the I/O counters (between measured runs).
+func (ix *Index) ResetPagerStats() {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ix.pg.ResetStats()
+}
+
+// Insert adds one summarized video to the index dynamically: each triplet
+// is keyed with the *existing* reference point and inserted into the
+// B+-tree (§5.1 "dynamic maintenance"). The reference point is not moved;
+// use DriftAngle/Rebuild to detect and repair correlation drift.
+func (ix *Index) Insert(s core.Summary) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, dup := ix.catalog[int32(s.VideoID)]; dup {
+		return fmt.Errorf("index: duplicate video id %d", s.VideoID)
+	}
+	if len(s.Triplets) == 0 {
+		return fmt.Errorf("index: video %d has no triplets", s.VideoID)
+	}
+	buf := make([]byte, RecordSize(ix.dim))
+	info := videoInfo{frameCount: s.FrameCount, triplets: len(s.Triplets)}
+	for ti := range s.Triplets {
+		tpl := &s.Triplets[ti]
+		if len(tpl.Position) != ix.dim {
+			return fmt.Errorf("index: triplet dimensionality %d, index is %d", len(tpl.Position), ix.dim)
+		}
+		rec := Record{
+			VideoID:  int32(s.VideoID),
+			ClusterN: int32(ti),
+			Count:    int32(tpl.Count),
+			Radius:   tpl.Radius,
+			Position: tpl.Position,
+		}
+		if err := EncodeRecord(&rec, buf); err != nil {
+			return err
+		}
+		key := ix.tr.Key(tpl.Position)
+		if err := ix.tree.Insert(key, buf); err != nil {
+			return err
+		}
+		info.keys = append(info.keys, key)
+		ix.accumulate(tpl.Position)
+	}
+	ix.catalog[int32(s.VideoID)] = info
+	return nil
+}
+
+// currentFirstPC computes Φ1 of all indexed positions from the running
+// covariance accumulators. Caller holds at least a read lock.
+func (ix *Index) currentFirstPC() vec.Vector {
+	if ix.posCount < 2 {
+		return nil
+	}
+	n := float64(ix.posCount)
+	cov := linalg.NewSym(ix.dim)
+	for i := 0; i < ix.dim; i++ {
+		mi := ix.posSum[i] / n
+		for j := i; j < ix.dim; j++ {
+			mj := ix.posSum[j] / n
+			cov.Set(i, j, ix.posOuter[i*ix.dim+j]/n-mi*mj)
+		}
+	}
+	// Only the dominant direction is needed; power iteration is much
+	// cheaper than a full eigendecomposition at this call frequency.
+	return linalg.FirstEigenvector(cov, 0, 0)
+}
+
+// DriftAngle returns the angle in radians between the first principal
+// component captured when the reference point was derived and the current
+// Φ1 of all indexed positions. Zero for non-Optimal reference points.
+func (ix *Index) DriftAngle() float64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	built := ix.tr.FirstPC()
+	if built == nil {
+		return 0
+	}
+	cur := ix.currentFirstPC()
+	if cur == nil {
+		return 0
+	}
+	return linalg.AngleBetween(built, cur)
+}
+
+// Rebuild re-derives the reference point from the currently indexed
+// positions and bulk-loads a fresh tree — the paper's proposed response to
+// correlation drift (§6.3.3). The old page store is closed.
+func (ix *Index) Rebuild() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	recs, err := ix.allRecordsLocked()
+	if err != nil {
+		return err
+	}
+	positions := make([]vec.Vector, len(recs))
+	for i := range recs {
+		positions[i] = recs[i].Position
+	}
+	tr, err := newMapper(&ix.opts, positions)
+	if err != nil {
+		return err
+	}
+	entries := make([]btree.Entry, len(recs))
+	newKeys := make(map[int32][]float64, len(ix.catalog))
+	for i := range recs {
+		buf := make([]byte, RecordSize(ix.dim))
+		if err := EncodeRecord(&recs[i], buf); err != nil {
+			return err
+		}
+		key := tr.Key(recs[i].Position)
+		entries[i] = btree.Entry{Key: key, Val: buf}
+		newKeys[recs[i].VideoID] = append(newKeys[recs[i].VideoID], key)
+	}
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	pg := ix.opts.NewPager()
+	tree, err := btree.BulkLoad(pg, RecordSize(ix.dim), entries, ix.opts.FillFactor)
+	if err != nil {
+		pg.Close()
+		return err
+	}
+	// Refresh the catalog's per-video keys: the new reference point moved
+	// every 1-D key.
+	for vid, info := range ix.catalog {
+		info.keys = newKeys[vid]
+		ix.catalog[vid] = info
+	}
+	old := ix.pg
+	ix.tr, ix.tree, ix.pg = tr, tree, pg
+	old.Close()
+	return nil
+}
+
+// RebuildIfDrifted rebuilds when DriftAngle exceeds maxAngle (radians) and
+// reports whether a rebuild happened.
+func (ix *Index) RebuildIfDrifted(maxAngle float64) (bool, error) {
+	if ix.DriftAngle() <= maxAngle {
+		return false, nil
+	}
+	if err := ix.Rebuild(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// allRecordsLocked decodes every record in tree order. Caller holds mu.
+func (ix *Index) allRecordsLocked() ([]Record, error) {
+	out := make([]Record, 0, ix.tree.Len())
+	err := ix.tree.Scan(func(_ float64, val []byte) bool {
+		var r Record
+		if DecodeRecord(val, ix.dim, &r) != nil {
+			return false
+		}
+		out = append(out, r)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(out)) != ix.tree.Len() {
+		return nil, errors.New("index: record decode failed during scan")
+	}
+	return out, nil
+}

@@ -1,0 +1,270 @@
+package index
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"vitri/internal/core"
+	"vitri/internal/refpoint"
+)
+
+// Mode selects the KNN range-processing strategy of §5.2.
+type Mode int
+
+const (
+	// Naive issues one B+-tree range search per query triplet, re-reading
+	// any leaf pages shared by overlapping ranges.
+	Naive Mode = iota
+	// Composed merges overlapping ranges first so every leaf page is
+	// fetched at most once per query (query composition).
+	Composed
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Naive:
+		return "naive"
+	case Composed:
+		return "composed"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Result is one ranked video.
+type Result struct {
+	VideoID int
+	// Similarity is the estimated §3.1 video similarity in [0, 1].
+	Similarity float64
+	// Shared is the un-normalized estimated shared-frame count.
+	Shared float64
+}
+
+// SearchStats reports the work a query performed. PageReads counts
+// physical page reads attributable to this search; SimilarityOps counts
+// ViTri-pair similarity evaluations (the paper's CPU-cost proxy).
+type SearchStats struct {
+	Ranges        int
+	Candidates    int
+	SimilarityOps int
+	PageReads     uint64
+}
+
+// queryTriplet is a prepared query-side triplet with its 1-D search
+// ranges (one for single-reference mappers, up to one per partition for
+// the iDistance mapper).
+type queryTriplet struct {
+	vt     *core.ViTri
+	ranges []refpoint.KeyRange
+}
+
+// covers reports whether any of the triplet's ranges contains key.
+func (qt *queryTriplet) covers(key float64) bool {
+	for _, r := range qt.ranges {
+		if key >= r.Lo && key <= r.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// videoScore accumulates per-video similarity evidence.
+type videoScore struct {
+	qSums  []float64         // per query triplet: Σ shared with this video
+	dbSums map[int32]float64 // per db cluster ordinal: Σ shared
+	dbCnts map[int32]int32   // db cluster ordinal -> |C|
+}
+
+// Search returns the top-k most similar videos to the summarized query.
+// The query's own video id, if indexed, participates like any other video.
+func (ix *Index) Search(q *core.Summary, k int, mode Mode) ([]Result, SearchStats, error) {
+	if k <= 0 {
+		return nil, SearchStats{}, errors.New("index: k must be positive")
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	var stats SearchStats
+	if len(q.Triplets) == 0 {
+		return nil, stats, nil
+	}
+	readsBefore := ix.pg.Stats().Reads
+
+	qts := make([]queryTriplet, len(q.Triplets))
+	for i := range q.Triplets {
+		vt := &q.Triplets[i]
+		if len(vt.Position) != ix.dim {
+			return nil, stats, fmt.Errorf("index: query dimensionality %d, index is %d", len(vt.Position), ix.dim)
+		}
+		qts[i] = queryTriplet{
+			vt:     vt,
+			ranges: ix.tr.Ranges(vt.Position, vt.Radius+ix.opts.Epsilon/2),
+		}
+	}
+
+	scores := make(map[int32]*videoScore)
+	accumulate := func(qi int, rec *Record, shared float64) {
+		vs := scores[rec.VideoID]
+		if vs == nil {
+			vs = &videoScore{
+				qSums:  make([]float64, len(qts)),
+				dbSums: make(map[int32]float64),
+				dbCnts: make(map[int32]int32),
+			}
+			scores[rec.VideoID] = vs
+		}
+		vs.qSums[qi] += shared
+		vs.dbSums[rec.ClusterN] += shared
+		vs.dbCnts[rec.ClusterN] = rec.Count
+	}
+
+	var err error
+	switch mode {
+	case Naive:
+		err = ix.searchNaive(qts, &stats, accumulate)
+	case Composed:
+		err = ix.searchComposed(qts, &stats, accumulate)
+	default:
+		err = fmt.Errorf("index: unknown mode %v", mode)
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.PageReads = ix.pg.Stats().Reads - readsBefore
+
+	results := make([]Result, 0, len(scores))
+	for vid, vs := range scores {
+		info := ix.catalog[vid]
+		var total float64
+		for i, s := range vs.qSums {
+			if c := float64(qts[i].vt.Count); s > c {
+				s = c
+			}
+			total += s
+		}
+		for cn, s := range vs.dbSums {
+			if c := float64(vs.dbCnts[cn]); s > c {
+				s = c
+			}
+			total += s
+		}
+		if total <= 0 {
+			continue
+		}
+		sim := total / float64(q.FrameCount+info.frameCount)
+		if sim > 1 {
+			sim = 1
+		}
+		results = append(results, Result{VideoID: int(vid), Similarity: sim, Shared: total})
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Similarity != results[j].Similarity {
+			return results[i].Similarity > results[j].Similarity
+		}
+		return results[i].VideoID < results[j].VideoID
+	})
+	if len(results) > k {
+		results = results[:k]
+	}
+	return results, stats, nil
+}
+
+// searchNaive runs one range search per query triplet range.
+func (ix *Index) searchNaive(qts []queryTriplet, stats *SearchStats, accumulate func(int, *Record, float64)) error {
+	var rec Record
+	for qi := range qts {
+		qt := &qts[qi]
+		for _, kr := range qt.ranges {
+			stats.Ranges++
+			err := ix.tree.RangeScan(kr.Lo, kr.Hi, func(_ float64, val []byte) bool {
+				if DecodeRecord(val, ix.dim, &rec) != nil {
+					return false
+				}
+				stats.Candidates++
+				stats.SimilarityOps++
+				trip := rec.Triplet()
+				if shared := core.SharedFrames(qt.vt, &trip); shared > 0 {
+					accumulate(qi, &rec, shared)
+				}
+				return true
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// interval is one composed 1-D search range with the query triplets whose
+// ranges it absorbed.
+type interval struct {
+	lo, hi  float64
+	members []int
+}
+
+// composeRanges merges overlapping per-triplet ranges (§5.2 query
+// composition). Returned intervals are disjoint and sorted.
+func composeRanges(qts []queryTriplet) []interval {
+	var ivs []interval
+	for i := range qts {
+		for _, kr := range qts[i].ranges {
+			ivs = append(ivs, interval{lo: kr.Lo, hi: kr.Hi, members: []int{i}})
+		}
+	}
+	if len(ivs) == 0 {
+		return nil
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	out := ivs[:1]
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if iv.lo <= last.hi {
+			if iv.hi > last.hi {
+				last.hi = iv.hi
+			}
+			last.members = append(last.members, iv.members...)
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// searchComposed merges ranges, then scans each merged range once; every
+// candidate is evaluated against the member triplets whose own range
+// covers its key.
+func (ix *Index) searchComposed(qts []queryTriplet, stats *SearchStats, accumulate func(int, *Record, float64)) error {
+	var rec Record
+	for _, iv := range composeRanges(qts) {
+		stats.Ranges++
+		err := ix.tree.RangeScan(iv.lo, iv.hi, func(key float64, val []byte) bool {
+			if DecodeRecord(val, ix.dim, &rec) != nil {
+				return false
+			}
+			stats.Candidates++
+			var trip core.ViTri
+			haveTrip := false
+			for _, qi := range iv.members {
+				qt := &qts[qi]
+				if !qt.covers(key) {
+					continue
+				}
+				if !haveTrip {
+					trip = rec.Triplet()
+					haveTrip = true
+				}
+				stats.SimilarityOps++
+				if shared := core.SharedFrames(qt.vt, &trip); shared > 0 {
+					accumulate(qi, &rec, shared)
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

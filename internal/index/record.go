@@ -1,0 +1,81 @@
+// Package index assembles the paper's §5 ViTri index: positions are mapped
+// to one-dimensional keys by a reference-point transform
+// (internal/refpoint) and stored with their full triplets in the leaves of
+// a paged B+-tree (internal/btree). KNN queries over summarized videos run
+// per-triplet range searches — naively or with query composition (§5.2) —
+// and aggregate ViTri similarities into video scores.
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"vitri/internal/core"
+	"vitri/internal/vec"
+)
+
+// Record is one indexed ViTri: the triplet itself plus its provenance
+// (which video, which cluster within that video). Records are the leaf
+// payload of the B+-tree, so the paper's "volume and density stored at
+// leaf level" requirement is met: similarity is computable from the leaf
+// alone.
+type Record struct {
+	VideoID  int32
+	ClusterN int32 // ordinal of this triplet within the video's summary
+	Count    int32
+	Radius   float64
+	Position vec.Vector
+}
+
+// recordHeaderSize is the fixed, position-independent prefix:
+// VideoID(4) + ClusterN(4) + Count(4) + pad(4) + Radius(8).
+const recordHeaderSize = 4 + 4 + 4 + 4 + 8
+
+// RecordSize returns the encoded byte size for a given dimensionality.
+func RecordSize(dim int) int { return recordHeaderSize + 8*dim }
+
+// EncodeRecord serializes r into dst, which must be RecordSize(dim) bytes.
+func EncodeRecord(r *Record, dst []byte) error {
+	want := RecordSize(len(r.Position))
+	if len(dst) != want {
+		return fmt.Errorf("index: encode buffer %d bytes, want %d", len(dst), want)
+	}
+	binary.LittleEndian.PutUint32(dst[0:], uint32(r.VideoID))
+	binary.LittleEndian.PutUint32(dst[4:], uint32(r.ClusterN))
+	binary.LittleEndian.PutUint32(dst[8:], uint32(r.Count))
+	binary.LittleEndian.PutUint32(dst[12:], 0)
+	binary.LittleEndian.PutUint64(dst[16:], math.Float64bits(r.Radius))
+	off := recordHeaderSize
+	for _, v := range r.Position {
+		binary.LittleEndian.PutUint64(dst[off:], math.Float64bits(v))
+		off += 8
+	}
+	return nil
+}
+
+// DecodeRecord parses src (of RecordSize(dim) bytes) into r, reusing
+// r.Position when it already has the right length.
+func DecodeRecord(src []byte, dim int, r *Record) error {
+	if len(src) != RecordSize(dim) {
+		return fmt.Errorf("index: decode buffer %d bytes, want %d", len(src), RecordSize(dim))
+	}
+	r.VideoID = int32(binary.LittleEndian.Uint32(src[0:]))
+	r.ClusterN = int32(binary.LittleEndian.Uint32(src[4:]))
+	r.Count = int32(binary.LittleEndian.Uint32(src[8:]))
+	r.Radius = math.Float64frombits(binary.LittleEndian.Uint64(src[16:]))
+	if len(r.Position) != dim {
+		r.Position = make(vec.Vector, dim)
+	}
+	off := recordHeaderSize
+	for i := 0; i < dim; i++ {
+		r.Position[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[off:]))
+		off += 8
+	}
+	return nil
+}
+
+// Triplet reconstitutes the core.ViTri for similarity computation.
+func (r *Record) Triplet() core.ViTri {
+	return core.NewViTri(r.Position, r.Radius, int(r.Count))
+}

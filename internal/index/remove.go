@@ -1,0 +1,61 @@
+package index
+
+import (
+	"fmt"
+
+	"vitri/internal/vec"
+)
+
+// Remove deletes a video's triplets from the index. The per-video keys
+// recorded at insert time locate each record in one B+-tree descent; the
+// removed positions are subtracted from the drift accumulators so
+// DriftAngle keeps reflecting the live contents.
+//
+// Removing the last video leaves an empty but functional index.
+func (ix *Index) Remove(videoID int) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	vid := int32(videoID)
+	info, ok := ix.catalog[vid]
+	if !ok {
+		return fmt.Errorf("index: video %d not present", videoID)
+	}
+	var rec Record
+	for _, key := range info.keys {
+		removed, err := ix.tree.Delete(key, func(val []byte) bool {
+			if DecodeRecord(val, ix.dim, &rec) != nil {
+				return false
+			}
+			return rec.VideoID == vid
+		})
+		if err != nil {
+			return err
+		}
+		if !removed {
+			return fmt.Errorf("index: video %d record at key %v missing (index corrupted?)", videoID, key)
+		}
+		ix.unaccumulate(rec.Position)
+	}
+	delete(ix.catalog, vid)
+	return nil
+}
+
+// unaccumulate reverses accumulate for a removed position.
+func (ix *Index) unaccumulate(p vec.Vector) {
+	ix.posCount--
+	for i, v := range p {
+		ix.posSum[i] -= v
+		row := ix.posOuter[i*ix.dim : (i+1)*ix.dim]
+		for j, w := range p {
+			row[j] -= v * w
+		}
+	}
+}
+
+// Contains reports whether a video is currently indexed.
+func (ix *Index) Contains(videoID int) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	_, ok := ix.catalog[int32(videoID)]
+	return ok
+}

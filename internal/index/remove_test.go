@@ -1,0 +1,125 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vitri/internal/core"
+)
+
+func TestRemoveVideo(t *testing.T) {
+	r := rand.New(rand.NewSource(20))
+	videos, sums, ix := buildCorpus(t, r, 30, 8)
+	lenBefore := ix.Len()
+	if !ix.Contains(13) {
+		t.Fatal("video 13 should be present")
+	}
+	if err := ix.Remove(13); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Contains(13) {
+		t.Fatal("video 13 still present")
+	}
+	if got, want := ix.Len(), lenBefore-len(sums[13].Triplets); got != want {
+		t.Fatalf("Len = %d want %d", got, want)
+	}
+	if ix.Videos() != 29 {
+		t.Fatalf("Videos = %d", ix.Videos())
+	}
+	// A query derived from the removed video no longer returns it.
+	q := core.Summarize(9999, perturb(r, videos[13], 0.01), core.Options{Epsilon: testEps, Seed: 5})
+	res, _, err := ix.Search(&q, 30, Composed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res {
+		if m.VideoID == 13 {
+			t.Fatal("removed video returned by search")
+		}
+	}
+	// Removing again fails cleanly.
+	if err := ix.Remove(13); err == nil {
+		t.Fatal("expected error removing twice")
+	}
+}
+
+func TestRemoveMatchesFreshBuild(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	videos, sums, ix := buildCorpus(t, r, 20, 8)
+	// Remove videos 3 and 17, compare against an index built without them.
+	for _, id := range []int{3, 17} {
+		if err := ix.Remove(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var kept []core.Summary
+	for i := range sums {
+		if sums[i].VideoID != 3 && sums[i].VideoID != 17 {
+			kept = append(kept, sums[i])
+		}
+	}
+	fresh, err := Build(kept, Options{Epsilon: testEps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := core.Summarize(8888, perturb(r, videos[10], 0.02), core.Options{Epsilon: testEps, Seed: 3})
+	a, _, err := ix.Search(&q, 20, Composed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := fresh.Search(&q, 20, Composed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("result counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].VideoID != b[i].VideoID || math.Abs(a[i].Similarity-b[i].Similarity) > 1e-9 {
+			t.Fatalf("result %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Drift accumulators were reversed: angles agree.
+	if da, db := ix.DriftAngle(), fresh.DriftAngle(); math.Abs(da-db) > 0.15 {
+		t.Fatalf("drift angles diverge after removal: %v vs %v", da, db)
+	}
+}
+
+func TestRemoveAfterRebuild(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	_, _, ix := buildCorpus(t, r, 15, 8)
+	if err := ix.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	// Keys were re-derived during rebuild; removal must still find every
+	// record.
+	if err := ix.Remove(7); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Contains(7) {
+		t.Fatal("video 7 still present after post-rebuild removal")
+	}
+}
+
+func TestRemoveAllVideos(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	_, sums, ix := buildCorpus(t, r, 5, 8)
+	for i := range sums {
+		if err := ix.Remove(sums[i].VideoID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.Len() != 0 || ix.Videos() != 0 {
+		t.Fatalf("index not empty: %d records, %d videos", ix.Len(), ix.Videos())
+	}
+	// An empty index answers queries with no results.
+	q := core.Summarize(1, makeVideo(r, 8, 1, 10), core.Options{Epsilon: testEps, Seed: 1})
+	res, _, err := ix.Search(&q, 5, Composed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("empty index returned %v", res)
+	}
+}

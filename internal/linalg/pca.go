@@ -1,0 +1,83 @@
+package linalg
+
+import (
+	"math"
+
+	"vitri/internal/vec"
+)
+
+// PCA is the result of a principal component analysis over a point set:
+// the data mean, the principal directions sorted by descending variance,
+// and the variance (eigenvalue) along each direction.
+type PCA struct {
+	Mean       vec.Vector
+	Components []vec.Vector // unit vectors, descending variance
+	Variances  []float64
+}
+
+// ComputePCA runs a full PCA over points. It panics on an empty set; with a
+// single point the components are an arbitrary orthonormal basis with zero
+// variances, which downstream code treats as "no dominant direction".
+func ComputePCA(points []vec.Vector) PCA {
+	cov, mean := Covariance(points)
+	eig := EigenSym(cov)
+	return PCA{Mean: mean, Components: eig.Vectors, Variances: eig.Values}
+}
+
+// First returns the first principal component Φ1 (largest variance).
+func (p PCA) First() vec.Vector { return p.Components[0] }
+
+// Project returns the scalar projection of x onto component k, measured in
+// the original (un-centered) coordinate frame, i.e. x·Φk. The paper's
+// Definition 1 uses exactly this O·Φ form.
+func (p PCA) Project(x vec.Vector, k int) float64 {
+	return vec.Dot(x, p.Components[k])
+}
+
+// VarianceSegment is the segment of the line identified by a principal
+// component between the two furthermost projections of the data
+// (Definition 1 in the paper). Lo and Hi are scalar projections onto the
+// component; the segment in space is {t·Φ : t ∈ [Lo,Hi]} shifted to the
+// component's line through the data.
+type VarianceSegment struct {
+	Component vec.Vector
+	Lo, Hi    float64
+}
+
+// Length returns the extent of the segment along the component.
+func (s VarianceSegment) Length() float64 { return s.Hi - s.Lo }
+
+// SegmentFor computes the variance segment of component k over points.
+func (p PCA) SegmentFor(points []vec.Vector, k int) VarianceSegment {
+	if len(points) == 0 {
+		panic("linalg: SegmentFor with no points")
+	}
+	comp := p.Components[k]
+	lo := math.Inf(1)
+	hi := math.Inf(-1)
+	for _, pt := range points {
+		t := vec.Dot(pt, comp)
+		if t < lo {
+			lo = t
+		}
+		if t > hi {
+			hi = t
+		}
+	}
+	return VarianceSegment{Component: vec.Clone(comp), Lo: lo, Hi: hi}
+}
+
+// AngleBetween returns the angle in radians between two directions,
+// insensitive to sign (eigenvectors are defined up to ±). Used by the index
+// to detect principal-direction drift under dynamic insertion (§6.3.3).
+func AngleBetween(a, b vec.Vector) float64 {
+	na, nb := vec.Norm(a), vec.Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	c := math.Abs(vec.Dot(a, b)) / (na * nb)
+	if c > 1 {
+		c = 1
+	}
+	return math.Acos(c)
+}

@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPrecision(t *testing.T) {
+	cases := []struct {
+		rel, ret []int
+		want     float64
+	}{
+		{[]int{1, 2, 3}, []int{1, 2, 3}, 1},
+		{[]int{1, 2, 3}, []int{3, 4, 5}, 1.0 / 3},
+		{[]int{1, 2}, []int{3, 4}, 0},
+		{nil, []int{1}, 0},
+		{[]int{1, 2, 3, 4}, []int{2, 4}, 0.5},
+	}
+	for _, c := range cases {
+		if got := Precision(c.rel, c.ret); got != c.want {
+			t.Errorf("Precision(%v, %v) = %v want %v", c.rel, c.ret, got, c.want)
+		}
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Title: "T", Columns: []string{"a", "bbbb"}}
+	tb.AddRow("x", "y")
+	tb.AddRowf(1.23456789, 7)
+	s := tb.String()
+	if !strings.Contains(s, "T\n") || !strings.Contains(s, "a") {
+		t.Fatalf("render missing pieces:\n%s", s)
+	}
+	if !strings.Contains(s, "1.235") {
+		t.Fatalf("float formatting wrong:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), s)
+	}
+}

@@ -1,0 +1,124 @@
+package pager
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a write-through LRU buffer pool over another Pager. Hits are
+// served from memory; the underlying pager's Stats therefore count only
+// physical (miss) I/O, while Cache.Accesses counts logical page requests.
+type Cache struct {
+	mu       sync.Mutex
+	under    Pager
+	capacity int
+	lru      *list.List               // of *cacheEntry, front = most recent
+	table    map[PageID]*list.Element // id -> element
+	accesses uint64
+	hits     uint64
+}
+
+type cacheEntry struct {
+	id   PageID
+	page Page
+}
+
+// NewCache wraps under with an LRU pool holding up to capacity pages.
+func NewCache(under Pager, capacity int) *Cache {
+	if capacity < 1 {
+		panic("pager: cache capacity must be >= 1")
+	}
+	return &Cache{
+		under:    under,
+		capacity: capacity,
+		lru:      list.New(),
+		table:    make(map[PageID]*list.Element),
+	}
+}
+
+// Alloc implements Pager.
+func (c *Cache) Alloc() (PageID, error) { return c.under.Alloc() }
+
+// Read implements Pager.
+func (c *Cache) Read(id PageID, p *Page) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.accesses++
+	if el, ok := c.table[id]; ok {
+		c.hits++
+		c.lru.MoveToFront(el)
+		*p = el.Value.(*cacheEntry).page
+		return nil
+	}
+	if err := c.under.Read(id, p); err != nil {
+		return err
+	}
+	c.insertLocked(id, p)
+	return nil
+}
+
+// Write implements Pager. Writes go through to the underlying pager and
+// refresh the cached copy.
+func (c *Cache) Write(id PageID, p *Page) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.under.Write(id, p); err != nil {
+		return err
+	}
+	if el, ok := c.table[id]; ok {
+		c.lru.MoveToFront(el)
+		el.Value.(*cacheEntry).page = *p
+	} else {
+		c.insertLocked(id, p)
+	}
+	return nil
+}
+
+func (c *Cache) insertLocked(id PageID, p *Page) {
+	el := c.lru.PushFront(&cacheEntry{id: id, page: *p})
+	c.table[id] = el
+	for c.lru.Len() > c.capacity {
+		old := c.lru.Back()
+		c.lru.Remove(old)
+		delete(c.table, old.Value.(*cacheEntry).id)
+	}
+}
+
+// NumPages implements Pager.
+func (c *Cache) NumPages() int { return c.under.NumPages() }
+
+// Stats implements Pager, reporting the underlying (physical) counters.
+func (c *Cache) Stats() Stats { return c.under.Stats() }
+
+// ResetStats implements Pager; it also zeroes the hit counters.
+func (c *Cache) ResetStats() {
+	c.mu.Lock()
+	c.accesses, c.hits = 0, 0
+	c.mu.Unlock()
+	c.under.ResetStats()
+}
+
+// HitRate returns logical accesses, hits, and the hit fraction.
+func (c *Cache) HitRate() (accesses, hits uint64, rate float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.accesses == 0 {
+		return 0, 0, 0
+	}
+	return c.accesses, c.hits, float64(c.hits) / float64(c.accesses)
+}
+
+// Invalidate drops every cached page (e.g. after out-of-band mutation of
+// the underlying store).
+func (c *Cache) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Init()
+	c.table = make(map[PageID]*list.Element)
+}
+
+// Close implements Pager.
+func (c *Cache) Close() error {
+	c.Invalidate()
+	return c.under.Close()
+}

@@ -1,0 +1,8 @@
+package pager
+
+import "os"
+
+// truncate resizes a file; separated for test readability.
+func truncate(path string, size int64) error {
+	return os.Truncate(path, size)
+}

@@ -1,0 +1,147 @@
+package refpoint
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vitri/internal/cluster"
+	"vitri/internal/vec"
+)
+
+// KeyRange is one interval of one-dimensional keys to search.
+type KeyRange struct {
+	Lo, Hi float64
+}
+
+// Mapper is the abstraction the index builds on: a mapping from
+// n-dimensional points to one-dimensional keys, with the query-side
+// inverse — the key ranges that can contain points within gamma of a
+// query point. The single-reference Transform emits one range; the
+// multi-partition iDistance mapper emits up to one per partition.
+type Mapper interface {
+	// Key maps a point to its one-dimensional key.
+	Key(p vec.Vector) float64
+	// Ranges returns the key intervals that may contain points within
+	// gamma of p. Intervals may overlap; callers compose them.
+	Ranges(p vec.Vector, gamma float64) []KeyRange
+	// Kind identifies the strategy.
+	Kind() Kind
+	// FirstPC returns the first principal component captured at build
+	// time, or nil when the strategy does not depend on data correlation.
+	FirstPC() vec.Vector
+}
+
+// Ranges implements Mapper for the single-reference Transform: the one
+// triangle-inequality band around the query's key.
+func (t *Transform) Ranges(p vec.Vector, gamma float64) []KeyRange {
+	k := t.Key(p)
+	return []KeyRange{{Lo: k - gamma, Hi: k + gamma}}
+}
+
+var _ Mapper = (*Transform)(nil)
+
+// Multi is the full iDistance scheme of Yu/Ooi/Tan/Jagadish (the paper's
+// [15]): the space is partitioned around k reference points (cluster
+// centers); a point's key is base(partition) + d(point, nearest ref),
+// with partitions mapped to disjoint key bands. Queries probe only the
+// partitions whose occupied shell the query ball reaches.
+type Multi struct {
+	refs []vec.Vector
+	// maxDist[i] bounds d(x, refs[i]) over the build points of partition
+	// i; headroom[i] is the band capacity available for later inserts.
+	maxDist  []float64
+	headroom []float64
+	base     []float64
+}
+
+// MultiPartitions is the default partition count, matching the iDistance
+// paper's typical configuration.
+const MultiPartitions = 16
+
+// NewMulti builds an iDistance mapper over points with k partitions
+// (k <= 1 selects MultiPartitions). Reference points are k-means centers
+// of the build set. Each partition's key band reserves 2× its build
+// radius so dynamically inserted points near the partition stay in-band.
+func NewMulti(points []vec.Vector, k int, seed int64) (*Multi, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("refpoint: no points to derive iDistance partitions")
+	}
+	if k <= 1 {
+		k = MultiPartitions
+	}
+	res := cluster.KMeans(points, k, rand.New(rand.NewSource(seed)), 0)
+	m := &Multi{refs: res.Centers}
+	m.maxDist = make([]float64, len(m.refs))
+	for i, p := range points {
+		c := res.Assign[i]
+		if d := vec.Dist(p, m.refs[c]); d > m.maxDist[c] {
+			m.maxDist[c] = d
+		}
+	}
+	m.headroom = make([]float64, len(m.refs))
+	m.base = make([]float64, len(m.refs))
+	offset := 0.0
+	for i := range m.refs {
+		// Headroom: twice the build radius, at least 1, so later inserts
+		// have room before a rebuild is required.
+		m.headroom[i] = 2*m.maxDist[i] + 1
+		m.base[i] = offset
+		offset += m.headroom[i]
+	}
+	return m, nil
+}
+
+// assign returns the nearest reference point's index and the distance.
+func (m *Multi) assign(p vec.Vector) (int, float64) {
+	best, bestD := 0, vec.Dist(p, m.refs[0])
+	for i := 1; i < len(m.refs); i++ {
+		if d := vec.Dist(p, m.refs[i]); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// Key implements Mapper. A point beyond its partition's reserved band
+// (possible only for inserts far outside the build distribution) is keyed
+// at the band edge; Ranges compensates by always probing band edges, so
+// correctness is preserved at some pruning cost until a rebuild.
+func (m *Multi) Key(p vec.Vector) float64 {
+	i, d := m.assign(p)
+	if d > m.headroom[i] {
+		d = m.headroom[i]
+	}
+	return m.base[i] + d
+}
+
+// Ranges implements Mapper: one clamped band per partition whose occupied
+// shell intersects the query ball.
+func (m *Multi) Ranges(p vec.Vector, gamma float64) []KeyRange {
+	var out []KeyRange
+	for i, ref := range m.refs {
+		d := vec.Dist(p, ref)
+		lo := math.Max(0, d-gamma)
+		hi := d + gamma
+		if lo > m.headroom[i] {
+			continue // the band cannot contain anything this close
+		}
+		if hi > m.headroom[i] {
+			hi = m.headroom[i]
+		}
+		out = append(out, KeyRange{Lo: m.base[i] + lo, Hi: m.base[i] + hi})
+	}
+	return out
+}
+
+// Kind implements Mapper.
+func (m *Multi) Kind() Kind { return MultiRef }
+
+// FirstPC implements Mapper: iDistance partitioning does not depend on a
+// principal direction.
+func (m *Multi) FirstPC() vec.Vector { return nil }
+
+// Partitions returns the number of reference points.
+func (m *Multi) Partitions() int { return len(m.refs) }
+
+var _ Mapper = (*Multi)(nil)

@@ -1,0 +1,161 @@
+package refpoint
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vitri/internal/vec"
+)
+
+func clusteredCloud(r *rand.Rand, n, dim, clusters int) []vec.Vector {
+	centers := make([]vec.Vector, clusters)
+	for i := range centers {
+		c := make(vec.Vector, dim)
+		for j := range c {
+			c[j] = r.Float64()
+		}
+		centers[i] = c
+	}
+	out := make([]vec.Vector, n)
+	for i := range out {
+		c := centers[r.Intn(clusters)]
+		p := vec.Clone(c)
+		for j := range p {
+			p[j] += r.NormFloat64() * 0.03
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func TestNewMultiValidation(t *testing.T) {
+	if _, err := NewMulti(nil, 4, 1); err == nil {
+		t.Fatal("expected error for empty points")
+	}
+	pts := []vec.Vector{{1, 2}, {3, 4}}
+	m, err := NewMulti(pts, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Partitions() < 1 {
+		t.Fatalf("partitions = %d", m.Partitions())
+	}
+	if m.Kind() != MultiRef || m.FirstPC() != nil {
+		t.Fatalf("kind/FirstPC wrong: %v %v", m.Kind(), m.FirstPC())
+	}
+}
+
+// Keys of different partitions live in disjoint bands.
+func TestMultiKeyBandsDisjoint(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	pts := clusteredCloud(r, 500, 8, 5)
+	m, err := NewMulti(pts, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group keys by assigned partition; check each partition's keys stay
+	// within [base, base+headroom] and bands do not interleave.
+	for _, p := range pts {
+		i, d := m.assign(p)
+		key := m.Key(p)
+		if key < m.base[i] || key > m.base[i]+m.headroom[i] {
+			t.Fatalf("key %v outside band %d [%v, %v]", key, i, m.base[i], m.base[i]+m.headroom[i])
+		}
+		if math.Abs(key-(m.base[i]+d)) > 1e-12 {
+			t.Fatalf("key is not base+distance: %v vs %v", key, m.base[i]+d)
+		}
+	}
+	for i := 1; i < m.Partitions(); i++ {
+		if m.base[i] < m.base[i-1]+m.headroom[i-1] {
+			t.Fatalf("bands %d and %d overlap", i-1, i)
+		}
+	}
+}
+
+// The Ranges contract: for any database point x within gamma of a query
+// q, x's key must be covered by one of Ranges(q, gamma) — this is what
+// makes index pruning lossless.
+func TestMultiRangesLossless(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	pts := clusteredCloud(r, 400, 8, 4)
+	m, err := NewMulti(pts, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 300; trial++ {
+		q := pts[r.Intn(len(pts))]
+		gamma := 0.05 + 0.3*r.Float64()
+		ranges := m.Ranges(q, gamma)
+		for _, x := range pts {
+			if vec.Dist(q, x) > gamma {
+				continue
+			}
+			key := m.Key(x)
+			covered := false
+			for _, kr := range ranges {
+				if key >= kr.Lo-1e-12 && key <= kr.Hi+1e-12 {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("point within gamma not covered: d=%v key=%v ranges=%v",
+					vec.Dist(q, x), key, ranges)
+			}
+		}
+	}
+}
+
+// Ranges must skip partitions the query ball cannot reach.
+func TestMultiRangesPrune(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pts := clusteredCloud(r, 600, 8, 6)
+	m, err := NewMulti(pts, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned := 0
+	for trial := 0; trial < 50; trial++ {
+		q := pts[r.Intn(len(pts))]
+		if got := len(m.Ranges(q, 0.1)); got < m.Partitions() {
+			pruned++
+		}
+	}
+	if pruned == 0 {
+		t.Fatal("tight queries never pruned a partition")
+	}
+}
+
+// Out-of-distribution inserts are keyed at the band edge, never bleeding
+// into the next band.
+func TestMultiKeyClampsOutliers(t *testing.T) {
+	pts := []vec.Vector{{0, 0}, {0.1, 0}, {1, 1}, {1.1, 1}}
+	m, err := NewMulti(pts, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far := vec.Vector{100, -100}
+	i, _ := m.assign(far)
+	key := m.Key(far)
+	if key > m.base[i]+m.headroom[i] {
+		t.Fatalf("outlier key %v beyond band end %v", key, m.base[i]+m.headroom[i])
+	}
+}
+
+// Single-reference Transform.Ranges is the one-band special case.
+func TestSingleTransformRanges(t *testing.T) {
+	pts := []vec.Vector{{0, 0}, {1, 1}}
+	tr, err := New(Config{Kind: DataCenter}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tr.Ranges(vec.Vector{1, 0}, 0.25)
+	if len(got) != 1 {
+		t.Fatalf("ranges = %v", got)
+	}
+	k := tr.Key(vec.Vector{1, 0})
+	if got[0].Lo != k-0.25 || got[0].Hi != k+0.25 {
+		t.Fatalf("range %v around key %v", got[0], k)
+	}
+}

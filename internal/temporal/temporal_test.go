@@ -1,0 +1,190 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+
+	"vitri/internal/core"
+	"vitri/internal/vec"
+)
+
+// shotFrames makes n frames around a center.
+func shotFrames(r *rand.Rand, center vec.Vector, n int) []vec.Vector {
+	out := make([]vec.Vector, n)
+	for i := range out {
+		f := vec.Clone(center)
+		for j := range f {
+			f[j] += r.NormFloat64() * 0.01
+		}
+		out[i] = f
+	}
+	return out
+}
+
+// centersABC returns three well-separated shot centers in 6-d.
+func centersABC() (a, b, c vec.Vector) {
+	a = vec.Vector{1, 0, 0, 0, 0, 0}
+	b = vec.Vector{0, 1, 0, 0, 0, 0}
+	c = vec.Vector{0, 0, 1, 0, 0, 0}
+	return
+}
+
+// buildVideo concatenates shots in order and returns frames + summary.
+func buildVideo(t *testing.T, r *rand.Rand, id int, order []vec.Vector, lens []int) ([]vec.Vector, core.Summary) {
+	t.Helper()
+	var frames []vec.Vector
+	for i, c := range order {
+		frames = append(frames, shotFrames(r, c, lens[i])...)
+	}
+	return frames, core.Summarize(id, frames, core.Options{Epsilon: 0.3, Seed: int64(id)})
+}
+
+func TestNewSignatureRunStructure(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	a, b, c := centersABC()
+	frames, sum := buildVideo(t, r, 0, []vec.Vector{a, b, a, c}, []int{10, 20, 5, 15})
+	sig, err := NewSignature(frames, &sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig.FrameCount != 50 {
+		t.Fatalf("FrameCount = %d", sig.FrameCount)
+	}
+	if len(sig.Runs) != 4 {
+		t.Fatalf("runs = %d, want 4 (a,b,a,c)", len(sig.Runs))
+	}
+	if sig.Runs[0].Triplet != sig.Runs[2].Triplet {
+		t.Fatal("repeated shot got different cluster assignments")
+	}
+	wantLens := []int{10, 20, 5, 15}
+	for i, run := range sig.Runs {
+		if run.Length != wantLens[i] {
+			t.Fatalf("run %d length %d want %d", i, run.Length, wantLens[i])
+		}
+	}
+}
+
+func TestNewSignatureValidation(t *testing.T) {
+	if _, err := NewSignature(nil, &core.Summary{}); err == nil {
+		t.Fatal("expected error for empty summary")
+	}
+	s := core.Summary{Triplets: []core.ViTri{core.NewViTri(vec.Vector{1, 2}, 0.1, 1)}}
+	if _, err := NewSignature([]vec.Vector{{1}}, &s); err == nil {
+		t.Fatal("expected dimensionality error")
+	}
+}
+
+func TestAlignIdenticalOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	a, b, c := centersABC()
+	f1, s1 := buildVideo(t, r, 0, []vec.Vector{a, b, c}, []int{10, 20, 30})
+	f2, s2 := buildVideo(t, r, 1, []vec.Vector{a, b, c}, []int{10, 20, 30})
+	sig1, _ := NewSignature(f1, &s1)
+	sig2, _ := NewSignature(f2, &s2)
+	al := Align(sig1, sig2)
+	if al.SharedFrames != 60 {
+		t.Fatalf("aligned frames = %d, want 60", al.SharedFrames)
+	}
+	if got := Similarity(sig1, sig2); got != 1 {
+		t.Fatalf("temporal similarity = %v", got)
+	}
+	if len(al.Pairs) != 3 {
+		t.Fatalf("pairs = %v", al.Pairs)
+	}
+}
+
+func TestAlignPenalizesReordering(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	a, b, c := centersABC()
+	// Same shots, same lengths, reversed order: the bag measure would be
+	// blind to this; the temporal measure must not score it 1.
+	f1, s1 := buildVideo(t, r, 0, []vec.Vector{a, b, c}, []int{20, 20, 20})
+	f2, s2 := buildVideo(t, r, 1, []vec.Vector{c, b, a}, []int{20, 20, 20})
+	sig1, _ := NewSignature(f1, &s1)
+	sig2, _ := NewSignature(f2, &s2)
+	simOrdered := Similarity(sig1, sig1)
+	simReversed := Similarity(sig1, sig2)
+	if simReversed >= simOrdered {
+		t.Fatalf("reversed order not penalized: %v vs %v", simReversed, simOrdered)
+	}
+	// An LCS of a reversed 3-symbol string keeps exactly one symbol.
+	if al := Align(sig1, sig2); al.SharedFrames != 20 {
+		t.Fatalf("reversed alignment = %d frames, want 20", al.SharedFrames)
+	}
+}
+
+func TestAlignPartialOverlapWeighted(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	a, b, c := centersABC()
+	// Videos share shots a (long) and c (short), in order.
+	f1, s1 := buildVideo(t, r, 0, []vec.Vector{a, b, c}, []int{40, 10, 8})
+	f2, s2 := buildVideo(t, r, 1, []vec.Vector{a, c}, []int{30, 12})
+	sig1, _ := NewSignature(f1, &s1)
+	sig2, _ := NewSignature(f2, &s2)
+	al := Align(sig1, sig2)
+	// min(40,30) + min(8,12) = 38.
+	if al.SharedFrames != 38 {
+		t.Fatalf("aligned frames = %d, want 38", al.SharedFrames)
+	}
+}
+
+func TestAlignEmpty(t *testing.T) {
+	empty := &Signature{}
+	other := &Signature{Runs: []Run{{0, 5}}, FrameCount: 5}
+	if al := Align(empty, other); al.SharedFrames != 0 || al.Pairs != nil {
+		t.Fatalf("empty alignment = %+v", al)
+	}
+	if Similarity(empty, other) != 0 {
+		t.Fatal("similarity with empty signature should be 0")
+	}
+}
+
+func TestRerankPrefersOrderPreserving(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	a, b, c := centersABC()
+	fq, sq := buildVideo(t, r, 100, []vec.Vector{a, b, c}, []int{20, 20, 20})
+	fSame, sSame := buildVideo(t, r, 1, []vec.Vector{a, b, c}, []int{20, 20, 20})
+	fRev, sRev := buildVideo(t, r, 2, []vec.Vector{c, b, a}, []int{20, 20, 20})
+	qSig, _ := NewSignature(fq, &sq)
+	sameSig, _ := NewSignature(fSame, &sSame)
+	revSig, _ := NewSignature(fRev, &sRev)
+
+	// The bag measure ties them; temporal blending must break the tie in
+	// favour of the order-preserving match.
+	candidates := []Scored{
+		{VideoID: 2, Score: 0.9},
+		{VideoID: 1, Score: 0.9},
+	}
+	sigs := map[int]*Signature{1: sameSig, 2: revSig}
+	out := Rerank(qSig, candidates, sigs, 0.5)
+	if out[0].VideoID != 1 {
+		t.Fatalf("rerank order = %+v, want video 1 first", out)
+	}
+	if out[0].Temporal <= out[1].Temporal {
+		t.Fatalf("temporal components not ordered: %+v", out)
+	}
+	// w=0 leaves bag scores untouched (ties broken by id).
+	out0 := Rerank(qSig, candidates, sigs, 0)
+	if out0[0].Score != 0.9 || out0[1].Score != 0.9 {
+		t.Fatalf("w=0 changed scores: %+v", out0)
+	}
+	// Unknown candidates pass through.
+	out2 := Rerank(qSig, []Scored{{VideoID: 77, Score: 0.5}}, sigs, 0.8)
+	if out2[0].Score != 0.5 {
+		t.Fatalf("unknown candidate rescored: %+v", out2)
+	}
+}
+
+func TestRerankClampsWeight(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	a, _, _ := centersABC()
+	f, s := buildVideo(t, r, 0, []vec.Vector{a}, []int{10})
+	sig, _ := NewSignature(f, &s)
+	// Out-of-range weights must not panic or corrupt scores.
+	for _, w := range []float64{-1, 2} {
+		out := Rerank(sig, []Scored{{VideoID: 0, Score: 0.5}}, map[int]*Signature{0: sig}, w)
+		if len(out) != 1 {
+			t.Fatal("candidate lost")
+		}
+	}
+}

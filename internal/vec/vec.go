@@ -1,0 +1,207 @@
+// Package vec provides dense float64 vector primitives used throughout the
+// ViTri library: Euclidean geometry, accumulation with compensated
+// summation, and small conveniences for building feature spaces.
+//
+// Vectors are plain []float64 slices so callers can interoperate with the
+// rest of the library without wrapper types. All functions that take two
+// vectors require equal lengths and panic otherwise; length mismatches are
+// programming errors, not runtime conditions.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a dense point in n-dimensional Euclidean space.
+type Vector = []float64
+
+// checkLen panics if a and b have different dimensionality.
+func checkLen(a, b Vector) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: dimension mismatch %d != %d", len(a), len(b)))
+	}
+}
+
+// Dist returns the Euclidean (L2) distance between a and b.
+func Dist(a, b Vector) float64 {
+	return math.Sqrt(Dist2(a, b))
+}
+
+// Dist2 returns the squared Euclidean distance between a and b. It avoids
+// the square root for callers that only compare distances.
+func Dist2(a, b Vector) float64 {
+	checkLen(a, b)
+	var s float64
+	for i, av := range a {
+		d := av - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b Vector) float64 {
+	checkLen(a, b)
+	var s float64
+	for i, av := range a {
+		s += av * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of a.
+func Norm(a Vector) float64 {
+	return math.Sqrt(Dot(a, a))
+}
+
+// Clone returns an independent copy of a.
+func Clone(a Vector) Vector {
+	out := make(Vector, len(a))
+	copy(out, a)
+	return out
+}
+
+// Add returns a new vector a+b.
+func Add(a, b Vector) Vector {
+	checkLen(a, b)
+	out := make(Vector, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// Sub returns a new vector a-b.
+func Sub(a, b Vector) Vector {
+	checkLen(a, b)
+	out := make(Vector, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// Scale returns a new vector a*s.
+func Scale(a Vector, s float64) Vector {
+	out := make(Vector, len(a))
+	for i := range a {
+		out[i] = a[i] * s
+	}
+	return out
+}
+
+// AddInPlace accumulates b into dst element-wise.
+func AddInPlace(dst, b Vector) {
+	checkLen(dst, b)
+	for i := range dst {
+		dst[i] += b[i]
+	}
+}
+
+// ScaleInPlace multiplies every element of dst by s.
+func ScaleInPlace(dst Vector, s float64) {
+	for i := range dst {
+		dst[i] *= s
+	}
+}
+
+// AXPY computes dst += alpha*x without allocating.
+func AXPY(dst Vector, alpha float64, x Vector) {
+	checkLen(dst, x)
+	for i := range dst {
+		dst[i] += alpha * x[i]
+	}
+}
+
+// Normalize scales a in place to unit Euclidean norm. A zero vector is left
+// unchanged and reported via the return value.
+func Normalize(a Vector) bool {
+	n := Norm(a)
+	if n == 0 {
+		return false
+	}
+	ScaleInPlace(a, 1/n)
+	return true
+}
+
+// Mean returns the centroid of the given points. It panics on an empty set.
+func Mean(points []Vector) Vector {
+	if len(points) == 0 {
+		panic("vec: Mean of empty point set")
+	}
+	out := make(Vector, len(points[0]))
+	for _, p := range points {
+		AddInPlace(out, p)
+	}
+	ScaleInPlace(out, 1/float64(len(points)))
+	return out
+}
+
+// Equal reports whether a and b are identical element-wise.
+func Equal(a, b Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ApproxEqual reports whether a and b agree element-wise within tol.
+func ApproxEqual(a, b Vector, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Sum returns the compensated (Kahan) sum of the elements of a. Feature
+// histograms are normalized by total pixel count, so precise sums matter
+// when validating them.
+func Sum(a Vector) float64 {
+	var sum, comp float64
+	for _, v := range a {
+		y := v - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// MinMax returns the smallest and largest element of a. It panics on an
+// empty vector.
+func MinMax(a Vector) (min, max float64) {
+	if len(a) == 0 {
+		panic("vec: MinMax of empty vector")
+	}
+	min, max = a[0], a[0]
+	for _, v := range a[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// IsFinite reports whether every element of a is finite (no NaN or Inf).
+func IsFinite(a Vector) bool {
+	for _, v := range a {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,188 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDist(t *testing.T) {
+	cases := []struct {
+		a, b Vector
+		want float64
+	}{
+		{Vector{0, 0}, Vector{3, 4}, 5},
+		{Vector{1, 1, 1}, Vector{1, 1, 1}, 0},
+		{Vector{-1}, Vector{1}, 2},
+		{Vector{}, Vector{}, 0},
+	}
+	for _, c := range cases {
+		if got := Dist(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Dist(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDistPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	Dist(Vector{1, 2}, Vector{1})
+}
+
+func TestDotAndNorm(t *testing.T) {
+	a := Vector{1, 2, 3}
+	b := Vector{4, -5, 6}
+	if got := Dot(a, b); got != 1*4-2*5+3*6 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := Norm(Vector{3, 4}); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	a := Vector{1, 2}
+	b := Vector{10, 20}
+	if got := Add(a, b); !Equal(got, Vector{11, 22}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Sub(b, a); !Equal(got, Vector{9, 18}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := Scale(a, 3); !Equal(got, Vector{3, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	c := Clone(a)
+	AddInPlace(c, b)
+	if !Equal(c, Vector{11, 22}) {
+		t.Errorf("AddInPlace = %v", c)
+	}
+	if !Equal(a, Vector{1, 2}) {
+		t.Errorf("Clone did not isolate: a = %v", a)
+	}
+	d := Clone(a)
+	AXPY(d, 2, b)
+	if !Equal(d, Vector{21, 42}) {
+		t.Errorf("AXPY = %v", d)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	a := Vector{3, 4}
+	if !Normalize(a) {
+		t.Fatal("Normalize reported zero vector")
+	}
+	if math.Abs(Norm(a)-1) > 1e-12 {
+		t.Errorf("norm after Normalize = %v", Norm(a))
+	}
+	z := Vector{0, 0}
+	if Normalize(z) {
+		t.Error("Normalize of zero vector should report false")
+	}
+}
+
+func TestMean(t *testing.T) {
+	pts := []Vector{{0, 0}, {2, 4}, {4, 8}}
+	if got := Mean(pts); !ApproxEqual(got, Vector{2, 4}, 1e-12) {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestMeanPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Mean(nil)
+}
+
+func TestSumKahan(t *testing.T) {
+	// A sum that loses precision with naive accumulation.
+	a := make(Vector, 0, 10001)
+	a = append(a, 1e16)
+	for i := 0; i < 10000; i++ {
+		a = append(a, 1)
+	}
+	if got := Sum(a); got != 1e16+10000 {
+		t.Errorf("Sum = %v, want %v", got, 1e16+10000)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax(Vector{3, -1, 7, 0})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = %v,%v", min, max)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !IsFinite(Vector{1, 2, 3}) {
+		t.Error("finite vector reported not finite")
+	}
+	if IsFinite(Vector{1, math.NaN()}) {
+		t.Error("NaN not detected")
+	}
+	if IsFinite(Vector{math.Inf(1)}) {
+		t.Error("Inf not detected")
+	}
+}
+
+func randVec(r *rand.Rand, n int) Vector {
+	v := make(Vector, n)
+	for i := range v {
+		v[i] = r.NormFloat64()
+	}
+	return v
+}
+
+// Property: Dist satisfies the metric axioms (identity, symmetry, triangle
+// inequality) on random vectors.
+func TestDistMetricAxioms(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(64)
+		a, b, c := randVec(r, n), randVec(r, n), randVec(r, n)
+		dab, dba := Dist(a, b), Dist(b, a)
+		if dab != dba {
+			return false
+		}
+		if Dist(a, a) != 0 {
+			return false
+		}
+		// Triangle inequality with a small tolerance for float rounding.
+		return Dist(a, c) <= dab+Dist(b, c)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: |key(a) - key(b)| <= Dist(a,b) for any reference point — the
+// triangle-inequality fact the one-dimensional transformation relies on.
+func TestDistLowerBoundProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		n := 1 + r.Intn(64)
+		a, b, ref := randVec(r, n), randVec(r, n), randVec(r, n)
+		lhs := math.Abs(Dist(a, ref) - Dist(b, ref))
+		if lhs > Dist(a, b)+1e-9 {
+			t.Fatalf("lower bound violated: %v > %v", lhs, Dist(a, b))
+		}
+	}
+}
+
+func TestDist2ConsistentWithDist(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		a, b := randVec(r, 16), randVec(r, 16)
+		if d := Dist(a, b); math.Abs(d*d-Dist2(a, b)) > 1e-9*(1+d*d) {
+			t.Fatalf("Dist2 inconsistent: %v vs %v", d*d, Dist2(a, b))
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package videogen
+
+import (
+	"math/rand"
+
+	"vitri/internal/feature"
+)
+
+// Near-duplicate transforms model what happens to a clip between its
+// original broadcast and a re-captured or re-encoded copy. They operate at
+// the pixel level so the feature pipeline sees realistic distortions.
+
+// Brightness returns a copy of the frames with every channel shifted by
+// delta (clamped to [0, 255]).
+func Brightness(frames []*feature.Frame, delta int) []*feature.Frame {
+	out := make([]*feature.Frame, len(frames))
+	for i, f := range frames {
+		nf := feature.NewFrame(f.W, f.H)
+		for p := range f.Pix {
+			v := int(f.Pix[p]) + delta
+			if v < 0 {
+				v = 0
+			} else if v > 255 {
+				v = 255
+			}
+			nf.Pix[p] = byte(v)
+		}
+		out[i] = nf
+	}
+	return out
+}
+
+// Noise returns a copy with ±amp uniform noise added per channel.
+func Noise(frames []*feature.Frame, amp int, seed int64) []*feature.Frame {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*feature.Frame, len(frames))
+	for i, f := range frames {
+		nf := feature.NewFrame(f.W, f.H)
+		for p := range f.Pix {
+			v := int(f.Pix[p]) + rng.Intn(2*amp+1) - amp
+			if v < 0 {
+				v = 0
+			} else if v > 255 {
+				v = 255
+			}
+			nf.Pix[p] = byte(v)
+		}
+		out[i] = nf
+	}
+	return out
+}
+
+// TemporalCrop drops a prefix and suffix, keeping frames [from, to).
+func TemporalCrop(frames []*feature.Frame, from, to int) []*feature.Frame {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(frames) {
+		to = len(frames)
+	}
+	if from >= to {
+		return nil
+	}
+	out := make([]*feature.Frame, to-from)
+	copy(out, frames[from:to])
+	return out
+}
+
+// Subsample keeps every stride-th frame (frame-rate reduction).
+func Subsample(frames []*feature.Frame, stride int) []*feature.Frame {
+	if stride <= 1 {
+		out := make([]*feature.Frame, len(frames))
+		copy(out, frames)
+		return out
+	}
+	var out []*feature.Frame
+	for i := 0; i < len(frames); i += stride {
+		out = append(out, frames[i])
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package videogen
+
+import (
+	"testing"
+
+	"vitri/internal/feature"
+	"vitri/internal/vec"
+)
+
+// smallCfg keeps pixel tests fast.
+func smallCfg(seed int64) Config { return Config{W: 48, H: 36, FPS: 10, Seed: seed} }
+
+func TestVideoFrameCount(t *testing.T) {
+	g := New(smallCfg(1))
+	frames := g.Video(3.0, 1.0)
+	if len(frames) != 30 {
+		t.Fatalf("frames = %d, want 30", len(frames))
+	}
+	for i, f := range frames {
+		if err := f.Validate(); err != nil {
+			t.Fatalf("frame %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := New(smallCfg(7)).Video(1.0, 0.5)
+	b := New(smallCfg(7)).Video(1.0, 0.5)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range a {
+		for p := range a[i].Pix {
+			if a[i].Pix[p] != b[i].Pix[p] {
+				t.Fatalf("frame %d differs at byte %d", i, p)
+			}
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(smallCfg(1)).Video(0.5, 0.5)
+	b := New(smallCfg(2)).Video(0.5, 0.5)
+	same := true
+	for p := range a[0].Pix {
+		if a[0].Pix[p] != b[0].Pix[p] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical first frames")
+	}
+}
+
+// Shot structure must be visible in feature space: consecutive frames
+// within a shot are close, while frames across a hard cut are far.
+func TestShotStructureInFeatureSpace(t *testing.T) {
+	g := New(smallCfg(3))
+	frames := g.Video(4.0, 1.0)
+	hists, err := feature.HistogramSeq(frames, feature.DefaultBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var within, cuts []float64
+	for i := 1; i < len(hists); i++ {
+		d := vec.Dist(hists[i-1], hists[i])
+		if d > 0.2 {
+			cuts = append(cuts, d)
+		} else {
+			within = append(within, d)
+		}
+	}
+	if len(cuts) == 0 {
+		t.Fatal("no hard cuts detected in 4s video with ~1s shots")
+	}
+	if len(within) < len(hists)/2 {
+		t.Fatalf("only %d of %d transitions are intra-shot", len(within), len(hists)-1)
+	}
+	var sum float64
+	for _, d := range within {
+		sum += d
+	}
+	if avg := sum / float64(len(within)); avg > 0.1 {
+		t.Fatalf("intra-shot average distance %v too large", avg)
+	}
+}
+
+func TestBrightnessTransform(t *testing.T) {
+	g := New(smallCfg(4))
+	frames := g.Video(0.5, 0.5)
+	brighter := Brightness(frames, 30)
+	if len(brighter) != len(frames) {
+		t.Fatalf("length changed")
+	}
+	// Every byte increased or saturated.
+	for p := range frames[0].Pix {
+		orig, got := frames[0].Pix[p], brighter[0].Pix[p]
+		if got < orig {
+			t.Fatalf("brightness lowered byte %d: %d -> %d", p, orig, got)
+		}
+	}
+	// Originals untouched.
+	h1, _ := feature.Histogram(frames[0], 2)
+	h2, _ := feature.Histogram(brighter[0], 2)
+	if vec.Equal(h1, h2) {
+		t.Fatal("brightness shift did not move the histogram")
+	}
+}
+
+func TestNoiseTransformKeepsVideosSimilar(t *testing.T) {
+	g := New(smallCfg(5))
+	frames := g.Video(0.5, 0.5)
+	noisy := Noise(frames, 8, 99)
+	h1, _ := feature.HistogramSeq(frames, 2)
+	h2, _ := feature.HistogramSeq(noisy, 2)
+	for i := range h1 {
+		if d := vec.Dist(h1[i], h2[i]); d > 0.25 {
+			t.Fatalf("frame %d moved %v under mild noise", i, d)
+		}
+	}
+}
+
+func TestTemporalCropAndSubsample(t *testing.T) {
+	g := New(smallCfg(6))
+	frames := g.Video(1.0, 0.5) // 10 frames
+	crop := TemporalCrop(frames, 2, 8)
+	if len(crop) != 6 || crop[0] != frames[2] {
+		t.Fatalf("crop = %d frames", len(crop))
+	}
+	if got := TemporalCrop(frames, 8, 2); got != nil {
+		t.Fatal("inverted crop should be nil")
+	}
+	sub := Subsample(frames, 3)
+	if len(sub) != 4 { // indices 0,3,6,9
+		t.Fatalf("subsample = %d frames", len(sub))
+	}
+	if got := Subsample(frames, 1); len(got) != len(frames) {
+		t.Fatal("stride-1 subsample should copy all")
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{W: 0, H: 10, FPS: 25})
+}

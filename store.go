@@ -1,0 +1,239 @@
+package vitri
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"vitri/internal/core"
+)
+
+// Summary persistence: a compact, versioned binary format holding every
+// video's triplets. A database can be saved after ingest and reloaded —
+// the index is rebuilt on load (bulk construction from summaries is fast
+// and re-derives the optimal reference point for the stored data).
+
+const (
+	storeMagic   = "VITRIDB1"
+	storeVersion = uint32(1)
+)
+
+// Save writes the database's summaries to path. The database may be
+// saved before or after its index has been built.
+func (db *DB) Save(path string) error {
+	sums, err := db.summaries()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("vitri: save: %w", err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if err := writeSummaries(w, db.opts.Epsilon, sums); err != nil {
+		return fmt.Errorf("vitri: save: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("vitri: save: %w", err)
+	}
+	return f.Sync()
+}
+
+// summaries snapshots the database contents.
+func (db *DB) summaries() ([]core.Summary, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.ix == nil {
+		out := make([]core.Summary, len(db.pending))
+		copy(out, db.pending)
+		return out, nil
+	}
+	return db.ix.Summaries()
+}
+
+// Load reads a database saved with Save. opts fields other than Epsilon
+// are applied as given; Epsilon is taken from the file (a database's
+// summaries are only meaningful at the ε they were built with) and must
+// either match opts.Epsilon or opts.Epsilon must be zero.
+func Load(path string, opts Options) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("vitri: load: %w", err)
+	}
+	defer f.Close()
+	eps, sums, err := readSummaries(bufio.NewReader(f))
+	if err != nil {
+		return nil, fmt.Errorf("vitri: load %s: %w", path, err)
+	}
+	if opts.Epsilon != 0 && opts.Epsilon != eps {
+		return nil, fmt.Errorf("vitri: load: file epsilon %v conflicts with requested %v", eps, opts.Epsilon)
+	}
+	opts.Epsilon = eps
+	db := New(opts)
+	for _, s := range sums {
+		if err := db.AddSummary(s); err != nil {
+			return nil, fmt.Errorf("vitri: load: %w", err)
+		}
+	}
+	return db, nil
+}
+
+// writeSummaries streams the store format.
+func writeSummaries(w io.Writer, epsilon float64, sums []core.Summary) error {
+	if _, err := io.WriteString(w, storeMagic); err != nil {
+		return err
+	}
+	if err := binWrite(w, storeVersion); err != nil {
+		return err
+	}
+	if err := binWrite(w, math.Float64bits(epsilon)); err != nil {
+		return err
+	}
+	if err := binWrite(w, uint32(len(sums))); err != nil {
+		return err
+	}
+	for i := range sums {
+		s := &sums[i]
+		if err := binWrite(w, uint32(s.VideoID)); err != nil {
+			return err
+		}
+		if err := binWrite(w, uint32(s.FrameCount)); err != nil {
+			return err
+		}
+		if err := binWrite(w, uint32(len(s.Triplets))); err != nil {
+			return err
+		}
+		for t := range s.Triplets {
+			tp := &s.Triplets[t]
+			if err := binWrite(w, uint32(tp.Count)); err != nil {
+				return err
+			}
+			if err := binWrite(w, math.Float64bits(tp.Radius)); err != nil {
+				return err
+			}
+			if err := binWrite(w, uint32(len(tp.Position))); err != nil {
+				return err
+			}
+			for _, v := range tp.Position {
+				if err := binWrite(w, math.Float64bits(v)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// readSummaries parses the store format.
+func readSummaries(r io.Reader) (float64, []core.Summary, error) {
+	magic := make([]byte, len(storeMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return 0, nil, err
+	}
+	if string(magic) != storeMagic {
+		return 0, nil, errors.New("not a vitri summary store")
+	}
+	var version uint32
+	if err := binRead(r, &version); err != nil {
+		return 0, nil, err
+	}
+	if version != storeVersion {
+		return 0, nil, fmt.Errorf("unsupported store version %d", version)
+	}
+	var epsBits uint64
+	if err := binRead(r, &epsBits); err != nil {
+		return 0, nil, err
+	}
+	eps := math.Float64frombits(epsBits)
+	if eps <= 0 || math.IsNaN(eps) {
+		return 0, nil, fmt.Errorf("invalid stored epsilon %v", eps)
+	}
+	var count uint32
+	if err := binRead(r, &count); err != nil {
+		return 0, nil, err
+	}
+	const maxReasonable = 100_000_000
+	if count > maxReasonable {
+		return 0, nil, fmt.Errorf("implausible video count %d", count)
+	}
+	sums := make([]core.Summary, 0, count)
+	for i := uint32(0); i < count; i++ {
+		var vid, frames, nt uint32
+		if err := binRead(r, &vid); err != nil {
+			return 0, nil, err
+		}
+		if err := binRead(r, &frames); err != nil {
+			return 0, nil, err
+		}
+		if err := binRead(r, &nt); err != nil {
+			return 0, nil, err
+		}
+		if nt > maxReasonable {
+			return 0, nil, fmt.Errorf("implausible triplet count %d", nt)
+		}
+		s := core.Summary{VideoID: int(vid), FrameCount: int(frames), Triplets: make([]core.ViTri, 0, nt)}
+		for t := uint32(0); t < nt; t++ {
+			var cnt, dim uint32
+			var radBits uint64
+			if err := binRead(r, &cnt); err != nil {
+				return 0, nil, err
+			}
+			if err := binRead(r, &radBits); err != nil {
+				return 0, nil, err
+			}
+			if err := binRead(r, &dim); err != nil {
+				return 0, nil, err
+			}
+			if dim == 0 || dim > 1<<20 {
+				return 0, nil, fmt.Errorf("implausible dimensionality %d", dim)
+			}
+			pos := make(Vector, dim)
+			for d := range pos {
+				var bits uint64
+				if err := binRead(r, &bits); err != nil {
+					return 0, nil, err
+				}
+				pos[d] = math.Float64frombits(bits)
+			}
+			radius := math.Float64frombits(radBits)
+			if radius <= 0 || cnt == 0 {
+				return 0, nil, fmt.Errorf("invalid triplet (radius %v, count %d)", radius, cnt)
+			}
+			s.Triplets = append(s.Triplets, core.NewViTri(pos, radius, int(cnt)))
+		}
+		sums = append(sums, s)
+	}
+	return eps, sums, nil
+}
+
+func binWrite(w io.Writer, v interface{}) error { return binary.Write(w, binary.LittleEndian, v) }
+func binRead(r io.Reader, v interface{}) error  { return binary.Read(r, binary.LittleEndian, v) }
+
+// Remove deletes a video from the database.
+func (db *DB) Remove(videoID int) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.ids[videoID] {
+		return fmt.Errorf("vitri: video %d not present", videoID)
+	}
+	if db.ix == nil {
+		for i := range db.pending {
+			if db.pending[i].VideoID == videoID {
+				db.pending = append(db.pending[:i], db.pending[i+1:]...)
+				break
+			}
+		}
+		delete(db.ids, videoID)
+		return nil
+	}
+	if err := db.ix.Remove(videoID); err != nil {
+		return err
+	}
+	delete(db.ids, videoID)
+	return nil
+}

@@ -1,0 +1,176 @@
+package vitri
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(30))
+	db := New(Options{Epsilon: 0.3, Seed: 1})
+	videos := make([][]Vector, 12)
+	for i := range videos {
+		videos[i] = synthVideo(r, 8, 2, 20)
+		if err := db.Add(i, videos[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Force the index to exist so Save exercises the export path.
+	if _, err := db.Search(videos[0], 3); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "db.vitri")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := Load(path, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != db.Len() || loaded.Triplets() != db.Triplets() {
+		t.Fatalf("loaded %d videos/%d triplets, want %d/%d",
+			loaded.Len(), loaded.Triplets(), db.Len(), db.Triplets())
+	}
+	// Search results agree between original and reloaded databases.
+	q := Summarize(-1, noisyCopy(r, videos[5], 0.01), 0.3, 2)
+	a, _, err := db.SearchSummary(&q, 10, Composed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := loaded.SearchSummary(&q, 10, Composed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("result counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].VideoID != b[i].VideoID || math.Abs(a[i].Similarity-b[i].Similarity) > 1e-9 {
+			t.Fatalf("result %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSaveBeforeIndexBuilt(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	db := New(Options{Epsilon: 0.25, Seed: 1})
+	if err := db.Add(0, synthVideo(r, 6, 2, 15)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "pending.vitri")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 1 {
+		t.Fatalf("loaded Len = %d", loaded.Len())
+	}
+}
+
+func TestLoadEpsilonConflict(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	db := New(Options{Epsilon: 0.3})
+	if err := db.Add(0, synthVideo(r, 6, 1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "db.vitri")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path, Options{Epsilon: 0.4}); err == nil {
+		t.Fatal("expected epsilon conflict error")
+	}
+	if _, err := Load(path, Options{Epsilon: 0.3}); err != nil {
+		t.Fatalf("matching epsilon rejected: %v", err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "garbage")
+	if err := os.WriteFile(bad, []byte("not a store at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad, Options{}); err == nil {
+		t.Fatal("expected error for garbage file")
+	}
+	if _, err := Load(filepath.Join(dir, "missing"), Options{}); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	// Truncated store: valid header, cut-off body.
+	r := rand.New(rand.NewSource(33))
+	db := New(Options{Epsilon: 0.3})
+	if err := db.Add(0, synthVideo(r, 6, 2, 20)); err != nil {
+		t.Fatal(err)
+	}
+	full := filepath.Join(dir, "full.vitri")
+	if err := db.Save(full); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "trunc.vitri")
+	if err := os.WriteFile(trunc, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(trunc, Options{}); err == nil {
+		t.Fatal("expected error for truncated store")
+	}
+}
+
+func TestRemoveFromDB(t *testing.T) {
+	r := rand.New(rand.NewSource(34))
+	db := New(Options{Epsilon: 0.3, Seed: 1})
+	videos := make([][]Vector, 10)
+	for i := range videos {
+		videos[i] = synthVideo(r, 8, 2, 20)
+		if err := db.Add(i, videos[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pending-phase removal.
+	if err := db.Remove(3); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 9 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	// Build the index, then remove another.
+	if _, err := db.Search(videos[0], 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Remove(7); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 8 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	matches, err := db.Search(noisyCopy(r, videos[7], 0.005), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range matches {
+		if m.VideoID == 7 {
+			t.Fatal("removed video still returned")
+		}
+	}
+	if err := db.Remove(7); err == nil {
+		t.Fatal("expected error for double removal")
+	}
+	if err := db.Remove(12345); err == nil {
+		t.Fatal("expected error for unknown video")
+	}
+	// The freed id can be reused.
+	if err := db.Add(7, synthVideo(r, 8, 1, 10)); err != nil {
+		t.Fatalf("re-adding removed id: %v", err)
+	}
+}

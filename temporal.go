@@ -1,0 +1,44 @@
+package vitri
+
+import (
+	"vitri/internal/temporal"
+)
+
+// Temporal re-ranking (the paper's §7 future work): the core measure is
+// order-blind, so a re-cut trailer with the same shots as a film scores
+// like the film itself. TemporalSignature and RerankTemporal let callers
+// add order back as a post-processing step over a search's candidates.
+
+// TemporalSignature is a video's shot-order signature.
+type TemporalSignature = temporal.Signature
+
+// NewTemporalSignature derives the temporal signature of a video's frames
+// under its summary (every frame is assigned to its nearest triplet;
+// consecutive equal assignments form runs).
+func NewTemporalSignature(frames []Vector, s *Summary) (*TemporalSignature, error) {
+	return temporal.NewSignature(frames, s)
+}
+
+// TemporalSimilarity is the order-preserving analogue of Similarity: only
+// frames that match in compatible temporal order count.
+func TemporalSimilarity(a, b *TemporalSignature) float64 {
+	return temporal.Similarity(a, b)
+}
+
+// RerankTemporal re-orders search matches by blending each match's
+// order-blind similarity with its temporal similarity to the query:
+// score = (1-weight)·bag + weight·temporal. Matches without a signature
+// in sigs keep their original score. The returned slice is sorted by the
+// blended score.
+func RerankTemporal(query *TemporalSignature, matches []Match, sigs map[int]*TemporalSignature, weight float64) []Match {
+	cands := make([]temporal.Scored, len(matches))
+	for i, m := range matches {
+		cands[i] = temporal.Scored{VideoID: m.VideoID, Score: m.Similarity}
+	}
+	ranked := temporal.Rerank(query, cands, sigs, weight)
+	out := make([]Match, len(ranked))
+	for i, r := range ranked {
+		out[i] = Match{VideoID: r.VideoID, Similarity: r.Score}
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package vitri
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// shotVideo builds a video as an explicit shot sequence so order is
+// controlled.
+func shotVideo(r *rand.Rand, order []int, perShot int) []Vector {
+	centers := [][]float64{
+		{1, 0, 0, 0, 0, 0},
+		{0, 1, 0, 0, 0, 0},
+		{0, 0, 1, 0, 0, 0},
+	}
+	var frames []Vector
+	for _, s := range order {
+		for f := 0; f < perShot; f++ {
+			p := make(Vector, 6)
+			copy(p, centers[s])
+			for j := range p {
+				p[j] += r.NormFloat64() * 0.01
+			}
+			frames = append(frames, p)
+		}
+	}
+	return frames
+}
+
+func TestTemporalRerankingAPI(t *testing.T) {
+	r := rand.New(rand.NewSource(50))
+	db := New(Options{Epsilon: 0.3, Seed: 1})
+
+	ordered := shotVideo(r, []int{0, 1, 2}, 20) // same order as the query
+	reversed := shotVideo(r, []int{2, 1, 0}, 20)
+	if err := db.Add(1, ordered); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add(2, reversed); err != nil {
+		t.Fatal(err)
+	}
+
+	query := shotVideo(r, []int{0, 1, 2}, 20)
+	qSum := Summarize(-1, query, 0.3, 9)
+	matches, _, err := db.SearchSummary(&qSum, 2, Composed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 2 {
+		t.Fatalf("matches = %d", len(matches))
+	}
+	// The bag measure cannot separate them far; temporal blending must put
+	// the order-preserving video first.
+	qSig, err := NewTemporalSignature(query, &qSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := Summarize(1, ordered, 0.3, 1)
+	s2 := Summarize(2, reversed, 0.3, 2)
+	sig1, err := NewTemporalSignature(ordered, &s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig2, err := NewTemporalSignature(reversed, &s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := TemporalSimilarity(qSig, sig1), TemporalSimilarity(qSig, sig2); a <= b {
+		t.Fatalf("temporal similarity does not favour order: %v vs %v", a, b)
+	}
+	ranked := RerankTemporal(qSig, matches, map[int]*TemporalSignature{1: sig1, 2: sig2}, 0.7)
+	if ranked[0].VideoID != 1 {
+		t.Fatalf("reranked top = %+v, want video 1", ranked)
+	}
+}

@@ -1,0 +1,344 @@
+// Package vitri implements ViTri, a video-sequence similarity search
+// engine after Shen, Ooi and Zhou, "Towards Effective Indexing for Very
+// Large Video Sequence Database" (SIGMOD 2005).
+//
+// A video is a sequence of high-dimensional frame feature vectors (for
+// example the 64-dimensional RGB histograms produced by this module's
+// feature extractor). Each video is summarized into a handful of Video
+// Triplets — (position, radius, density) hyperspheres over clusters of
+// similar frames — and the similarity of two videos is the estimated
+// number of similar frames their triplets share. Triplets are indexed by
+// a PCA-optimal one-dimensional transformation over a paged B+-tree, so a
+// KNN query touches only a fraction of the database.
+//
+// Typical use:
+//
+//	db := vitri.New(vitri.Options{Epsilon: 0.3})
+//	for id, frames := range videos {
+//		if err := db.Add(id, frames); err != nil { ... }
+//	}
+//	matches, err := db.Search(queryFrames, 10)
+//
+// The zero-cost entry points Summarize and Similarity are available for
+// working with summaries directly, without a database.
+package vitri
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"vitri/internal/baseline"
+	"vitri/internal/core"
+	"vitri/internal/index"
+	"vitri/internal/pager"
+	"vitri/internal/refpoint"
+	"vitri/internal/vec"
+)
+
+// Vector is one frame's feature vector.
+type Vector = vec.Vector
+
+// Summary is a video's ViTri summary.
+type Summary = core.Summary
+
+// ViTri is one video triplet (position, radius, density).
+type ViTri = core.ViTri
+
+// Match is one search result: a video id with its estimated similarity.
+type Match = index.Result
+
+// SearchStats reports the work one query performed.
+type SearchStats = index.SearchStats
+
+// RefPointKind selects the one-dimensional transformation's reference
+// point.
+type RefPointKind = refpoint.Kind
+
+// Reference point strategies (§5.1 of the paper).
+const (
+	SpaceCenter = refpoint.SpaceCenter
+	DataCenter  = refpoint.DataCenter
+	Optimal     = refpoint.Optimal
+	// IDistance is the full multi-partition iDistance scheme of the
+	// paper's [15] (k-means reference points, disjoint key bands).
+	IDistance = refpoint.MultiRef
+)
+
+// QueryMode selects the KNN range processing strategy (§5.2).
+type QueryMode = index.Mode
+
+// Query processing modes.
+const (
+	// Naive issues one B+-tree range search per query triplet.
+	Naive = index.Naive
+	// Composed merges overlapping ranges first (query composition);
+	// the default.
+	Composed = index.Composed
+)
+
+// Options configures a database.
+type Options struct {
+	// Epsilon is the frame similarity threshold ε: two frames are
+	// considered similar when their Euclidean distance is at most ε.
+	// It controls the summarization granularity and the index search
+	// radius. Must be positive. The paper operates at 0.3 for
+	// 64-dimensional normalized RGB histograms.
+	Epsilon float64
+	// RefKind is the reference point strategy; the default (Optimal) is
+	// the paper's contribution and the right choice outside of
+	// comparative experiments.
+	RefKind RefPointKind
+	// Seed drives summarization's clustering; fixed seeds give fully
+	// deterministic databases.
+	Seed int64
+	// Partitions is the partition count when RefKind is the multi-
+	// partition iDistance scheme (ignored otherwise; the refpoint
+	// package's default when 0).
+	Partitions int
+	// MaxDriftAngle, when positive, makes mutating operations rebuild
+	// the index automatically once the first principal component of the
+	// indexed data has drifted this many radians from the one the
+	// reference point was derived with (§6.3.3).
+	MaxDriftAngle float64
+	// NewPager overrides page-store construction (e.g. pager.OpenFile
+	// for a disk-backed index). The default keeps pages in memory.
+	NewPager func() pager.Pager
+}
+
+// DB is a searchable video database. All methods are safe for concurrent
+// use.
+type DB struct {
+	mu   sync.RWMutex
+	opts Options
+	// pending holds summaries added before the index exists; the index
+	// is built lazily on the first search (bulk construction beats
+	// repeated insertion).
+	pending []core.Summary
+	ix      *index.Index
+	ids     map[int]bool
+}
+
+// New creates an empty database. It panics if opts.Epsilon is not
+// positive — a database without a similarity threshold is meaningless.
+func New(opts Options) *DB {
+	if opts.Epsilon <= 0 {
+		panic("vitri: Options.Epsilon must be positive")
+	}
+	return &DB{opts: opts, ids: make(map[int]bool)}
+}
+
+// Summarize builds a video's ViTri summary: frames are clustered with the
+// paper's recursive binary algorithm until every cluster is a hypersphere
+// of radius at most ε/2.
+func Summarize(videoID int, frames []Vector, epsilon float64, seed int64) Summary {
+	return core.Summarize(videoID, frames, core.Options{Epsilon: epsilon, Seed: seed})
+}
+
+// Similarity estimates the similarity of two summarized videos in [0, 1]:
+// the estimated number of similar frames they share, normalized by their
+// total frame count (§3.1 of the paper, computed on summaries).
+func Similarity(a, b *Summary) float64 {
+	return core.VideoSimilarity(a, b)
+}
+
+// ExactSimilarity computes the exact frame-level measure the estimates
+// approximate. O(len(x)·len(y)); intended for ground truth and testing.
+func ExactSimilarity(x, y []Vector, epsilon float64) float64 {
+	return baseline.ExactSimilarity(x, y, epsilon)
+}
+
+// Add summarizes a video and adds it to the database. Video ids must be
+// unique and non-negative.
+func (db *DB) Add(videoID int, frames []Vector) error {
+	if len(frames) == 0 {
+		return fmt.Errorf("vitri: video %d has no frames", videoID)
+	}
+	s := core.Summarize(videoID, frames, core.Options{
+		Epsilon: db.opts.Epsilon,
+		Seed:    db.opts.Seed + int64(videoID),
+	})
+	return db.AddSummary(s)
+}
+
+// AddSummary adds a pre-computed summary (e.g. produced offline or loaded
+// from storage).
+func (db *DB) AddSummary(s Summary) error {
+	if s.VideoID < 0 {
+		return fmt.Errorf("vitri: negative video id %d", s.VideoID)
+	}
+	if len(s.Triplets) == 0 {
+		return fmt.Errorf("vitri: video %d has an empty summary", s.VideoID)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.ids[s.VideoID] {
+		return fmt.Errorf("vitri: duplicate video id %d", s.VideoID)
+	}
+	if db.ix == nil {
+		db.pending = append(db.pending, s)
+		db.ids[s.VideoID] = true
+		return nil
+	}
+	if err := db.ix.Insert(s); err != nil {
+		return err
+	}
+	db.ids[s.VideoID] = true
+	return db.maybeRebuildLocked()
+}
+
+// ensureIndexLocked builds the index from pending summaries. Caller holds
+// the write lock.
+func (db *DB) ensureIndexLocked() error {
+	if db.ix != nil {
+		return nil
+	}
+	if len(db.pending) == 0 {
+		return errors.New("vitri: database is empty")
+	}
+	ix, err := index.Build(db.pending, index.Options{
+		Epsilon:    db.opts.Epsilon,
+		RefKind:    db.opts.RefKind,
+		Partitions: db.opts.Partitions,
+		NewPager:   db.opts.NewPager,
+	})
+	if err != nil {
+		return err
+	}
+	db.ix = ix
+	db.pending = nil
+	return nil
+}
+
+// maybeRebuildLocked applies the drift policy. Caller holds the write
+// lock.
+func (db *DB) maybeRebuildLocked() error {
+	if db.opts.MaxDriftAngle <= 0 || db.ix == nil {
+		return nil
+	}
+	_, err := db.ix.RebuildIfDrifted(db.opts.MaxDriftAngle)
+	return err
+}
+
+// Search summarizes the query frames and returns the k most similar
+// videos with composed query processing.
+func (db *DB) Search(frames []Vector, k int) ([]Match, error) {
+	if len(frames) == 0 {
+		return nil, errors.New("vitri: empty query")
+	}
+	q := core.Summarize(-1, frames, core.Options{Epsilon: db.opts.Epsilon, Seed: db.opts.Seed})
+	res, _, err := db.SearchSummary(&q, k, Composed)
+	return res, err
+}
+
+// SearchSummary runs a KNN query for a pre-summarized video in the given
+// mode, returning the matches and the query's work statistics.
+func (db *DB) SearchSummary(q *Summary, k int, mode QueryMode) ([]Match, SearchStats, error) {
+	db.mu.Lock()
+	if err := db.ensureIndexLocked(); err != nil {
+		db.mu.Unlock()
+		return nil, SearchStats{}, err
+	}
+	ix := db.ix
+	db.mu.Unlock()
+	return ix.Search(q, k, mode)
+}
+
+// Len returns the number of videos in the database.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.ids)
+}
+
+// Triplets returns the number of indexed ViTri records (0 before the
+// index is first built).
+func (db *DB) Triplets() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.ix == nil {
+		n := 0
+		for i := range db.pending {
+			n += len(db.pending[i].Triplets)
+		}
+		return n
+	}
+	return db.ix.Len()
+}
+
+// DriftAngle reports the current principal-direction drift in radians
+// (0 before the index exists or for non-Optimal reference points).
+func (db *DB) DriftAngle() float64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.ix == nil {
+		return 0
+	}
+	return db.ix.DriftAngle()
+}
+
+// Rebuild re-derives the reference point from current contents and
+// reconstructs the index.
+func (db *DB) Rebuild() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.ensureIndexLocked(); err != nil {
+		return err
+	}
+	return db.ix.Rebuild()
+}
+
+// PagerStats returns physical page I/O counters of the index's page
+// store (zeroes before the index exists).
+func (db *DB) PagerStats() pager.Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.ix == nil {
+		return pager.Stats{}
+	}
+	return db.ix.PagerStats()
+}
+
+// Epsilon returns the database's frame similarity threshold.
+func (db *DB) Epsilon() float64 { return db.opts.Epsilon }
+
+// IndexStats describes the physical shape of the database's B+-tree.
+type IndexStats struct {
+	Height        int
+	InternalNodes int
+	LeafNodes     int
+	Entries       int64
+	LeafFill      float64
+}
+
+// Stats returns the index's physical shape (zero value before the index
+// has been built).
+func (db *DB) Stats() (IndexStats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.ix == nil {
+		return IndexStats{}, nil
+	}
+	ts, err := db.ix.TreeStats()
+	if err != nil {
+		return IndexStats{}, err
+	}
+	return IndexStats{
+		Height:        ts.Height,
+		InternalNodes: ts.InternalNodes,
+		LeafNodes:     ts.LeafNodes,
+		Entries:       ts.Entries,
+		LeafFill:      ts.LeafFill,
+	}, nil
+}
+
+// CheckIndex verifies the index's structural invariants (for diagnostics
+// and tests). A nil error means the B+-tree is internally consistent.
+func (db *DB) CheckIndex() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.ix == nil {
+		return nil
+	}
+	return db.ix.CheckTree()
+}
