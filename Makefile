@@ -1,0 +1,27 @@
+# Tier-1 verification is `make check`: vet plus the full test suite under
+# the race detector. The concurrency stress tests (concurrency_test.go,
+# internal/index/parallel_test.go) are only meaningful with -race, so the
+# race run gates every PR.
+
+GO ?= go
+
+.PHONY: all build test vet race check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: vet race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run ^$$ ./...

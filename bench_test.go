@@ -380,3 +380,61 @@ func BenchmarkIndexedSearch(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSearchParallelism compares sequential and pooled execution of
+// one KNN query's disjoint range scans. Naive mode has one scan per query
+// triplet and parallelizes well; composed mode often merges everything
+// into a handful of intervals, which bounds its fan-out. Speedup requires
+// GOMAXPROCS > 1; results are byte-identical at every width.
+func BenchmarkSearchParallelism(b *testing.B) {
+	sums, err := dataset.GenerateSummaries(dataset.DefaultSummaryConfig(20000, 10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := index.Build(sums, index.Options{Epsilon: 0.3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	q := dataset.QuerySummary(&sums[rng.Intn(len(sums))], 30_000_000, 0.01, rng)
+	for _, mode := range []index.Mode{index.Naive, index.Composed} {
+		for _, par := range []int{1, 2, 4, 8} {
+			b.Run(fmtF("%s/par=%d", mode, par), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := ix.SearchParallel(&q, 50, mode, par); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSearchBatch compares a sequential query loop against the
+// SearchBatch worker pool at several widths (throughput workload).
+func BenchmarkSearchBatch(b *testing.B) {
+	sums, err := dataset.GenerateSummaries(dataset.DefaultSummaryConfig(20000, 10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	queries := make([]core.Summary, 16)
+	for i := range queries {
+		queries[i] = dataset.QuerySummary(&sums[rng.Intn(len(sums))], 30_000_000+i, 0.01, rng)
+	}
+	for _, par := range []int{1, 2, 4, 8} {
+		ix, err := index.Build(sums, index.Options{Epsilon: 0.3, SearchParallelism: par})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmtF("par=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, item := range ix.SearchBatch(queries, 50, index.Composed) {
+					if item.Err != nil {
+						b.Fatal(item.Err)
+					}
+				}
+			}
+		})
+	}
+}

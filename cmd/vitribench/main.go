@@ -5,7 +5,7 @@
 //
 //	vitribench [flags] [experiment ...]
 //
-// Experiments: table2 table3 fig14 fig15 fig16 fig17 fig18 fig19
+// Experiments: table2 table3 fig14 fig15 fig16 fig17 fig18 fig19 parallel
 // (default: all, in paper order).
 //
 // Examples:
@@ -13,6 +13,7 @@
 //	vitribench                       # full suite at laptop scale
 //	vitribench -scale 0.1 fig14      # one experiment, bigger corpus
 //	vitribench -paper                # paper-scale settings (slow)
+//	vitribench -parallel 8 parallel  # sequential vs 8-worker query engine
 package main
 
 import (
@@ -34,6 +35,7 @@ func main() {
 		paper    = flag.Bool("paper", false, "use paper-scale settings (slow)")
 		progress = flag.Bool("progress", true, "print progress to stderr")
 		counts   = flag.String("vitris", "", "comma-separated ViTri counts for figures 16-17 (e.g. 20000,40000)")
+		parallel = flag.Int("parallel", 0, "search worker-pool width for the parallel experiment (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -61,6 +63,9 @@ func main() {
 			cfg.ViTriCounts = append(cfg.ViTriCounts, n)
 		}
 	}
+	if *parallel > 0 {
+		cfg.SearchParallelism = *parallel
+	}
 	if *progress {
 		cfg.Progress = os.Stderr
 	}
@@ -74,6 +79,7 @@ func main() {
 		"fig17":     experiments.Figure17,
 		"fig18":     experiments.Figure18,
 		"fig19":     experiments.Figure19,
+		"parallel":  experiments.ParallelSearch,
 		"extension": experiments.ExtensionSummaries,
 	}
 
@@ -87,7 +93,7 @@ func main() {
 	for _, name := range names {
 		fn, ok := runners[strings.ToLower(name)]
 		if !ok {
-			fatalf("unknown experiment %q (have: table2 table3 fig14 fig15 fig16 fig17 fig18 fig19)", name)
+			fatalf("unknown experiment %q (have: table2 table3 fig14 fig15 fig16 fig17 fig18 fig19 parallel extension)", name)
 		}
 		tables, err := fn(cfg)
 		if err != nil {

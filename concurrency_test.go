@@ -1,0 +1,143 @@
+package vitri
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"vitri/internal/vec"
+)
+
+// stressVideo synthesizes a small clustered video for the stress test.
+func stressVideo(r *rand.Rand, dim, frames int) []Vector {
+	center := make(vec.Vector, dim)
+	for j := range center {
+		center[j] = 0.2 + 0.6*r.Float64()
+	}
+	out := make([]Vector, frames)
+	for f := range out {
+		p := make(vec.Vector, dim)
+		for j := range p {
+			p[j] = center[j] + r.NormFloat64()*0.02
+		}
+		out[f] = p
+	}
+	return out
+}
+
+// TestConcurrentMixedWorkload interleaves Add, Remove, Search (single and
+// batch), Rebuild, and drift checks from many goroutines on one DB. It
+// exists to run under -race: the assertions are per-query stats sanity
+// while mutations are in flight, and full structural consistency once the
+// storm has passed.
+func TestConcurrentMixedWorkload(t *testing.T) {
+	const (
+		dim     = 8
+		base    = 10
+		workers = 6
+		ops     = 12
+	)
+	db := New(Options{Epsilon: 0.3, Seed: 1, SearchParallelism: 4})
+	seedRng := rand.New(rand.NewSource(21))
+	for id := 0; id < base; id++ {
+		if err := db.Add(id, stressVideo(seedRng, dim, 20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	query := Summarize(-1, stressVideo(seedRng, dim, 20), 0.3, 99)
+
+	errs := make(chan error, workers*ops+workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(100 + w)))
+			// Each worker owns a disjoint id range so adds never collide.
+			nextID := 1000 + w*ops
+			var mine []int
+			for i := 0; i < ops; i++ {
+				switch op := r.Intn(5); {
+				case op == 0 && len(mine) > 0: // remove one of our own
+					id := mine[len(mine)-1]
+					mine = mine[:len(mine)-1]
+					if err := db.Remove(id); err != nil {
+						errs <- err
+						return
+					}
+				case op == 1:
+					if err := db.Rebuild(); err != nil {
+						errs <- err
+						return
+					}
+					db.DriftAngle()
+				case op == 2: // batch of two queries through the pool
+					batch, err := db.SearchBatch([]Summary{query, query}, 5, Composed)
+					if err != nil {
+						errs <- err
+						return
+					}
+					for _, item := range batch {
+						if item.Err != nil {
+							errs <- item.Err
+							return
+						}
+					}
+				case op == 3: // single search with stats sanity
+					_, stats, err := db.SearchSummary(&query, 5, Composed)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if stats.Ranges < 1 || stats.PageReads < 1 {
+						errs <- fmt.Errorf("worker %d: implausible stats %+v on a non-empty index", w, stats)
+						return
+					}
+					if stats.SimilarityOps > stats.Candidates*len(query.Triplets) {
+						errs <- fmt.Errorf("worker %d: %d similarity ops for %d candidates", w, stats.SimilarityOps, stats.Candidates)
+						return
+					}
+				default: // add a fresh video
+					if err := db.Add(nextID, stressVideo(r, dim, 20)); err != nil {
+						errs <- err
+						return
+					}
+					mine = append(mine, nextID)
+					nextID++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if err := db.CheckIndex(); err != nil {
+		t.Fatalf("index inconsistent after mixed workload: %v", err)
+	}
+	if db.Len() < base {
+		t.Fatalf("base videos went missing: Len() = %d", db.Len())
+	}
+	st, err := db.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != int64(db.Triplets()) {
+		t.Fatalf("tree reports %d entries, catalog-backed count says %d", st.Entries, db.Triplets())
+	}
+	// A quiet-state search is reproducible: same query, same stats, twice.
+	_, s1, err := db.SearchSummary(&query, 5, Composed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s2, err := db.SearchSummary(&query, 5, Composed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatalf("quiet-state stats not reproducible: %+v vs %+v", s1, s2)
+	}
+}

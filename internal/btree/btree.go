@@ -115,8 +115,14 @@ func (t *Tree) allocNode(typ byte) (pager.PageID, error) {
 
 // readNode fetches and verifies a node page.
 func (t *Tree) readNode(id pager.PageID) (*node, error) {
+	return t.readNodeTracked(id, nil)
+}
+
+// readNodeTracked fetches and verifies a node page, attributing the
+// physical read to st (which may be nil).
+func (t *Tree) readNodeTracked(id pager.PageID, st *pager.ScanStats) (*node, error) {
 	n := &node{id: id}
-	if err := t.pg.Read(id, &n.page); err != nil {
+	if err := pager.ReadTracked(t.pg, id, &n.page, st); err != nil {
 		return nil, err
 	}
 	if err := n.verify(); err != nil {
@@ -279,11 +285,12 @@ func (t *Tree) internalSplitInsert(n *node, pos int, sep float64, child pager.Pa
 	return promoted, rightID, true, nil
 }
 
-// descendToLeaf returns the leaf that would contain key.
-func (t *Tree) descendToLeaf(key float64) (*node, error) {
+// descendToLeaf returns the leaf that would contain key, attributing page
+// reads along the descent to st (which may be nil).
+func (t *Tree) descendToLeaf(key float64, st *pager.ScanStats) (*node, error) {
 	id := t.root
 	for {
-		n, err := t.readNode(id)
+		n, err := t.readNodeTracked(id, st)
 		if err != nil {
 			return nil, err
 		}
@@ -298,12 +305,21 @@ func (t *Tree) descendToLeaf(key float64) (*node, error) {
 // fn for each. The val slice aliases an internal buffer and is only valid
 // during the call. fn returning false stops the scan early.
 func (t *Tree) RangeScan(lo, hi float64, fn func(key float64, val []byte) bool) error {
+	return t.RangeScanStats(lo, hi, nil, fn)
+}
+
+// RangeScanStats is RangeScan with per-scan I/O attribution: every
+// physical page read this scan performs — the root-to-leaf descent and
+// the leaf sibling chain — is added to st (which may be nil). Because st
+// is owned by the caller rather than shared pager-wide, the count is
+// exact even with any number of concurrent scans in flight.
+func (t *Tree) RangeScanStats(lo, hi float64, st *pager.ScanStats, fn func(key float64, val []byte) bool) error {
 	if lo > hi {
 		return nil
 	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	n, err := t.descendToLeaf(lo)
+	n, err := t.descendToLeaf(lo, st)
 	if err != nil {
 		return err
 	}
@@ -322,7 +338,7 @@ func (t *Tree) RangeScan(lo, hi float64, fn func(key float64, val []byte) bool) 
 		if next == pager.InvalidPage {
 			return nil
 		}
-		if n, err = t.readNode(next); err != nil {
+		if n, err = t.readNodeTracked(next, st); err != nil {
 			return err
 		}
 		i = 0
@@ -331,9 +347,14 @@ func (t *Tree) RangeScan(lo, hi float64, fn func(key float64, val []byte) bool) 
 
 // Scan visits every entry in key order.
 func (t *Tree) Scan(fn func(key float64, val []byte) bool) error {
+	return t.ScanStats(nil, fn)
+}
+
+// ScanStats is Scan with per-scan I/O attribution (see RangeScanStats).
+func (t *Tree) ScanStats(st *pager.ScanStats, fn func(key float64, val []byte) bool) error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	n, err := t.leftmostLeaf()
+	n, err := t.leftmostLeaf(st)
 	if err != nil {
 		return err
 	}
@@ -347,16 +368,16 @@ func (t *Tree) Scan(fn func(key float64, val []byte) bool) error {
 		if next == pager.InvalidPage {
 			return nil
 		}
-		if n, err = t.readNode(next); err != nil {
+		if n, err = t.readNodeTracked(next, st); err != nil {
 			return err
 		}
 	}
 }
 
-func (t *Tree) leftmostLeaf() (*node, error) {
+func (t *Tree) leftmostLeaf(st *pager.ScanStats) (*node, error) {
 	id := t.root
 	for {
-		n, err := t.readNode(id)
+		n, err := t.readNodeTracked(id, st)
 		if err != nil {
 			return nil, err
 		}
@@ -375,7 +396,7 @@ func (t *Tree) leftmostLeaf() (*node, error) {
 func (t *Tree) Delete(key float64, match func(val []byte) bool) (bool, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	n, err := t.descendToLeaf(key)
+	n, err := t.descendToLeaf(key, nil)
 	if err != nil {
 		return false, err
 	}

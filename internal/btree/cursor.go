@@ -25,7 +25,7 @@ type Cursor struct {
 func (t *Tree) Seek(lo, hi float64) (*Cursor, error) {
 	t.mu.RLock()
 	c := &Cursor{t: t, hi: hi}
-	n, err := t.descendToLeaf(lo)
+	n, err := t.descendToLeaf(lo, nil)
 	if err != nil {
 		t.mu.RUnlock()
 		return nil, err
@@ -192,7 +192,7 @@ func (t *Tree) Check() error {
 		return fmt.Errorf("btree: %d entries found, metadata says %d", total, t.count)
 	}
 	// The sibling chain must visit exactly the leaves, in the same order.
-	n, err := t.leftmostLeaf()
+	n, err := t.leftmostLeaf(nil)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,99 @@
+package btree
+
+import (
+	"sync"
+	"testing"
+
+	"vitri/internal/pager"
+)
+
+// buildTrackedTree inserts n sequential entries over the given pager.
+func buildTrackedTree(t *testing.T, pg pager.Pager, n int) *Tree {
+	t.Helper()
+	tr, err := Create(pg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(float64(i), val8(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+// TestRangeScanStatsMatchesPagerDiff: when a scan runs alone, the
+// per-scan counter must equal the pager's own physical-read delta —
+// the attribution changes ownership of the count, not its meaning.
+func TestRangeScanStatsMatchesPagerDiff(t *testing.T) {
+	pg := pager.NewMem()
+	tr := buildTrackedTree(t, pg, 5000)
+	for _, rng := range [][2]float64{{0, 4999}, {100, 250}, {4000, 4000}, {6000, 7000}} {
+		before := pg.Stats().Reads
+		var st pager.ScanStats
+		visited := 0
+		if err := tr.RangeScanStats(rng[0], rng[1], &st, func(float64, []byte) bool {
+			visited++
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		diff := pg.Stats().Reads - before
+		if st.Reads != diff {
+			t.Fatalf("range [%v,%v]: tracked %d reads, pager diff %d", rng[0], rng[1], st.Reads, diff)
+		}
+		if visited > 0 && st.Reads == 0 {
+			t.Fatalf("range [%v,%v]: visited %d entries with zero tracked reads", rng[0], rng[1], visited)
+		}
+	}
+	// Full scan attribution, same contract.
+	before := pg.Stats().Reads
+	var st pager.ScanStats
+	if err := tr.ScanStats(&st, func(float64, []byte) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	if diff := pg.Stats().Reads - before; st.Reads != diff {
+		t.Fatalf("scan: tracked %d reads, pager diff %d", st.Reads, diff)
+	}
+}
+
+// TestRangeScanStatsExactUnderConcurrency: overlapping scans on one tree
+// must each report exactly the reads they would perform alone — the bug
+// this API exists to fix is counter theft via shared-counter diffing.
+func TestRangeScanStatsExactUnderConcurrency(t *testing.T) {
+	tr := buildTrackedTree(t, pager.NewMem(), 5000)
+	ranges := [][2]float64{{0, 1500}, {1000, 3000}, {2500, 4999}, {0, 4999}}
+	solo := make([]uint64, len(ranges))
+	for i, rng := range ranges {
+		var st pager.ScanStats
+		if err := tr.RangeScanStats(rng[0], rng[1], &st, func(float64, []byte) bool { return true }); err != nil {
+			t.Fatal(err)
+		}
+		solo[i] = st.Reads
+	}
+	const rounds = 20
+	var wg sync.WaitGroup
+	errs := make(chan string, len(ranges)*rounds)
+	for i, rng := range ranges {
+		wg.Add(1)
+		go func(i int, lo, hi float64) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				var st pager.ScanStats
+				if err := tr.RangeScanStats(lo, hi, &st, func(float64, []byte) bool { return true }); err != nil {
+					errs <- err.Error()
+					return
+				}
+				if st.Reads != solo[i] {
+					errs <- "concurrent scan read count diverged from solo run"
+					return
+				}
+			}
+		}(i, rng[0], rng[1])
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

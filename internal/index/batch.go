@@ -1,0 +1,56 @@
+package index
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"vitri/internal/core"
+)
+
+// BatchItem is one query's outcome in a SearchBatch call.
+type BatchItem struct {
+	Results []Result
+	Stats   SearchStats
+	Err     error
+}
+
+// SearchBatch pipelines many query summaries through a bounded worker
+// pool for throughput workloads: queries[i]'s outcome lands in slot i.
+// The pool is sized by Options.SearchParallelism (GOMAXPROCS when <= 0)
+// and each query runs sequentially inside its worker — inter-query
+// parallelism already saturates the pool, and nesting intra-query fan-out
+// on top would only oversubscribe it. Per-query Stats remain exact: each
+// query accumulates its own counters.
+func (ix *Index) SearchBatch(queries []core.Summary, k int, mode Mode) []BatchItem {
+	out := make([]BatchItem, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	workers := ix.opts.SearchParallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	var (
+		cursor int64 = -1
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&cursor, 1))
+				if i >= len(queries) {
+					return
+				}
+				out[i].Results, out[i].Stats, out[i].Err = ix.SearchParallel(&queries[i], k, mode, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

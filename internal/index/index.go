@@ -32,6 +32,11 @@ type Options struct {
 	Partitions int
 	// FillFactor for bulk loading (btree.DefaultFillFactor when 0).
 	FillFactor float64
+	// SearchParallelism bounds the worker pool a single Search fans its
+	// disjoint range scans across, and the pool SearchBatch pipelines
+	// whole queries through. <= 0 selects GOMAXPROCS; 1 disables
+	// intra-query parallelism. Results are identical at every setting.
+	SearchParallelism int
 	// NewPager supplies page stores for the tree — once at build time and
 	// again on every rebuild. Defaults to in-memory pagers.
 	NewPager func() pager.Pager
@@ -228,41 +233,71 @@ func (ix *Index) ResetPagerStats() {
 // is keyed with the *existing* reference point and inserted into the
 // B+-tree (§5.1 "dynamic maintenance"). The reference point is not moved;
 // use DriftAngle/Rebuild to detect and repair correlation drift.
+//
+// Insert is atomic with respect to validation: every triplet is validated
+// and encoded before the first tree mutation, so a rejected summary
+// (wrong dimensionality, unencodable triplet) leaves the tree and catalog
+// untouched. If the underlying pager fails mid-insert, the triplets
+// already inserted are rolled back best-effort.
 func (ix *Index) Insert(s core.Summary) error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	if _, dup := ix.catalog[int32(s.VideoID)]; dup {
+	vid := int32(s.VideoID)
+	if _, dup := ix.catalog[vid]; dup {
 		return fmt.Errorf("index: duplicate video id %d", s.VideoID)
 	}
 	if len(s.Triplets) == 0 {
 		return fmt.Errorf("index: video %d has no triplets", s.VideoID)
 	}
-	buf := make([]byte, RecordSize(ix.dim))
-	info := videoInfo{frameCount: s.FrameCount, triplets: len(s.Triplets)}
+	// Validate and encode everything before touching the tree: a failure
+	// on triplet i must not leave triplets 0..i-1 orphaned in the tree
+	// with no catalog entry.
+	size := RecordSize(ix.dim)
+	slab := make([]byte, size*len(s.Triplets))
+	keys := make([]float64, len(s.Triplets))
 	for ti := range s.Triplets {
 		tpl := &s.Triplets[ti]
 		if len(tpl.Position) != ix.dim {
 			return fmt.Errorf("index: triplet dimensionality %d, index is %d", len(tpl.Position), ix.dim)
 		}
 		rec := Record{
-			VideoID:  int32(s.VideoID),
+			VideoID:  vid,
 			ClusterN: int32(ti),
 			Count:    int32(tpl.Count),
 			Radius:   tpl.Radius,
 			Position: tpl.Position,
 		}
-		if err := EncodeRecord(&rec, buf); err != nil {
+		if err := EncodeRecord(&rec, slab[ti*size:(ti+1)*size]); err != nil {
 			return err
 		}
-		key := ix.tr.Key(tpl.Position)
-		if err := ix.tree.Insert(key, buf); err != nil {
-			return err
-		}
-		info.keys = append(info.keys, key)
-		ix.accumulate(tpl.Position)
+		keys[ti] = ix.tr.Key(tpl.Position)
 	}
-	ix.catalog[int32(s.VideoID)] = info
+	for ti := range s.Triplets {
+		if err := ix.tree.Insert(keys[ti], slab[ti*size:(ti+1)*size]); err != nil {
+			ix.rollbackInsertLocked(vid, keys[:ti])
+			return err
+		}
+	}
+	info := videoInfo{frameCount: s.FrameCount, triplets: len(s.Triplets), keys: keys}
+	for ti := range s.Triplets {
+		ix.accumulate(s.Triplets[ti].Position)
+	}
+	ix.catalog[vid] = info
 	return nil
+}
+
+// rollbackInsertLocked deletes the given video's records at keys after a
+// failed Insert, so a mid-insert pager failure does not leave orphaned
+// records for range scans to surface with no catalog entry. Best-effort:
+// the pager that failed the insert may fail the deletes too. Caller
+// holds mu.
+func (ix *Index) rollbackInsertLocked(vid int32, keys []float64) {
+	var rec Record
+	for _, key := range keys {
+		_, _ = ix.tree.Delete(key, func(val []byte) bool {
+			return DecodeRecord(val, ix.dim, &rec) == nil && rec.VideoID == vid
+		})
+	}
 }
 
 // currentFirstPC computes Φ1 of all indexed positions from the running
@@ -291,6 +326,11 @@ func (ix *Index) currentFirstPC() vec.Vector {
 func (ix *Index) DriftAngle() float64 {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	return ix.driftAngleLocked()
+}
+
+// driftAngleLocked is DriftAngle under a lock the caller already holds.
+func (ix *Index) driftAngleLocked() float64 {
 	built := ix.tr.FirstPC()
 	if built == nil {
 		return 0
@@ -308,6 +348,11 @@ func (ix *Index) DriftAngle() float64 {
 func (ix *Index) Rebuild() error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	return ix.rebuildLocked()
+}
+
+// rebuildLocked is Rebuild under the write lock the caller already holds.
+func (ix *Index) rebuildLocked() error {
 	recs, err := ix.allRecordsLocked()
 	if err != nil {
 		return err
@@ -351,12 +396,17 @@ func (ix *Index) Rebuild() error {
 }
 
 // RebuildIfDrifted rebuilds when DriftAngle exceeds maxAngle (radians) and
-// reports whether a rebuild happened.
+// reports whether a rebuild happened. Drift is evaluated under the same
+// write lock as the rebuild, so two concurrent callers cannot both see
+// stale drift and rebuild back-to-back (the second caller re-evaluates
+// drift after the first one's rebuild and finds it repaired).
 func (ix *Index) RebuildIfDrifted(maxAngle float64) (bool, error) {
-	if ix.DriftAngle() <= maxAngle {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.driftAngleLocked() <= maxAngle {
 		return false, nil
 	}
-	if err := ix.Rebuild(); err != nil {
+	if err := ix.rebuildLocked(); err != nil {
 		return false, err
 	}
 	return true, nil

@@ -3,9 +3,13 @@ package index
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"vitri/internal/core"
+	"vitri/internal/pager"
 	"vitri/internal/refpoint"
 )
 
@@ -44,11 +48,23 @@ type Result struct {
 // SearchStats reports the work a query performed. PageReads counts
 // physical page reads attributable to this search; SimilarityOps counts
 // ViTri-pair similarity evaluations (the paper's CPU-cost proxy).
+// Every counter is accumulated per query — PageReads in particular is
+// exact even with any number of concurrent searches on the same index,
+// because each scan carries its own pager.ScanStats instead of diffing
+// the pager's shared counters.
 type SearchStats struct {
 	Ranges        int
 	Candidates    int
 	SimilarityOps int
 	PageReads     uint64
+}
+
+// add folds another query-part's counters in.
+func (s *SearchStats) add(o *SearchStats) {
+	s.Ranges += o.Ranges
+	s.Candidates += o.Candidates
+	s.SimilarityOps += o.SimilarityOps
+	s.PageReads += o.PageReads
 }
 
 // queryTriplet is a prepared query-side triplet with its 1-D search
@@ -76,11 +92,55 @@ type videoScore struct {
 	dbCnts map[int32]int32   // db cluster ordinal -> |C|
 }
 
+// merge folds another score for the same video in. Addition is a left
+// fold in task order, so a parallel search reproduces the sequential
+// float-accumulation order bit for bit.
+func (vs *videoScore) merge(o *videoScore) {
+	for i, s := range o.qSums {
+		vs.qSums[i] += s
+	}
+	for cn, s := range o.dbSums {
+		vs.dbSums[cn] += s
+		vs.dbCnts[cn] = o.dbCnts[cn]
+	}
+}
+
+// scanTask is one disjoint B+-tree range scan: the 1-D interval plus the
+// query triplets to evaluate candidates against. Naive mode emits one
+// task per triplet range; composed mode emits one task per merged
+// interval. Tasks are independent, which is what the worker pool
+// exploits.
+type scanTask struct {
+	lo, hi  float64
+	members []int
+}
+
+// taskResult is one scanTask's private output: a lock-free score map and
+// the task's own counters, merged by the caller after the pool barrier.
+type taskResult struct {
+	stats  SearchStats
+	scores map[int32]*videoScore
+}
+
 // Search returns the top-k most similar videos to the summarized query.
 // The query's own video id, if indexed, participates like any other video.
+// Disjoint range scans run on a bounded worker pool sized by
+// Options.SearchParallelism.
 func (ix *Index) Search(q *core.Summary, k int, mode Mode) ([]Result, SearchStats, error) {
+	return ix.SearchParallel(q, k, mode, 0)
+}
+
+// SearchParallel is Search with an explicit intra-query parallelism
+// override: the number of goroutines scanning this query's disjoint
+// ranges. 0 uses the index's configured SearchParallelism (which itself
+// defaults to GOMAXPROCS); 1 forces a fully sequential search. Results
+// and stats are identical at every setting.
+func (ix *Index) SearchParallel(q *core.Summary, k int, mode Mode, parallelism int) ([]Result, SearchStats, error) {
 	if k <= 0 {
 		return nil, SearchStats{}, errors.New("index: k must be positive")
+	}
+	if parallelism <= 0 {
+		parallelism = ix.opts.SearchParallelism
 	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -89,7 +149,6 @@ func (ix *Index) Search(q *core.Summary, k int, mode Mode) ([]Result, SearchStat
 	if len(q.Triplets) == 0 {
 		return nil, stats, nil
 	}
-	readsBefore := ix.pg.Stats().Reads
 
 	qts := make([]queryTriplet, len(q.Triplets))
 	for i := range q.Triplets {
@@ -103,37 +162,150 @@ func (ix *Index) Search(q *core.Summary, k int, mode Mode) ([]Result, SearchStat
 		}
 	}
 
-	scores := make(map[int32]*videoScore)
-	accumulate := func(qi int, rec *Record, shared float64) {
-		vs := scores[rec.VideoID]
-		if vs == nil {
-			vs = &videoScore{
-				qSums:  make([]float64, len(qts)),
-				dbSums: make(map[int32]float64),
-				dbCnts: make(map[int32]int32),
-			}
-			scores[rec.VideoID] = vs
-		}
-		vs.qSums[qi] += shared
-		vs.dbSums[rec.ClusterN] += shared
-		vs.dbCnts[rec.ClusterN] = rec.Count
-	}
-
-	var err error
+	var tasks []scanTask
 	switch mode {
 	case Naive:
-		err = ix.searchNaive(qts, &stats, accumulate)
+		for qi := range qts {
+			for _, kr := range qts[qi].ranges {
+				tasks = append(tasks, scanTask{lo: kr.Lo, hi: kr.Hi, members: []int{qi}})
+			}
+		}
 	case Composed:
-		err = ix.searchComposed(qts, &stats, accumulate)
+		for _, iv := range composeRanges(qts) {
+			tasks = append(tasks, scanTask{lo: iv.lo, hi: iv.hi, members: iv.members})
+		}
 	default:
-		err = fmt.Errorf("index: unknown mode %v", mode)
+		return nil, stats, fmt.Errorf("index: unknown mode %v", mode)
 	}
+
+	results, err := ix.runTasks(qts, tasks, parallelism)
 	if err != nil {
 		return nil, stats, err
 	}
-	stats.PageReads = ix.pg.Stats().Reads - readsBefore
 
+	// Merge per-task score maps in task order: the left fold reproduces
+	// the float-accumulation order of a sequential search exactly, so
+	// parallel and sequential searches return byte-identical results.
+	scores := make(map[int32]*videoScore)
+	for i := range results {
+		stats.add(&results[i].stats)
+		for vid, vs := range results[i].scores {
+			if dst := scores[vid]; dst != nil {
+				dst.merge(vs)
+			} else {
+				scores[vid] = vs
+			}
+		}
+	}
+
+	return ix.rankLocked(q, qts, scores, k), stats, nil
+}
+
+// runTasks executes every scan task, fanning out across min(parallelism,
+// len(tasks)) workers when parallelism permits. Workers pull task indices
+// from an atomic cursor (work stealing balances uneven interval sizes)
+// and write into their task's private slot, so the accumulate path needs
+// no locks; the first error wins.
+func (ix *Index) runTasks(qts []queryTriplet, tasks []scanTask, parallelism int) ([]taskResult, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(tasks) {
+		parallelism = len(tasks)
+	}
+	out := make([]taskResult, len(tasks))
+	if parallelism <= 1 {
+		for i := range tasks {
+			if err := ix.runTask(qts, &tasks[i], &out[i]); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	var (
+		cursor   int64 = -1
+		firstErr error
+		errOnce  sync.Once
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&cursor, 1))
+				if i >= len(tasks) {
+					return
+				}
+				if err := ix.runTask(qts, &tasks[i], &out[i]); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// runTask scans one disjoint range and accumulates candidate evidence
+// into the task's private score map. Page reads are attributed to this
+// task via a scan-local counter, never the pager's shared one.
+func (ix *Index) runTask(qts []queryTriplet, tk *scanTask, res *taskResult) error {
+	res.scores = make(map[int32]*videoScore)
+	res.stats.Ranges = 1
+	var (
+		rec Record
+		sc  pager.ScanStats
+	)
+	err := ix.tree.RangeScanStats(tk.lo, tk.hi, &sc, func(key float64, val []byte) bool {
+		if DecodeRecord(val, ix.dim, &rec) != nil {
+			return false
+		}
+		res.stats.Candidates++
+		var trip core.ViTri
+		haveTrip := false
+		for _, qi := range tk.members {
+			qt := &qts[qi]
+			if !qt.covers(key) {
+				continue
+			}
+			if !haveTrip {
+				trip = rec.Triplet()
+				haveTrip = true
+			}
+			res.stats.SimilarityOps++
+			if shared := core.SharedFrames(qt.vt, &trip); shared > 0 {
+				vs := res.scores[rec.VideoID]
+				if vs == nil {
+					vs = &videoScore{
+						qSums:  make([]float64, len(qts)),
+						dbSums: make(map[int32]float64),
+						dbCnts: make(map[int32]int32),
+					}
+					res.scores[rec.VideoID] = vs
+				}
+				vs.qSums[qi] += shared
+				vs.dbSums[rec.ClusterN] += shared
+				vs.dbCnts[rec.ClusterN] = rec.Count
+			}
+		}
+		return true
+	})
+	res.stats.PageReads = sc.Reads
+	return err
+}
+
+// rankLocked turns accumulated scores into the sorted top-k result list.
+// Caller holds at least a read lock. The per-cluster fold iterates
+// cluster ordinals in sorted order so the float summation order — and
+// therefore the returned similarities — is deterministic run to run.
+func (ix *Index) rankLocked(q *core.Summary, qts []queryTriplet, scores map[int32]*videoScore, k int) []Result {
 	results := make([]Result, 0, len(scores))
+	var cns []int32
 	for vid, vs := range scores {
 		info := ix.catalog[vid]
 		var total float64
@@ -143,7 +315,13 @@ func (ix *Index) Search(q *core.Summary, k int, mode Mode) ([]Result, SearchStat
 			}
 			total += s
 		}
-		for cn, s := range vs.dbSums {
+		cns = cns[:0]
+		for cn := range vs.dbSums {
+			cns = append(cns, cn)
+		}
+		sort.Slice(cns, func(i, j int) bool { return cns[i] < cns[j] })
+		for _, cn := range cns {
+			s := vs.dbSums[cn]
 			if c := float64(vs.dbCnts[cn]); s > c {
 				s = c
 			}
@@ -167,34 +345,7 @@ func (ix *Index) Search(q *core.Summary, k int, mode Mode) ([]Result, SearchStat
 	if len(results) > k {
 		results = results[:k]
 	}
-	return results, stats, nil
-}
-
-// searchNaive runs one range search per query triplet range.
-func (ix *Index) searchNaive(qts []queryTriplet, stats *SearchStats, accumulate func(int, *Record, float64)) error {
-	var rec Record
-	for qi := range qts {
-		qt := &qts[qi]
-		for _, kr := range qt.ranges {
-			stats.Ranges++
-			err := ix.tree.RangeScan(kr.Lo, kr.Hi, func(_ float64, val []byte) bool {
-				if DecodeRecord(val, ix.dim, &rec) != nil {
-					return false
-				}
-				stats.Candidates++
-				stats.SimilarityOps++
-				trip := rec.Triplet()
-				if shared := core.SharedFrames(qt.vt, &trip); shared > 0 {
-					accumulate(qi, &rec, shared)
-				}
-				return true
-			})
-			if err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	return results
 }
 
 // interval is one composed 1-D search range with the query triplets whose
@@ -230,41 +381,4 @@ func composeRanges(qts []queryTriplet) []interval {
 		out = append(out, iv)
 	}
 	return out
-}
-
-// searchComposed merges ranges, then scans each merged range once; every
-// candidate is evaluated against the member triplets whose own range
-// covers its key.
-func (ix *Index) searchComposed(qts []queryTriplet, stats *SearchStats, accumulate func(int, *Record, float64)) error {
-	var rec Record
-	for _, iv := range composeRanges(qts) {
-		stats.Ranges++
-		err := ix.tree.RangeScan(iv.lo, iv.hi, func(key float64, val []byte) bool {
-			if DecodeRecord(val, ix.dim, &rec) != nil {
-				return false
-			}
-			stats.Candidates++
-			var trip core.ViTri
-			haveTrip := false
-			for _, qi := range iv.members {
-				qt := &qts[qi]
-				if !qt.covers(key) {
-					continue
-				}
-				if !haveTrip {
-					trip = rec.Triplet()
-					haveTrip = true
-				}
-				stats.SimilarityOps++
-				if shared := core.SharedFrames(qt.vt, &trip); shared > 0 {
-					accumulate(qi, &rec, shared)
-				}
-			}
-			return true
-		})
-		if err != nil {
-			return err
-		}
-	}
-	return nil
 }

@@ -40,7 +40,11 @@ func NewCache(under Pager, capacity int) *Cache {
 func (c *Cache) Alloc() (PageID, error) { return c.under.Alloc() }
 
 // Read implements Pager.
-func (c *Cache) Read(id PageID, p *Page) error {
+func (c *Cache) Read(id PageID, p *Page) error { return c.ReadTracked(id, p, nil) }
+
+// ReadTracked implements TrackedReader: only misses — reads that reach
+// the underlying store — are attributed to st; hits cost no physical I/O.
+func (c *Cache) ReadTracked(id PageID, p *Page, st *ScanStats) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.accesses++
@@ -50,7 +54,7 @@ func (c *Cache) Read(id PageID, p *Page) error {
 		*p = el.Value.(*cacheEntry).page
 		return nil
 	}
-	if err := c.under.Read(id, p); err != nil {
+	if err := ReadTracked(c.under, id, p, st); err != nil {
 		return err
 	}
 	c.insertLocked(id, p)

@@ -39,7 +39,11 @@ func NewFaulty(under Pager, seed int64) *Faulty {
 func (f *Faulty) Alloc() (PageID, error) { return f.under.Alloc() }
 
 // Read implements Pager, possibly failing or corrupting the result.
-func (f *Faulty) Read(id PageID, p *Page) error {
+func (f *Faulty) Read(id PageID, p *Page) error { return f.ReadTracked(id, p, nil) }
+
+// ReadTracked implements TrackedReader, forwarding attribution to the
+// wrapped pager (which decides what counts as physical I/O).
+func (f *Faulty) ReadTracked(id PageID, p *Page, st *ScanStats) error {
 	f.mu.Lock()
 	f.reads++
 	fail := (f.ReadFailEvery > 0 && f.reads%f.ReadFailEvery == 0) ||
@@ -53,7 +57,7 @@ func (f *Faulty) Read(id PageID, p *Page) error {
 	if fail && !corrupt {
 		return ErrInjected
 	}
-	if err := f.under.Read(id, p); err != nil {
+	if err := ReadTracked(f.under, id, p, st); err != nil {
 		return err
 	}
 	if corrupt {

@@ -31,6 +31,44 @@ type Stats struct {
 	Allocs uint64
 }
 
+// ScanStats accumulates the physical page reads attributable to one
+// logical operation (a single tree scan, or one KNN query). Unlike the
+// pager-wide Stats counters — which are shared by every caller and can
+// only be diffed, mis-attributing I/O as soon as two operations overlap —
+// a ScanStats value is owned by exactly one operation and is therefore
+// exact under any concurrency.
+type ScanStats struct {
+	Reads uint64
+}
+
+// Add folds another counter in (used when merging per-worker counters).
+func (s *ScanStats) Add(o ScanStats) { s.Reads += o.Reads }
+
+// TrackedReader is an optional Pager extension for per-operation I/O
+// attribution: ReadTracked behaves exactly like Read but additionally
+// adds the physical reads it performed to st (which may be nil). A
+// wrapper that can satisfy a read without physical I/O — the LRU Cache
+// on a hit — adds nothing.
+type TrackedReader interface {
+	ReadTracked(id PageID, p *Page, st *ScanStats) error
+}
+
+// ReadTracked reads page id from pg, attributing any physical read to st
+// (st may be nil). Pagers implementing TrackedReader decide what counts
+// as physical; for every other pager each Read is one physical read.
+func ReadTracked(pg Pager, id PageID, p *Page, st *ScanStats) error {
+	if tr, ok := pg.(TrackedReader); ok {
+		return tr.ReadTracked(id, p, st)
+	}
+	if err := pg.Read(id, p); err != nil {
+		return err
+	}
+	if st != nil {
+		st.Reads++
+	}
+	return nil
+}
+
 // Pager is the minimal page-store interface the B+-tree builds on.
 type Pager interface {
 	// Alloc reserves a new zeroed page and returns its ID.

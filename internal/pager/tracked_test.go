@@ -1,0 +1,102 @@
+package pager
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// fillPages allocates n pages in pg with distinct first bytes.
+func fillPages(t *testing.T, pg Pager, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		id, err := pg.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var p Page
+		p[0] = byte(i + 1)
+		if err := pg.Write(id, &p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReadTrackedCountsPhysicalReads(t *testing.T) {
+	pagers := map[string]func(t *testing.T) Pager{
+		"mem": func(t *testing.T) Pager { return NewMem() },
+		"file": func(t *testing.T) Pager {
+			fp, err := OpenFile(filepath.Join(t.TempDir(), "pages.db"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fp
+		},
+		"faulty": func(t *testing.T) Pager { return NewFaulty(NewMem(), 1) },
+	}
+	for name, mk := range pagers {
+		t.Run(name, func(t *testing.T) {
+			pg := mk(t)
+			defer pg.Close()
+			fillPages(t, pg, 3)
+			var st ScanStats
+			var p Page
+			for i := 0; i < 3; i++ {
+				if err := ReadTracked(pg, PageID(i), &p, &st); err != nil {
+					t.Fatal(err)
+				}
+				if p[0] != byte(i+1) {
+					t.Fatalf("page %d content %d", i, p[0])
+				}
+			}
+			if st.Reads != 3 {
+				t.Fatalf("tracked %d reads, want 3", st.Reads)
+			}
+			// nil stats must be accepted.
+			if err := ReadTracked(pg, 0, &p, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestReadTrackedCacheCountsOnlyMisses(t *testing.T) {
+	under := NewMem()
+	c := NewCache(under, 2)
+	defer c.Close()
+	fillPages(t, c, 3)
+	c.Invalidate()
+	under.ResetStats()
+
+	var st ScanStats
+	var p Page
+	// Miss, miss, then a hit on page 1 (still resident).
+	for _, id := range []PageID{0, 1, 1} {
+		if err := ReadTracked(c, id, &p, &st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Reads != 2 {
+		t.Fatalf("tracked %d reads through cache, want 2 (hit must not count)", st.Reads)
+	}
+	if got := under.Stats().Reads; got != 2 {
+		t.Fatalf("underlying pager saw %d reads, want 2", got)
+	}
+	// Evict page 0 (capacity 2: reading 2 pushes 0 out), then re-read it.
+	if err := ReadTracked(c, 2, &p, &st); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadTracked(c, 0, &p, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Reads != 4 {
+		t.Fatalf("tracked %d reads, want 4 after eviction refill", st.Reads)
+	}
+}
+
+func TestScanStatsAdd(t *testing.T) {
+	a := ScanStats{Reads: 3}
+	a.Add(ScanStats{Reads: 4})
+	if a.Reads != 7 {
+		t.Fatalf("Add: got %d, want 7", a.Reads)
+	}
+}

@@ -104,6 +104,12 @@ type Options struct {
 	// NewPager overrides page-store construction (e.g. pager.OpenFile
 	// for a disk-backed index). The default keeps pages in memory.
 	NewPager func() pager.Pager
+	// SearchParallelism bounds the worker pool one Search fans its
+	// disjoint B+-tree range scans across, and the pool SearchBatch
+	// pipelines whole queries through. <= 0 selects GOMAXPROCS; 1
+	// disables intra-query parallelism. Results and stats are identical
+	// at every setting.
+	SearchParallelism int
 }
 
 // DB is a searchable video database. All methods are safe for concurrent
@@ -197,10 +203,11 @@ func (db *DB) ensureIndexLocked() error {
 		return errors.New("vitri: database is empty")
 	}
 	ix, err := index.Build(db.pending, index.Options{
-		Epsilon:    db.opts.Epsilon,
-		RefKind:    db.opts.RefKind,
-		Partitions: db.opts.Partitions,
-		NewPager:   db.opts.NewPager,
+		Epsilon:           db.opts.Epsilon,
+		RefKind:           db.opts.RefKind,
+		Partitions:        db.opts.Partitions,
+		NewPager:          db.opts.NewPager,
+		SearchParallelism: db.opts.SearchParallelism,
 	})
 	if err != nil {
 		return err
@@ -232,16 +239,47 @@ func (db *DB) Search(frames []Vector, k int) ([]Match, error) {
 }
 
 // SearchSummary runs a KNN query for a pre-summarized video in the given
-// mode, returning the matches and the query's work statistics.
+// mode, returning the matches and the query's work statistics. Stats are
+// attributed per query and exact under concurrent searches.
 func (db *DB) SearchSummary(q *Summary, k int, mode QueryMode) ([]Match, SearchStats, error) {
-	db.mu.Lock()
-	if err := db.ensureIndexLocked(); err != nil {
-		db.mu.Unlock()
+	ix, err := db.index()
+	if err != nil {
 		return nil, SearchStats{}, err
 	}
-	ix := db.ix
-	db.mu.Unlock()
 	return ix.Search(q, k, mode)
+}
+
+// BatchResult is one query's outcome in a SearchBatch call.
+type BatchResult = index.BatchItem
+
+// SearchBatch runs many pre-summarized queries through a bounded worker
+// pool (Options.SearchParallelism workers) and returns one BatchResult
+// per query, in input order. It only fails as a whole when the database
+// is empty; per-query failures land in the corresponding slot.
+func (db *DB) SearchBatch(queries []Summary, k int, mode QueryMode) ([]BatchResult, error) {
+	ix, err := db.index()
+	if err != nil {
+		return nil, err
+	}
+	return ix.SearchBatch(queries, k, mode), nil
+}
+
+// index returns the live index, building it from pending summaries on
+// first use. The common case — the index already exists — takes only a
+// read lock, so concurrent searches never serialize on the DB mutex.
+func (db *DB) index() (*index.Index, error) {
+	db.mu.RLock()
+	ix := db.ix
+	db.mu.RUnlock()
+	if ix != nil {
+		return ix, nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.ensureIndexLocked(); err != nil {
+		return nil, err
+	}
+	return db.ix, nil
 }
 
 // Len returns the number of videos in the database.
