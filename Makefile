@@ -1,11 +1,12 @@
-# Tier-1 verification is `make check`: vet plus the full test suite under
-# the race detector. The concurrency stress tests (concurrency_test.go,
+# Tier-1 verification is `make check`: vet, gofmt, the vitrilint
+# analyzer suite, plus the full test suite under the race detector. The
+# concurrency stress tests (concurrency_test.go,
 # internal/index/parallel_test.go) are only meaningful with -race, so the
 # race run gates every PR.
 
 GO ?= go
 
-.PHONY: all build test vet race check bench
+.PHONY: all build test vet fmtcheck lint race check bench
 
 all: check
 
@@ -18,10 +19,22 @@ test:
 vet:
 	$(GO) vet ./...
 
+# fmtcheck fails (listing the offenders) when any tracked Go file is not
+# gofmt-clean. Fixture files under testdata are held to the same bar.
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# lint runs the in-tree analyzer suite (see internal/lint and DESIGN.md
+# "Machine-checked invariants"); it exits nonzero on any unsuppressed
+# finding.
+lint:
+	$(GO) run ./cmd/vitrilint ./...
+
 race:
 	$(GO) test -race ./...
 
-check: vet race
+check: vet fmtcheck lint race
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ ./...

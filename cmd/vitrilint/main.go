@@ -1,0 +1,72 @@
+// Command vitrilint runs this module's static-analysis suite: four
+// stdlib-only analyzers that machine-check the invariants the
+// concurrent engine depends on (see internal/lint).
+//
+// Usage:
+//
+//	vitrilint [package pattern ...]
+//
+// Patterns are module-relative ("./...", "./internal/...",
+// "./internal/btree"); the default is "./...". Diagnostics print as
+//
+//	file:line: [analyzer] message
+//
+// and the process exits 1 when any unsuppressed finding exists (2 on
+// load/type-check failure). Intentional violations are suppressed in
+// place with "//lint:ignore <analyzer> <reason>" on the flagged line or
+// the line above; the summary line counts them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vitri/internal/lint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: vitrilint [package pattern ...]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(os.Stderr, "  %-11s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	res, err := lint.Run(root, patterns, lint.All())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, d := range res.Diagnostics {
+		rel, rerr := filepath.Rel(cwd, d.Pos.Filename)
+		if rerr != nil || strings.HasPrefix(rel, "..") {
+			rel = d.Pos.Filename
+		}
+		fmt.Printf("%s:%d: [%s] %s\n", rel, d.Pos.Line, d.Analyzer, d.Message)
+	}
+	fmt.Fprintf(os.Stderr, "vitrilint: %d packages, %d findings, %d suppressed\n",
+		res.Packages, len(res.Diagnostics), res.Suppressed)
+	if len(res.Diagnostics) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "vitrilint: "+format+"\n", args...)
+	os.Exit(2)
+}

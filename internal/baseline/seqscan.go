@@ -194,7 +194,16 @@ func (s *SeqStore) Search(q *core.Summary, k int) ([]index.Result, index.SearchS
 			}
 			total += v
 		}
-		for cn, v := range sc.dbSums {
+		// Fold cluster contributions in sorted ordinal order: float
+		// addition is not associative, so ranging the map directly would
+		// make similarities differ in the last ULPs run to run.
+		ordinals := make([]int32, 0, len(sc.dbSums))
+		for cn := range sc.dbSums {
+			ordinals = append(ordinals, cn)
+		}
+		sort.Slice(ordinals, func(i, j int) bool { return ordinals[i] < ordinals[j] })
+		for _, cn := range ordinals {
+			v := sc.dbSums[cn]
 			if c := float64(sc.dbCnts[cn]); v > c {
 				v = c
 			}

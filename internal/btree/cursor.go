@@ -16,16 +16,22 @@ type Cursor struct {
 	node   *node
 	idx    int
 	hi     float64
+	st     *pager.ScanStats
 	valid  bool
 	closed bool
 }
 
 // Seek returns a cursor positioned at the first entry with key >= lo that
-// will iterate up to key <= hi.
-func (t *Tree) Seek(lo, hi float64) (*Cursor, error) {
+// will iterate up to key <= hi, without I/O attribution.
+func (t *Tree) Seek(lo, hi float64) (*Cursor, error) { return t.SeekStats(lo, hi, nil) }
+
+// SeekStats is Seek with per-scan I/O attribution: every page read the
+// cursor performs, at seek time and while advancing, is counted in st.
+func (t *Tree) SeekStats(lo, hi float64, st *pager.ScanStats) (*Cursor, error) {
+	//lint:ignore lockorder the cursor deliberately holds the tree read lock across the successful return; Cursor.Close releases it
 	t.mu.RLock()
-	c := &Cursor{t: t, hi: hi}
-	n, err := t.descendToLeaf(lo, nil)
+	c := &Cursor{t: t, hi: hi, st: st}
+	n, err := t.descendToLeaf(lo, st)
 	if err != nil {
 		t.mu.RUnlock()
 		return nil, err
@@ -49,7 +55,7 @@ func (c *Cursor) Next() bool {
 			c.valid = false
 			return false
 		}
-		n, err := c.t.readNode(next)
+		n, err := c.t.readNodeTracked(next, c.st)
 		if err != nil {
 			c.valid = false
 			return false

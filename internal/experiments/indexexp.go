@@ -136,8 +136,12 @@ func Figure16(cfg Config) ([]*metrics.Table, error) {
 		// Ranges per query for context: count once on the first query.
 		var sn, sc index.SearchStats
 		if len(env.queries) > 0 {
-			_, sn, _ = ix.Search(&env.queries[0], cfg.K, index.Naive)
-			_, sc, _ = ix.Search(&env.queries[0], cfg.K, index.Composed)
+			if _, sn, err = ix.Search(&env.queries[0], cfg.K, index.Naive); err != nil {
+				return nil, err
+			}
+			if _, sc, err = ix.Search(&env.queries[0], cfg.K, index.Composed); err != nil {
+				return nil, err
+			}
 		}
 		t.AddRowf(n, naive.pages, composed.pages, sn.Ranges, sc.Ranges)
 	}

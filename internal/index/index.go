@@ -294,6 +294,7 @@ func (ix *Index) Insert(s core.Summary) error {
 func (ix *Index) rollbackInsertLocked(vid int32, keys []float64) {
 	var rec Record
 	for _, key := range keys {
+		//lint:ignore droppederr best-effort rollback: the pager that failed the insert may fail the deletes too
 		_, _ = ix.tree.Delete(key, func(val []byte) bool {
 			return DecodeRecord(val, ix.dim, &rec) == nil && rec.VideoID == vid
 		})
@@ -380,8 +381,7 @@ func (ix *Index) rebuildLocked() error {
 	pg := ix.opts.NewPager()
 	tree, err := btree.BulkLoad(pg, RecordSize(ix.dim), entries, ix.opts.FillFactor)
 	if err != nil {
-		pg.Close()
-		return err
+		return errors.Join(err, pg.Close())
 	}
 	// Refresh the catalog's per-video keys: the new reference point moved
 	// every 1-D key.
@@ -391,6 +391,7 @@ func (ix *Index) rebuildLocked() error {
 	}
 	old := ix.pg
 	ix.tr, ix.tree, ix.pg = tr, tree, pg
+	//lint:ignore droppederr best-effort close of the replaced store; the new pager is already live
 	old.Close()
 	return nil
 }

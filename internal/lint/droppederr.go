@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DroppedErr flags discarded error returns from this module's own
+// functions — above all the pager and btree mutators (a dropped
+// Write/Insert/Delete/Close error is silent data loss), but the rule
+// covers every module-internal callee so the cmds and examples are held
+// to the same bar. A call is "discarded" when it stands alone as a
+// statement while returning an error, or when the error result is
+// assigned to the blank identifier. Deferred and go-spawned calls are
+// exempt (there is no error to handle at that point); deliberate
+// best-effort drops are suppressed in place with
+// //lint:ignore droppederr <reason>.
+//
+// Standard-library callees are out of scope: this analyzer guards the
+// module's own contracts, not general error hygiene (which go vet and
+// review still cover).
+var DroppedErr = &Analyzer{
+	Name: "droppederr",
+	Doc:  "flag discarded error returns from module-internal functions (pager/btree mutators above all)",
+	Run:  runDroppedErr,
+}
+
+func runDroppedErr(pass *Pass) {
+	errType := types.Universe.Lookup("error").Type()
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := s.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := pass.calleeFunc(call)
+				if callee == nil || !moduleInternal(pass, callee) {
+					return true
+				}
+				if errorResultCount(callee, errType) > 0 {
+					pass.Reportf(call.Pos(),
+						"%s returns an error that is discarded; handle it or suppress with //lint:ignore droppederr <reason>",
+						calleeLabel(callee))
+				}
+			case *ast.AssignStmt:
+				checkBlankErrAssign(pass, s, errType)
+			}
+			return true
+		})
+	}
+}
+
+// checkBlankErrAssign flags `_ = f()` / `a, _ := g()` where the blanked
+// position is a module-internal error result.
+func checkBlankErrAssign(pass *Pass, as *ast.AssignStmt, errType types.Type) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	callee := pass.calleeFunc(call)
+	if callee == nil || !moduleInternal(pass, callee) {
+		return
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	results := sig.Results()
+	if results.Len() != len(as.Lhs) {
+		return
+	}
+	for i := 0; i < results.Len(); i++ {
+		if !types.Identical(results.At(i).Type(), errType) {
+			continue
+		}
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			pass.Reportf(as.Pos(),
+				"error result of %s assigned to _; handle it or suppress with //lint:ignore droppederr <reason>",
+				calleeLabel(callee))
+			return
+		}
+	}
+}
+
+// moduleInternal reports whether fn is declared inside the analyzed
+// module.
+func moduleInternal(pass *Pass, fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == pass.ModulePath || strings.HasPrefix(pkg.Path(), pass.ModulePath+"/")
+}
+
+// errorResultCount counts results of type error in fn's signature.
+func errorResultCount(fn *types.Func, errType types.Type) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return 0
+	}
+	n := 0
+	results := sig.Results()
+	for i := 0; i < results.Len(); i++ {
+		if types.Identical(results.At(i).Type(), errType) {
+			n++
+		}
+	}
+	return n
+}
+
+// calleeLabel renders a callee for diagnostics: pkg.Func or (pkg.Type).Method.
+func calleeLabel(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		recv := namedOf(sig.Recv().Type())
+		if recv != nil {
+			return recv.Obj().Pkg().Name() + "." + recv.Obj().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

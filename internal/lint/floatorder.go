@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatOrder enforces the determinism invariant behind the parallel
+// engine's ordered merges: floating-point addition is not associative, so
+// accumulating floats in Go's randomized map iteration order makes
+// results differ run to run — exactly the nondeterminism class the KNN
+// engine's task-ordered fold exists to prevent. The analyzer flags
+// compound float assignments (+=, -=, *=, /=) inside a `range` over a
+// map when the accumulator outlives the iteration:
+//
+//	for _, v := range m {
+//		total += v // order-dependent: flagged
+//	}
+//
+// Per-key slots (lhs indexed by the range key) and accumulators declared
+// inside the loop body are per-iteration and therefore exempt. The fix is
+// the ordered-fold idiom: collect the keys, sort them, then fold.
+var FloatOrder = &Analyzer{
+	Name: "floatorder",
+	Doc:  "forbid order-dependent float accumulation inside range-over-map",
+	Run:  runFloatOrder,
+}
+
+func runFloatOrder(pass *Pass) {
+	reported := make(map[token.Pos]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.typeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(pass, rng, reported)
+			return true
+		})
+	}
+}
+
+// checkMapRange flags order-dependent float accumulation within one
+// range-over-map body (nested map ranges are visited independently, so an
+// inner violation reports against its innermost map loop first).
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, reported map[token.Pos]bool) {
+	keyObj := rangeVarObj(pass, rng.Key)
+	valObj := rangeVarObj(pass, rng.Value)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		default:
+			return true
+		}
+		if len(as.Lhs) != 1 || reported[as.Pos()] {
+			return true
+		}
+		lhs := as.Lhs[0]
+		if !isFloatExpr(pass, lhs) {
+			return true
+		}
+		if accumulatorExempt(pass, lhs, rng, keyObj, valObj) {
+			return true
+		}
+		reported[as.Pos()] = true
+		pass.Reportf(as.Pos(),
+			"float accumulation into %s inside range over map %s depends on map iteration order; collect the keys, sort, then fold (ordered-fold invariant)",
+			exprString(lhs), exprString(rng.X))
+		return true
+	})
+}
+
+// rangeVarObj resolves the object a range key/value identifier binds.
+func rangeVarObj(pass *Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Uses[id] // "for k = range m" with an existing var
+}
+
+func isFloatExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.typeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// accumulatorExempt reports whether the assignment target is
+// per-iteration state: the range variables themselves, anything declared
+// inside the loop body, or a slot indexed by the range key/value.
+func accumulatorExempt(pass *Pass, lhs ast.Expr, rng *ast.RangeStmt, keyObj, valObj types.Object) bool {
+	switch e := unparen(lhs).(type) {
+	case *ast.Ident:
+		obj := pass.Info.ObjectOf(e)
+		if obj == nil {
+			return false
+		}
+		if obj == keyObj || obj == valObj {
+			return true
+		}
+		return rng.Body.Pos() <= obj.Pos() && obj.Pos() <= rng.Body.End()
+	case *ast.IndexExpr:
+		if usesObj(pass, e.Index, keyObj) || usesObj(pass, e.Index, valObj) {
+			return true // per-key slot, deterministic per key
+		}
+		return accumulatorExempt(pass, e.X, rng, keyObj, valObj)
+	case *ast.SelectorExpr:
+		return accumulatorExempt(pass, e.X, rng, keyObj, valObj)
+	case *ast.StarExpr:
+		return accumulatorExempt(pass, e.X, rng, keyObj, valObj)
+	}
+	return false
+}
+
+// usesObj reports whether expr references obj.
+func usesObj(pass *Pass, expr ast.Expr, obj types.Object) bool {
+	if obj == nil || expr == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,189 @@
+// Package lint is a self-contained static-analysis framework for this
+// module, built only on the standard library's go/parser, go/ast and
+// go/types (the module carries no external dependencies, so
+// golang.org/x/tools is deliberately off-limits).
+//
+// It exists to machine-check the three invariants PR 1 documented in
+// prose, which review alone will not keep true as the tree grows:
+//
+//   - the DB → Index → Tree → pager lock hierarchy (analyzer lockorder),
+//   - per-scan I/O attribution through pager.ScanStats on every search
+//     path — the paper's §5.2 headline metric is page accesses, so one
+//     unattributed read corrupts the reproduction (analyzer trackedio),
+//   - byte-identical results regardless of parallelism, which forbids
+//     float accumulation in map iteration order (analyzer floatorder),
+//   - no silently dropped errors from module mutators (analyzer
+//     droppederr).
+//
+// The cmd/vitrilint driver loads the whole module, runs every analyzer
+// and exits nonzero with "file:line: [analyzer] message" diagnostics.
+// Intentional violations are suppressed in place with
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// on the flagged line or the line above it; the driver counts
+// suppressions in its summary line.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the driver's diagnostic format: file:line: [analyzer] message.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:ignore
+	// directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass carries one package's syntax and type information to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// PkgPath is the package's import path; ModulePath the module's.
+	PkgPath    string
+	ModulePath string
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// typeOf returns the type of e, or nil.
+func (p *Pass) typeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// calleeFunc resolves the statically-known function or method a call
+// invokes, or nil (calls through function values are not resolved).
+func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// All returns the full analyzer suite in stable reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{LockOrder, TrackedIO, FloatOrder, DroppedErr}
+}
+
+// unparen strips any number of enclosing parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}
+
+// exprString renders a simple expression (identifiers, selectors, derefs)
+// as source text for diagnostics and mutex identity. Unrenderable
+// expressions collapse to "?", which deliberately never matches another
+// mutex key.
+func exprString(e ast.Expr) string {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[" + exprString(x.Index) + "]"
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "(...)"
+	case *ast.BasicLit:
+		return x.Value
+	}
+	return "?"
+}
+
+// deref removes one level of pointer indirection, if any.
+func deref(t types.Type) types.Type {
+	if ptr, ok := t.(*types.Pointer); ok {
+		return ptr.Elem()
+	}
+	return t
+}
+
+// namedOf returns t's named type after stripping pointers and aliases.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if n, ok := deref(types.Unalias(t)).(*types.Named); ok {
+		return n
+	}
+	return nil
+}
+
+// isScanStatsPtr reports whether t is *ScanStats from a package named
+// "pager" (matched by name so testdata fixture modules exercise the same
+// rule as the real tree).
+func isScanStatsPtr(t types.Type) bool {
+	ptr, ok := types.Unalias(t).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := types.Unalias(ptr.Elem()).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "ScanStats" && obj.Pkg() != nil && obj.Pkg().Name() == "pager"
+}
+
+// isNil reports whether e is the predeclared nil.
+func (p *Pass) isNil(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := p.Info.ObjectOf(id).(*types.Nil)
+	return isNil
+}

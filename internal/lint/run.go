@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+)
+
+// Result is one vitrilint run's outcome.
+type Result struct {
+	// Diagnostics are the unsuppressed findings, sorted by position.
+	Diagnostics []Diagnostic
+	// Suppressed counts findings silenced by //lint:ignore directives.
+	Suppressed int
+	// Packages is the number of packages analyzed.
+	Packages int
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	file      string
+	line      int
+	analyzers map[string]bool
+}
+
+// Run loads the module at root and applies the analyzers to every
+// package matched by patterns. Findings carrying a
+// "//lint:ignore <analyzer> <reason>" directive on their own line or the
+// line above are counted as suppressed instead of reported. Malformed
+// directives are themselves findings (analyzer "lint"), so a typo cannot
+// silently disable a check.
+func Run(root string, patterns []string, analyzers []*Analyzer) (*Result, error) {
+	mod, err := LoadModule(root)
+	if err != nil {
+		return nil, err
+	}
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+
+	var raw []Diagnostic
+	var directives []ignoreDirective
+	res := &Result{}
+	for _, pkg := range mod.Pkgs {
+		if !pkg.Match(patterns) {
+			continue
+		}
+		res.Packages++
+		dirs, malformed := collectDirectives(mod, pkg, known)
+		directives = append(directives, dirs...)
+		raw = append(raw, malformed...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       mod.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Pkg,
+				Info:       pkg.Info,
+				PkgPath:    pkg.Path,
+				ModulePath: mod.Path,
+				report:     func(d Diagnostic) { raw = append(raw, d) },
+			}
+			a.Run(pass)
+		}
+	}
+
+	for _, d := range raw {
+		if suppressed(d, directives) {
+			res.Suppressed++
+			continue
+		}
+		res.Diagnostics = append(res.Diagnostics, d)
+	}
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return res, nil
+}
+
+// collectDirectives parses every //lint:ignore comment in the package,
+// returning well-formed directives and diagnostics for malformed ones.
+func collectDirectives(mod *Module, pkg *Package, known map[string]bool) ([]ignoreDirective, []Diagnostic) {
+	var dirs []ignoreDirective
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := mod.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lint",
+						Message:  "malformed //lint:ignore directive: want \"//lint:ignore <analyzer>[,<analyzer>] <reason>\"",
+					})
+					continue
+				}
+				names := make(map[string]bool)
+				valid := true
+				for _, n := range strings.Split(fields[0], ",") {
+					if !known[n] {
+						bad = append(bad, Diagnostic{
+							Pos:      pos,
+							Analyzer: "lint",
+							Message:  "//lint:ignore names unknown analyzer " + n,
+						})
+						valid = false
+						break
+					}
+					names[n] = true
+				}
+				if !valid {
+					continue
+				}
+				dirs = append(dirs, ignoreDirective{file: pos.Filename, line: pos.Line, analyzers: names})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// suppressed reports whether a directive on the diagnostic's line or the
+// line above covers it.
+func suppressed(d Diagnostic, dirs []ignoreDirective) bool {
+	for _, dir := range dirs {
+		if dir.file != d.Pos.Filename || !dir.analyzers[d.Analyzer] {
+			continue
+		}
+		if dir.line == d.Pos.Line || dir.line == d.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}

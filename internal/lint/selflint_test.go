@@ -1,0 +1,24 @@
+package lint
+
+import "testing"
+
+// TestSelfLint is the regression gate: the real tree must stay free of
+// unsuppressed findings. Every intentional violation carries a
+// //lint:ignore directive, which this test counts to ensure suppression
+// keeps being exercised (and noticed when it drifts).
+func TestSelfLint(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(root, []string{"./..."}, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Diagnostics {
+		t.Errorf("unsuppressed finding: %s", d)
+	}
+	if res.Suppressed == 0 {
+		t.Error("expected the tree's documented //lint:ignore suppressions to be counted")
+	}
+}

@@ -1,0 +1,72 @@
+// Package btree seeds the trackedio violations reachable from a single
+// package: direct pager reads on search paths, untracked same-package
+// helpers, and nil ScanStats arguments — next to the sanctioned
+// forwarding wrapper and fully attributed paths.
+package btree
+
+import (
+	"errors"
+
+	"fixture/pager"
+)
+
+var errNegative = errors.New("negative key")
+
+// Tree is the fixture B+-tree handle.
+type Tree struct {
+	pg pager.Pager
+}
+
+// readNodeTracked is the attributed page reader: clean.
+func (t *Tree) readNodeTracked(id pager.PageID, st *pager.ScanStats) error {
+	var p pager.Page
+	return pager.ReadTracked(t.pg, id, &p, st)
+}
+
+// descendToLeaf threads its caller's stats downward: clean.
+func (t *Tree) descendToLeaf(key float64, st *pager.ScanStats) error {
+	return t.readNodeTracked(0, st)
+}
+
+// searchRaw performs a raw page read on a search path.
+func (t *Tree) searchRaw(id pager.PageID) error {
+	var p pager.Page
+	return t.pg.Read(id, &p) // want "untracked page read (t.pg.Read) on search path searchRaw"
+}
+
+// Scan reaches the raw read through a same-package helper.
+func (t *Tree) Scan(st *pager.ScanStats) error {
+	if st == nil {
+		st = new(pager.ScanStats)
+	}
+	return t.searchRaw(0) // want "Scan calls searchRaw, which performs page reads that bypass ScanStats attribution"
+}
+
+// SeekBad drops attribution its caller offered.
+func (t *Tree) SeekBad(key float64) error {
+	if key < 0 {
+		return errNegative
+	}
+	return t.descendToLeaf(key, nil) // want "nil ScanStats passed to descendToLeaf on search path SeekBad"
+}
+
+// Seek is the sanctioned single-statement forwarding wrapper: clean.
+func (t *Tree) Seek(key float64) error { return t.descendToLeaf(key, nil) }
+
+// ScanRange attributes every read to its caller's stats: clean.
+func (t *Tree) ScanRange(lo, hi float64, st *pager.ScanStats) error {
+	if err := t.descendToLeaf(lo, st); err != nil {
+		return err
+	}
+	return t.readNodeTracked(1, st)
+}
+
+// checkAll is a maintenance walk, not a search path: its raw read is
+// out of scope.
+func (t *Tree) checkAll() error {
+	var p pager.Page
+	return t.pg.Read(0, &p)
+}
+
+// Audit keeps the unexported maintenance walk referenced.
+func (t *Tree) Audit() error { return t.checkAll() }

@@ -1,0 +1,55 @@
+// Package clean must produce zero diagnostics: it composes the blessed
+// idioms every analyzer checks for, so any finding here is an analyzer
+// false positive.
+package clean
+
+import (
+	"sort"
+	"sync"
+
+	"fixture/pager"
+)
+
+// Catalog pairs a mutex with the ordered-fold and tracked-read idioms.
+type Catalog struct {
+	mu     sync.RWMutex
+	pg     pager.Pager
+	scores map[int]float64
+}
+
+// Total folds the score map in sorted key order under a read lock.
+func (c *Catalog) Total() float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	keys := make([]int, 0, len(c.scores))
+	for k := range c.scores {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var total float64
+	for _, k := range keys {
+		total += c.scores[k]
+	}
+	return total
+}
+
+// Load reads pages through the attributed reader and handles every
+// error.
+func (c *Catalog) Load(n int, st *pager.ScanStats) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var p pager.Page
+	for i := 0; i < n; i++ {
+		if err := pager.ReadTracked(c.pg, pager.PageID(i), &p, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases the store, propagating its error.
+func (c *Catalog) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pg.Close()
+}

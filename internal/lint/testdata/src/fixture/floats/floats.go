@@ -1,0 +1,77 @@
+// Package floats seeds order-dependent float folds over maps, next to
+// every exemption the floatorder analyzer grants.
+package floats
+
+import "sort"
+
+// SumMap folds map values in iteration order.
+func SumMap(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want "float accumulation into total inside range over map m"
+	}
+	return total
+}
+
+// ProductMap shows the rule covers every compound float operator.
+func ProductMap(m map[int]float64) float64 {
+	prod := 1.0
+	for _, v := range m {
+		prod *= v // want "float accumulation into prod inside range over map m"
+	}
+	return prod
+}
+
+// SumField shows the rule reaching through selectors and pointers.
+type acc struct {
+	total float64
+}
+
+// SumIntoField accumulates into a struct field owned outside the loop.
+func SumIntoField(a *acc, m map[string]float64) {
+	for _, v := range m {
+		a.total += v // want "float accumulation into a.total inside range over map m"
+	}
+}
+
+// SumInts accumulates integers: exact arithmetic, order-independent.
+func SumInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Normalize writes per-key slots: deterministic per key.
+func Normalize(m, out map[string]float64) {
+	for k, v := range m {
+		out[k] += v
+	}
+}
+
+// LocalAccumulator's accumulator is declared inside the body, so it
+// never spans iterations.
+func LocalAccumulator(m map[string]float64) float64 {
+	last := 0.0
+	for _, v := range m {
+		x := v
+		x += 1
+		last = x
+	}
+	return last
+}
+
+// SumOrdered is the sanctioned fix: collect the keys, sort, then fold.
+func SumOrdered(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var total float64
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}

@@ -1,0 +1,40 @@
+// Package index seeds the transitive half of trackedio: a search path
+// reaching an untracked read through two hops of same-package helpers.
+package index
+
+import "fixture/pager"
+
+// Index is the fixture index handle.
+type Index struct {
+	pg pager.Pager
+}
+
+// rawRead bypasses attribution but is not itself on a search path.
+func (ix *Index) rawRead(id pager.PageID) error {
+	var p pager.Page
+	return ix.pg.Read(id, &p)
+}
+
+// helper inherits rawRead's untracked status through the fixed point.
+func (ix *Index) helper(id pager.PageID) error {
+	return ix.rawRead(id)
+}
+
+// KNNSearch reaches the raw read two calls deep.
+func (ix *Index) KNNSearch(k int) error {
+	if k <= 0 {
+		return nil
+	}
+	return ix.helper(0) // want "KNNSearch calls helper, which performs page reads that bypass ScanStats attribution"
+}
+
+// QueryTracked routes every read through the attributed reader: clean.
+func (ix *Index) QueryTracked(k int, st *pager.ScanStats) error {
+	var p pager.Page
+	for i := 0; i < k; i++ {
+		if err := pager.ReadTracked(ix.pg, pager.PageID(i), &p, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+// Package locks seeds every violation class the lockorder analyzer
+// recognizes, next to the clean shapes it must accept.
+package locks
+
+import (
+	"errors"
+	"sync"
+
+	"fixture/pager"
+)
+
+// DB, Index and Tree carry the level-0/1/2 locks of the documented
+// hierarchy; pager.Store carries level 3.
+type DB struct{ mu sync.RWMutex }
+
+type Index struct{ mu sync.RWMutex }
+
+type Tree struct{ mu sync.RWMutex }
+
+// Inverted acquires a DB lock under a Tree lock: hierarchy inversion.
+func Inverted(db *DB, t *Tree) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	db.mu.Lock() // want "lock order violation: acquiring DB lock db.mu while holding Tree lock t.mu"
+	defer db.mu.Unlock()
+}
+
+// SameLevel nests two locks of the same level, which the hierarchy
+// cannot order.
+func SameLevel(a, b *Index) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want "lock order violation: acquiring Index lock b.mu while holding Index lock a.mu"
+	defer b.mu.Unlock()
+}
+
+// PagerThenTree acquires a Tree lock while holding a pager lock.
+func PagerThenTree(s *pager.Store, t *Tree) {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	t.mu.Lock() // want "lock order violation: acquiring Tree lock t.mu while holding pager lock s.Mu"
+	defer t.mu.Unlock()
+}
+
+// Upgrade attempts the RLock-then-Lock upgrade on one mutex.
+func Upgrade(ix *Index) {
+	ix.mu.RLock()
+	ix.mu.Lock() // want "read-to-write upgrade: ix.mu.Lock() while ix.mu.RLock() is held self-deadlocks"
+	ix.mu.Unlock()
+	ix.mu.RUnlock()
+}
+
+// DoubleLock re-acquires a mutex it already holds.
+func DoubleLock(t *Tree) {
+	t.mu.Lock()
+	t.mu.Lock() // want "t.mu.Lock() while t.mu is already held"
+	t.mu.Unlock()
+	t.mu.Unlock()
+}
+
+// LeakOnError returns early without releasing.
+func LeakOnError(t *Tree, fail bool) error {
+	t.mu.Lock() // want "t.mu.Lock() is not released on every return path"
+	if fail {
+		return errors.New("boom")
+	}
+	t.mu.Unlock()
+	return nil
+}
+
+// ProperDescent takes the three levels in hierarchy order: clean.
+func ProperDescent(db *DB, ix *Index, t *Tree) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+}
+
+// BranchRelease unlocks explicitly on every return path: clean.
+func BranchRelease(t *Tree, fail bool) error {
+	t.mu.Lock()
+	if fail {
+		t.mu.Unlock()
+		return errors.New("boom")
+	}
+	t.mu.Unlock()
+	return nil
+}
+
+// PanicPath aborts on its locked path; a panic is not a return: clean.
+func PanicPath(t *Tree, bad bool) {
+	t.mu.Lock()
+	if bad {
+		panic("invariant broken")
+	}
+	t.mu.Unlock()
+}
+
+// WaitLocked holds a read lock across a select: clean.
+func WaitLocked(t *Tree, ch chan struct{}) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	select {
+	case <-ch:
+	default:
+	}
+}
+
+// Spawn's goroutine body is analyzed as its own function: clean.
+func Spawn(t *Tree) {
+	go func() {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+	}()
+}
+
+// ClosureUnlock releases via a deferred closure: clean.
+func ClosureUnlock(t *Tree) {
+	t.mu.Lock()
+	defer func() {
+		t.mu.Unlock()
+	}()
+}

@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// TrackedIO enforces the I/O-attribution invariant on search paths in the
+// btree and index packages: every B+-tree page read performed on behalf
+// of a scan or KNN query must be attributed to that operation's
+// pager.ScanStats. Page accesses are the paper's §5.2 primary cost
+// metric, so one unattributed read silently corrupts the reproduction's
+// headline numbers as soon as scans overlap.
+//
+// A function is "on a search path" when its name contains scan, search,
+// seek, descend, leftmost, query, knn or task, or when it takes a
+// *pager.ScanStats parameter. Inside such functions the analyzer flags:
+//
+//   - direct calls to a pager's Read (bypassing pager.ReadTracked);
+//   - calls to same-package functions that (transitively) perform such
+//     untracked reads;
+//   - a nil literal passed where a callee expects a *pager.ScanStats —
+//     attribution the caller had the chance to provide and dropped.
+//
+// The single-statement forwarding wrapper is the one sanctioned untracked
+// entry point (e.g. RangeScan delegating to RangeScanStats with nil):
+// a body consisting of exactly one delegation is exempt from the nil
+// rule, keeping convenience APIs expressible without suppressions.
+var TrackedIO = &Analyzer{
+	Name: "trackedio",
+	Doc:  "require ScanStats-attributed page reads on btree/index search paths",
+	Run:  runTrackedIO,
+}
+
+// trackedioPkgs are the package names whose search paths carry the
+// attribution obligation.
+var trackedioPkgs = map[string]bool{"btree": true, "index": true}
+
+var searchPathRe = regexp.MustCompile(`(?i)scan|search|seek|descend|leftmost|query|knn|task`)
+
+func runTrackedIO(pass *Pass) {
+	if !trackedioPkgs[pass.Pkg.Name()] {
+		return
+	}
+
+	// Collect this package's function declarations.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	var order []*types.Func
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+				order = append(order, fn)
+			}
+		}
+	}
+
+	// untracked[fn] = fn performs a direct pager Read, or calls a
+	// same-package function that does (transitive closure).
+	untracked := make(map[*types.Func]bool)
+	calls := make(map[*types.Func][]*types.Func)
+	for fn, fd := range decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := pass.calleeFunc(call)
+			if callee == nil {
+				return true
+			}
+			if isPagerRead(callee) {
+				untracked[fn] = true
+			} else if callee.Pkg() == pass.Pkg {
+				calls[fn] = append(calls[fn], callee)
+			}
+			return true
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range calls {
+			if untracked[fn] {
+				continue
+			}
+			for _, c := range callees {
+				if untracked[c] {
+					untracked[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for _, fn := range order {
+		fd := decls[fn]
+		if !onSearchPath(fn) {
+			continue
+		}
+		wrapper := isForwardingWrapper(fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := pass.calleeFunc(call)
+			if callee == nil {
+				return true
+			}
+			switch {
+			case isPagerRead(callee):
+				pass.Reportf(call.Pos(),
+					"untracked page read (%s) on search path %s; route it through pager.ReadTracked so the scan's ScanStats sees it",
+					exprString(call.Fun), fn.Name())
+			case callee.Pkg() == pass.Pkg && untracked[callee]:
+				pass.Reportf(call.Pos(),
+					"%s calls %s, which performs page reads that bypass ScanStats attribution",
+					fn.Name(), callee.Name())
+			case !wrapper && nilScanStatsArg(pass, call, callee):
+				pass.Reportf(call.Pos(),
+					"nil ScanStats passed to %s on search path %s drops this scan's I/O attribution",
+					callee.Name(), fn.Name())
+			}
+			return true
+		})
+	}
+}
+
+// isPagerRead matches the raw page-read method: Read on any type (or
+// interface) from a package named pager.
+func isPagerRead(fn *types.Func) bool {
+	return fn.Name() == "Read" && fn.Pkg() != nil && fn.Pkg().Name() == "pager"
+}
+
+// onSearchPath applies the analyzer's search-path definition.
+func onSearchPath(fn *types.Func) bool {
+	if searchPathRe.MatchString(fn.Name()) {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isScanStatsPtr(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isForwardingWrapper reports whether fd's body is exactly one statement
+// delegating to another call — the sanctioned shape of an untracked
+// convenience entry point.
+func isForwardingWrapper(fd *ast.FuncDecl) bool {
+	if fd.Body == nil || len(fd.Body.List) != 1 {
+		return false
+	}
+	switch s := fd.Body.List[0].(type) {
+	case *ast.ReturnStmt:
+		return len(s.Results) == 1 && isCall(s.Results[0])
+	case *ast.ExprStmt:
+		return isCall(s.X)
+	}
+	return false
+}
+
+func isCall(e ast.Expr) bool {
+	_, ok := unparen(e).(*ast.CallExpr)
+	return ok
+}
+
+// nilScanStatsArg reports whether the call passes a nil literal in a
+// *pager.ScanStats parameter position.
+func nilScanStatsArg(pass *Pass, call *ast.CallExpr, callee *types.Func) bool {
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	// Method expressions shift arguments by one; the plain method/function
+	// call is the only form used here, so positions line up.
+	for i := 0; i < params.Len() && i < len(call.Args); i++ {
+		if isScanStatsPtr(params.At(i).Type()) && pass.isNil(call.Args[i]) {
+			return true
+		}
+	}
+	return false
+}
