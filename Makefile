@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmtcheck lint race check bench
+.PHONY: all build test vet fmtcheck lint race e2e fuzz-smoke check bench
 
 all: check
 
@@ -34,7 +34,18 @@ lint:
 race:
 	$(GO) test -race ./...
 
-check: vet fmtcheck lint race
+# e2e runs the server end-to-end suite (httptest clients against the
+# full middleware stack, including shutdown-mid-flight and fault
+# injection) under the race detector with verbose failure context.
+e2e:
+	$(GO) test -race -run 'TestE2E' -count 1 ./internal/server/
+
+# fuzz-smoke gives the store-codec fuzzer a short budget on every check:
+# enough to replay the corpus plus a few thousand fresh mutations.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadSummaries$$' -fuzztime 5s .
+
+check: vet fmtcheck lint race e2e fuzz-smoke
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ ./...

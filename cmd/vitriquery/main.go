@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strconv"
@@ -24,56 +25,69 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "vitriquery: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole command, separated from main so tests can drive it
+// with fixed arguments and capture stdout. Output for a fixed corpus,
+// seed and flag set is byte-for-byte deterministic.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("vitriquery", flag.ContinueOnError)
 	var (
-		corpusPath = flag.String("corpus", "corpus.gob", "corpus file from vitrigen")
-		epsilon    = flag.Float64("epsilon", 0.3, "frame similarity threshold")
-		k          = flag.Int("k", 10, "number of results per query")
-		random     = flag.Int("random", 0, "query this many random corpus videos")
-		seed       = flag.Int64("seed", 1, "random seed")
-		exact      = flag.Bool("exact", false, "also print the exact frame-level similarity of each match (slow)")
-		stats      = flag.Bool("stats", false, "print index structure statistics")
+		corpusPath = fs.String("corpus", "corpus.gob", "corpus file from vitrigen")
+		epsilon    = fs.Float64("epsilon", 0.3, "frame similarity threshold")
+		k          = fs.Int("k", 10, "number of results per query")
+		random     = fs.Int("random", 0, "query this many random corpus videos")
+		seed       = fs.Int64("seed", 1, "random seed")
+		exact      = fs.Bool("exact", false, "also print the exact frame-level similarity of each match (slow)")
+		stats      = fs.Bool("stats", false, "print index structure statistics")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	c, err := dataset.Load(*corpusPath)
 	if err != nil {
-		fatalf("%v", err)
+		return err
 	}
-	fmt.Printf("corpus: %d videos, %d frames, %d dims\n", len(c.Videos), c.FrameCount(), c.Dim)
+	fmt.Fprintf(stdout, "corpus: %d videos, %d frames, %d dims\n", len(c.Videos), c.FrameCount(), c.Dim)
 
 	db := vitri.New(vitri.Options{Epsilon: *epsilon, Seed: *seed})
 	byID := make(map[int][]vitri.Vector, len(c.Videos))
 	for i := range c.Videos {
 		v := &c.Videos[i]
 		if err := db.Add(v.ID, v.Frames); err != nil {
-			fatalf("add video %d: %v", v.ID, err)
+			return fmt.Errorf("add video %d: %w", v.ID, err)
 		}
 		byID[v.ID] = v.Frames
 	}
-	fmt.Printf("indexed %d videos as %d triplets\n", db.Len(), db.Triplets())
+	fmt.Fprintf(stdout, "indexed %d videos as %d triplets\n", db.Len(), db.Triplets())
 	if *stats {
 		// The index builds lazily; force it so stats are meaningful.
 		warm := vitri.Summarize(-1, c.Videos[0].Frames, *epsilon, *seed)
 		if _, _, err := db.SearchSummary(&warm, 1, vitri.Composed); err != nil {
-			fatalf("warmup: %v", err)
+			return fmt.Errorf("warmup: %w", err)
 		}
 		st, err := db.Stats()
 		if err != nil {
-			fatalf("stats: %v", err)
+			return fmt.Errorf("stats: %w", err)
 		}
-		fmt.Printf("B+-tree: height %d, %d internal + %d leaf nodes, %.0f%% leaf fill\n",
+		fmt.Fprintf(stdout, "B+-tree: height %d, %d internal + %d leaf nodes, %.0f%% leaf fill\n",
 			st.Height, st.InternalNodes, st.LeafNodes, st.LeafFill*100)
 		if err := db.CheckIndex(); err != nil {
-			fatalf("integrity check failed: %v", err)
+			return fmt.Errorf("integrity check failed: %w", err)
 		}
-		fmt.Println("integrity check: ok")
+		fmt.Fprintln(stdout, "integrity check: ok")
 	}
 
 	var queryIDs []int
-	for _, arg := range flag.Args() {
+	for _, arg := range fs.Args() {
 		id, err := strconv.Atoi(arg)
 		if err != nil {
-			fatalf("bad video id %q", arg)
+			return fmt.Errorf("bad video id %q", arg)
 		}
 		queryIDs = append(queryIDs, id)
 	}
@@ -84,32 +98,28 @@ func main() {
 		}
 	}
 	if len(queryIDs) == 0 {
-		fatalf("no queries: pass video ids or -random N")
+		return fmt.Errorf("no queries: pass video ids or -random N")
 	}
 
 	for _, id := range queryIDs {
 		frames, ok := byID[id]
 		if !ok {
-			fatalf("video %d not in corpus", id)
+			return fmt.Errorf("video %d not in corpus", id)
 		}
 		q := vitri.Summarize(-1, frames, *epsilon, *seed)
 		matches, stats, err := db.SearchSummary(&q, *k, vitri.Composed)
 		if err != nil {
-			fatalf("query %d: %v", id, err)
+			return fmt.Errorf("query %d: %w", id, err)
 		}
-		fmt.Printf("\nquery video %d (%d frames, %d triplets): %d matches, %d page reads, %d similarity ops\n",
+		fmt.Fprintf(stdout, "\nquery video %d (%d frames, %d triplets): %d matches, %d page reads, %d similarity ops\n",
 			id, len(frames), len(q.Triplets), len(matches), stats.PageReads, stats.SimilarityOps)
 		for rank, m := range matches {
 			line := fmt.Sprintf("  #%-2d video %-6d similarity %.4f", rank+1, m.VideoID, m.Similarity)
 			if *exact {
 				line += fmt.Sprintf("  exact %.4f", vitri.ExactSimilarity(frames, byID[m.VideoID], *epsilon))
 			}
-			fmt.Println(line)
+			fmt.Fprintln(stdout, line)
 		}
 	}
-}
-
-func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "vitriquery: "+format+"\n", args...)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vitri/internal/dataset"
+)
+
+// goldenCorpus generates a tiny deterministic corpus and saves it where
+// run() can load it.
+func goldenCorpus(t *testing.T) string {
+	t.Helper()
+	cfg := dataset.HistConfig{
+		Dim:          16,
+		FPS:          10,
+		AvgShotSec:   1.0,
+		ShotNoise:    0.004,
+		ActiveBins:   5,
+		LibraryShots: 24,
+		Seed:         7,
+		Durations:    []dataset.DurationSpec{{Seconds: 3, Count: 5}, {Seconds: 2, Count: 3}},
+	}
+	c, err := dataset.GenerateHist(cfg)
+	if err != nil {
+		t.Fatalf("generate corpus: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "corpus.gob")
+	if err := c.Save(path); err != nil {
+		t.Fatalf("save corpus: %v", err)
+	}
+	return path
+}
+
+// TestRunGoldenDeterminism runs the full command twice on the same
+// corpus with a fixed seed and requires byte-identical output: query
+// selection, result ranking, similarity formatting, and the reported
+// page-read counts must all be reproducible. Map iteration, goroutine
+// scheduling in the parallel search path, or float reassociation would
+// each break this.
+func TestRunGoldenDeterminism(t *testing.T) {
+	corpus := goldenCorpus(t)
+	args := []string{"-corpus", corpus, "-k", "5", "-random", "3", "-seed", "7", "-stats"}
+
+	var first, second bytes.Buffer
+	if err := run(args, &first); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if err := run(args, &second); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("output differs between identical runs:\n--- first ---\n%s\n--- second ---\n%s",
+			first.String(), second.String())
+	}
+
+	// Sanity on shape so a silently empty run can't pass: the header, the
+	// index integrity check, and three query blocks must be present.
+	out := first.String()
+	for _, want := range []string{"corpus: 8 videos", "integrity check: ok"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "query video "); n != 3 {
+		t.Fatalf("expected 3 query blocks, found %d:\n%s", n, out)
+	}
+	// Every query should report its ranked matches; the query video
+	// itself must appear as a (near-)perfect match somewhere.
+	if !strings.Contains(out, "#1  video") {
+		t.Fatalf("no ranked matches in output:\n%s", out)
+	}
+}
+
+// TestRunErrors exercises the error paths that used to call os.Exit:
+// they must now surface as ordinary errors.
+func TestRunErrors(t *testing.T) {
+	corpus := goldenCorpus(t)
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"missing corpus", []string{"-corpus", filepath.Join(t.TempDir(), "nope.gob")}, "no such file"},
+		{"no queries", []string{"-corpus", corpus}, "no queries"},
+		{"bad id", []string{"-corpus", corpus, "banana"}, "bad video id"},
+		{"unknown id", []string{"-corpus", corpus, "9999"}, "not in corpus"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run(tc.args, &out)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,139 @@
+// Command vitriserve loads a corpus (vitrigen .gob) or a saved summary
+// store (vitri .Save file), builds a ViTri database once, and serves KNN
+// queries over HTTP/JSON until terminated.
+//
+// Endpoints (see internal/server): POST /search, /insert, /remove and
+// GET /healthz, /stats. Load shedding answers 429 + Retry-After once
+// -max-inflight requests are active; SIGINT/SIGTERM trigger a graceful
+// shutdown that drains in-flight queries before the page store closes.
+//
+// Example:
+//
+//	vitrigen -scale 0.02 -o corpus.gob
+//	vitriserve -corpus corpus.gob -addr :8080
+//	curl -s localhost:8080/healthz
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vitri"
+	"vitri/internal/dataset"
+	"vitri/internal/pager"
+	"vitri/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		corpusPath  = flag.String("corpus", "", "corpus file from vitrigen (summarized at startup)")
+		dbPath      = flag.String("db", "", "summary store written by vitri Save (loads without re-summarizing)")
+		epsilon     = flag.Float64("epsilon", 0.3, "frame similarity threshold (ignored with -db: the store fixes it)")
+		seed        = flag.Int64("seed", 1, "summarization seed")
+		parallelism = flag.Int("parallelism", 0, "search parallelism (0 = GOMAXPROCS)")
+		cachePages  = flag.Int("cache", 1024, "LRU page-cache capacity in 4 KiB pages (0 = uncached)")
+		k           = flag.Int("k", 10, "default result count per query")
+		maxInflight = flag.Int("max-inflight", 64, "admission limit for /search, /insert and /remove")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request deadline (0 = none)")
+		drain       = flag.Duration("drain", 30*time.Second, "shutdown drain budget")
+	)
+	flag.Parse()
+	if (*corpusPath == "") == (*dbPath == "") {
+		fatalf("exactly one of -corpus and -db is required")
+	}
+
+	newPager := func() pager.Pager { return pager.NewMem() }
+	var cacheStats func() (uint64, uint64, float64)
+	if *cachePages > 0 {
+		newPager, cacheStats = server.CachedPager(newPager, *cachePages)
+	}
+	opts := vitri.Options{
+		Epsilon:           *epsilon,
+		Seed:              *seed,
+		SearchParallelism: *parallelism,
+		NewPager:          newPager,
+	}
+
+	db, err := loadDB(*corpusPath, *dbPath, opts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	log.Printf("vitriserve: %d videos, %d triplets (epsilon %g)", db.Len(), db.Triplets(), db.Epsilon())
+
+	srv := server.New(db, server.Config{
+		DefaultK:       *k,
+		MaxInFlight:    *maxInflight,
+		RequestTimeout: *timeout,
+		CacheStats:     cacheStats,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("vitriserve: listening on %s", *addr)
+
+	select {
+	case err := <-errCh:
+		fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("vitriserve: shutting down (drain budget %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("vitriserve: http shutdown: %v", err)
+	}
+	if err := srv.Close(shutdownCtx); err != nil {
+		fatalf("close: %v", err)
+	}
+	log.Printf("vitriserve: drained, page store closed")
+}
+
+// loadDB builds the database from whichever source was given.
+func loadDB(corpusPath, dbPath string, opts vitri.Options) (*vitri.DB, error) {
+	if dbPath != "" {
+		opts.Epsilon = 0 // take ε from the store
+		db, err := vitri.Load(dbPath, opts)
+		if err != nil {
+			return nil, err
+		}
+		return db, nil
+	}
+	c, err := dataset.Load(corpusPath)
+	if err != nil {
+		return nil, err
+	}
+	if len(c.Videos) == 0 {
+		return nil, errors.New("corpus has no videos")
+	}
+	db := vitri.New(opts)
+	for i := range c.Videos {
+		v := &c.Videos[i]
+		if err := db.Add(v.ID, v.Frames); err != nil {
+			return nil, fmt.Errorf("add video %d: %w", v.ID, err)
+		}
+	}
+	// Force the lazy index build now, so the first request doesn't pay
+	// for it and startup fails fast on a broken corpus.
+	warm := vitri.Summarize(-1, c.Videos[0].Frames, db.Epsilon(), opts.Seed)
+	if _, _, err := db.SearchSummary(&warm, 1, vitri.Composed); err != nil {
+		return nil, fmt.Errorf("index build: %w", err)
+	}
+	return db, nil
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "vitriserve: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,141 @@
+package geometry
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Property-based checks for IntersectionVolume over randomized sphere
+// pairs. All randomness flows from explicitly seeded generators so a
+// failure reproduces exactly; the global math/rand source is never used.
+
+// genSpheres draws a dimensionality and two positive radii in ranges the
+// index actually sees (triplet radii are O(epsilon), dims are small).
+func genSpheres(r *rand.Rand) (n int, r1, r2 float64) {
+	n = 1 + r.Intn(16)
+	r1 = 0.05 + 1.95*r.Float64()
+	r2 = 0.05 + 1.95*r.Float64()
+	return
+}
+
+// TestIntersectionVolumeSymmetry: V(d, r1, r2) == V(d, r2, r1) exactly.
+// The implementation canonicalizes argument order, so any asymmetry is a
+// bug, not roundoff — the comparison is bitwise.
+func TestIntersectionVolumeSymmetry(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	for i := 0; i < 2000; i++ {
+		n, r1, r2 := genSpheres(r)
+		d := (r1 + r2) * 1.2 * r.Float64()
+		a := IntersectionVolume(n, d, r1, r2)
+		b := IntersectionVolume(n, d, r2, r1)
+		if a != b {
+			t.Fatalf("n=%d d=%g r1=%g r2=%g: V(r1,r2)=%g != V(r2,r1)=%g", n, d, r1, r2, a, b)
+		}
+		la := LogIntersectionVolume(n, d, r1, r2)
+		lb := LogIntersectionVolume(n, d, r2, r1)
+		if la != lb && !(math.IsNaN(la) && math.IsNaN(lb)) {
+			t.Fatalf("n=%d d=%g r1=%g r2=%g: logV asymmetric: %g vs %g", n, d, r1, r2, la, lb)
+		}
+	}
+}
+
+// TestIntersectionVolumeContainment: when one sphere lies strictly inside
+// the other (d < |r1-r2|, paper case 4), the shared volume is exactly the
+// smaller sphere's volume.
+func TestIntersectionVolumeContainment(t *testing.T) {
+	r := rand.New(rand.NewSource(202))
+	for i := 0; i < 2000; i++ {
+		n, r1, r2 := genSpheres(r)
+		if r1 == r2 {
+			r1 += 0.1
+		}
+		gap := math.Abs(r1 - r2)
+		d := gap * 0.999 * r.Float64()
+		small := math.Min(r1, r2)
+		got := IntersectionVolume(n, d, r1, r2)
+		want := SphereVolume(n, small)
+		if got != want {
+			t.Fatalf("n=%d d=%g r1=%g r2=%g: contained volume %g != sphere volume %g", n, d, r1, r2, got, want)
+		}
+	}
+}
+
+// TestIntersectionVolumeDisjoint: at or beyond d = r1+r2 (paper case 1)
+// the volume is exactly zero and the log form is -Inf.
+func TestIntersectionVolumeDisjoint(t *testing.T) {
+	r := rand.New(rand.NewSource(303))
+	for i := 0; i < 2000; i++ {
+		n, r1, r2 := genSpheres(r)
+		d := (r1 + r2) * (1 + r.Float64())
+		if i%10 == 0 {
+			d = r1 + r2 // exactly touching
+		}
+		if v := IntersectionVolume(n, d, r1, r2); v != 0 {
+			t.Fatalf("n=%d d=%g r1=%g r2=%g: disjoint volume %g != 0", n, d, r1, r2, v)
+		}
+		if lv := LogIntersectionVolume(n, d, r1, r2); !math.IsInf(lv, -1) {
+			t.Fatalf("n=%d d=%g r1=%g r2=%g: disjoint log volume %g != -Inf", n, d, r1, r2, lv)
+		}
+	}
+}
+
+// TestIntersectionVolumeMonotonicInDistance sweeps d from full overlap to
+// past disjointness and requires the shared volume never to increase.
+// The sweep is fine enough to pass through all four §4.2 configurations,
+// and the test asserts it actually did — a regression that collapses two
+// cases would otherwise silently weaken the property.
+func TestIntersectionVolumeMonotonicInDistance(t *testing.T) {
+	r := rand.New(rand.NewSource(404))
+	const steps = 400
+	// Tolerance for adjacent-step comparisons: cap volumes come from the
+	// regularized incomplete beta, so monotonicity holds up to roundoff.
+	const slack = 1e-12
+	for trial := 0; trial < 200; trial++ {
+		n, r1, r2 := genSpheres(r)
+		maxD := (r1 + r2) * 1.1
+		prev := math.Inf(1)
+		seen := map[IntersectCase]bool{}
+		for s := 0; s <= steps; s++ {
+			d := maxD * float64(s) / steps
+			seen[Classify(d, r1, r2).Case] = true
+			v := IntersectionVolume(n, d, r1, r2)
+			if v < 0 {
+				t.Fatalf("n=%d d=%g r1=%g r2=%g: negative volume %g", n, d, r1, r2, v)
+			}
+			if v > prev*(1+slack)+slack {
+				t.Fatalf("n=%d r1=%g r2=%g: volume increased with distance at d=%g: %g -> %g",
+					n, r1, r2, d, prev, v)
+			}
+			prev = v
+		}
+		for _, c := range []IntersectCase{Disjoint, Lune, MajorOverlap, Contained} {
+			if !seen[c] {
+				// Equal radii never produce containment; everything else
+				// must visit all four cases on a 0..1.1(r1+r2) sweep.
+				if c == Contained && r1 == r2 {
+					continue
+				}
+				t.Fatalf("n=%d r1=%g r2=%g: sweep never hit case %v", n, r1, r2, c)
+			}
+		}
+	}
+}
+
+// TestIntersectionVolumeBoundedBySmallerSphere: the lens can never exceed
+// either sphere, in particular the smaller one (a weaker but global form
+// of the containment identity, checked across every configuration).
+func TestIntersectionVolumeBoundedBySmallerSphere(t *testing.T) {
+	r := rand.New(rand.NewSource(505))
+	const slack = 1e-9
+	for i := 0; i < 2000; i++ {
+		n, r1, r2 := genSpheres(r)
+		d := (r1 + r2) * 1.2 * r.Float64()
+		small := math.Min(r1, r2)
+		v := IntersectionVolume(n, d, r1, r2)
+		bound := SphereVolume(n, small)
+		if v > bound*(1+slack) {
+			t.Fatalf("n=%d d=%g r1=%g r2=%g: lens %g exceeds smaller sphere %g", n, d, r1, r2, v, bound)
+		}
+	}
+}

@@ -229,6 +229,15 @@ func (ix *Index) ResetPagerStats() {
 	ix.pg.ResetStats()
 }
 
+// Close releases the index's page store. Subsequent tree operations fail
+// with pager.ErrClosed; the store's Close is idempotent, so Close may be
+// called more than once.
+func (ix *Index) Close() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.pg.Close()
+}
+
 // Insert adds one summarized video to the index dynamically: each triplet
 // is keyed with the *existing* reference point and inserted into the
 // B+-tree (§5.1 "dynamic maintenance"). The reference point is not moved;

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+			c.Add(10)
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8*1000+8*10 {
+		t.Fatalf("Counter = %d, want %d", got, 8*1000+8*10)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 9} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []uint64{2, 2, 2, 1} // (≤1)=2, (≤2)=2, (≤4)=2, overflow=1
+	for i, c := range want {
+		if s.Counts[i] != c {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], c, s.Counts)
+		}
+	}
+	if s.Count != 7 || s.Max != 9 {
+		t.Fatalf("Count=%d Max=%v", s.Count, s.Max)
+	}
+	if m := s.MeanValue(); math.Abs(m-21.0/7) > 1e-12 {
+		t.Fatalf("Mean = %v", m)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5) // all in the first bucket
+	}
+	h.Observe(7) // one in (4, 8]
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q <= 0 || q > 1 {
+		t.Fatalf("p50 = %v, want within (0, 1]", q)
+	}
+	if q := s.Quantile(1.0); math.Abs(q-8) > 4 {
+		t.Fatalf("p100 = %v, want in the last occupied bucket", q)
+	}
+	var empty HistogramSnapshot
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Fatalf("empty p50 = %v", q)
+	}
+	if q := s.Quantile(0); !math.IsNaN(q) {
+		t.Fatalf("p0 = %v, want NaN", q)
+	}
+}
+
+func TestHistogramOverflowQuantileIsMax(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.Observe(40)
+	h.Observe(50)
+	s := h.Snapshot()
+	if q := s.Quantile(0.99); q != 50 {
+		t.Fatalf("overflow quantile = %v, want recorded max 50", q)
+	}
+}
+
+func TestLatencyBounds(t *testing.T) {
+	b := LatencyBounds()
+	if len(b) == 0 || b[0] != 100e-6 {
+		t.Fatalf("bounds = %v", b)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not ascending at %d: %v", i, b)
+		}
+	}
+	NewHistogram(b) // must not panic
+}

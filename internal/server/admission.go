@@ -1,0 +1,30 @@
+package server
+
+// admission is the bounded concurrency semaphore behind the heavy
+// endpoints. It never queues: a request either takes a slot immediately
+// or is shed by the caller with 429 + Retry-After, which is what keeps
+// the server's memory bounded under overload (at most cap(slots)
+// requests own decoded bodies and search state at once).
+type admission struct {
+	slots chan struct{}
+}
+
+func newAdmission(n int) *admission {
+	return &admission{slots: make(chan struct{}, n)}
+}
+
+// tryAcquire takes a slot if one is free, without blocking.
+func (a *admission) tryAcquire() bool {
+	select {
+	case a.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// release frees a slot taken by tryAcquire.
+func (a *admission) release() { <-a.slots }
+
+// held reports the number of slots currently taken.
+func (a *admission) held() int { return len(a.slots) }

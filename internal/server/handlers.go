@@ -1,0 +1,336 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+
+	"vitri"
+)
+
+// searchRequest is the /search body. Exactly one of frames (single
+// query) or queries (batch) must be present.
+type searchRequest struct {
+	// Frames is one query video's frame feature vectors.
+	Frames [][]float64 `json:"frames,omitempty"`
+	// Queries is a batch: one frame sequence per query.
+	Queries [][][]float64 `json:"queries,omitempty"`
+	// K is the result count (Config.DefaultK when omitted).
+	K int `json:"k,omitempty"`
+	// Epsilon overrides the summarization threshold for the query side
+	// only; the index always searches at the ε it was built with.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// Mode is "composed" (default) or "naive".
+	Mode string `json:"mode,omitempty"`
+}
+
+type matchJSON struct {
+	VideoID    int     `json:"video_id"`
+	Similarity float64 `json:"similarity"`
+	Shared     float64 `json:"shared"`
+}
+
+type searchStatsJSON struct {
+	Ranges        int    `json:"ranges"`
+	Candidates    int    `json:"candidates"`
+	SimilarityOps int    `json:"similarity_ops"`
+	PageReads     uint64 `json:"page_reads"`
+}
+
+type searchResponse struct {
+	Matches []matchJSON     `json:"matches"`
+	Stats   searchStatsJSON `json:"stats"`
+}
+
+type batchItemJSON struct {
+	Matches []matchJSON     `json:"matches,omitempty"`
+	Stats   searchStatsJSON `json:"stats"`
+	Error   string          `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Results []batchItemJSON `json:"results"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req searchRequest
+	if !decodeJSON(w, r, s.cfg.MaxBodyBytes, &req) {
+		return
+	}
+	if (req.Frames == nil) == (req.Queries == nil) {
+		writeJSONError(w, http.StatusBadRequest, "exactly one of frames and queries must be set")
+		return
+	}
+	k := req.K
+	if k == 0 {
+		k = s.cfg.DefaultK
+	}
+	if k < 1 || k > s.cfg.MaxK {
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("k must be in [1, %d]", s.cfg.MaxK))
+		return
+	}
+	eps := req.Epsilon
+	if eps == 0 {
+		eps = s.db.Epsilon()
+	}
+	if eps < 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		writeJSONError(w, http.StatusBadRequest, "epsilon must be positive and finite")
+		return
+	}
+	var mode vitri.QueryMode
+	switch req.Mode {
+	case "", "composed":
+		mode = vitri.Composed
+	case "naive":
+		mode = vitri.Naive
+	default:
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("unknown mode %q", req.Mode))
+		return
+	}
+
+	if req.Frames != nil {
+		frames, err := toVectors(req.Frames)
+		if err != nil {
+			writeJSONError(w, http.StatusBadRequest, "frames: "+err.Error())
+			return
+		}
+		out, err := s.callWithDeadline(r.Context(), func() (interface{}, error) {
+			q := vitri.Summarize(-1, frames, eps, s.db.Seed())
+			matches, stats, err := s.db.SearchSummary(&q, k, mode)
+			if err != nil {
+				return nil, err
+			}
+			s.met.searchQueries.Inc()
+			s.met.searchPageReads.Add(stats.PageReads)
+			return &searchResponse{Matches: toMatchJSON(matches), Stats: toStatsJSON(stats)}, nil
+		})
+		if err != nil {
+			writeJSONError(w, statusFor(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+
+	queries := make([]vitri.Summary, len(req.Queries))
+	framesPer := make([][]vitri.Vector, len(req.Queries))
+	for i, fr := range req.Queries {
+		frames, err := toVectors(fr)
+		if err != nil {
+			writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("queries[%d]: %v", i, err))
+			return
+		}
+		framesPer[i] = frames
+	}
+	out, err := s.callWithDeadline(r.Context(), func() (interface{}, error) {
+		for i := range framesPer {
+			queries[i] = vitri.Summarize(-1, framesPer[i], eps, s.db.Seed())
+		}
+		items, err := s.db.SearchBatch(queries, k, mode)
+		if err != nil {
+			return nil, err
+		}
+		resp := batchResponse{Results: make([]batchItemJSON, len(items))}
+		for i := range items {
+			it := &items[i]
+			resp.Results[i].Stats = toStatsJSON(it.Stats)
+			if it.Err != nil {
+				resp.Results[i].Error = it.Err.Error()
+				continue
+			}
+			resp.Results[i].Matches = toMatchJSON(it.Results)
+			s.met.searchQueries.Inc()
+			s.met.searchPageReads.Add(it.Stats.PageReads)
+		}
+		return &resp, nil
+	})
+	if err != nil {
+		writeJSONError(w, statusFor(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// insertRequest is the /insert body.
+type insertRequest struct {
+	ID     int         `json:"id"`
+	Frames [][]float64 `json:"frames"`
+}
+
+type mutateResponse struct {
+	ID     int `json:"id"`
+	Videos int `json:"videos"`
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req insertRequest
+	if !decodeJSON(w, r, s.cfg.MaxBodyBytes, &req) {
+		return
+	}
+	if req.ID < 0 {
+		writeJSONError(w, http.StatusBadRequest, "id must be non-negative")
+		return
+	}
+	frames, err := toVectors(req.Frames)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, "frames: "+err.Error())
+		return
+	}
+	_, err = s.callWithDeadline(r.Context(), func() (interface{}, error) {
+		return nil, s.db.Add(req.ID, frames)
+	})
+	if err != nil {
+		writeJSONError(w, statusFor(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, mutateResponse{ID: req.ID, Videos: s.db.Len()})
+}
+
+// removeRequest is the /remove body.
+type removeRequest struct {
+	ID int `json:"id"`
+}
+
+func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	var req removeRequest
+	if !decodeJSON(w, r, s.cfg.MaxBodyBytes, &req) {
+		return
+	}
+	_, err := s.callWithDeadline(r.Context(), func() (interface{}, error) {
+		return nil, s.db.Remove(req.ID)
+	})
+	if err != nil {
+		writeJSONError(w, statusFor(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, mutateResponse{ID: req.ID, Videos: s.db.Len()})
+}
+
+type healthzResponse struct {
+	Status   string `json:"status"`
+	Videos   int    `json:"videos"`
+	Triplets int    `json:"triplets"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status:   "ok",
+		Videos:   s.db.Len(),
+		Triplets: s.db.Triplets(),
+	})
+}
+
+type endpointStatsJSON struct {
+	Requests     uint64  `json:"requests"`
+	Errors5xx    uint64  `json:"errors_5xx"`
+	LatencyMeanS float64 `json:"latency_mean_s"`
+	LatencyP50S  float64 `json:"latency_p50_s"`
+	LatencyP95S  float64 `json:"latency_p95_s"`
+	LatencyP99S  float64 `json:"latency_p99_s"`
+	LatencyMaxS  float64 `json:"latency_max_s"`
+}
+
+type pagerStatsJSON struct {
+	Reads  uint64 `json:"reads"`
+	Writes uint64 `json:"writes"`
+	Allocs uint64 `json:"allocs"`
+}
+
+type cacheStatsJSON struct {
+	Accesses uint64  `json:"accesses"`
+	Hits     uint64  `json:"hits"`
+	HitRate  float64 `json:"hit_rate"`
+}
+
+type statsResponse struct {
+	Videos          int                          `json:"videos"`
+	Triplets        int                          `json:"triplets"`
+	InFlight        int64                        `json:"in_flight"`
+	AdmissionHeld   int                          `json:"admission_held"`
+	AdmissionLimit  int                          `json:"admission_limit"`
+	Shed            uint64                       `json:"shed"`
+	Panics          uint64                       `json:"panics"`
+	Timeouts        uint64                       `json:"timeouts"`
+	SearchQueries   uint64                       `json:"search_queries"`
+	SearchPageReads uint64                       `json:"search_page_reads"`
+	Pager           pagerStatsJSON               `json:"pager"`
+	Cache           *cacheStatsJSON              `json:"cache,omitempty"`
+	Endpoints       map[string]endpointStatsJSON `json:"endpoints"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	ps := s.db.PagerStats()
+	resp := statsResponse{
+		Videos:          s.db.Len(),
+		Triplets:        s.db.Triplets(),
+		InFlight:        s.inflight.Load(),
+		AdmissionHeld:   s.adm.held(),
+		AdmissionLimit:  s.cfg.MaxInFlight,
+		Shed:            s.met.shed.Value(),
+		Panics:          s.met.panics.Value(),
+		Timeouts:        s.met.timeouts.Value(),
+		SearchQueries:   s.met.searchQueries.Value(),
+		SearchPageReads: s.met.searchPageReads.Value(),
+		Pager:           pagerStatsJSON{Reads: ps.Reads, Writes: ps.Writes, Allocs: ps.Allocs},
+		Endpoints:       make(map[string]endpointStatsJSON, len(s.met.endpoints)),
+	}
+	if s.cfg.CacheStats != nil {
+		accesses, hits, rate := s.cfg.CacheStats()
+		resp.Cache = &cacheStatsJSON{Accesses: accesses, Hits: hits, HitRate: rate}
+	}
+	for name, ep := range s.met.endpoints {
+		snap := ep.latency.Snapshot()
+		resp.Endpoints[name] = endpointStatsJSON{
+			Requests:     ep.requests.Value(),
+			Errors5xx:    ep.errors5xx.Value(),
+			LatencyMeanS: snap.MeanValue(),
+			LatencyP50S:  snap.Quantile(0.50),
+			LatencyP95S:  snap.Quantile(0.95),
+			LatencyP99S:  snap.Quantile(0.99),
+			LatencyMaxS:  snap.Max,
+		}
+	}
+	writeJSON(w, http.StatusOK, &resp)
+}
+
+// toVectors validates and converts a JSON frame matrix: non-empty, one
+// consistent dimensionality, finite values only.
+func toVectors(frames [][]float64) ([]vitri.Vector, error) {
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("no frames")
+	}
+	dim := len(frames[0])
+	out := make([]vitri.Vector, len(frames))
+	for i, fr := range frames {
+		if len(fr) == 0 {
+			return nil, fmt.Errorf("frame %d is empty", i)
+		}
+		if len(fr) != dim {
+			return nil, fmt.Errorf("frame %d has %d dims, frame 0 has %d", i, len(fr), dim)
+		}
+		for j, v := range fr {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("frame %d value %d is not finite", i, j)
+			}
+		}
+		out[i] = vitri.Vector(fr)
+	}
+	return out, nil
+}
+
+func toMatchJSON(ms []vitri.Match) []matchJSON {
+	out := make([]matchJSON, len(ms))
+	for i, m := range ms {
+		out[i] = matchJSON{VideoID: m.VideoID, Similarity: m.Similarity, Shared: m.Shared}
+	}
+	return out
+}
+
+func toStatsJSON(st vitri.SearchStats) searchStatsJSON {
+	return searchStatsJSON{
+		Ranges:        st.Ranges,
+		Candidates:    st.Candidates,
+		SimilarityOps: st.SimilarityOps,
+		PageReads:     st.PageReads,
+	}
+}

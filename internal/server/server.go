@@ -1,0 +1,275 @@
+// Package server turns a vitri.DB into a long-lived HTTP/JSON KNN query
+// service (stdlib net/http only). It is the serving layer the ROADMAP's
+// "heavy traffic" goal asks for, and robustness is its design center:
+//
+//   - admission control: the heavy endpoints (/search, /insert, /remove)
+//     share a bounded semaphore; requests beyond Config.MaxInFlight are
+//     shed immediately with 429 + Retry-After instead of queueing
+//     unboundedly, so memory under overload is bounded by
+//     MaxInFlight × per-request footprint;
+//   - per-request deadlines: search work runs under a context timeout
+//     and reports 504 when it expires;
+//   - panic containment: a handler panic becomes a 500 JSON error and a
+//     log line, never a dead process;
+//   - graceful shutdown: Close stops admitting work, drains every
+//     in-flight request (including searches abandoned by a timed-out
+//     handler) and only then closes the database's page store.
+//
+// The server holds no locks of its own around DB calls — it always enters
+// the DB → Index → Tree → pager hierarchy from the top via exported DB
+// methods, which is what keeps vitrilint's lockorder analyzer happy.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vitri"
+	"vitri/internal/metrics"
+	"vitri/internal/pager"
+)
+
+// Config tunes the service. The zero value is usable: every field has a
+// serving-quality default.
+type Config struct {
+	// DefaultK is the result count when a search request omits k.
+	DefaultK int
+	// MaxK bounds requested k (guards per-request allocation).
+	MaxK int
+	// MaxInFlight is the admission limit shared by /search, /insert and
+	// /remove. Requests arriving with all slots held are shed with 429.
+	MaxInFlight int
+	// RequestTimeout bounds the work phase of one request; expired
+	// requests answer 504. Zero means no deadline.
+	RequestTimeout time.Duration
+	// RetryAfter is the hint attached to 429 responses.
+	RetryAfter time.Duration
+	// MaxBodyBytes caps request bodies (413 beyond it).
+	MaxBodyBytes int64
+	// CacheStats, when set, surfaces the page cache hit rate in /stats
+	// (see CachedPager).
+	CacheStats func() (accesses, hits uint64, rate float64)
+	// ErrorLog receives panic reports; log.Default() when nil.
+	ErrorLog *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultK <= 0 {
+		c.DefaultK = 10
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 1000
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.ErrorLog == nil {
+		c.ErrorLog = log.Default()
+	}
+	return c
+}
+
+// Server serves KNN queries over one vitri.DB. Create with New; all
+// methods are safe for concurrent use.
+type Server struct {
+	db  *vitri.DB
+	cfg Config
+	adm *admission
+	met *serverMetrics
+	mux http.Handler
+
+	mu       sync.Mutex
+	draining bool
+	wg       sync.WaitGroup // in-flight requests + detached search work
+	inflight atomic.Int64   // requests inside the lifecycle gate
+
+	// Test hooks, called when non-nil; must be set before the first
+	// request (they are read without synchronization).
+	testHookAdmitted func() // holding an admission slot, before handler work
+	testHookWork     func() // inside the request's work goroutine
+}
+
+// New builds a Server over db. The db should be fully loaded; the index
+// itself may still build lazily on the first search.
+func New(db *vitri.DB, cfg Config) *Server {
+	s := &Server{
+		db:  db,
+		cfg: cfg.withDefaults(),
+	}
+	s.adm = newAdmission(s.cfg.MaxInFlight)
+	s.met = newServerMetrics(epSearch, epInsert, epRemove, epHealthz, epStats)
+	s.mux = s.routes()
+	return s
+}
+
+// Handler returns the service's root handler (mount it on an
+// http.Server or httptest.Server).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close gracefully shuts the service down: new requests are rejected
+// with 503, every admitted request — and any search a timed-out handler
+// abandoned — is drained, and only then is the database's page store
+// closed. ctx bounds the drain; when it expires the store is left open
+// (in-flight work may still be using it) and ctx's error is returned.
+// Close is idempotent.
+func (s *Server) Close(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return s.db.Close()
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain interrupted, page store left open: %w", ctx.Err())
+	}
+}
+
+// enter registers one request with the drain group; it fails once Close
+// has begun. Every enter is paired with exit.
+func (s *Server) enter() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.wg.Add(1)
+	s.inflight.Add(1)
+	return true
+}
+
+func (s *Server) exit() {
+	s.inflight.Add(-1)
+	s.wg.Done()
+}
+
+// callWithDeadline runs f on its own goroutine and waits for its result
+// or the context, whichever comes first. The goroutine joins the drain
+// group, so a graceful Close waits for work its handler abandoned on
+// timeout before closing the pager. The caller must itself be inside the
+// drain group (wg.Add while the counter is positive is what makes the
+// Add/Wait race benign).
+func (s *Server) callWithDeadline(ctx context.Context, f func() (interface{}, error)) (interface{}, error) {
+	type outcome struct {
+		v   interface{}
+		err error
+	}
+	ch := make(chan outcome, 1)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		if hook := s.testHookWork; hook != nil {
+			hook()
+		}
+		v, err := f()
+		ch <- outcome{v, err}
+	}()
+	select {
+	case out := <-ch:
+		return out.v, out.err
+	case <-ctx.Done():
+		s.met.timeouts.Inc()
+		return nil, ctx.Err()
+	}
+}
+
+// statusFor maps an error onto its HTTP response status.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, vitri.ErrDuplicateID):
+		return http.StatusConflict
+	case errors.Is(err, vitri.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, vitri.ErrEmptyDB), errors.Is(err, pager.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// CachedPager returns a NewPager function for vitri.Options that wraps
+// every store the database creates (one per build or rebuild) in an LRU
+// page cache of the given capacity, plus a stats function reporting the
+// live cache's hit rate — the /stats plumbing for a server whose DB is
+// built with it.
+func CachedPager(newUnder func() pager.Pager, capacity int) (newPager func() pager.Pager, stats func() (accesses, hits uint64, rate float64)) {
+	var mu sync.Mutex
+	var cur *pager.Cache
+	newPager = func() pager.Pager {
+		c := pager.NewCache(newUnder(), capacity)
+		mu.Lock()
+		cur = c
+		mu.Unlock()
+		return c
+	}
+	stats = func() (uint64, uint64, float64) {
+		mu.Lock()
+		c := cur
+		mu.Unlock()
+		if c == nil {
+			return 0, 0, 0
+		}
+		return c.HitRate()
+	}
+	return newPager, stats
+}
+
+// Endpoint names (also the /stats keys).
+const (
+	epSearch  = "/search"
+	epInsert  = "/insert"
+	epRemove  = "/remove"
+	epHealthz = "/healthz"
+	epStats   = "/stats"
+)
+
+// serverMetrics aggregates the service's counters and latency histograms.
+type serverMetrics struct {
+	shed, panics, timeouts         metrics.Counter
+	searchQueries, searchPageReads metrics.Counter
+	endpoints                      map[string]*endpointMetrics
+}
+
+type endpointMetrics struct {
+	requests  metrics.Counter
+	errors5xx metrics.Counter
+	latency   *metrics.Histogram
+}
+
+func newServerMetrics(names ...string) *serverMetrics {
+	m := &serverMetrics{endpoints: make(map[string]*endpointMetrics, len(names))}
+	for _, n := range names {
+		m.endpoints[n] = &endpointMetrics{latency: metrics.NewHistogram(metrics.LatencyBounds())}
+	}
+	return m
+}
+
+func (m *serverMetrics) observe(name string, code int, d time.Duration) {
+	ep := m.endpoints[name]
+	if ep == nil {
+		return
+	}
+	ep.requests.Inc()
+	if code >= 500 {
+		ep.errors5xx.Inc()
+	}
+	ep.latency.Observe(d.Seconds())
+}

@@ -150,7 +150,9 @@ func readSummaries(r io.Reader) (float64, []core.Summary, error) {
 		return 0, nil, err
 	}
 	eps := math.Float64frombits(epsBits)
-	if eps <= 0 || math.IsNaN(eps) {
+	// !(eps > 0) rather than eps <= 0: NaN compares false both ways and
+	// must be rejected here, not fed to the summarizer.
+	if !(eps > 0) || math.IsInf(eps, 0) {
 		return 0, nil, fmt.Errorf("invalid stored epsilon %v", eps)
 	}
 	var count uint32
@@ -161,7 +163,11 @@ func readSummaries(r io.Reader) (float64, []core.Summary, error) {
 	if count > maxReasonable {
 		return 0, nil, fmt.Errorf("implausible video count %d", count)
 	}
-	sums := make([]core.Summary, 0, count)
+	// Capacity hints are clamped: header counts are untrusted until the
+	// records behind them have actually been read, and a 12-byte header
+	// claiming 100M videos must not pre-allocate gigabytes (the slices
+	// grow geometrically, bounded by input actually consumed).
+	sums := make([]core.Summary, 0, capHint(count))
 	for i := uint32(0); i < count; i++ {
 		var vid, frames, nt uint32
 		if err := binRead(r, &vid); err != nil {
@@ -176,7 +182,7 @@ func readSummaries(r io.Reader) (float64, []core.Summary, error) {
 		if nt > maxReasonable {
 			return 0, nil, fmt.Errorf("implausible triplet count %d", nt)
 		}
-		s := core.Summary{VideoID: int(vid), FrameCount: int(frames), Triplets: make([]core.ViTri, 0, nt)}
+		s := core.Summary{VideoID: int(vid), FrameCount: int(frames), Triplets: make([]core.ViTri, 0, capHint(nt))}
 		for t := uint32(0); t < nt; t++ {
 			var cnt, dim uint32
 			var radBits uint64
@@ -192,16 +198,20 @@ func readSummaries(r io.Reader) (float64, []core.Summary, error) {
 			if dim == 0 || dim > 1<<20 {
 				return 0, nil, fmt.Errorf("implausible dimensionality %d", dim)
 			}
-			pos := make(Vector, dim)
-			for d := range pos {
+			pos := make(Vector, 0, capHint(dim))
+			for d := uint32(0); d < dim; d++ {
 				var bits uint64
 				if err := binRead(r, &bits); err != nil {
 					return 0, nil, err
 				}
-				pos[d] = math.Float64frombits(bits)
+				v := math.Float64frombits(bits)
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return 0, nil, fmt.Errorf("non-finite position coordinate in triplet %d", t)
+				}
+				pos = append(pos, v)
 			}
 			radius := math.Float64frombits(radBits)
-			if radius <= 0 || cnt == 0 {
+			if !(radius > 0) || math.IsInf(radius, 0) || cnt == 0 {
 				return 0, nil, fmt.Errorf("invalid triplet (radius %v, count %d)", radius, cnt)
 			}
 			s.Triplets = append(s.Triplets, core.NewViTri(pos, radius, int(cnt)))
@@ -214,12 +224,21 @@ func readSummaries(r io.Reader) (float64, []core.Summary, error) {
 func binWrite(w io.Writer, v interface{}) error { return binary.Write(w, binary.LittleEndian, v) }
 func binRead(r io.Reader, v interface{}) error  { return binary.Read(r, binary.LittleEndian, v) }
 
+// capHint bounds an untrusted length prefix to a sane preallocation.
+func capHint(n uint32) int {
+	const maxPrealloc = 4096
+	if n > maxPrealloc {
+		return maxPrealloc
+	}
+	return int(n)
+}
+
 // Remove deletes a video from the database.
 func (db *DB) Remove(videoID int) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if !db.ids[videoID] {
-		return fmt.Errorf("vitri: video %d not present", videoID)
+		return fmt.Errorf("%w: %d", ErrNotFound, videoID)
 	}
 	if db.ix == nil {
 		for i := range db.pending {

@@ -1,0 +1,97 @@
+package vitri
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzReadSummaries throws arbitrary bytes at the store codec. The
+// contract under test: readSummaries may reject input with an error,
+// but it must never panic, and length prefixes in a hostile header
+// must not drive allocation (capacity hints are clamped; slices grow
+// only as fast as bytes are actually consumed).
+func FuzzReadSummaries(f *testing.F) {
+	// Seed with a real store: a Save round-trip of a small database, so
+	// the fuzzer starts from a structurally valid file and mutates from
+	// there instead of spending its budget rediscovering the magic.
+	valid := saveBytes(f)
+	f.Add(valid)
+	// Truncations at structurally interesting offsets: mid-magic, after
+	// the header, mid-record.
+	for _, n := range []int{0, 4, len(storeMagic), len(storeMagic) + 4, len(storeMagic) + 16, len(valid) / 2, len(valid) - 1} {
+		if n <= len(valid) {
+			f.Add(valid[:n])
+		}
+	}
+	// A header whose video count claims far more records than the body
+	// carries — the over-allocation case the clamp exists for.
+	huge := append([]byte(nil), valid...)
+	countOff := len(storeMagic) + 4 + 8 // magic, version, epsilon
+	for i := 0; i < 4; i++ {
+		huge[countOff+i] = 0xff
+	}
+	f.Add(huge)
+	// Wrong magic and wrong version.
+	bad := append([]byte(nil), valid...)
+	bad[0] ^= 0xff
+	f.Add(bad)
+	badVer := append([]byte(nil), valid...)
+	badVer[len(storeMagic)] = 0x7f
+	f.Add(badVer)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		eps, sums, err := readSummaries(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input must be internally consistent and re-encodable:
+		// a successful parse that cannot round-trip would mean silent
+		// data corruption on the Load path.
+		if eps <= 0 {
+			t.Fatalf("accepted store with epsilon %v", eps)
+		}
+		var buf bytes.Buffer
+		if err := writeSummaries(&buf, eps, sums); err != nil {
+			t.Fatalf("re-encode of accepted store failed: %v", err)
+		}
+		eps2, sums2, err := readSummaries(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode of accepted store failed: %v", err)
+		}
+		if eps2 != eps || len(sums2) != len(sums) {
+			t.Fatalf("round-trip drift: epsilon %v->%v, videos %d->%d", eps, eps2, len(sums), len(sums2))
+		}
+	})
+}
+
+// saveBytes builds a tiny database and returns its Save file contents.
+func saveBytes(f *testing.F) []byte {
+	f.Helper()
+	db := New(Options{Epsilon: 0.3, Seed: 1})
+	r := rand.New(rand.NewSource(9))
+	for id := 0; id < 3; id++ {
+		frames := make([]Vector, 12)
+		for i := range frames {
+			v := make(Vector, 4)
+			for d := range v {
+				v[d] = 0.2 + 0.6*r.Float64()
+			}
+			frames[i] = v
+		}
+		if err := db.Add(id, frames); err != nil {
+			f.Fatalf("add: %v", err)
+		}
+	}
+	path := filepath.Join(f.TempDir(), "seed.vitri")
+	if err := db.Save(path); err != nil {
+		f.Fatalf("save: %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatalf("read seed: %v", err)
+	}
+	return b
+}

@@ -77,6 +77,18 @@ const (
 	Composed = index.Composed
 )
 
+// Sentinel errors for callers (such as the HTTP server) that need to map
+// failures onto response categories. Matched with errors.Is.
+var (
+	// ErrDuplicateID reports an Add/AddSummary whose video id is already
+	// in the database.
+	ErrDuplicateID = errors.New("vitri: duplicate video id")
+	// ErrNotFound reports a Remove of a video id not in the database.
+	ErrNotFound = errors.New("vitri: video not found")
+	// ErrEmptyDB reports a search against a database with no videos.
+	ErrEmptyDB = errors.New("vitri: database is empty")
+)
+
 // Options configures a database.
 type Options struct {
 	// Epsilon is the frame similarity threshold ε: two frames are
@@ -179,7 +191,7 @@ func (db *DB) AddSummary(s Summary) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.ids[s.VideoID] {
-		return fmt.Errorf("vitri: duplicate video id %d", s.VideoID)
+		return fmt.Errorf("%w %d", ErrDuplicateID, s.VideoID)
 	}
 	if db.ix == nil {
 		db.pending = append(db.pending, s)
@@ -200,7 +212,7 @@ func (db *DB) ensureIndexLocked() error {
 		return nil
 	}
 	if len(db.pending) == 0 {
-		return errors.New("vitri: database is empty")
+		return ErrEmptyDB
 	}
 	ix, err := index.Build(db.pending, index.Options{
 		Epsilon:           db.opts.Epsilon,
@@ -339,6 +351,24 @@ func (db *DB) PagerStats() pager.Stats {
 
 // Epsilon returns the database's frame similarity threshold.
 func (db *DB) Epsilon() float64 { return db.opts.Epsilon }
+
+// Seed returns the database's summarization seed (queries summarized
+// outside the DB should use it to reproduce Search's behavior exactly).
+func (db *DB) Seed() int64 { return db.opts.Seed }
+
+// Close releases the database's index resources, closing the underlying
+// page store. Operations after Close fail with the pager's ErrClosed;
+// callers serving concurrent traffic must drain in-flight searches first
+// (see internal/server's lifecycle). Close is idempotent and returns nil
+// on a database whose index was never built.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.ix == nil {
+		return nil
+	}
+	return db.ix.Close()
+}
 
 // IndexStats describes the physical shape of the database's B+-tree.
 type IndexStats struct {
