@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmtcheck lint race e2e fuzz-smoke check bench
+.PHONY: all build test vet fmtcheck lint race e2e fuzz-smoke check bench bench-ingest
 
 all: check
 
@@ -49,3 +49,8 @@ check: vet fmtcheck lint race e2e fuzz-smoke
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ ./...
+
+# bench-ingest measures AddBatch throughput and allocations per video by
+# worker count, writing BENCH_ingest.json next to the text table.
+bench-ingest:
+	$(GO) run ./cmd/vitribench ingest

@@ -342,7 +342,10 @@ func BenchmarkBTreeRangeScan(b *testing.B) {
 	}
 }
 
-func BenchmarkExactSimilarity(b *testing.B) {
+// exactSimVideos builds the frame pair shared by the exact-similarity
+// benchmarks: long enough that Y no longer fits in L1 when streamed per
+// frame of X, which is the access pattern the blocked kernel fixes.
+func exactSimVideos() (x, y []Vector) {
 	rng := rand.New(rand.NewSource(9))
 	mkVideo := func() []Vector {
 		out := make([]Vector, 250)
@@ -355,7 +358,19 @@ func BenchmarkExactSimilarity(b *testing.B) {
 		}
 		return out
 	}
-	x, y := mkVideo(), mkVideo()
+	return mkVideo(), mkVideo()
+}
+
+func BenchmarkExactSimilarityNaive(b *testing.B) {
+	x, y := exactSimVideos()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		baseline.ExactSimilarityNaive(x, y, 0.3)
+	}
+}
+
+func BenchmarkExactSimilarityBlocked(b *testing.B) {
+	x, y := exactSimVideos()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		baseline.ExactSimilarity(x, y, 0.3)
@@ -407,6 +422,46 @@ func BenchmarkSearchParallelism(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkAddBatch measures end-to-end batch ingest — parallel
+// summarization plus the ordered single-lock merge — at several
+// worker-pool widths. Speedup requires GOMAXPROCS > 1; the resulting
+// database is byte-identical at every width (see TestAddBatchMatches-
+// SequentialAdd).
+func BenchmarkAddBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	videos := make([]Video, 32)
+	for v := range videos {
+		frames := make([]Vector, 200)
+		for i := range frames {
+			f := make(Vector, 64)
+			f[rng.Intn(64)] = 1
+			for j := 0; j < 8; j++ {
+				f[rng.Intn(64)] += rng.Float64() * 0.2
+			}
+			frames[i] = f
+		}
+		videos[v] = Video{ID: v, Frames: frames}
+	}
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmtF("parallelism=%d", par), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				db := New(Options{Epsilon: 0.3, Seed: 1, IngestParallelism: par})
+				itemErrs, err := db.AddBatch(videos)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, e := range itemErrs {
+					if e != nil {
+						b.Fatal(e)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(videos))*float64(b.N)/b.Elapsed().Seconds(), "videos/sec")
+		})
 	}
 }
 

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"vitri"
+	"vitri/internal/dataset"
+	"vitri/internal/experiments"
+	"vitri/internal/metrics"
+)
+
+// The ingest experiment measures the batch ingest pipeline: videos/sec and
+// heap allocations per video for AddBatch at increasing worker counts,
+// against the sequential Add loop as the 1-worker baseline. It lives in
+// package main (not internal/experiments) because it exercises the public
+// vitri API, which the experiments package cannot import.
+
+// ingestRow is one worker-count measurement in BENCH_ingest.json.
+type ingestRow struct {
+	Parallelism    int     `json:"parallelism"`
+	Seconds        float64 `json:"seconds"`
+	VideosPerSec   float64 `json:"videos_per_sec"`
+	AllocsPerVideo float64 `json:"allocs_per_video"`
+	Speedup        float64 `json:"speedup_vs_sequential"`
+}
+
+// ingestReport is the BENCH_ingest.json schema.
+type ingestReport struct {
+	Scale    float64     `json:"scale"`
+	Videos   int         `json:"videos"`
+	Frames   int         `json:"frames"`
+	Epsilon  float64     `json:"epsilon"`
+	Triplets int         `json:"triplets"`
+	Rows     []ingestRow `json:"rows"`
+}
+
+// runIngest builds the experiment corpus once, then ingests it repeatedly
+// at each worker count. Every run is checked against the sequential
+// baseline's index (same video/triplet counts and tree shape) before its
+// timing is reported — a fast pipeline that builds a different database
+// would be worthless.
+func runIngest(cfg experiments.Config, outPath string) ([]*metrics.Table, error) {
+	corpus, err := dataset.GenerateHist(dataset.DefaultHistConfig(cfg.Scale, cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	videos := make([]vitri.Video, len(corpus.Videos))
+	for i := range corpus.Videos {
+		videos[i] = vitri.Video{ID: corpus.Videos[i].ID, Frames: corpus.Videos[i].Frames}
+	}
+
+	widths := []int{1, 2, 4, 8}
+	if p := runtime.GOMAXPROCS(0); p > 8 {
+		widths = append(widths, p)
+	}
+
+	report := ingestReport{
+		Scale:   cfg.Scale,
+		Videos:  len(videos),
+		Frames:  corpus.FrameCount(),
+		Epsilon: cfg.Epsilon,
+	}
+	table := &metrics.Table{
+		Title:   "Batch ingest throughput (AddBatch by worker count)",
+		Columns: []string{"workers", "seconds", "videos/sec", "allocs/video", "speedup"},
+	}
+
+	var baseline ingestRun
+	for i, p := range widths {
+		run, err := ingestOnce(videos, cfg, p)
+		if err != nil {
+			return nil, fmt.Errorf("parallelism %d: %w", p, err)
+		}
+		if i == 0 {
+			baseline = run
+			report.Triplets = run.triplets
+		} else if run.triplets != baseline.triplets || run.stats != baseline.stats {
+			return nil, fmt.Errorf("parallelism %d built a different index: %d triplets %+v, sequential %d %+v",
+				p, run.triplets, run.stats, baseline.triplets, baseline.stats)
+		}
+		row := ingestRow{
+			Parallelism:    p,
+			Seconds:        run.seconds,
+			VideosPerSec:   float64(len(videos)) / run.seconds,
+			AllocsPerVideo: run.allocs / float64(len(videos)),
+			Speedup:        baseline.seconds / run.seconds,
+		}
+		report.Rows = append(report.Rows, row)
+		table.AddRow(
+			fmt.Sprintf("%d", p),
+			fmt.Sprintf("%.3f", row.Seconds),
+			fmt.Sprintf("%.1f", row.VideosPerSec),
+			fmt.Sprintf("%.1f", row.AllocsPerVideo),
+			fmt.Sprintf("%.2fx", row.Speedup),
+		)
+	}
+
+	if outPath != "" {
+		b, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(outPath, append(b, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return []*metrics.Table{table}, nil
+}
+
+type ingestRun struct {
+	seconds  float64
+	allocs   float64
+	triplets int
+	stats    vitri.IndexStats
+}
+
+// ingestOnce loads the corpus through BuildParallel at the given
+// parallelism, timing the whole pipeline — summarization fan-out, ordered
+// merge, and bulk index build — end to end.
+func ingestOnce(videos []vitri.Video, cfg experiments.Config, parallelism int) (ingestRun, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+
+	db, err := vitri.BuildParallel(videos, vitri.Options{
+		Epsilon:           cfg.Epsilon,
+		Seed:              cfg.Seed,
+		IngestParallelism: parallelism,
+	})
+	if err != nil {
+		return ingestRun{}, err
+	}
+	defer db.Close()
+
+	elapsed := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+
+	stats, err := db.Stats()
+	if err != nil {
+		return ingestRun{}, err
+	}
+	return ingestRun{
+		seconds:  elapsed,
+		allocs:   float64(after.Mallocs - before.Mallocs),
+		triplets: db.Triplets(),
+		stats:    stats,
+	}, nil
+}

@@ -6,7 +6,7 @@
 //	vitribench [flags] [experiment ...]
 //
 // Experiments: table2 table3 fig14 fig15 fig16 fig17 fig18 fig19 parallel
-// (default: all, in paper order).
+// ingest (default: all but ingest, in paper order).
 //
 // Examples:
 //
@@ -14,6 +14,7 @@
 //	vitribench -scale 0.1 fig14      # one experiment, bigger corpus
 //	vitribench -paper                # paper-scale settings (slow)
 //	vitribench -parallel 8 parallel  # sequential vs 8-worker query engine
+//	vitribench ingest                # AddBatch throughput by worker count
 package main
 
 import (
@@ -28,14 +29,15 @@ import (
 
 func main() {
 	var (
-		scale    = flag.Float64("scale", 0, "corpus scale relative to the paper's 6,587 clips (0 = config default)")
-		queries  = flag.Int("queries", 0, "number of queries to average over (0 = config default)")
-		k        = flag.Int("k", 0, "KNN result size (0 = config default)")
-		seed     = flag.Int64("seed", 1, "random seed for the whole suite")
-		paper    = flag.Bool("paper", false, "use paper-scale settings (slow)")
-		progress = flag.Bool("progress", true, "print progress to stderr")
-		counts   = flag.String("vitris", "", "comma-separated ViTri counts for figures 16-17 (e.g. 20000,40000)")
-		parallel = flag.Int("parallel", 0, "search worker-pool width for the parallel experiment (0 = GOMAXPROCS)")
+		scale     = flag.Float64("scale", 0, "corpus scale relative to the paper's 6,587 clips (0 = config default)")
+		queries   = flag.Int("queries", 0, "number of queries to average over (0 = config default)")
+		k         = flag.Int("k", 0, "KNN result size (0 = config default)")
+		seed      = flag.Int64("seed", 1, "random seed for the whole suite")
+		paper     = flag.Bool("paper", false, "use paper-scale settings (slow)")
+		progress  = flag.Bool("progress", true, "print progress to stderr")
+		counts    = flag.String("vitris", "", "comma-separated ViTri counts for figures 16-17 (e.g. 20000,40000)")
+		parallel  = flag.Int("parallel", 0, "search worker-pool width for the parallel experiment (0 = GOMAXPROCS)")
+		ingestOut = flag.String("ingest-out", "BENCH_ingest.json", "JSON output path for the ingest experiment (empty = no file)")
 	)
 	flag.Parse()
 
@@ -81,6 +83,9 @@ func main() {
 		"fig19":     experiments.Figure19,
 		"parallel":  experiments.ParallelSearch,
 		"extension": experiments.ExtensionSummaries,
+		"ingest": func(cfg experiments.Config) ([]*metrics.Table, error) {
+			return runIngest(cfg, *ingestOut)
+		},
 	}
 
 	names := flag.Args()
@@ -93,7 +98,7 @@ func main() {
 	for _, name := range names {
 		fn, ok := runners[strings.ToLower(name)]
 		if !ok {
-			fatalf("unknown experiment %q (have: table2 table3 fig14 fig15 fig16 fig17 fig18 fig19 parallel extension)", name)
+			fatalf("unknown experiment %q (have: table2 table3 fig14 fig15 fig16 fig17 fig18 fig19 parallel extension ingest)", name)
 		}
 		tables, err := fn(cfg)
 		if err != nil {

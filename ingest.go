@@ -1,0 +1,122 @@
+package vitri
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"vitri/internal/core"
+)
+
+// Video pairs a video id with its frame feature vectors, the unit of work
+// of the batch ingest pipeline.
+type Video struct {
+	ID     int
+	Frames []Vector
+}
+
+// AddBatch summarizes many videos concurrently and adds them to the
+// database in input order. Summarization — the CPU-bound phase — fans out
+// over Options.IngestParallelism workers, each owning a reusable
+// allocation-free clustering scratch; the merge then takes the database
+// lock exactly once and applies every summary in input order.
+//
+// The result is byte-identical to calling Add for each video in the same
+// order, at every parallelism: each video's summary is seeded from
+// (Options.Seed, video id) alone, scratch reuse never leaks into results,
+// and the ordered merge replays the sequential insertion sequence. The
+// only intentional difference is the index-drift policy, which is
+// evaluated once per batch instead of once per video (identical when
+// Options.MaxDriftAngle is zero, the default).
+//
+// The returned slice has one entry per input video: nil for success, or
+// the same error the corresponding Add would have returned (no frames,
+// negative id, duplicate id — including duplicates within the batch, of
+// which the first wins). The second return value reports batch-level
+// failures (the drift-triggered rebuild); per-item failures never abort
+// the rest of the batch.
+func (db *DB) AddBatch(videos []Video) ([]error, error) {
+	if len(videos) == 0 {
+		return nil, nil
+	}
+	summaries := make([]core.Summary, len(videos))
+	itemErrs := make([]error, len(videos))
+	workers := db.ingestParallelism()
+	if workers > len(videos) {
+		workers = len(videos)
+	}
+	// Workers claim videos from an atomic cursor. Which worker summarizes
+	// which video is racy, but irrelevant to the output: a summary depends
+	// only on (frames, epsilon, per-video seed), never on the worker's
+	// scratch history.
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sz core.Summarizer
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(videos) {
+					return
+				}
+				v := videos[i]
+				if len(v.Frames) == 0 {
+					itemErrs[i] = fmt.Errorf("vitri: video %d has no frames", v.ID)
+					continue
+				}
+				summaries[i] = sz.Summarize(v.ID, v.Frames, core.Options{
+					Epsilon: db.opts.Epsilon,
+					Seed:    db.opts.Seed + int64(v.ID),
+				})
+			}
+		}()
+	}
+	wg.Wait()
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for i := range videos {
+		if itemErrs[i] != nil {
+			continue
+		}
+		itemErrs[i] = db.addSummaryLocked(summaries[i])
+	}
+	return itemErrs, db.maybeRebuildLocked()
+}
+
+// BuildParallel summarizes videos across a worker pool, bulk-loads them
+// and builds the index, returning a database ready to search. It is the
+// batch counterpart of New + an Add loop + a first Search, and produces a
+// byte-identical database. Any per-video or build failure fails the whole
+// construction; partial loads are reported via errors.Join.
+func BuildParallel(videos []Video, opts Options) (*DB, error) {
+	db := New(opts)
+	itemErrs, err := db.AddBatch(videos)
+	if err != nil {
+		return nil, err
+	}
+	if err := errors.Join(itemErrs...); err != nil {
+		return nil, err
+	}
+	if len(videos) > 0 {
+		// Force the bulk index build now so the first search doesn't pay
+		// for it.
+		if _, err := db.index(); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// ingestParallelism resolves Options.IngestParallelism (<= 0 selects
+// GOMAXPROCS).
+func (db *DB) ingestParallelism() int {
+	if p := db.opts.IngestParallelism; p > 0 {
+		return p
+	}
+	return runtime.GOMAXPROCS(0)
+}

@@ -1,0 +1,60 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vitri/internal/vec"
+)
+
+// The blocked kernel must agree with the naive reference everywhere,
+// including sizes that are not multiples of the tile edge and the empty /
+// single-frame degenerate shapes.
+func TestExactSimilarityBlockedMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	mk := func(n, dim int) []vec.Vector {
+		out := make([]vec.Vector, n)
+		for i := range out {
+			p := make(vec.Vector, dim)
+			for j := range p {
+				p[j] = r.Float64()
+			}
+			out[i] = p
+		}
+		return out
+	}
+	sizes := []struct{ nx, ny int }{
+		{0, 10}, {10, 0}, {1, 1}, {3, 5},
+		{simBlock, simBlock}, {simBlock - 1, simBlock + 1},
+		{2*simBlock + 7, simBlock / 2}, {5, 3 * simBlock},
+	}
+	for _, eps := range []float64{0.05, 0.3, 1.2} {
+		for _, sz := range sizes {
+			x, y := mk(sz.nx, 8), mk(sz.ny, 8)
+			got := ExactSimilarity(x, y, eps)
+			want := ExactSimilarityNaive(x, y, eps)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("eps=%v |x|=%d |y|=%d: blocked %v, naive %v", eps, sz.nx, sz.ny, got, want)
+			}
+		}
+	}
+}
+
+// Dense all-similar and sparse none-similar inputs exercise the
+// both-marked skip path and the never-marked path respectively.
+func TestExactSimilarityBlockedExtremes(t *testing.T) {
+	n := simBlock + 9
+	same := make([]vec.Vector, n)
+	far := make([]vec.Vector, n)
+	for i := range same {
+		same[i] = vec.Vector{0.5, 0.5}
+		far[i] = vec.Vector{100 + float64(i)*10, 0}
+	}
+	if got := ExactSimilarity(same, same, 0.1); got != 1 {
+		t.Fatalf("all-similar: %v, want 1", got)
+	}
+	if got := ExactSimilarity(same, far, 0.1); got != 0 {
+		t.Fatalf("none-similar: %v, want 0", got)
+	}
+}

@@ -22,6 +22,28 @@ type Cluster struct {
 // Size returns the number of frames in the cluster (|C| in the paper).
 func (c *Cluster) Size() int { return len(c.Members) }
 
+// Generator runs the paper's Generate_Clusters algorithm on reusable
+// scratch buffers. One Generator summarizes any number of videos in
+// sequence without reallocating its working set, which is what each
+// ingest worker holds. A Generator is NOT safe for concurrent use: the
+// scratch is owned by exactly one goroutine at a time (see DESIGN.md
+// "Ingest pipeline" for the ownership rules).
+//
+// Scratch reuse never changes results: the kernels preserve the exact
+// floating-point operation order of the allocation-per-call
+// implementation, so Generate output depends only on (points, epsilon,
+// rng state).
+type Generator struct {
+	km    scratch      // k-means working set for bisections
+	group []vec.Vector // views of the current group's points
+	tmp   []int        // right-hand side buffer for stable partitions
+	items []distIdx    // fallback median-split ordering
+	mean  vec.Vector   // group centroid scratch
+}
+
+// NewGenerator returns an empty Generator; buffers grow on first use.
+func NewGenerator() *Generator { return &Generator{} }
+
 // Generate implements the paper's Generate_Clusters algorithm (Figure 3):
 // recursively bisect points with 2-means until each cluster's refined
 // radius min(R, µ+σ) is at most ε/2, guaranteeing any two frames within a
@@ -33,18 +55,27 @@ func (c *Cluster) Size() int { return len(c.Members) }
 // to split (2-means puts everything on one side) falls back to a
 // median-distance split so recursion always makes progress.
 func Generate(points []vec.Vector, epsilon float64, rng *rand.Rand) []Cluster {
+	return NewGenerator().Generate(points, epsilon, rng)
+}
+
+// Generate runs the recursive binary clustering on the Generator's
+// scratch. See the package-level Generate for the algorithm contract.
+func (g *Generator) Generate(points []vec.Vector, epsilon float64, rng *rand.Rand) []Cluster {
 	if epsilon <= 0 {
 		panic("cluster: Generate requires epsilon > 0")
 	}
 	if len(points) == 0 {
 		return nil
 	}
+	// idx is the recursion's working set: bisections partition it in
+	// place, so the whole run reorders this one slice instead of
+	// allocating left/right lists at every node.
 	idx := make([]int, len(points))
 	for i := range idx {
 		idx[i] = i
 	}
 	var out []Cluster
-	generate(points, idx, epsilon, rng, &out, 0)
+	g.generate(points, idx, epsilon, rng, &out, 0)
 	return out
 }
 
@@ -52,36 +83,54 @@ func Generate(points []vec.Vector, epsilon float64, rng *rand.Rand) []Cluster {
 // guards against pathological non-progress.
 const maxDepth = 64
 
-func generate(points []vec.Vector, idx []int, epsilon float64, rng *rand.Rand, out *[]Cluster, depth int) {
-	c := summarizeGroup(points, idx)
-	if c.Radius <= epsilon/2 || len(idx) == 1 || depth >= maxDepth {
-		*out = append(*out, c)
+func (g *Generator) generate(points []vec.Vector, idx []int, epsilon float64, rng *rand.Rand, out *[]Cluster, depth int) {
+	radius, mu, sigma := g.groupStats(points, idx)
+	if radius <= epsilon/2 || len(idx) == 1 || depth >= maxDepth {
+		// Materialize the cluster only at a leaf: interior nodes of the
+		// bisection tree never escape, so their center/member copies
+		// would be garbage.
+		center := make(vec.Vector, len(g.mean))
+		copy(center, g.mean)
+		members := make([]int, len(idx))
+		copy(members, idx)
+		*out = append(*out, Cluster{Center: center, Radius: radius, Members: members, Mu: mu, Sigma: sigma})
 		return
 	}
-	left, right := bisect(points, idx, rng)
+	left, right := g.bisect(points, idx, rng)
 	if len(left) == 0 || len(right) == 0 {
 		// No progress possible (identical points would have radius 0, so
 		// this indicates numeric degeneracy); accept the cluster as-is.
-		*out = append(*out, c)
+		center := make(vec.Vector, len(g.mean))
+		copy(center, g.mean)
+		members := make([]int, len(idx))
+		copy(members, idx)
+		*out = append(*out, Cluster{Center: center, Radius: radius, Members: members, Mu: mu, Sigma: sigma})
 		return
 	}
-	generate(points, left, epsilon, rng, out, depth+1)
-	generate(points, right, epsilon, rng, out, depth+1)
+	g.generate(points, left, epsilon, rng, out, depth+1)
+	g.generate(points, right, epsilon, rng, out, depth+1)
 }
 
-// summarizeGroup computes the center, distance statistics and refined
-// radius min(maxDist, µ+σ) for the group of points selected by idx.
-func summarizeGroup(points []vec.Vector, idx []int) Cluster {
+// groupStats computes the centroid (left in g.mean), distance statistics
+// and refined radius min(maxDist, µ+σ) for the group of points selected
+// by idx, allocating nothing once the scratch is warm.
+func (g *Generator) groupStats(points []vec.Vector, idx []int) (radius, mu, sigma float64) {
 	n := len(points[idx[0]])
-	center := make(vec.Vector, n)
-	for _, i := range idx {
-		vec.AddInPlace(center, points[i])
+	if cap(g.mean) < n {
+		g.mean = make(vec.Vector, n)
 	}
-	vec.ScaleInPlace(center, 1/float64(len(idx)))
+	g.mean = g.mean[:n]
+	for j := range g.mean {
+		g.mean[j] = 0
+	}
+	for _, i := range idx {
+		vec.AddInPlace(g.mean, points[i])
+	}
+	vec.ScaleInPlace(g.mean, 1/float64(len(idx)))
 
 	var sum, sum2, maxD float64
 	for _, i := range idx {
-		d := vec.Dist(points[i], center)
+		d := vec.Dist(points[i], g.mean)
 		sum += d
 		sum2 += d * d
 		if d > maxD {
@@ -89,67 +138,71 @@ func summarizeGroup(points []vec.Vector, idx []int) Cluster {
 		}
 	}
 	m := float64(len(idx))
-	mu := sum / m
+	mu = sum / m
 	variance := sum2/m - mu*mu
 	if variance < 0 {
 		variance = 0
 	}
-	sigma := math.Sqrt(variance)
-	radius := math.Min(maxD, mu+sigma)
-	members := make([]int, len(idx))
-	copy(members, idx)
-	return Cluster{Center: center, Radius: radius, Members: members, Mu: mu, Sigma: sigma}
+	sigma = math.Sqrt(variance)
+	return math.Min(maxD, mu+sigma), mu, sigma
 }
 
-// bisect splits the group with 2-means and returns the two member index
-// lists. If 2-means degenerates to a single non-empty side, it falls back
-// to splitting at the median distance from the centroid.
-func bisect(points []vec.Vector, idx []int, rng *rand.Rand) (left, right []int) {
-	group := make([]vec.Vector, len(idx))
-	for i, id := range idx {
-		group[i] = points[id]
+// distIdx pairs a member id with its distance to the group centroid for
+// the fallback median split.
+type distIdx struct {
+	d  float64
+	id int
+}
+
+// bisect splits the group with 2-means, stably partitioning idx in place
+// and returning the two halves as subslices. If 2-means degenerates to a
+// single non-empty side, it falls back to splitting at the median
+// distance from the centroid.
+func (g *Generator) bisect(points []vec.Vector, idx []int, rng *rand.Rand) (left, right []int) {
+	g.group = g.group[:0]
+	for _, id := range idx {
+		g.group = append(g.group, points[id])
 	}
-	res := KMeans(group, 2, rng, 0)
+	kmeansRun(g.group, 2, rng, 0, &g.km)
+	// Stable in-place partition by assignment: left-side ids compact to
+	// the front, right-side ids stage through tmp, both keeping their
+	// relative order (the accumulation order downstream float folds see).
+	g.tmp = g.tmp[:0]
+	w := 0
 	for i, id := range idx {
-		if res.Assign[i] == 0 {
-			left = append(left, id)
+		if g.km.assign[i] == 0 {
+			idx[w] = id
+			w++
 		} else {
-			right = append(right, id)
+			g.tmp = append(g.tmp, id)
 		}
 	}
+	copy(idx[w:], g.tmp)
+	left, right = idx[:w], idx[w:]
 	if len(left) > 0 && len(right) > 0 {
 		return left, right
 	}
 	// Fallback: order by distance to the centroid and cut at the median.
-	center := vec.Mean(group)
-	type distIdx struct {
-		d  float64
-		id int
-	}
-	items := make([]distIdx, len(idx))
-	for i, id := range idx {
-		items[i] = distIdx{vec.Dist(points[id], center), id}
+	// g.mean still holds this group's centroid from groupStats.
+	g.items = g.items[:0]
+	for _, id := range idx {
+		g.items = append(g.items, distIdx{vec.Dist(points[id], g.mean), id})
 	}
 	// Insertion sort: groups here are small and already nearly ordered.
-	for i := 1; i < len(items); i++ {
-		v := items[i]
+	for i := 1; i < len(g.items); i++ {
+		v := g.items[i]
 		j := i - 1
-		for j >= 0 && items[j].d > v.d {
-			items[j+1] = items[j]
+		for j >= 0 && g.items[j].d > v.d {
+			g.items[j+1] = g.items[j]
 			j--
 		}
-		items[j+1] = v
+		g.items[j+1] = v
 	}
-	mid := len(items) / 2
-	left, right = left[:0], right[:0]
-	for i, it := range items {
-		if i < mid {
-			left = append(left, it.id)
-		} else {
-			right = append(right, it.id)
-		}
+	for i, it := range g.items {
+		idx[i] = it.id
 	}
-	return left, right
+	mid := len(idx) / 2
+	return idx[:mid], idx[mid:]
 }
 
 // Validate reports whether every pair of frames in the cluster is within

@@ -3,10 +3,16 @@
 // recursive binary clustering algorithm (Figure 3) that keeps bisecting a
 // video's frames until every cluster is a tight hypersphere of radius
 // min(R, µ+σ) ≤ ε/2.
+//
+// The hot path runs on reusable scratch buffers (see scratch and
+// Generator): after warm-up a Lloyd iteration performs zero allocations,
+// which is what lets the ingest pipeline fan summarization across workers
+// without GC pressure. The allocation-free kernels preserve the exact
+// floating-point operation order of the original sequential loops, so
+// summaries are bit-identical regardless of how the scratch is reused.
 package cluster
 
 import (
-	"math"
 	"math/rand"
 
 	"vitri/internal/vec"
@@ -24,6 +30,36 @@ type KMeansResult struct {
 // a handful of passes on video frames.
 const DefaultMaxIters = 50
 
+// scratch is the reusable working set of one k-means run: the centroid
+// matrix, the assignment and size vectors, and the k-means++ seeding
+// distances. grow reshapes it for a run, reusing backing arrays whenever
+// they are large enough, so a warm scratch makes every Lloyd iteration
+// allocation-free.
+type scratch struct {
+	centers vec.Matrix
+	assign  []int
+	sizes   []int
+	d2      []float64
+}
+
+// grow reshapes the scratch for k centers over n points of the given
+// dimensionality.
+func (s *scratch) grow(k, n, dim int) {
+	s.centers.Reset(k, dim)
+	if cap(s.assign) < n {
+		s.assign = make([]int, n)
+	}
+	s.assign = s.assign[:n]
+	if cap(s.sizes) < k {
+		s.sizes = make([]int, k)
+	}
+	s.sizes = s.sizes[:k]
+	if cap(s.d2) < n {
+		s.d2 = make([]float64, n)
+	}
+	s.d2 = s.d2[:n]
+}
+
 // KMeans clusters points into k groups using k-means++ seeding followed by
 // Lloyd iterations. rng drives the seeding; maxIters <= 0 selects
 // DefaultMaxIters. If k >= len(points), every point becomes its own
@@ -35,101 +71,129 @@ func KMeans(points []vec.Vector, k int, rng *rand.Rand, maxIters int) KMeansResu
 	if k <= 0 {
 		panic("cluster: KMeans with k <= 0")
 	}
+	var s scratch
+	kEff, iters := kmeansRun(points, k, rng, maxIters, &s)
+	dim := len(points[0])
+	res := KMeansResult{
+		Centers: make([]vec.Vector, kEff),
+		Assign:  make([]int, len(points)),
+		Sizes:   make([]int, kEff),
+		Iters:   iters,
+	}
+	backing := make(vec.Vector, kEff*dim)
+	for c := 0; c < kEff; c++ {
+		row := backing[c*dim : (c+1)*dim : (c+1)*dim]
+		copy(row, s.centers.Row(c))
+		res.Centers[c] = row
+	}
+	copy(res.Assign, s.assign)
+	copy(res.Sizes, s.sizes)
+	return res
+}
+
+// kmeansRun executes k-means entirely on the given scratch, returning the
+// effective number of centers (len(points) when k >= len(points), k
+// otherwise) and the Lloyd iterations performed. After s has warmed to the
+// problem size, the run — and in particular every Lloyd iteration — is
+// allocation-free. Inputs must be valid (non-empty points, k > 0).
+func kmeansRun(points []vec.Vector, k int, rng *rand.Rand, maxIters int, s *scratch) (kEff, iters int) {
 	if maxIters <= 0 {
 		maxIters = DefaultMaxIters
 	}
+	dim := len(points[0])
 	if k >= len(points) {
-		res := KMeansResult{
-			Centers: make([]vec.Vector, len(points)),
-			Assign:  make([]int, len(points)),
-			Sizes:   make([]int, len(points)),
-		}
+		// Every point is its own singleton cluster; no rng is consumed.
+		s.grow(len(points), len(points), dim)
 		for i, p := range points {
-			res.Centers[i] = vec.Clone(p)
-			res.Assign[i] = i
-			res.Sizes[i] = 1
+			s.centers.SetRow(i, p)
+			s.assign[i] = i
+			s.sizes[i] = 1
 		}
-		return res
+		return len(points), 0
 	}
 
-	centers := seedPlusPlus(points, k, rng)
-	assign := make([]int, len(points))
-	sizes := make([]int, k)
-	iters := 0
+	s.grow(k, len(points), dim)
+	seedInto(points, k, rng, s)
 	for ; iters < maxIters; iters++ {
 		changed := 0
 		for i, p := range points {
-			best, bestD := 0, math.Inf(1)
-			for c, ctr := range centers {
-				if d := vec.Dist2(p, ctr); d < bestD {
-					best, bestD = c, d
-				}
-			}
-			if assign[i] != best || iters == 0 {
+			best, _ := vec.ArgminDist2(p, s.centers)
+			if s.assign[i] != best || iters == 0 {
 				changed++
-				assign[i] = best
+				s.assign[i] = best
 			}
 		}
 		if changed == 0 && iters > 0 {
 			break
 		}
-		// Recompute centroids.
-		for c := range centers {
-			for j := range centers[c] {
-				centers[c][j] = 0
-			}
-			sizes[c] = 0
+		// Recompute centroids: accumulate every point into its assigned
+		// scratch row, then scale by 1/size.
+		for c := 0; c < k; c++ {
+			s.centers.ZeroRow(c)
+			s.sizes[c] = 0
 		}
 		for i, p := range points {
-			c := assign[i]
-			vec.AddInPlace(centers[c], p)
-			sizes[c]++
+			c := s.assign[i]
+			s.centers.AccumRow(c, p)
+			s.sizes[c]++
 		}
-		for c := range centers {
-			if sizes[c] == 0 {
-				// Re-seed an empty cluster on the point farthest from its
-				// centroid, a standard k-means repair.
-				far, farD := 0, -1.0
-				for i, p := range points {
-					if d := vec.Dist2(p, centers[assign[i]]); d > farD {
-						far, farD = i, d
-					}
-				}
-				copy(centers[c], points[far])
-				continue
+		for c := 0; c < k; c++ {
+			if s.sizes[c] != 0 {
+				s.centers.ScaleRow(c, 1/float64(s.sizes[c]))
 			}
-			vec.ScaleInPlace(centers[c], 1/float64(sizes[c]))
 		}
+		repairEmptyClusters(points, k, s)
 	}
 	// Final assignment pass so Assign/Sizes match the returned centers.
-	for c := range sizes {
-		sizes[c] = 0
+	for c := 0; c < k; c++ {
+		s.sizes[c] = 0
 	}
 	for i, p := range points {
-		best, bestD := 0, math.Inf(1)
-		for c, ctr := range centers {
-			if d := vec.Dist2(p, ctr); d < bestD {
-				best, bestD = c, d
-			}
-		}
-		assign[i] = best
-		sizes[best]++
+		best, _ := vec.ArgminDist2(p, s.centers)
+		s.assign[i] = best
+		s.sizes[best]++
 	}
-	return KMeansResult{Centers: centers, Assign: assign, Sizes: sizes, Iters: iters}
+	return k, iters
 }
 
-// seedPlusPlus picks k initial centers with the k-means++ D² weighting.
-func seedPlusPlus(points []vec.Vector, k int, rng *rand.Rand) []vec.Vector {
-	centers := make([]vec.Vector, 0, k)
-	first := points[rng.Intn(len(points))]
-	centers = append(centers, vec.Clone(first))
-	d2 := make([]float64, len(points))
-	for i, p := range points {
-		d2[i] = vec.Dist2(p, first)
+// repairEmptyClusters re-seeds every empty cluster on the point farthest
+// from its own centroid, the standard k-means repair. It runs only after
+// all non-empty centroids have been scaled by 1/size: an earlier version
+// interleaved repair with the recompute loop, so the farthest-point scan
+// compared raw coordinate sums for clusters not yet scaled and picked
+// wildly wrong points. A re-seeded point is claimed (its assignment moves
+// to the repaired cluster, making its own-center distance zero), so a
+// second empty cluster repairs onto a different point.
+func repairEmptyClusters(points []vec.Vector, k int, s *scratch) {
+	for c := 0; c < k; c++ {
+		if s.sizes[c] != 0 {
+			continue
+		}
+		far, farD := 0, -1.0
+		for i, p := range points {
+			if d := vec.Dist2(p, s.centers.Row(s.assign[i])); d > farD {
+				far, farD = i, d
+			}
+		}
+		s.centers.SetRow(c, points[far])
+		s.assign[far] = c
+		s.sizes[c] = 1
 	}
-	for len(centers) < k {
+}
+
+// seedInto picks k initial centers with the k-means++ D² weighting,
+// writing them into the scratch centroid matrix. The minimum distance to
+// any chosen center is maintained incrementally in s.d2 (one O(n) update
+// per new center), never rescanned.
+func seedInto(points []vec.Vector, k int, rng *rand.Rand, s *scratch) {
+	first := points[rng.Intn(len(points))]
+	s.centers.SetRow(0, first)
+	for i, p := range points {
+		s.d2[i] = vec.Dist2(p, first)
+	}
+	for c := 1; c < k; c++ {
 		var total float64
-		for _, d := range d2 {
+		for _, d := range s.d2 {
 			total += d
 		}
 		var next int
@@ -140,7 +204,7 @@ func seedPlusPlus(points []vec.Vector, k int, rng *rand.Rand) []vec.Vector {
 			target := rng.Float64() * total
 			acc := 0.0
 			next = len(points) - 1
-			for i, d := range d2 {
+			for i, d := range s.d2 {
 				acc += d
 				if acc >= target {
 					next = i
@@ -148,13 +212,12 @@ func seedPlusPlus(points []vec.Vector, k int, rng *rand.Rand) []vec.Vector {
 				}
 			}
 		}
-		c := vec.Clone(points[next])
-		centers = append(centers, c)
+		s.centers.SetRow(c, points[next])
+		newC := s.centers.Row(c)
 		for i, p := range points {
-			if d := vec.Dist2(p, c); d < d2[i] {
-				d2[i] = d
+			if d := vec.Dist2(p, newC); d < s.d2[i] {
+				s.d2[i] = d
 			}
 		}
 	}
-	return centers
 }

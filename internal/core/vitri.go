@@ -121,8 +121,28 @@ const DefaultMinRadiusFraction = 0.01
 
 // Summarize clusters a video's frames with the paper's recursive binary
 // algorithm and returns its ViTri summary. videoID is carried through for
-// identification in indexes and result sets.
+// identification in indexes and result sets. Each call allocates fresh
+// clustering scratch; batch callers should hold a Summarizer per worker
+// instead.
 func Summarize(videoID int, frames []vec.Vector, opts Options) Summary {
+	var s Summarizer
+	return s.Summarize(videoID, frames, opts)
+}
+
+// Summarizer computes ViTri summaries on a reusable clustering scratch.
+// One Summarizer amortizes its working set across any number of videos;
+// each ingest worker owns exactly one. The zero value is ready to use. A
+// Summarizer is not safe for concurrent use — the scratch belongs to one
+// goroutine at a time.
+//
+// Results are identical to the package-level Summarize for the same
+// (videoID, frames, opts): scratch reuse never leaks into the output.
+type Summarizer struct {
+	gen cluster.Generator
+}
+
+// Summarize is Summarize on the Summarizer's reusable scratch.
+func (sz *Summarizer) Summarize(videoID int, frames []vec.Vector, opts Options) Summary {
 	if opts.Epsilon <= 0 {
 		panic("core: Summarize requires Epsilon > 0")
 	}
@@ -134,7 +154,7 @@ func Summarize(videoID int, frames []vec.Vector, opts Options) Summary {
 		panic(fmt.Sprintf("core: MinRadiusFraction %v out of (0, 0.5)", frac))
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
-	clusters := cluster.Generate(frames, opts.Epsilon, rng)
+	clusters := sz.gen.Generate(frames, opts.Epsilon, rng)
 	s := Summary{
 		VideoID:    videoID,
 		FrameCount: len(frames),

@@ -117,6 +117,8 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		// The dropped fixture also seeds directive handling: two valid
 		// suppressions plus malformed directives reported as [lint].
 		{DroppedErr, []string{"dropped"}, 2},
+		// hotvec seeds one suppressed cold-loop Clone.
+		{HotAlloc, []string{"hotvec", "hotcluster"}, 1},
 	}
 	for _, tc := range tests {
 		t.Run(tc.analyzer.Name, func(t *testing.T) {
@@ -160,12 +162,12 @@ func TestEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	matchDiags(t, res.Diagnostics, collectWants(t, root,
-		[]string{"pager", "locks", "btree", "index", "floats", "dropped", "clean"}))
-	if res.Suppressed != 2 {
-		t.Errorf("suppressed = %d, want 2", res.Suppressed)
+		[]string{"pager", "locks", "btree", "index", "floats", "dropped", "clean", "hotvec", "hotcluster"}))
+	if res.Suppressed != 3 {
+		t.Errorf("suppressed = %d, want 3", res.Suppressed)
 	}
-	if res.Packages != 7 {
-		t.Errorf("packages = %d, want 7", res.Packages)
+	if res.Packages != 9 {
+		t.Errorf("packages = %d, want 9", res.Packages)
 	}
 	format := regexp.MustCompile(`^[^:]+\.go:\d+: \[[a-z]+\] .+$`)
 	for _, d := range res.Diagnostics {
@@ -183,7 +185,7 @@ func TestPatternsSelectPackages(t *testing.T) {
 		patterns []string
 		packages int
 	}{
-		{[]string{"./..."}, 7},
+		{[]string{"./..."}, 9},
 		{[]string{"./locks"}, 1},
 		{[]string{"./locks", "./floats"}, 2},
 		{[]string{"./nosuchdir"}, 0},
@@ -218,4 +220,5 @@ func ExampleAll() {
 	// trackedio
 	// floatorder
 	// droppederr
+	// hotalloc
 }

@@ -13,7 +13,10 @@
 //   - byte-identical results regardless of parallelism, which forbids
 //     float accumulation in map iteration order (analyzer floatorder),
 //   - no silently dropped errors from module mutators (analyzer
-//     droppederr).
+//     droppederr),
+//   - no per-iteration allocations from the vec helpers inside the
+//     summarization hot loops, which the ingest pipeline's zero-alloc
+//     Lloyd kernels depend on (analyzer hotalloc).
 //
 // The cmd/vitrilint driver loads the whole module, runs every analyzer
 // and exits nonzero with "file:line: [analyzer] message" diagnostics.
@@ -107,7 +110,7 @@ func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
 
 // All returns the full analyzer suite in stable reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{LockOrder, TrackedIO, FloatOrder, DroppedErr}
+	return []*Analyzer{LockOrder, TrackedIO, FloatOrder, DroppedErr, HotAlloc}
 }
 
 // unparen strips any number of enclosing parentheses.

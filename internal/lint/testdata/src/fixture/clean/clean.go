@@ -53,3 +53,24 @@ func (c *Catalog) Close() error {
 	defer c.mu.Unlock()
 	return c.pg.Close()
 }
+
+// Add allocates a combined score vector. It shares its name with the vec
+// helpers, but this package is outside hotalloc's scope — loop calls to
+// it must not be flagged.
+func Add(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// MergeScores calls the local Add in a loop; hotalloc only watches
+// packages named vec and cluster, so this stays clean.
+func MergeScores(rows [][]float64) []float64 {
+	acc := make([]float64, len(rows[0]))
+	for _, r := range rows {
+		acc = Add(acc, r)
+	}
+	return acc
+}

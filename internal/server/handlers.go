@@ -151,8 +151,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// insertRequest is the /insert body.
+// insertRequest is the /insert body. Exactly one of frames (single video,
+// with id) or videos (batch) must be present.
 type insertRequest struct {
+	ID     int          `json:"id"`
+	Frames [][]float64  `json:"frames,omitempty"`
+	Videos []insertItem `json:"videos,omitempty"`
+}
+
+// insertItem is one video of a batch insert.
+type insertItem struct {
 	ID     int         `json:"id"`
 	Frames [][]float64 `json:"frames"`
 }
@@ -162,9 +170,30 @@ type mutateResponse struct {
 	Videos int `json:"videos"`
 }
 
+// insertBatchItemJSON is one video's outcome in a batch insert: its id and
+// the error that rejected it, if any.
+type insertBatchItemJSON struct {
+	ID    int    `json:"id"`
+	Error string `json:"error,omitempty"`
+}
+
+type insertBatchResponse struct {
+	Results  []insertBatchItemJSON `json:"results"`
+	Inserted int                   `json:"inserted"`
+	Videos   int                   `json:"videos"`
+}
+
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	var req insertRequest
 	if !decodeJSON(w, r, s.cfg.MaxBodyBytes, &req) {
+		return
+	}
+	if (req.Frames == nil) == (req.Videos == nil) {
+		writeJSONError(w, http.StatusBadRequest, "exactly one of frames and videos must be set")
+		return
+	}
+	if req.Videos != nil {
+		s.handleInsertBatch(w, r, req.Videos)
 		return
 	}
 	if req.ID < 0 {
@@ -184,6 +213,54 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, mutateResponse{ID: req.ID, Videos: s.db.Len()})
+}
+
+// handleInsertBatch loads a batch through DB.AddBatch — summarization fans
+// out across the ingest worker pool, then the videos merge in request
+// order under one lock. Every video gets its own status slot; an invalid
+// video never rejects its batch-mates. The whole request fails only on
+// batch-level errors (the drift-triggered rebuild).
+func (s *Server) handleInsertBatch(w http.ResponseWriter, r *http.Request, items []insertItem) {
+	if len(items) == 0 {
+		writeJSONError(w, http.StatusBadRequest, "videos must not be empty")
+		return
+	}
+	results := make([]insertBatchItemJSON, len(items))
+	// Frame-level validation (shape, finiteness) happens here so the
+	// ingest pool only ever sees well-formed vectors; AddBatch itself
+	// reports id-level rejections (negative, duplicate, no frames).
+	videos := make([]vitri.Video, 0, len(items))
+	slot := make([]int, 0, len(items)) // videos[j] reports into results[slot[j]]
+	for i, it := range items {
+		results[i].ID = it.ID
+		frames, err := toVectors(it.Frames)
+		if err != nil {
+			results[i].Error = "frames: " + err.Error()
+			continue
+		}
+		videos = append(videos, vitri.Video{ID: it.ID, Frames: frames})
+		slot = append(slot, i)
+	}
+	out, err := s.callWithDeadline(r.Context(), func() (interface{}, error) {
+		itemErrs, err := s.db.AddBatch(videos)
+		if err != nil {
+			return nil, err
+		}
+		inserted := 0
+		for j, e := range itemErrs {
+			if e != nil {
+				results[slot[j]].Error = e.Error()
+				continue
+			}
+			inserted++
+		}
+		return &insertBatchResponse{Results: results, Inserted: inserted, Videos: s.db.Len()}, nil
+	})
+	if err != nil {
+		writeJSONError(w, statusFor(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // removeRequest is the /remove body.

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"vitri"
+)
+
+func TestInsertBatch(t *testing.T) {
+	db, _ := testCorpus(t, 4, vitri.Options{})
+	srv := New(db, Config{ErrorLog: quietLog()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	r := rand.New(rand.NewSource(11))
+	good1 := framesJSON(synthVideo(r, 8, 2, 12, 0.2, 0.8))
+	good2 := framesJSON(synthVideo(r, 8, 2, 12, 0.2, 0.8))
+	bad := framesJSON(synthVideo(r, 8, 1, 6, 0.2, 0.8))
+	bad[2] = bad[2][:4] // ragged dimensionality → toVectors rejects
+
+	resp := postJSON(t, ts.URL+"/insert", map[string]interface{}{
+		"videos": []map[string]interface{}{
+			{"id": 200, "frames": good1},
+			{"id": 201, "frames": bad},           // ragged frame → per-item error
+			{"id": 0, "frames": good2},           // duplicate of corpus video 0
+			{"id": 202, "frames": [][]float64{}}, // no frames
+			{"id": 203, "frames": good2},         // fine
+		},
+	})
+	var br insertBatchResponse
+	decodeBody(t, resp, &br)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch insert status = %d", resp.StatusCode)
+	}
+	if len(br.Results) != 5 {
+		t.Fatalf("got %d results, want 5", len(br.Results))
+	}
+	if br.Results[0].Error != "" || br.Results[4].Error != "" {
+		t.Fatalf("valid items rejected: %q, %q", br.Results[0].Error, br.Results[4].Error)
+	}
+	for _, i := range []int{1, 2, 3} {
+		if br.Results[i].Error == "" {
+			t.Errorf("item %d (id %d): expected an error", i, br.Results[i].ID)
+		}
+	}
+	if br.Inserted != 2 || br.Videos != 6 {
+		t.Fatalf("inserted %d videos %d, want 2 and 6", br.Inserted, br.Videos)
+	}
+	for i, wantID := range []int{200, 201, 0, 202, 203} {
+		if br.Results[i].ID != wantID {
+			t.Errorf("result %d id = %d, want %d", i, br.Results[i].ID, wantID)
+		}
+	}
+
+	// Both inserted videos are searchable.
+	q := framesJSON(noisyCopy(r, toVectorsMust(t, good1), 0.01))
+	resp = postJSON(t, ts.URL+"/search", map[string]interface{}{"frames": q, "k": 2})
+	var sr searchResponse
+	decodeBody(t, resp, &sr)
+	if resp.StatusCode != http.StatusOK || len(sr.Matches) == 0 || sr.Matches[0].VideoID != 200 {
+		t.Fatalf("search for batch-inserted video: status %d, %+v", resp.StatusCode, sr.Matches)
+	}
+}
+
+func TestInsertBatchValidation(t *testing.T) {
+	db, _ := testCorpus(t, 2, vitri.Options{})
+	srv := New(db, Config{ErrorLog: quietLog()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	frames := framesJSON(synthVideo(rand.New(rand.NewSource(12)), 8, 1, 6, 0.2, 0.8))
+	cases := []struct {
+		name string
+		body map[string]interface{}
+	}{
+		{"neither frames nor videos", map[string]interface{}{"id": 5}},
+		{"both frames and videos", map[string]interface{}{
+			"id": 5, "frames": frames,
+			"videos": []map[string]interface{}{{"id": 6, "frames": frames}},
+		}},
+		{"empty videos", map[string]interface{}{"videos": []map[string]interface{}{}}},
+	}
+	for _, tc := range cases {
+		resp := postJSON(t, ts.URL+"/insert", tc.body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package vec
+
+import "fmt"
+
+// Matrix is a dense row-major matrix over one flat backing slice. The
+// summarization hot path uses it for per-worker scratch (k-means centroid
+// sets, accumulation buffers): one allocation covers every row, rows are
+// contiguous in memory for cache-friendly argmin scans, and Reset lets a
+// worker reuse the backing array across videos without reallocating.
+type Matrix struct {
+	Rows, Cols int
+	// Data holds the elements, row-major: element (i, j) is
+	// Data[i*Cols+j]. len(Data) == Rows*Cols.
+	Data []float64
+}
+
+// NewMatrix returns a zeroed rows×cols matrix backed by one allocation.
+func NewMatrix(rows, cols int) Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("vec: NewMatrix(%d, %d) with negative dimension", rows, cols))
+	}
+	return Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Reset reshapes m to rows×cols and zeroes every element, reusing the
+// backing array when it is large enough. This is the scratch-buffer entry
+// point: amortized over a worker's lifetime it allocates only when a
+// larger video than any before arrives.
+func (m *Matrix) Reset(rows, cols int) {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("vec: Matrix.Reset(%d, %d) with negative dimension", rows, cols))
+	}
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	} else {
+		m.Data = m.Data[:n]
+		for i := range m.Data {
+			m.Data[i] = 0
+		}
+	}
+	m.Rows, m.Cols = rows, cols
+}
+
+// Row returns row i as a vector sharing the matrix's backing array. The
+// full-slice expression pins the capacity so an append through the view
+// cannot silently overwrite the next row.
+func (m Matrix) Row(i int) Vector {
+	lo, hi := i*m.Cols, (i+1)*m.Cols
+	return m.Data[lo:hi:hi]
+}
+
+// SetRow copies src into row i. src must have exactly Cols elements.
+func (m Matrix) SetRow(i int, src Vector) {
+	if len(src) != m.Cols {
+		panic(fmt.Sprintf("vec: SetRow of %d elements into %d columns", len(src), m.Cols))
+	}
+	copy(m.Data[i*m.Cols:(i+1)*m.Cols], src)
+}
+
+// ZeroRow sets every element of row i to zero.
+func (m Matrix) ZeroRow(i int) {
+	row := m.Data[i*m.Cols : (i+1)*m.Cols]
+	for j := range row {
+		row[j] = 0
+	}
+}
+
+// AccumRow adds p element-wise into row i without allocating — the fused
+// centroid-update kernel of the Lloyd iteration (accumulate each point
+// into its assigned centroid's scratch row). p must have Cols elements.
+func (m Matrix) AccumRow(i int, p Vector) {
+	row := m.Data[i*m.Cols : (i+1)*m.Cols]
+	if len(p) != len(row) {
+		panic(fmt.Sprintf("vec: AccumRow of %d elements into %d columns", len(p), m.Cols))
+	}
+	p = p[:len(row)]
+	for j := range row {
+		row[j] += p[j]
+	}
+}
+
+// ScaleRow multiplies every element of row i by s.
+func (m Matrix) ScaleRow(i int, s float64) {
+	row := m.Data[i*m.Cols : (i+1)*m.Cols]
+	for j := range row {
+		row[j] *= s
+	}
+}

@@ -1,0 +1,152 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// dist2Ref is the naive sequential fold the unrolled Dist2 must reproduce
+// bit for bit: summaries are seeded floats, so the kernel may not change a
+// single ulp.
+func dist2Ref(a, b Vector) float64 {
+	var s float64
+	for i, av := range a {
+		d := av - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func TestDist2BitIdenticalToReference(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for n := 0; n <= 70; n++ {
+		a, b := randVec(r, n), randVec(r, n)
+		got, want := Dist2(a, b), dist2Ref(a, b)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("n=%d: Dist2 = %x, reference fold = %x", n, got, want)
+		}
+	}
+}
+
+func TestArgminDist2MatchesScalarLoop(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 50; trial++ {
+		k, dim := 1+r.Intn(12), 1+r.Intn(40)
+		m := NewMatrix(k, dim)
+		for c := 0; c < k; c++ {
+			m.SetRow(c, randVec(r, dim))
+		}
+		p := randVec(r, dim)
+		best, bestD := 0, math.Inf(1)
+		for c := 0; c < k; c++ {
+			if d := Dist2(p, m.Row(c)); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		gotC, gotD := ArgminDist2(p, m)
+		if gotC != best || math.Float64bits(gotD) != math.Float64bits(bestD) {
+			t.Fatalf("ArgminDist2 = (%d, %v), scalar loop = (%d, %v)", gotC, gotD, best, bestD)
+		}
+	}
+}
+
+func TestArgminDist2TieKeepsFirst(t *testing.T) {
+	m := NewMatrix(3, 2)
+	m.SetRow(0, Vector{1, 0})
+	m.SetRow(1, Vector{0, 1}) // same distance to p as row 0
+	m.SetRow(2, Vector{5, 5})
+	if best, _ := ArgminDist2(Vector{0, 0}, m); best != 0 {
+		t.Fatalf("tie broke to row %d, want first minimum 0", best)
+	}
+}
+
+func TestArgminDist2PanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ArgminDist2(Vector{1}, Matrix{})
+}
+
+func TestMatrixRowsAndAccum(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.SetRow(0, Vector{1, 2, 3})
+	m.AccumRow(0, Vector{10, 10, 10})
+	if !Equal(m.Row(0), Vector{11, 12, 13}) {
+		t.Fatalf("AccumRow: row 0 = %v", m.Row(0))
+	}
+	if !Equal(m.Row(1), Vector{0, 0, 0}) {
+		t.Fatalf("row 1 disturbed: %v", m.Row(1))
+	}
+	m.ScaleRow(0, 2)
+	if !Equal(m.Row(0), Vector{22, 24, 26}) {
+		t.Fatalf("ScaleRow: row 0 = %v", m.Row(0))
+	}
+	m.ZeroRow(0)
+	if !Equal(m.Row(0), Vector{0, 0, 0}) {
+		t.Fatalf("ZeroRow: row 0 = %v", m.Row(0))
+	}
+}
+
+func TestMatrixRowCannotGrowIntoNeighbor(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.SetRow(1, Vector{7, 8})
+	row := m.Row(0)
+	row = append(row, 99) // must reallocate, not clobber row 1
+	_ = row
+	if !Equal(m.Row(1), Vector{7, 8}) {
+		t.Fatalf("append through a row view clobbered the next row: %v", m.Row(1))
+	}
+}
+
+func TestMatrixResetReusesBacking(t *testing.T) {
+	m := NewMatrix(4, 8)
+	m.Data[0] = 42
+	backing := &m.Data[0]
+	m.Reset(2, 8)
+	if m.Rows != 2 || m.Cols != 8 || len(m.Data) != 16 {
+		t.Fatalf("Reset shape: %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	if m.Data[0] != 0 {
+		t.Fatal("Reset did not zero the reused backing")
+	}
+	if &m.Data[0] != backing {
+		t.Fatal("Reset reallocated although capacity sufficed")
+	}
+	m.Reset(8, 8) // larger than capacity: must grow
+	if len(m.Data) != 64 {
+		t.Fatalf("Reset grow: len %d", len(m.Data))
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("grown backing not zero at %d: %v", i, v)
+		}
+	}
+}
+
+// The hot-loop kernels must not allocate: the Lloyd iteration runs them
+// millions of times per ingest.
+func TestKernelsZeroAlloc(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	a, b := randVec(r, 64), randVec(r, 64)
+	m := NewMatrix(8, 64)
+	for c := 0; c < 8; c++ {
+		m.SetRow(c, randVec(r, 64))
+	}
+	var sink float64
+	if n := testing.AllocsPerRun(100, func() { sink += Dist2(a, b) }); n != 0 {
+		t.Errorf("Dist2 allocates %v per call", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { _, d := ArgminDist2(a, m); sink += d }); n != 0 {
+		t.Errorf("ArgminDist2 allocates %v per call", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { m.AccumRow(3, b) }); n != 0 {
+		t.Errorf("AccumRow allocates %v per call", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { m.ScaleRow(3, 0.5); m.ZeroRow(2) }); n != 0 {
+		t.Errorf("ScaleRow/ZeroRow allocate %v per call", n)
+	}
+	_ = sink
+}

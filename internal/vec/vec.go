@@ -30,14 +30,54 @@ func Dist(a, b Vector) float64 {
 
 // Dist2 returns the squared Euclidean distance between a and b. It avoids
 // the square root for callers that only compare distances.
+//
+// The loop is 4-way unrolled with the bounds checks hoisted (the b =
+// b[:len(a)] reslice proves every b index in range), but keeps a single
+// accumulator updated strictly left to right, so the result is
+// bit-identical to the naive sequential fold — summaries must not change
+// with the kernel.
 func Dist2(a, b Vector) float64 {
 	checkLen(a, b)
+	if len(a) == 0 {
+		return 0
+	}
+	b = b[:len(a)]
 	var s float64
-	for i, av := range a {
-		d := av - b[i]
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s += d0 * d0
+		s += d1 * d1
+		s += d2 * d2
+		s += d3 * d3
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
 		s += d * d
 	}
 	return s
+}
+
+// ArgminDist2 is the one-to-many assignment kernel of the Lloyd
+// iteration: it returns the index of the row of m closest to p in squared
+// Euclidean distance, and that distance. Rows are scanned in order with a
+// strict less-than update, so the winner is exactly the one a sequential
+// "loop over centers, keep the first minimum" would pick. m must have at
+// least one row and p must have m.Cols elements.
+func ArgminDist2(p Vector, m Matrix) (best int, bestD float64) {
+	if m.Rows == 0 {
+		panic("vec: ArgminDist2 over an empty matrix")
+	}
+	best, bestD = 0, math.Inf(1)
+	for c := 0; c < m.Rows; c++ {
+		if d := Dist2(p, m.Row(c)); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best, bestD
 }
 
 // Dot returns the inner product of a and b.

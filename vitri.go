@@ -122,6 +122,10 @@ type Options struct {
 	// disables intra-query parallelism. Results and stats are identical
 	// at every setting.
 	SearchParallelism int
+	// IngestParallelism bounds the worker pool AddBatch fans video
+	// summarization across. <= 0 selects GOMAXPROCS; 1 reduces AddBatch
+	// to a sequential loop. Results are byte-identical at every setting.
+	IngestParallelism int
 }
 
 // DB is a searchable video database. All methods are safe for concurrent
@@ -182,14 +186,24 @@ func (db *DB) Add(videoID int, frames []Vector) error {
 // AddSummary adds a pre-computed summary (e.g. produced offline or loaded
 // from storage).
 func (db *DB) AddSummary(s Summary) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.addSummaryLocked(s); err != nil {
+		return err
+	}
+	return db.maybeRebuildLocked()
+}
+
+// addSummaryLocked validates and stores one summary. Caller holds the
+// write lock; the drift policy is the caller's responsibility so batch
+// loads can evaluate it once.
+func (db *DB) addSummaryLocked(s Summary) error {
 	if s.VideoID < 0 {
 		return fmt.Errorf("vitri: negative video id %d", s.VideoID)
 	}
 	if len(s.Triplets) == 0 {
 		return fmt.Errorf("vitri: video %d has an empty summary", s.VideoID)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.ids[s.VideoID] {
 		return fmt.Errorf("%w %d", ErrDuplicateID, s.VideoID)
 	}
@@ -202,7 +216,7 @@ func (db *DB) AddSummary(s Summary) error {
 		return err
 	}
 	db.ids[s.VideoID] = true
-	return db.maybeRebuildLocked()
+	return nil
 }
 
 // ensureIndexLocked builds the index from pending summaries. Caller holds
