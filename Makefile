@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmtcheck lint race e2e fuzz-smoke check bench bench-ingest
+.PHONY: all build test vet fmtcheck lint race e2e fuzz-smoke crash check bench bench-ingest
 
 all: check
 
@@ -40,12 +40,22 @@ race:
 e2e:
 	$(GO) test -race -run 'TestE2E' -count 1 ./internal/server/
 
-# fuzz-smoke gives the store-codec fuzzer a short budget on every check:
-# enough to replay the corpus plus a few thousand fresh mutations.
+# fuzz-smoke gives each fuzzer a short budget on every check: enough to
+# replay its corpus plus a few thousand fresh mutations. Covers the store
+# codec and the journal replayer (hostile bytes must never panic or be
+# misread as valid records).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadSummaries$$' -fuzztime 5s .
+	$(GO) test -run '^$$' -fuzz '^FuzzJournalReplay$$' -fuzztime 5s ./internal/journal/
 
-check: vet fmtcheck lint race e2e fuzz-smoke
+# crash runs the crash-simulation suite (crash_test.go): a simulated
+# power cut at every write/sync boundary of a snapshot + journal
+# workload, recovery checked against an oracle. Verbose, so the verified
+# state/boundary counts land in the log.
+crash:
+	$(GO) test -run 'TestCrash|TestSaveCrash' -count 1 -v .
+
+check: vet fmtcheck lint race e2e fuzz-smoke crash
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ ./...

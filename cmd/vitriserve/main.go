@@ -1,16 +1,26 @@
-// Command vitriserve loads a corpus (vitrigen .gob) or a saved summary
-// store (vitri .Save file), builds a ViTri database once, and serves KNN
-// queries over HTTP/JSON until terminated.
+// Command vitriserve loads a corpus (vitrigen .gob), a saved summary
+// store (vitri .Save file) or a durable store directory, builds a ViTri
+// database once, and serves KNN queries over HTTP/JSON until terminated.
 //
-// Endpoints (see internal/server): POST /search, /insert, /remove and
-// GET /healthz, /stats. Load shedding answers 429 + Retry-After once
-// -max-inflight requests are active; SIGINT/SIGTERM trigger a graceful
-// shutdown that drains in-flight queries before the page store closes.
+// Endpoints (see internal/server): POST /search, /insert, /remove,
+// /checkpoint and GET /healthz, /stats. Load shedding answers 429 +
+// Retry-After once -max-inflight requests are active; SIGINT/SIGTERM
+// trigger a graceful shutdown that drains in-flight queries before the
+// journal and page store close.
+//
+// Durability: with -journal <dir>, every insert and remove is journaled
+// to <dir>/journal.wal and fsynced before the request is acknowledged;
+// restarts recover the store from <dir>/snapshot.vitri plus the journal,
+// truncating any torn tail a crash left. -checkpoint-every <N> folds the
+// journal into a fresh snapshot whenever it reaches N operations (0 =
+// manual only, via POST /checkpoint). A -corpus given alongside -journal
+// bootstraps an empty durable store and is ignored on later starts.
 //
 // Example:
 //
 //	vitrigen -scale 0.02 -o corpus.gob
 //	vitriserve -corpus corpus.gob -addr :8080
+//	vitriserve -corpus corpus.gob -journal /var/lib/vitri -checkpoint-every 1000
 //	curl -s localhost:8080/healthz
 package main
 
@@ -23,6 +33,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -45,10 +56,19 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 64, "admission limit for /search, /insert and /remove")
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request deadline (0 = none)")
 		drain       = flag.Duration("drain", 30*time.Second, "shutdown drain budget")
+		journalDir  = flag.String("journal", "", "durable store directory: mutations are journaled and fsynced; restarts recover snapshot+journal")
+		ckptEvery   = flag.Int("checkpoint-every", 0, "fold the journal into a snapshot every N operations (0 = only on POST /checkpoint)")
 	)
 	flag.Parse()
-	if (*corpusPath == "") == (*dbPath == "") {
-		fatalf("exactly one of -corpus and -db is required")
+	switch {
+	case *journalDir != "" && *dbPath != "":
+		fatalf("-journal and -db are mutually exclusive (a durable directory carries its own snapshot)")
+	case *journalDir == "" && (*corpusPath == "") == (*dbPath == ""):
+		fatalf("exactly one of -corpus and -db is required (or -journal for a durable store)")
+	case *ckptEvery < 0:
+		fatalf("-checkpoint-every must be non-negative")
+	case *ckptEvery > 0 && *journalDir == "":
+		fatalf("-checkpoint-every needs -journal")
 	}
 
 	newPager := func() pager.Pager { return pager.NewMem() }
@@ -63,17 +83,22 @@ func main() {
 		NewPager:          newPager,
 	}
 
-	db, err := loadDB(*corpusPath, *dbPath, opts)
+	db, err := loadDB(*corpusPath, *dbPath, *journalDir, opts)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	log.Printf("vitriserve: %d videos, %d triplets (epsilon %g)", db.Len(), db.Triplets(), db.Epsilon())
+	if db.Durable() {
+		ds := db.DurabilityStats()
+		log.Printf("vitriserve: durable store %s (journal depth %d, snapshot seq %d)", ds.Dir, ds.Journal.Depth, ds.SnapshotSeq)
+	}
 
 	srv := server.New(db, server.Config{
-		DefaultK:       *k,
-		MaxInFlight:    *maxInflight,
-		RequestTimeout: *timeout,
-		CacheStats:     cacheStats,
+		DefaultK:        *k,
+		MaxInFlight:     *maxInflight,
+		RequestTimeout:  *timeout,
+		CacheStats:      cacheStats,
+		CheckpointEvery: *ckptEvery,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -101,7 +126,10 @@ func main() {
 }
 
 // loadDB builds the database from whichever source was given.
-func loadDB(corpusPath, dbPath string, opts vitri.Options) (*vitri.DB, error) {
+func loadDB(corpusPath, dbPath, journalDir string, opts vitri.Options) (*vitri.DB, error) {
+	if journalDir != "" {
+		return openDurable(corpusPath, journalDir, opts)
+	}
 	if dbPath != "" {
 		opts.Epsilon = 0 // take ε from the store
 		db, err := vitri.Load(dbPath, opts)
@@ -124,13 +152,64 @@ func loadDB(corpusPath, dbPath string, opts vitri.Options) (*vitri.DB, error) {
 			return nil, fmt.Errorf("add video %d: %w", v.ID, err)
 		}
 	}
-	// Force the lazy index build now, so the first request doesn't pay
-	// for it and startup fails fast on a broken corpus.
-	warm := vitri.Summarize(-1, c.Videos[0].Frames, db.Epsilon(), opts.Seed)
-	if _, _, err := db.SearchSummary(&warm, 1, vitri.Composed); err != nil {
-		return nil, fmt.Errorf("index build: %w", err)
+	if err := warmIndex(db, c.Videos[0].Frames, opts.Seed); err != nil {
+		return nil, err
 	}
 	return db, nil
+}
+
+// openDurable opens (or creates) the durable store, bootstrapping it
+// from the corpus when the store is empty and one was given.
+func openDurable(corpusPath, journalDir string, opts vitri.Options) (*vitri.DB, error) {
+	// An existing store fixes ε; only a fresh one takes it from the flag.
+	if _, err := os.Stat(filepath.Join(journalDir, "snapshot.vitri")); err == nil {
+		opts.Epsilon = 0
+	}
+	db, err := vitri.OpenDurable(journalDir, opts)
+	if err != nil {
+		return nil, err
+	}
+	if corpusPath == "" || db.Len() > 0 {
+		return db, nil
+	}
+	c, err := dataset.Load(corpusPath)
+	if err != nil {
+		return nil, err
+	}
+	if len(c.Videos) == 0 {
+		return nil, errors.New("corpus has no videos")
+	}
+	videos := make([]vitri.Video, len(c.Videos))
+	for i := range c.Videos {
+		videos[i] = vitri.Video{ID: c.Videos[i].ID, Frames: c.Videos[i].Frames}
+	}
+	itemErrs, err := db.AddBatch(videos)
+	if err != nil {
+		return nil, fmt.Errorf("bootstrap: %w", err)
+	}
+	if err := errors.Join(itemErrs...); err != nil {
+		return nil, fmt.Errorf("bootstrap: %w", err)
+	}
+	// Fold the bootstrap into a snapshot immediately: recovery then reads
+	// one snapshot instead of replaying the whole corpus from the journal.
+	if err := db.Checkpoint(); err != nil {
+		return nil, fmt.Errorf("bootstrap checkpoint: %w", err)
+	}
+	log.Printf("vitriserve: bootstrapped durable store from %s (%d videos)", corpusPath, db.Len())
+	if err := warmIndex(db, c.Videos[0].Frames, opts.Seed); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// warmIndex forces the lazy index build, so the first request doesn't
+// pay for it and startup fails fast on a broken corpus.
+func warmIndex(db *vitri.DB, frames []vitri.Vector, seed int64) error {
+	warm := vitri.Summarize(-1, frames, db.Epsilon(), seed)
+	if _, _, err := db.SearchSummary(&warm, 1, vitri.Composed); err != nil {
+		return fmt.Errorf("index build: %w", err)
+	}
+	return nil
 }
 
 func fatalf(format string, args ...interface{}) {

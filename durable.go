@@ -1,0 +1,298 @@
+package vitri
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
+
+	"vitri/internal/core"
+	"vitri/internal/journal"
+	"vitri/internal/storefmt"
+	"vitri/internal/vfs"
+)
+
+// Durability: a durable DB pairs an atomic snapshot with an append-only
+// delta journal, so a power cut at any write boundary loses nothing that
+// was acknowledged.
+//
+//   - The snapshot (<dir>/snapshot.vitri, store format v2) is only ever
+//     replaced via temp-file + fsync + rename + directory sync; the
+//     previous snapshot is never damaged.
+//   - Every Add/Remove/AddBatch appends a checksummed record to the
+//     journal (<dir>/journal.wal) and returns only after fsync; batches
+//     and concurrent mutators share fsyncs (group commit).
+//   - Checkpoint folds the journal into a fresh snapshot and rotates the
+//     journal, bounding recovery time and disk growth.
+//   - OpenDurable verifies snapshot checksums, replays the journal
+//     (skipping records the snapshot already contains, by sequence
+//     number) and truncates a torn journal tail at the first invalid
+//     record instead of failing.
+//
+// The recovery invariant — every acknowledged operation survives, every
+// unacknowledged one is absent or applied atomically, never partially —
+// is enforced by the exhaustive crash-simulation suite in crash_test.go,
+// which enumerates a simulated power cut at every write/sync boundary.
+
+// ErrNotDurable reports a durability operation (Checkpoint) on a DB that
+// was not opened with OpenDurable.
+var ErrNotDurable = errors.New("vitri: database is not durable (use OpenDurable)")
+
+// Snapshot and journal file names inside a durable directory.
+const (
+	snapshotFile = "snapshot.vitri"
+	journalFile  = "journal.wal"
+)
+
+// DurableOptions configures the durable store.
+type DurableOptions struct {
+	// Dir is the directory holding the snapshot and journal. Created if
+	// absent. Set by OpenDurable's dir argument.
+	Dir string
+	// FS overrides the filesystem — the crash-simulation harness
+	// substitutes its recorder here. Nil selects the real disk.
+	FS vfs.FS
+	// keepCorruptTail disables torn-tail truncation at recovery. It is
+	// settable only from this package's tests: the crash suite uses it
+	// to prove the truncation has teeth.
+	keepCorruptTail bool
+}
+
+// durableState is the open journal plus snapshot bookkeeping.
+type durableState struct {
+	fs          vfs.FS
+	dir         string
+	snapPath    string
+	wal         *journal.Writer
+	snapLastSeq uint64 // journal seq folded into the on-disk snapshot (guarded by db.mu)
+	snapVersion uint32 // on-disk snapshot format (0 = no snapshot yet)
+	checkpoints atomic.Uint64
+}
+
+// OpenDurable opens (creating if needed) a durable database in dir:
+// the snapshot is loaded and checksum-verified, the journal is replayed
+// on top of it, and any torn journal tail is truncated. opts.Epsilon
+// must match a non-empty store's epsilon (or be zero to adopt it), the
+// same contract as Load. The returned DB persists every mutation; see
+// Checkpoint for folding the journal down.
+func OpenDurable(dir string, opts Options) (*DB, error) {
+	d := DurableOptions{Dir: dir}
+	if opts.Durable != nil {
+		d = *opts.Durable
+		d.Dir = dir
+	}
+	fsys := d.FS
+	if fsys == nil {
+		fsys = vfs.OS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("vitri: open durable: %w", err)
+	}
+	snapPath := filepath.Join(dir, snapshotFile)
+	walPath := filepath.Join(dir, journalFile)
+	// A crash can leave stale temp files behind; they are dead weight
+	// (never read) and are cleared so a later checkpoint starts clean.
+	for _, stale := range []string{snapPath + ".tmp", walPath + ".tmp"} {
+		//lint:ignore droppederr best-effort cleanup of a never-read temp file
+		fsys.Remove(stale)
+	}
+
+	snap, err := storefmt.ReadSnapshotFile(fsys, snapPath)
+	switch {
+	case storefmt.IsNotExist(err):
+		snap = nil
+	case err != nil:
+		return nil, fmt.Errorf("vitri: open durable %s: %w", snapPath, err)
+	}
+
+	var lastSeq uint64
+	var snapVersion uint32
+	if snap != nil {
+		if opts.Epsilon != 0 && opts.Epsilon != snap.Epsilon {
+			return nil, fmt.Errorf("vitri: open durable: store epsilon %v conflicts with requested %v", snap.Epsilon, opts.Epsilon)
+		}
+		opts.Epsilon = snap.Epsilon
+		lastSeq = snap.LastSeq
+		snapVersion = snap.Version
+	}
+	if opts.Epsilon <= 0 {
+		return nil, errors.New("vitri: open durable: empty store needs a positive Options.Epsilon")
+	}
+	if snap == nil {
+		// Seed a fresh store with an empty v2 snapshot so the directory
+		// always carries its epsilon — later opens may pass Epsilon 0 and
+		// adopt it, exactly as with a checkpointed store.
+		seeded := &storefmt.Snapshot{Version: storefmt.Version2, Epsilon: opts.Epsilon}
+		if err := storefmt.WriteSnapshotFile(fsys, snapPath, seeded); err != nil {
+			return nil, fmt.Errorf("vitri: open durable: seed snapshot: %w", err)
+		}
+		snapVersion = storefmt.Version2
+	}
+	opts.Durable = &d
+	db := New(opts)
+	if snap != nil {
+		db.mu.Lock()
+		for i := range snap.Summaries {
+			if err := db.addSummaryLocked(snap.Summaries[i]); err != nil {
+				db.mu.Unlock()
+				return nil, fmt.Errorf("vitri: open durable: snapshot: %w", err)
+			}
+		}
+		db.mu.Unlock()
+	}
+
+	// Replay the journal over the snapshot. Records the snapshot already
+	// folded in are skipped by sequence number; duplicate adds and
+	// missing removes are tolerated (they can only arise from the benign
+	// crash window between snapshot rename and journal rotation).
+	db.mu.Lock()
+	wal, err := journal.Open(fsys, walPath, journal.Config{
+		StartSeq:        lastSeq + 1,
+		KeepCorruptTail: d.keepCorruptTail,
+	}, func(e journal.Entry) error {
+		if e.Seq <= lastSeq {
+			return nil
+		}
+		switch e.Kind {
+		case journal.KindAdd:
+			if aerr := db.addSummaryLocked(e.Summary); aerr != nil && !errors.Is(aerr, ErrDuplicateID) {
+				return aerr
+			}
+		case journal.KindRemove:
+			if rerr := db.removeLocked(e.VideoID); rerr != nil && !errors.Is(rerr, ErrNotFound) {
+				return rerr
+			}
+		}
+		return nil
+	})
+	db.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("vitri: open durable %s: %w", walPath, err)
+	}
+	db.dur = &durableState{
+		fs:          fsys,
+		dir:         dir,
+		snapPath:    snapPath,
+		wal:         wal,
+		snapLastSeq: lastSeq,
+		snapVersion: snapVersion,
+	}
+	return db, nil
+}
+
+// Durable reports whether the database persists mutations.
+func (db *DB) Durable() bool { return db.dur != nil }
+
+// Checkpoint folds the journal into a fresh snapshot: the database's
+// current contents are written as a new v2 snapshot (atomically — the
+// old snapshot survives any crash), then the journal is rotated to
+// empty. Opening a v1 legacy store durably upgrades it to v2 here.
+// Recovery cost and journal size are proportional to operations since
+// the last checkpoint, so long-running services checkpoint periodically
+// (vitriserve's -checkpoint-every).
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.dur == nil {
+		return ErrNotDurable
+	}
+	var sums []core.Summary
+	var err error
+	if db.ix == nil {
+		sums = append([]core.Summary(nil), db.pending...)
+	} else {
+		sums, err = db.ix.Summaries()
+		if err != nil {
+			return fmt.Errorf("vitri: checkpoint: %w", err)
+		}
+	}
+	storefmt.SortSummaries(sums)
+	lastSeq := db.dur.wal.LastSeq()
+	snap := &storefmt.Snapshot{
+		Version:   storefmt.Version2,
+		Epsilon:   db.opts.Epsilon,
+		LastSeq:   lastSeq,
+		Summaries: sums,
+	}
+	if err := storefmt.WriteSnapshotFile(db.dur.fs, db.dur.snapPath, snap); err != nil {
+		return fmt.Errorf("vitri: checkpoint: %w", err)
+	}
+	// Crash window: snapshot renamed, journal not yet rotated. Harmless —
+	// every journal record now has seq <= the snapshot's LastSeq and is
+	// skipped at the next open.
+	if err := db.dur.wal.Rotate(lastSeq + 1); err != nil {
+		return fmt.Errorf("vitri: checkpoint: rotate journal: %w", err)
+	}
+	db.dur.snapLastSeq = lastSeq
+	db.dur.snapVersion = storefmt.Version2
+	db.dur.checkpoints.Add(1)
+	return nil
+}
+
+// DurabilityStats reports the durable store's health for /stats: journal
+// depth (operations not yet checkpointed), bytes, fsync count and
+// latency distribution, and snapshot bookkeeping. The zero value (with
+// Enabled false) is returned for non-durable databases.
+type DurabilityStats struct {
+	Enabled bool
+	// Dir is the durable directory.
+	Dir string
+	// SnapshotSeq is the journal sequence folded into the on-disk
+	// snapshot; SnapshotVersion its format (0 before any checkpoint on a
+	// fresh store, 1 for a not-yet-upgraded legacy store).
+	SnapshotSeq     uint64
+	SnapshotVersion uint32
+	// Checkpoints counts successful Checkpoint calls this process.
+	Checkpoints uint64
+	// Journal is the live journal's depth, size and fsync telemetry.
+	Journal journal.Stats
+}
+
+// DurabilityStats snapshots the durable store's counters.
+func (db *DB) DurabilityStats() DurabilityStats {
+	if db.dur == nil {
+		return DurabilityStats{}
+	}
+	db.mu.RLock()
+	snapSeq := db.dur.snapLastSeq
+	snapVer := db.dur.snapVersion
+	db.mu.RUnlock()
+	return DurabilityStats{
+		Enabled:         true,
+		Dir:             db.dur.dir,
+		SnapshotSeq:     snapSeq,
+		SnapshotVersion: snapVer,
+		Checkpoints:     db.dur.checkpoints.Load(),
+		Journal:         db.dur.wal.Stats(),
+	}
+}
+
+// journalAddLocked appends an Add record for s. Caller holds the write
+// lock and has already applied s in memory; on append failure the caller
+// rolls the in-memory apply back. Returns 0 on a non-durable DB.
+func (db *DB) journalAddLocked(s *core.Summary) (uint64, error) {
+	if db.dur == nil {
+		return 0, nil
+	}
+	return db.dur.wal.AppendAdd(s)
+}
+
+// journalRemoveLocked appends a Remove record. Caller holds the write
+// lock and appends BEFORE applying: removal has no cheap rollback, and
+// a journaled-but-unapplied remove can only arise from an index-internal
+// failure that already signals corruption.
+func (db *DB) journalRemoveLocked(videoID int) (uint64, error) {
+	if db.dur == nil {
+		return 0, nil
+	}
+	return db.dur.wal.AppendRemove(videoID)
+}
+
+// commitSeq makes operations up to seq durable (group commit); a no-op
+// on non-durable databases.
+func (db *DB) commitSeq(seq uint64) error {
+	if db.dur == nil || seq == 0 {
+		return nil
+	}
+	return db.dur.wal.Commit(seq)
+}

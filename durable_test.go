@@ -1,0 +1,293 @@
+package vitri
+
+import (
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"vitri/internal/storefmt"
+	"vitri/internal/vfs"
+)
+
+// TestDurableLifecycle exercises the durable store on the real
+// filesystem: open empty, mutate, close, reopen, verify; checkpoint,
+// mutate more, reopen, verify.
+func TestDurableLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDurable(dir, Options{Epsilon: 0.3})
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	if !db.Durable() {
+		t.Fatal("Durable() = false")
+	}
+	for i := 1; i <= 6; i++ {
+		if err := db.AddSummary(crashSummary(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Remove(2); err != nil {
+		t.Fatal(err)
+	}
+	st := db.DurabilityStats()
+	if !st.Enabled || st.Journal.Depth != 7 || st.Journal.LastSeq != 7 || st.Journal.DurableSeq != 7 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: journal replays over the (absent) snapshot.
+	db2, err := OpenDurable(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if db2.Epsilon() != 0.3 {
+		t.Fatalf("epsilon not adopted: %v", db2.Epsilon())
+	}
+	want := map[int]bool{1: true, 3: true, 4: true, 5: true, 6: true}
+	got := dbContents(t, db2)
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d videos, want %d", len(got), len(want))
+	}
+	for id := range want {
+		if _, ok := got[id]; !ok {
+			t.Fatalf("video %d missing after replay", id)
+		}
+	}
+
+	// Checkpoint folds the journal; a reopen must replay nothing and see
+	// the same contents.
+	if err := db2.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	st = db2.DurabilityStats()
+	if st.Journal.Depth != 0 || st.SnapshotVersion != storefmt.Version2 || st.Checkpoints != 1 {
+		t.Fatalf("post-checkpoint stats = %+v", st)
+	}
+	if err := db2.AddSummary(crashSummary(50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db3, err := OpenDurable(dir, Options{Epsilon: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	got3 := dbContents(t, db3)
+	if len(got3) != 6 {
+		t.Fatalf("after checkpoint+add: %d videos, want 6", len(got3))
+	}
+	if _, ok := got3[50]; !ok {
+		t.Fatal("post-checkpoint add lost")
+	}
+	if st := db3.DurabilityStats(); st.Journal.Depth != 1 {
+		t.Fatalf("replayed depth = %d, want 1 (only the post-checkpoint add)", st.Journal.Depth)
+	}
+}
+
+// TestDurableSearchable: a recovered durable database answers queries.
+func TestDurableSearchable(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDurable(dir, Options{Epsilon: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := make([]Vector, 8)
+	for i := range frames {
+		frames[i] = Vector{float64(i) * 0.01, 0.5, 0.25}
+	}
+	if err := db.Add(1, frames); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := OpenDurable(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	matches, err := db2.Search(frames, 1)
+	if err != nil {
+		t.Fatalf("Search after recovery: %v", err)
+	}
+	if len(matches) != 1 || matches[0].VideoID != 1 {
+		t.Fatalf("matches = %+v", matches)
+	}
+}
+
+// TestV1MigratesOnCheckpoint: a legacy v1 store dropped into a durable
+// directory opens, serves, and upgrades to the checksummed v2 format on
+// its next Checkpoint, preserving contents byte-for-byte.
+func TestV1MigratesOnCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	legacy := New(Options{Epsilon: 0.25})
+	for i := 1; i <= 5; i++ {
+		if err := legacy.AddSummary(crashSummary(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snapPath := filepath.Join(dir, "snapshot.vitri")
+	if err := legacy.Save(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	legacyContents := dbContents(t, legacy)
+
+	db, err := OpenDurable(dir, Options{})
+	if err != nil {
+		t.Fatalf("OpenDurable over v1 store: %v", err)
+	}
+	if db.Epsilon() != 0.25 {
+		t.Fatalf("epsilon = %v", db.Epsilon())
+	}
+	if st := db.DurabilityStats(); st.SnapshotVersion != storefmt.Version1 {
+		t.Fatalf("pre-migration SnapshotVersion = %d, want %d", st.SnapshotVersion, storefmt.Version1)
+	}
+	if !reflect.DeepEqual(dbContents(t, db), legacyContents) {
+		t.Fatal("v1 contents not preserved on durable open")
+	}
+
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("migrating checkpoint: %v", err)
+	}
+	if st := db.DurabilityStats(); st.SnapshotVersion != storefmt.Version2 {
+		t.Fatalf("post-migration SnapshotVersion = %d, want %d", st.SnapshotVersion, storefmt.Version2)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The file on disk is now genuinely v2 (checksummed), still loadable
+	// by both Load and OpenDurable with identical contents.
+	snap, err := storefmt.ReadSnapshotFile(vfs.OS{}, snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != storefmt.Version2 {
+		t.Fatalf("on-disk version = %d", snap.Version)
+	}
+	loaded, err := Load(snapPath, Options{})
+	if err != nil {
+		t.Fatalf("Load of migrated store: %v", err)
+	}
+	if !reflect.DeepEqual(dbContents(t, loaded), legacyContents) {
+		t.Fatal("migration changed contents")
+	}
+	db2, err := OpenDurable(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if !reflect.DeepEqual(dbContents(t, db2), legacyContents) {
+		t.Fatal("durable reopen of migrated store changed contents")
+	}
+}
+
+func TestDurableErrors(t *testing.T) {
+	// Checkpoint on a non-durable DB.
+	db := New(Options{Epsilon: 0.3})
+	if err := db.Checkpoint(); !errors.Is(err, ErrNotDurable) {
+		t.Fatalf("Checkpoint on plain DB: %v, want ErrNotDurable", err)
+	}
+	if db.Durable() {
+		t.Fatal("plain DB claims durability")
+	}
+	if st := db.DurabilityStats(); st.Enabled {
+		t.Fatal("plain DB has enabled durability stats")
+	}
+
+	// Empty durable store without an epsilon.
+	if _, err := OpenDurable(t.TempDir(), Options{}); err == nil {
+		t.Fatal("OpenDurable with no epsilon on an empty store succeeded")
+	}
+
+	// Epsilon conflict with an existing store.
+	dir := t.TempDir()
+	db2, err := OpenDurable(dir, Options{Epsilon: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.AddSummary(crashSummary(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDurable(dir, Options{Epsilon: 0.5}); err == nil {
+		t.Fatal("conflicting epsilon accepted")
+	}
+
+	// Duplicate and missing ids still fail cleanly on a durable DB, and
+	// failures are not journaled (depth unchanged).
+	db3, err := OpenDurable(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	depth := db3.DurabilityStats().Journal.Depth
+	if err := db3.AddSummary(crashSummary(1)); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if err := db3.Remove(777); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing: %v", err)
+	}
+	if got := db3.DurabilityStats().Journal.Depth; got != depth {
+		t.Fatalf("failed ops changed journal depth %d -> %d", depth, got)
+	}
+}
+
+// TestDurableAddBatch: the batch path journals every accepted video and
+// group-commits once; recovery sees all of them.
+func TestDurableAddBatch(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDurable(dir, Options{Epsilon: 0.3, IngestParallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := func(seed int) []Vector {
+		out := make([]Vector, 6)
+		for i := range out {
+			out[i] = Vector{float64(seed) * 0.1, float64(i) * 0.02, 0.5}
+		}
+		return out
+	}
+	videos := []Video{
+		{ID: 1, Frames: frames(1)},
+		{ID: 2, Frames: frames(2)},
+		{ID: 2, Frames: frames(2)}, // duplicate: must fail per-item, not journal
+		{ID: 3, Frames: frames(3)},
+	}
+	itemErrs, err := db.AddBatch(videos)
+	if err != nil {
+		t.Fatalf("AddBatch: %v", err)
+	}
+	if itemErrs[0] != nil || itemErrs[1] != nil || itemErrs[3] != nil {
+		t.Fatalf("itemErrs = %v", itemErrs)
+	}
+	if !errors.Is(itemErrs[2], ErrDuplicateID) {
+		t.Fatalf("duplicate item: %v", itemErrs[2])
+	}
+	st := db.DurabilityStats()
+	if st.Journal.Depth != 3 || st.Journal.DurableSeq != 3 {
+		t.Fatalf("stats after batch = %+v", st.Journal)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := OpenDurable(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := dbContents(t, db2); len(got) != 3 {
+		t.Fatalf("recovered %d videos, want 3", len(got))
+	}
+}

@@ -78,14 +78,33 @@ func (db *DB) AddBatch(videos []Video) ([]error, error) {
 	wg.Wait()
 
 	db.mu.Lock()
-	defer db.mu.Unlock()
+	var maxSeq uint64
 	for i := range videos {
 		if itemErrs[i] != nil {
 			continue
 		}
-		itemErrs[i] = db.addSummaryLocked(summaries[i])
+		if itemErrs[i] = db.addSummaryLocked(summaries[i]); itemErrs[i] != nil {
+			continue
+		}
+		// Journal each accepted summary under the batch's single lock
+		// acquisition; one Commit below fsyncs the whole batch (group
+		// commit), so durability costs one fsync per batch, not per video.
+		seq, jerr := db.journalAddLocked(&summaries[i])
+		if jerr != nil {
+			db.rollbackAddLocked(summaries[i].VideoID)
+			itemErrs[i] = jerr
+			continue
+		}
+		if seq > maxSeq {
+			maxSeq = seq
+		}
 	}
-	return itemErrs, db.maybeRebuildLocked()
+	batchErr := db.maybeRebuildLocked()
+	db.mu.Unlock()
+	if cerr := db.commitSeq(maxSeq); cerr != nil && batchErr == nil {
+		batchErr = cerr
+	}
+	return itemErrs, batchErr
 }
 
 // BuildParallel summarizes videos across a worker pool, bulk-loads them

@@ -1,0 +1,348 @@
+// Package crashfs is a deterministic crash-simulation harness for the
+// durable store. A Recorder implements vfs.FS while logging every
+// mutation — file writes, truncates, fsyncs, creations, renames,
+// removals and directory syncs — as one operation each. After a workload
+// runs, CrashStates enumerates a simulated power cut at EVERY operation
+// boundary, and for each boundary materializes the set of disk images a
+// real filesystem could expose after the cut:
+//
+//   - flushed: everything issued so far made it to disk (lucky timing);
+//   - strict: only explicitly synced data and explicitly dir-synced
+//     names survive — unsynced writes vanish, unsynced renames never
+//     happened;
+//   - metadata-first: directory entries are current but file data is
+//     only what was fsynced — the ext4-style reordering that exposes
+//     rename-before-sync bugs ("All File Systems Are Not Created
+//     Equal", OSDI 2014);
+//   - prefix / torn-cut / torn-zero: some prefix of a file's unsynced
+//     writes hit disk, with the next write torn mid-way (shorter file,
+//     or full-length with the tail as zeros — a partial sector write);
+//   - reorder: only the last unsynced write hit disk, earlier ones
+//     vanished (block-level write reordering), holes reading as zeros.
+//
+// Each state is materialized into an independent vfs.MemFS, so recovery
+// code runs against the post-crash image exactly as it would against a
+// real disk, and the test asserts the recovery invariant on every one.
+package crashfs
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path"
+	"sort"
+	"sync"
+	"time"
+
+	"vitri/internal/vfs"
+)
+
+// opKind enumerates logged operations.
+type opKind uint8
+
+const (
+	opCreate opKind = iota + 1
+	opWrite
+	opTruncate
+	opSync
+	opRename
+	opRemove
+	opSyncDir
+)
+
+func (k opKind) String() string {
+	switch k {
+	case opCreate:
+		return "create"
+	case opWrite:
+		return "write"
+	case opTruncate:
+		return "truncate"
+	case opSync:
+		return "sync"
+	case opRename:
+		return "rename"
+	case opRemove:
+		return "remove"
+	case opSyncDir:
+		return "syncdir"
+	}
+	return "?"
+}
+
+// op is one logged mutation.
+type op struct {
+	kind  opKind
+	name  string // create/remove/syncdir, rename old name
+	name2 string // rename new name
+	inode int    // write/truncate/sync/create
+	off   int64  // write
+	data  []byte // write (copied)
+	size  int64  // truncate
+}
+
+// Recorder is a vfs.FS that logs every mutation for later crash
+// enumeration. Reads serve from the live (fully applied) view, so the
+// workload behaves exactly as on a real disk. Safe for concurrent use,
+// though crash enumeration assumes the workload itself issues mutations
+// in a deterministic order.
+type Recorder struct {
+	mu     sync.Mutex
+	live   map[int][]byte // inode id → fully-applied content
+	names  map[string]int // volatile namespace
+	nextID int
+	log    []op
+}
+
+// NewRecorder returns an empty recording filesystem.
+func NewRecorder() *Recorder {
+	return &Recorder{live: make(map[int][]byte), names: make(map[string]int)}
+}
+
+// Ops returns the number of logged mutations — the number of crash
+// boundaries CrashStates will enumerate.
+func (r *Recorder) Ops() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.log)
+}
+
+// OpTrace renders the log for debugging failed crash points.
+func (r *Recorder) OpTrace() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.log))
+	for i, o := range r.log {
+		switch o.kind {
+		case opWrite:
+			out[i] = fmt.Sprintf("%d: write inode=%d off=%d len=%d", i, o.inode, o.off, len(o.data))
+		case opTruncate:
+			out[i] = fmt.Sprintf("%d: truncate inode=%d size=%d", i, o.inode, o.size)
+		case opSync:
+			out[i] = fmt.Sprintf("%d: sync inode=%d", i, o.inode)
+		case opCreate:
+			out[i] = fmt.Sprintf("%d: create %q inode=%d", i, o.name, o.inode)
+		case opRename:
+			out[i] = fmt.Sprintf("%d: rename %q -> %q", i, o.name, o.name2)
+		case opRemove:
+			out[i] = fmt.Sprintf("%d: remove %q", i, o.name)
+		case opSyncDir:
+			out[i] = fmt.Sprintf("%d: syncdir %q", i, o.name)
+		}
+	}
+	return out
+}
+
+// OpenFile implements vfs.FS.
+func (r *Recorder) OpenFile(name string, flag int, _ fs.FileMode) (vfs.File, error) {
+	name = path.Clean(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id, ok := r.names[name]
+	switch {
+	case !ok && flag&os.O_CREATE == 0:
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	case !ok:
+		r.nextID++
+		id = r.nextID
+		r.names[name] = id
+		r.live[id] = nil
+		r.log = append(r.log, op{kind: opCreate, name: name, inode: id})
+	case flag&os.O_TRUNC != 0:
+		r.live[id] = nil
+		r.log = append(r.log, op{kind: opTruncate, inode: id, size: 0})
+	}
+	f := &recFile{rec: r, id: id, writable: flag&(os.O_WRONLY|os.O_RDWR) != 0}
+	if flag&os.O_APPEND != 0 {
+		f.off = int64(len(r.live[id]))
+	}
+	return f, nil
+}
+
+// Rename implements vfs.FS.
+func (r *Recorder) Rename(oldname, newname string) error {
+	oldname, newname = path.Clean(oldname), path.Clean(newname)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id, ok := r.names[oldname]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldname, Err: fs.ErrNotExist}
+	}
+	r.names[newname] = id
+	delete(r.names, oldname)
+	r.log = append(r.log, op{kind: opRename, name: oldname, name2: newname})
+	return nil
+}
+
+// Remove implements vfs.FS.
+func (r *Recorder) Remove(name string) error {
+	name = path.Clean(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.names[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(r.names, name)
+	r.log = append(r.log, op{kind: opRemove, name: name})
+	return nil
+}
+
+// Stat implements vfs.FS over the live view.
+func (r *Recorder) Stat(name string) (fs.FileInfo, error) {
+	name = path.Clean(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok := r.names[name]; ok {
+		return recInfo{name: path.Base(name), size: int64(len(r.live[id]))}, nil
+	}
+	for p := range r.names {
+		if len(p) > len(name) && p[:len(name)] == name && p[len(name)] == '/' {
+			return recInfo{name: path.Base(name), dir: true}, nil
+		}
+	}
+	return nil, &fs.PathError{Op: "stat", Path: name, Err: fs.ErrNotExist}
+}
+
+// MkdirAll implements vfs.FS (directories are implicit).
+func (r *Recorder) MkdirAll(string, fs.FileMode) error { return nil }
+
+// SyncDir implements vfs.FS: directory entries become durable.
+func (r *Recorder) SyncDir(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.log = append(r.log, op{kind: opSyncDir, name: path.Clean(name)})
+	return nil
+}
+
+// recFile is one open handle on a Recorder.
+type recFile struct {
+	rec      *Recorder
+	id       int
+	off      int64
+	writable bool
+	closed   bool
+}
+
+func (f *recFile) Read(p []byte) (int, error) {
+	if f.closed {
+		return 0, fs.ErrClosed
+	}
+	f.rec.mu.Lock()
+	defer f.rec.mu.Unlock()
+	data := f.rec.live[f.id]
+	if f.off >= int64(len(data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, data[f.off:])
+	f.off += int64(n)
+	return n, nil
+}
+
+func (f *recFile) Write(p []byte) (int, error) {
+	if f.closed {
+		return 0, fs.ErrClosed
+	}
+	if !f.writable {
+		return 0, &fs.PathError{Op: "write", Path: fmt.Sprint(f.id), Err: fs.ErrPermission}
+	}
+	f.rec.mu.Lock()
+	defer f.rec.mu.Unlock()
+	data := f.rec.live[f.id]
+	if grow := f.off + int64(len(p)) - int64(len(data)); grow > 0 {
+		data = append(data, make([]byte, grow)...)
+	}
+	copy(data[f.off:], p)
+	f.rec.live[f.id] = data
+	f.rec.log = append(f.rec.log, op{kind: opWrite, inode: f.id, off: f.off, data: append([]byte(nil), p...)})
+	f.off += int64(len(p))
+	return len(p), nil
+}
+
+func (f *recFile) Seek(offset int64, whence int) (int64, error) {
+	if f.closed {
+		return 0, fs.ErrClosed
+	}
+	f.rec.mu.Lock()
+	defer f.rec.mu.Unlock()
+	switch whence {
+	case io.SeekStart:
+		f.off = offset
+	case io.SeekCurrent:
+		f.off += offset
+	case io.SeekEnd:
+		f.off = int64(len(f.rec.live[f.id])) + offset
+	}
+	if f.off < 0 {
+		f.off = 0
+		return 0, &fs.PathError{Op: "seek", Path: fmt.Sprint(f.id), Err: fs.ErrInvalid}
+	}
+	return f.off, nil
+}
+
+func (f *recFile) Truncate(size int64) error {
+	if f.closed {
+		return fs.ErrClosed
+	}
+	if !f.writable || size < 0 {
+		return &fs.PathError{Op: "truncate", Path: fmt.Sprint(f.id), Err: fs.ErrInvalid}
+	}
+	f.rec.mu.Lock()
+	defer f.rec.mu.Unlock()
+	data := f.rec.live[f.id]
+	if size <= int64(len(data)) {
+		f.rec.live[f.id] = data[:size]
+	} else {
+		f.rec.live[f.id] = append(data, make([]byte, size-int64(len(data)))...)
+	}
+	f.rec.log = append(f.rec.log, op{kind: opTruncate, inode: f.id, size: size})
+	return nil
+}
+
+func (f *recFile) Sync() error {
+	if f.closed {
+		return fs.ErrClosed
+	}
+	f.rec.mu.Lock()
+	defer f.rec.mu.Unlock()
+	f.rec.log = append(f.rec.log, op{kind: opSync, inode: f.id})
+	return nil
+}
+
+func (f *recFile) Close() error {
+	if f.closed {
+		return fs.ErrClosed
+	}
+	f.closed = true
+	return nil
+}
+
+// recInfo is Recorder's fs.FileInfo.
+type recInfo struct {
+	name string
+	size int64
+	dir  bool
+}
+
+func (i recInfo) Name() string { return i.name }
+func (i recInfo) Size() int64  { return i.size }
+func (i recInfo) Mode() fs.FileMode {
+	if i.dir {
+		return fs.ModeDir | 0o755
+	}
+	return 0o644
+}
+func (i recInfo) ModTime() time.Time { return time.Time{} }
+func (i recInfo) IsDir() bool        { return i.dir }
+func (i recInfo) Sys() interface{}   { return nil }
+
+// sortedKeys returns m's keys in ascending order (deterministic
+// enumeration regardless of map iteration).
+func sortedKeys(m map[int][]pendOp) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,208 @@
+package crashfs
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"vitri/internal/vfs"
+)
+
+// write is a test helper: create/open name, write data, optionally sync.
+func write(t *testing.T, fsys vfs.FS, name string, data string, sync bool) {
+	t.Helper()
+	f, err := fsys.OpenFile(name, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(f, data); err != nil {
+		t.Fatal(err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func findState(states []State, point int, desc string) *State {
+	for i := range states {
+		if states[i].Point == point && strings.Contains(states[i].Desc, desc) {
+			return &states[i]
+		}
+	}
+	return nil
+}
+
+// TestUnsyncedWritesVanishInStrict: data written but never fsynced must
+// be absent in the strict image at the final boundary.
+func TestUnsyncedWritesVanishInStrict(t *testing.T) {
+	rec := NewRecorder()
+	write(t, rec, "a", "hello", true)
+	write(t, rec, "b", "world", false)
+	if err := rec.SyncDir("."); err != nil {
+		t.Fatal(err)
+	}
+	states := rec.CrashStates()
+	end := rec.Ops()
+	st := findState(states, end, "strict")
+	if st == nil {
+		t.Fatal("no strict state at final boundary")
+	}
+	img := st.FS.Snapshot()
+	if string(img["a"]) != "hello" {
+		t.Fatalf("synced file a = %q", img["a"])
+	}
+	if len(img["b"]) != 0 {
+		t.Fatalf("unsynced write survived strict crash: b = %q", img["b"])
+	}
+	// The flushed image keeps everything.
+	fl := findState(states, end, "flushed")
+	if fl == nil {
+		t.Fatal("no flushed state")
+	}
+	img = fl.FS.Snapshot()
+	if string(img["a"]) != "hello" || string(img["b"]) != "world" {
+		t.Fatalf("flushed image = %v", img)
+	}
+}
+
+// TestRenameWithoutSyncDir: a rename not followed by a directory sync is
+// undone in the strict image but visible in metadata-first — the exact
+// divergence that catches rename-before-dir-sync bugs.
+func TestRenameWithoutSyncDir(t *testing.T) {
+	rec := NewRecorder()
+	write(t, rec, "f.tmp", "v2", true)
+	if err := rec.SyncDir("."); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Rename("f.tmp", "f"); err != nil {
+		t.Fatal(err)
+	}
+	states := rec.CrashStates()
+	end := rec.Ops()
+
+	strict := findState(states, end, "strict").FS.Snapshot()
+	if _, ok := strict["f"]; ok {
+		t.Fatal("unsynced rename visible in strict image")
+	}
+	if string(strict["f.tmp"]) != "v2" {
+		t.Fatalf("strict image = %v", strict)
+	}
+	meta := findState(states, end, "metadata-first").FS.Snapshot()
+	if string(meta["f"]) != "v2" {
+		t.Fatalf("metadata-first image = %v", meta)
+	}
+}
+
+// TestMetadataFirstExposesUnsyncedData: rename to the final name before
+// syncing the file data — metadata-first must show the new name with
+// only the synced (empty) data. This is the disk state that breaks
+// naive save routines.
+func TestMetadataFirstExposesUnsyncedData(t *testing.T) {
+	rec := NewRecorder()
+	write(t, rec, "g.tmp", "payload", false) // NOT synced
+	if err := rec.Rename("g.tmp", "g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.SyncDir("."); err != nil {
+		t.Fatal(err)
+	}
+	meta := findState(rec.CrashStates(), rec.Ops(), "metadata-first").FS.Snapshot()
+	if data, ok := meta["g"]; !ok || len(data) != 0 {
+		t.Fatalf("metadata-first: g = %q (present %v), want present and empty", data, ok)
+	}
+}
+
+// TestTornAndPrefixStates: multiple unsynced writes yield prefix, torn
+// and reordered images with the right contents.
+func TestTornAndPrefixStates(t *testing.T) {
+	rec := NewRecorder()
+	f, err := rec.OpenFile("x", os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(f, "AAAA"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(f, "BBBB"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	states := rec.CrashStates()
+	end := rec.Ops()
+
+	if st := findState(states, end, "prefix inode=1 k=1"); st == nil {
+		t.Fatal("no prefix state")
+	} else if got := string(st.FS.Snapshot()["x"]); got != "AAAA" {
+		t.Fatalf("prefix k=1: %q", got)
+	}
+	if st := findState(states, end, "torn-cut inode=1 k=0"); st == nil {
+		t.Fatal("no torn-cut state")
+	} else if got := string(st.FS.Snapshot()["x"]); got != "AA" {
+		t.Fatalf("torn-cut k=0: %q", got)
+	}
+	if st := findState(states, end, "torn-zero inode=1 k=1"); st == nil {
+		t.Fatal("no torn-zero state")
+	} else if got := string(st.FS.Snapshot()["x"]); got != "AAAABB\x00\x00" {
+		t.Fatalf("torn-zero k=1: %q", got)
+	}
+	// Reorder: only the second write hit disk; the hole reads as zeros.
+	if st := findState(states, end, "reorder inode=1"); st == nil {
+		t.Fatal("no reorder state")
+	} else if got := string(st.FS.Snapshot()["x"]); got != "\x00\x00\x00\x00BBBB" {
+		t.Fatalf("reorder: %q", got)
+	}
+}
+
+// TestBoundaryEnumerationIsExhaustive: every op index appears as a crash
+// point, including 0 and the final boundary.
+func TestBoundaryEnumerationIsExhaustive(t *testing.T) {
+	rec := NewRecorder()
+	write(t, rec, "a", "1234", true)
+	write(t, rec, "b", "5678", false)
+	if err := rec.Rename("b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	states := rec.CrashStates()
+	seen := make(map[int]bool)
+	for _, st := range states {
+		seen[st.Point] = true
+	}
+	for p := 0; p <= rec.Ops(); p++ {
+		if !seen[p] {
+			t.Fatalf("crash point %d missing (ops=%d)", p, rec.Ops())
+		}
+	}
+	// Point 0 is the pristine pre-workload disk.
+	if img := findState(states, 0, "flushed").FS.Snapshot(); len(img) != 0 {
+		t.Fatalf("point 0 image not empty: %v", img)
+	}
+}
+
+// TestLiveViewServesReads: the workload reading its own writes sees them
+// fully applied regardless of sync state.
+func TestLiveViewServesReads(t *testing.T) {
+	rec := NewRecorder()
+	write(t, rec, "a", "data", false)
+	f, err := rec.OpenFile("a", os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "data" {
+		t.Fatalf("live read = %q", got)
+	}
+}

@@ -1,0 +1,209 @@
+package crashfs
+
+import (
+	"fmt"
+
+	"vitri/internal/vfs"
+)
+
+// State is one simulated post-crash disk image.
+type State struct {
+	// Point is the crash boundary: the cut happened after the first
+	// Point logged operations were issued (0 ≤ Point ≤ Ops()).
+	Point int
+	// Desc names the scenario for failure messages, e.g.
+	// "point=41 torn-cut inode=3 pending=2".
+	Desc string
+	// FS is the reconstructed disk image recovery runs against.
+	FS *vfs.MemFS
+}
+
+// pendOp is one unsynced mutation of an inode.
+type pendOp struct {
+	isTrunc bool
+	off     int64  // write
+	data    []byte // write
+	size    int64  // truncate
+}
+
+// model is the durability state after a prefix of the op log.
+type model struct {
+	synced   map[int][]byte   // inode → content as of its last fsync
+	pending  map[int][]pendOp // inode → unsynced mutations, in order
+	volNames map[string]int   // current directory entries
+	durNames map[string]int   // entries as of the last directory sync
+}
+
+// replayPrefix folds log[:point] into a durability model.
+func replayPrefix(log []op, point int) *model {
+	m := &model{
+		synced:   make(map[int][]byte),
+		pending:  make(map[int][]pendOp),
+		volNames: make(map[string]int),
+		durNames: make(map[string]int),
+	}
+	for _, o := range log[:point] {
+		switch o.kind {
+		case opCreate:
+			m.volNames[o.name] = o.inode
+			m.synced[o.inode] = nil
+		case opWrite:
+			m.pending[o.inode] = append(m.pending[o.inode], pendOp{off: o.off, data: o.data})
+		case opTruncate:
+			m.pending[o.inode] = append(m.pending[o.inode], pendOp{isTrunc: true, size: o.size})
+		case opSync:
+			m.synced[o.inode] = applyPending(m.synced[o.inode], m.pending[o.inode], len(m.pending[o.inode]), -1, tornNone)
+			delete(m.pending, o.inode)
+		case opRename:
+			if id, ok := m.volNames[o.name]; ok {
+				m.volNames[o.name2] = id
+				delete(m.volNames, o.name)
+			}
+		case opRemove:
+			delete(m.volNames, o.name)
+		case opSyncDir:
+			m.durNames = make(map[string]int, len(m.volNames))
+			for n, id := range m.volNames {
+				m.durNames[n] = id
+			}
+		}
+	}
+	return m
+}
+
+// tornMode selects how the write at the tear index lands.
+type tornMode int
+
+const (
+	tornNone tornMode = iota // tear index not applied at all
+	tornCut                  // first half of the write, file ends there
+	tornZero                 // full length, second half zeroed
+)
+
+// applyPending applies the first k pending ops fully, then optionally a
+// torn rendition of pending[tear]. Writes beyond the current size
+// zero-fill the gap, as a real filesystem's block allocation does.
+func applyPending(base []byte, pending []pendOp, k, tear int, mode tornMode) []byte {
+	out := append([]byte(nil), base...)
+	apply := func(p pendOp) {
+		if p.isTrunc {
+			if p.size <= int64(len(out)) {
+				out = out[:p.size]
+			} else {
+				out = append(out, make([]byte, p.size-int64(len(out)))...)
+			}
+			return
+		}
+		if grow := p.off + int64(len(p.data)) - int64(len(out)); grow > 0 {
+			out = append(out, make([]byte, grow)...)
+		}
+		copy(out[p.off:], p.data)
+	}
+	for i := 0; i < k && i < len(pending); i++ {
+		apply(pending[i])
+	}
+	if tear >= 0 && tear < len(pending) && !pending[tear].isTrunc {
+		p := pending[tear]
+		half := len(p.data) / 2
+		switch mode {
+		case tornCut:
+			apply(pendOp{off: p.off, data: p.data[:half]})
+		case tornZero:
+			torn := append([]byte(nil), p.data[:half]...)
+			torn = append(torn, make([]byte, len(p.data)-half)...)
+			apply(pendOp{off: p.off, data: torn})
+		}
+	}
+	return out
+}
+
+// applyOnly applies exactly one pending op (block reordering: the later
+// write hit disk, earlier ones did not).
+func applyOnly(base []byte, p pendOp) []byte {
+	return applyPending(base, []pendOp{p}, 1, -1, tornNone)
+}
+
+// CrashStates enumerates every simulated power cut: for each operation
+// boundary, the flushed / strict / metadata-first images, plus — for
+// every inode with unsynced writes — each prefix of those writes with
+// the next one torn (cut and zero-filled variants) and the
+// block-reordered image. The enumeration is exhaustive over boundaries,
+// not sampled.
+func (r *Recorder) CrashStates() []State {
+	r.mu.Lock()
+	log := append([]op(nil), r.log...)
+	r.mu.Unlock()
+
+	var states []State
+	for point := 0; point <= len(log); point++ {
+		m := replayPrefix(log, point)
+		full := func(id int) []byte {
+			return applyPending(m.synced[id], m.pending[id], len(m.pending[id]), -1, tornNone)
+		}
+		syncedOnly := func(id int) []byte { return append([]byte(nil), m.synced[id]...) }
+
+		states = append(states,
+			materialize(point, "flushed", m.volNames, full),
+			materialize(point, "strict", m.durNames, syncedOnly),
+			materialize(point, "metadata-first", m.volNames, syncedOnly),
+		)
+		for _, id := range sortedKeys(m.pending) {
+			id := id
+			pend := m.pending[id]
+			for k := 0; k < len(pend); k++ {
+				k := k
+				if k > 0 {
+					states = append(states, materialize(point,
+						fmt.Sprintf("prefix inode=%d k=%d", id, k), m.volNames,
+						contentFor(id, syncedOnly, func() []byte {
+							return applyPending(m.synced[id], pend, k, -1, tornNone)
+						})))
+				}
+				if pend[k].isTrunc || len(pend[k].data) < 2 {
+					continue
+				}
+				states = append(states, materialize(point,
+					fmt.Sprintf("torn-cut inode=%d k=%d", id, k), m.volNames,
+					contentFor(id, syncedOnly, func() []byte {
+						return applyPending(m.synced[id], pend, k, k, tornCut)
+					})))
+				states = append(states, materialize(point,
+					fmt.Sprintf("torn-zero inode=%d k=%d", id, k), m.volNames,
+					contentFor(id, syncedOnly, func() []byte {
+						return applyPending(m.synced[id], pend, k, k, tornZero)
+					})))
+			}
+			if len(pend) >= 2 {
+				last := pend[len(pend)-1]
+				if !last.isTrunc {
+					states = append(states, materialize(point,
+						fmt.Sprintf("reorder inode=%d", id), m.volNames,
+						contentFor(id, syncedOnly, func() []byte {
+							return applyOnly(m.synced[id], last)
+						})))
+				}
+			}
+		}
+	}
+	return states
+}
+
+// contentFor builds a content function that special-cases one inode.
+func contentFor(target int, base func(int) []byte, special func() []byte) func(int) []byte {
+	return func(id int) []byte {
+		if id == target {
+			return special()
+		}
+		return base(id)
+	}
+}
+
+// materialize renders a namespace + per-inode content choice into a
+// fresh MemFS.
+func materialize(point int, desc string, names map[string]int, content func(int) []byte) State {
+	fs := vfs.NewMemFS()
+	for name, id := range names {
+		fs.SetFile(name, content(id))
+	}
+	return State{Point: point, Desc: fmt.Sprintf("point=%d %s", point, desc), FS: fs}
+}

@@ -1,0 +1,185 @@
+// Package journal is the durable store's append-only delta log. Between
+// snapshots, every acknowledged Add/Remove lands here as one
+// length-prefixed, CRC32C-checksummed record; recovery replays the log
+// over the last snapshot and truncates the torn tail a power cut may
+// have left, instead of failing.
+//
+// Durability contract: an operation is durable once Commit has returned
+// for its sequence number. Append alone only buffers — the caller
+// acknowledges nothing until Commit succeeds. Commit is a group commit:
+// concurrent callers piggyback on one fsync, so the fsync cost of a
+// burst of inserts is amortized across the burst (the classic ARIES
+// group-commit optimization).
+//
+// Wire layout (little-endian):
+//
+//	header: magic "VITRIWAL" (8) | version uint32 | startSeq uint64 |
+//	        crc32c(previous fields) uint32
+//	record: payloadLen uint32 | kind uint8 | seq uint64 | payload |
+//	        crc32c(kind + seq + payload) uint32
+//
+// startSeq records where numbering resumed after the last checkpoint
+// rotation, so an empty journal still carries its position in the global
+// sequence. Replay (see replay.go) verifies every record checksum and
+// stops — without error — at the first record that is torn, corrupt or
+// misordered; everything after that point was never acknowledged.
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"vitri/internal/core"
+	"vitri/internal/metrics"
+	"vitri/internal/storefmt"
+)
+
+const (
+	magic      = "VITRIWAL"
+	version    = uint32(1)
+	headerSize = 8 + 4 + 8 + 4
+	// recOverhead is every non-payload byte of one record.
+	recOverhead = 4 + 1 + 8 + 4
+	// maxPayload bounds a hostile or garbage length prefix. One summary
+	// is a few KiB; 64 MiB is far beyond any legitimate record.
+	maxPayload = 64 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Kind discriminates record types.
+type Kind uint8
+
+// Record kinds.
+const (
+	// KindAdd journals one added summary (payload: storefmt summary record).
+	KindAdd Kind = 1
+	// KindRemove journals one removed video (payload: video id uint32).
+	KindRemove Kind = 2
+)
+
+// Entry is one decoded journal record.
+type Entry struct {
+	Seq  uint64
+	Kind Kind
+	// Summary is set for KindAdd.
+	Summary core.Summary
+	// VideoID is set for KindRemove.
+	VideoID int
+}
+
+// Stats is a point-in-time view of the writer, surfaced through
+// DB.DurabilityStats and the server's /stats endpoint.
+type Stats struct {
+	// Depth is the number of live records — operations not yet folded
+	// into a snapshot (replayed at open plus appended since).
+	Depth int
+	// Bytes is the journal file's valid length.
+	Bytes int64
+	// LastSeq is the highest sequence number assigned.
+	LastSeq uint64
+	// DurableSeq is the highest sequence number fsync has covered.
+	DurableSeq uint64
+	// Fsyncs counts physical fsync calls (group commit makes this lower
+	// than the operation count under concurrency).
+	Fsyncs uint64
+	// FsyncLatency is the distribution of fsync wall times in seconds.
+	FsyncLatency metrics.HistogramSnapshot
+}
+
+// encodeRecord appends one record's wire bytes to buf.
+func encodeRecord(buf *bytes.Buffer, kind Kind, seq uint64, payload []byte) {
+	var scratch [13]byte
+	le32put(scratch[0:4], uint32(len(payload)))
+	scratch[4] = byte(kind)
+	le64put(scratch[5:13], seq)
+	buf.Write(scratch[:])
+	buf.Write(payload)
+	crc := crc32.New(castagnoli)
+	crc.Write(scratch[4:13])
+	crc.Write(payload)
+	var tail [4]byte
+	le32put(tail[:], crc.Sum32())
+	buf.Write(tail[:])
+}
+
+// encodeHeader renders the journal header for startSeq.
+func encodeHeader(startSeq uint64) []byte {
+	b := make([]byte, headerSize)
+	copy(b, magic)
+	le32put(b[8:12], version)
+	le64put(b[12:20], startSeq)
+	le32put(b[20:24], crc32.Checksum(b[:20], castagnoli))
+	return b
+}
+
+// addPayload encodes a KindAdd payload.
+func addPayload(s *core.Summary) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := storefmt.EncodeSummary(&buf, s); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// removePayload encodes a KindRemove payload.
+func removePayload(videoID int) []byte {
+	var b [4]byte
+	le32put(b[:], uint32(videoID))
+	return b[:]
+}
+
+// decodePayload parses a record payload for kind. Errors mean the bytes
+// are checksum-valid but not a well-formed record — an encoder bug or a
+// deliberate corruption that kept the CRC; replay treats it like a
+// corrupt tail.
+func decodePayload(kind Kind, payload []byte) (Entry, error) {
+	switch kind {
+	case KindAdd:
+		r := bytes.NewReader(payload)
+		s, err := storefmt.DecodeSummary(r)
+		if err != nil {
+			return Entry{}, err
+		}
+		if r.Len() != 0 {
+			return Entry{}, fmt.Errorf("journal: %d trailing bytes after Add payload", r.Len())
+		}
+		return Entry{Kind: KindAdd, Summary: s}, nil
+	case KindRemove:
+		if len(payload) != 4 {
+			return Entry{}, fmt.Errorf("journal: Remove payload is %d bytes, want 4", len(payload))
+		}
+		return Entry{Kind: KindRemove, VideoID: int(le32get(payload))}, nil
+	}
+	return Entry{}, fmt.Errorf("journal: unknown record kind %d", kind)
+}
+
+// newFsyncHistogram builds the latency histogram Commit observes into.
+func newFsyncHistogram() *metrics.Histogram {
+	return metrics.NewHistogram(metrics.LatencyBounds())
+}
+
+// observeFsync records one fsync's wall time.
+func (w *Writer) observeFsync(start time.Time) {
+	w.fsyncs.Inc()
+	w.fsyncLatency.Observe(time.Since(start).Seconds())
+}
+
+func le32put(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func le64put(b []byte, v uint64) {
+	le32put(b[:4], uint32(v))
+	le32put(b[4:8], uint32(v>>32))
+}
+
+func le32get(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func le64get(b []byte) uint64 {
+	return uint64(le32get(b)) | uint64(le32get(b[4:]))<<32
+}

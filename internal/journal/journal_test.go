@@ -1,0 +1,332 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"testing"
+
+	"vitri/internal/core"
+	"vitri/internal/vec"
+	"vitri/internal/vfs"
+)
+
+func testSummary(id int) core.Summary {
+	return core.Summary{
+		VideoID:    id,
+		FrameCount: 5 + id,
+		Triplets: []core.ViTri{
+			core.NewViTri(vec.Vector{float64(id), 0.5, -1.25}, 0.25, 2),
+			core.NewViTri(vec.Vector{float64(id) * 2, 1.5, 0.75}, 0.5, 3),
+		},
+	}
+}
+
+// collect returns an apply func recording entries into dst.
+func collect(dst *[]Entry) func(Entry) error {
+	return func(e Entry) error {
+		*dst = append(*dst, e)
+		return nil
+	}
+}
+
+func TestAppendCommitReplay(t *testing.T) {
+	fsys := vfs.NewMemFS()
+	w, err := Open(fsys, "j.wal", Config{StartSeq: 1}, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	s1, s2 := testSummary(1), testSummary(2)
+	seq1, err := w.AppendAdd(&s1)
+	if err != nil {
+		t.Fatalf("AppendAdd: %v", err)
+	}
+	seq2, err := w.AppendAdd(&s2)
+	if err != nil {
+		t.Fatalf("AppendAdd: %v", err)
+	}
+	seq3, err := w.AppendRemove(1)
+	if err != nil {
+		t.Fatalf("AppendRemove: %v", err)
+	}
+	if seq1 != 1 || seq2 != 2 || seq3 != 3 {
+		t.Fatalf("seqs = %d,%d,%d", seq1, seq2, seq3)
+	}
+	if err := w.Commit(seq3); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	st := w.Stats()
+	if st.Depth != 3 || st.LastSeq != 3 || st.DurableSeq != 3 || st.Fsyncs == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	var got []Entry
+	w2, err := Open(fsys, "j.wal", Config{StartSeq: 1}, collect(&got))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer w2.Close()
+	if len(got) != 3 {
+		t.Fatalf("replayed %d entries, want 3", len(got))
+	}
+	if got[0].Kind != KindAdd || got[0].Summary.VideoID != 1 ||
+		got[1].Kind != KindAdd || got[1].Summary.VideoID != 2 ||
+		got[2].Kind != KindRemove || got[2].VideoID != 1 {
+		t.Fatalf("entries = %+v", got)
+	}
+	if got[0].Seq != 1 || got[2].Seq != 3 {
+		t.Fatalf("seqs = %d..%d", got[0].Seq, got[2].Seq)
+	}
+	if w2.LastSeq() != 3 {
+		t.Fatalf("LastSeq = %d", w2.LastSeq())
+	}
+	// New appends continue the sequence.
+	if seq, err := w2.AppendRemove(2); err != nil || seq != 4 {
+		t.Fatalf("append after replay: seq=%d err=%v", seq, err)
+	}
+}
+
+// TestTornTailTruncated verifies recovery chops a torn final record and
+// that subsequent appends are visible to the next replay.
+func TestTornTailTruncated(t *testing.T) {
+	fsys := vfs.NewMemFS()
+	w, err := Open(fsys, "j.wal", Config{StartSeq: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testSummary(7)
+	if _, err := w.AppendAdd(&s); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a torn append: garbage beyond the valid prefix.
+	img := fsys.Snapshot()["j.wal"]
+	torn := append(append([]byte(nil), img...), 0x99, 0x01, 0x00, 0x00, 0x55)
+	fsys.SetFile("j.wal", torn)
+
+	var got []Entry
+	w2, err := Open(fsys, "j.wal", Config{StartSeq: 1}, collect(&got))
+	if err != nil {
+		t.Fatalf("reopen over torn tail: %v", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("replayed %d, want 1", len(got))
+	}
+	// The tail must be gone from disk and a fresh append must be durable
+	// and visible on the next replay.
+	if _, err := w2.AppendRemove(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Commit(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got = nil
+	w3, err := Open(fsys, "j.wal", Config{StartSeq: 1}, collect(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.Close()
+	if len(got) != 2 || got[1].Kind != KindRemove || got[1].VideoID != 7 {
+		t.Fatalf("after truncate+append: %+v", got)
+	}
+}
+
+// TestKeepCorruptTail proves the torn-tail truncation matters: with it
+// disabled, appends after a torn tail land beyond garbage and the next
+// replay never sees them.
+func TestKeepCorruptTail(t *testing.T) {
+	fsys := vfs.NewMemFS()
+	w, err := Open(fsys, "j.wal", Config{StartSeq: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testSummary(7)
+	if _, err := w.AppendAdd(&s); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	img := fsys.Snapshot()["j.wal"]
+	fsys.SetFile("j.wal", append(append([]byte(nil), img...), 0xde, 0xad, 0xbe, 0xef, 0x01))
+
+	w2, err := Open(fsys, "j.wal", Config{StartSeq: 1, KeepCorruptTail: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w2.AppendRemove(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []Entry
+	w3, err := Open(fsys, "j.wal", Config{StartSeq: 1}, collect(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.Close()
+	for _, e := range got {
+		if e.Kind == KindRemove {
+			t.Fatal("append beyond a kept corrupt tail was visible to replay — truncation would not matter")
+		}
+	}
+}
+
+func TestRotate(t *testing.T) {
+	fsys := vfs.NewMemFS()
+	w, err := Open(fsys, "j.wal", Config{StartSeq: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testSummary(3)
+	for i := 0; i < 4; i++ {
+		s.VideoID = i
+		if _, err := w.AppendAdd(&s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Commit(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Rotate(5); err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	st := w.Stats()
+	if st.Depth != 0 || st.LastSeq != 4 {
+		t.Fatalf("stats after rotate = %+v", st)
+	}
+	// Appends continue after rotation and survive reopen; pre-rotation
+	// records are gone.
+	if seq, err := w.AppendRemove(0); err != nil || seq != 5 {
+		t.Fatalf("append after rotate: seq=%d err=%v", seq, err)
+	}
+	if err := w.Commit(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []Entry
+	w2, err := Open(fsys, "j.wal", Config{StartSeq: 5}, collect(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(got) != 1 || got[0].Seq != 5 || got[0].Kind != KindRemove {
+		t.Fatalf("after rotate replay: %+v", got)
+	}
+	if _, err := fsys.Stat("j.wal.tmp"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatal("rotation temp file leaked")
+	}
+}
+
+// failAfterFS injects an fsync failure after a set number of Sync calls.
+type failAfterFS struct {
+	vfs.FS
+	remaining int
+}
+
+func (f *failAfterFS) OpenFile(name string, flag int, perm fs.FileMode) (vfs.File, error) {
+	file, err := f.FS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &failAfterFile{File: file, fs: f}, nil
+}
+
+type failAfterFile struct {
+	vfs.File
+	fs *failAfterFS
+}
+
+func (f *failAfterFile) Sync() error {
+	if f.fs.remaining <= 0 {
+		return errors.New("injected fsync failure")
+	}
+	f.fs.remaining--
+	return f.File.Sync()
+}
+
+// TestFsyncFailurePoisons verifies a failed Commit disables the writer:
+// no later append or commit can succeed, so nothing is ever acknowledged
+// on top of an unknowable durable prefix.
+func TestFsyncFailurePoisons(t *testing.T) {
+	fsys := &failAfterFS{FS: vfs.NewMemFS(), remaining: 1} // one sync for Open's header
+	w, err := Open(fsys, "j.wal", Config{StartSeq: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testSummary(1)
+	seq, err := w.AppendAdd(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(seq); err == nil {
+		t.Fatal("Commit succeeded despite fsync failure")
+	}
+	if _, err := w.AppendAdd(&s); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append after failure: %v, want ErrPoisoned", err)
+	}
+	if err := w.Commit(seq); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("commit after failure: %v, want ErrPoisoned", err)
+	}
+}
+
+// TestScanStopsAtNonMonotonicSeq builds a journal whose tail record
+// repeats an earlier sequence number; the scan must end before it.
+func TestScanStopsAtNonMonotonicSeq(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(encodeHeader(1))
+	encodeRecord(&buf, KindRemove, 1, removePayload(10))
+	encodeRecord(&buf, KindRemove, 2, removePayload(11))
+	encodeRecord(&buf, KindRemove, 2, removePayload(12)) // stale duplicate
+	res, err := Scan(bytes.NewReader(buf.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 2 || res.LastSeq != 2 {
+		t.Fatalf("res = %+v, want 2 records", res)
+	}
+}
+
+func TestOpenEmptyAndHeaderCorrupt(t *testing.T) {
+	fsys := vfs.NewMemFS()
+	// Fresh file.
+	w, err := Open(fsys, "j.wal", Config{StartSeq: 9}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.LastSeq() != 8 {
+		t.Fatalf("LastSeq on fresh journal = %d, want 8", w.LastSeq())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the header: open must rewrite it, not fail.
+	img := fsys.Snapshot()["j.wal"]
+	img[3] ^= 0xff
+	fsys.SetFile("j.wal", img)
+	var got []Entry
+	w2, err := Open(fsys, "j.wal", Config{StartSeq: 9}, collect(&got))
+	if err != nil {
+		t.Fatalf("open over corrupt header: %v", err)
+	}
+	defer w2.Close()
+	if len(got) != 0 || w2.LastSeq() != 8 {
+		t.Fatalf("replayed %d, LastSeq %d", len(got), w2.LastSeq())
+	}
+}

@@ -1,0 +1,127 @@
+package journal
+
+import (
+	"bufio"
+	"hash/crc32"
+	"io"
+)
+
+// ScanResult describes one pass over a journal's bytes.
+type ScanResult struct {
+	// HeaderOK reports a well-formed, checksum-valid header.
+	HeaderOK bool
+	// StartSeq is the header's starting sequence number (0 if !HeaderOK).
+	StartSeq uint64
+	// Valid is the byte length of the valid prefix: header plus every
+	// record that passed its checksum. Everything beyond it is a torn or
+	// corrupt tail.
+	Valid int64
+	// Records counts the valid records surfaced.
+	Records int
+	// LastSeq is the highest sequence number surfaced (0 when none).
+	LastSeq uint64
+}
+
+// scanResult is the internal alias (kept distinct so recover() reads
+// naturally).
+type scanResult struct {
+	headerOK bool
+	startSeq uint64
+	valid    int64
+	records  int
+	lastSeq  uint64
+}
+
+// Scan reads journal bytes from r, calling apply for every record whose
+// checksum verifies, in order. It never panics on hostile input and
+// never surfaces a record whose checksum fails: scanning stops — without
+// error — at the first torn, corrupt, misordered or undecodable record,
+// and the result reports how many bytes were valid. apply's error aborts
+// the scan and is returned.
+func Scan(r io.Reader, apply func(Entry) error) (ScanResult, error) {
+	res, err := scan(bufio.NewReader(r), apply)
+	return ScanResult{
+		HeaderOK: res.headerOK,
+		StartSeq: res.startSeq,
+		Valid:    res.valid,
+		Records:  res.records,
+		LastSeq:  res.lastSeq,
+	}, err
+}
+
+func scan(br *bufio.Reader, apply func(Entry) error) (scanResult, error) {
+	var res scanResult
+	hdr := make([]byte, headerSize)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return res, nil // empty or shorter than a header: no valid prefix
+	}
+	if string(hdr[:8]) != magic || le32get(hdr[8:12]) != version {
+		return res, nil
+	}
+	if crc32.Checksum(hdr[:20], castagnoli) != le32get(hdr[20:24]) {
+		return res, nil
+	}
+	res.headerOK = true
+	res.startSeq = le64get(hdr[12:20])
+	res.valid = headerSize
+
+	var rechdr [13]byte // payloadLen + kind + seq
+	var tail [4]byte
+	prevSeq := res.startSeq - 1
+	payload := make([]byte, 0, 4096)
+	for {
+		if _, err := io.ReadFull(br, rechdr[:]); err != nil {
+			return res, nil // clean end of journal, or torn record header
+		}
+		plen := le32get(rechdr[0:4])
+		kind := Kind(rechdr[4])
+		seq := le64get(rechdr[5:13])
+		if plen > maxPayload {
+			return res, nil
+		}
+		// Read the payload in bounded chunks so a hostile length prefix
+		// allocates only as fast as bytes are actually consumed.
+		payload = payload[:0]
+		for remaining := int(plen); remaining > 0; {
+			chunk := remaining
+			if chunk > 1<<16 {
+				chunk = 1 << 16
+			}
+			off := len(payload)
+			payload = append(payload, make([]byte, chunk)...)
+			if _, err := io.ReadFull(br, payload[off:]); err != nil {
+				return res, nil
+			}
+			remaining -= chunk
+		}
+		if _, err := io.ReadFull(br, tail[:]); err != nil {
+			return res, nil
+		}
+		crc := crc32.New(castagnoli)
+		crc.Write(rechdr[4:13])
+		crc.Write(payload)
+		if crc.Sum32() != le32get(tail[:]) {
+			return res, nil
+		}
+		// Sequence numbers are strictly increasing within one journal; a
+		// CRC-valid record that breaks monotonicity is stale or replayed
+		// garbage and ends the valid prefix.
+		if seq <= prevSeq {
+			return res, nil
+		}
+		e, err := decodePayload(kind, payload)
+		if err != nil {
+			return res, nil
+		}
+		e.Seq = seq
+		if apply != nil {
+			if err := apply(e); err != nil {
+				return res, err
+			}
+		}
+		prevSeq = seq
+		res.valid += int64(plen) + recOverhead
+		res.records++
+		res.lastSeq = seq
+	}
+}

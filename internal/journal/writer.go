@@ -1,0 +1,360 @@
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vitri/internal/core"
+	"vitri/internal/metrics"
+	"vitri/internal/vfs"
+)
+
+// ErrPoisoned reports a writer disabled by an earlier flush or fsync
+// failure. Once storage has failed mid-stream the durable prefix is
+// unknowable, so every later operation fails loudly instead of
+// acknowledging writes that may never reach disk (the "fsyncgate"
+// lesson: retrying fsync can silently drop the failed pages).
+var ErrPoisoned = errors.New("journal: writer poisoned by earlier write failure")
+
+// Config tunes Open.
+type Config struct {
+	// StartSeq is the sequence number a fresh journal starts at — the
+	// snapshot's LastSeq+1. Ignored when the journal already has records
+	// with higher sequence numbers.
+	StartSeq uint64
+	// KeepCorruptTail disables the truncation of a torn tail at open.
+	// It exists ONLY so the crash-simulation suite can prove the
+	// truncation matters (appends after a kept tail land beyond garbage
+	// and are invisible to the next replay). Production code must leave
+	// it false.
+	KeepCorruptTail bool
+}
+
+// Writer is an open journal accepting appends. Safe for concurrent use:
+// Append serializes on an internal mutex (callers needing a specific
+// interleaving with their in-memory state hold their own lock around
+// Append, as vitri.DB does), and Commit group-commits across goroutines.
+type Writer struct {
+	fsys vfs.FS
+	path string
+
+	mu          sync.Mutex // guards f, bw, seq, counters, err
+	f           vfs.File
+	bw          *bufio.Writer
+	seq         uint64 // last assigned sequence number
+	baseRecords int    // records replayed at open (not yet checkpointed)
+	records     int    // records appended since open/rotation
+	bytes       int64  // valid file length including buffered appends
+	err         error  // sticky storage failure
+
+	syncMu     sync.Mutex // serializes group-commit leaders
+	durableSeq atomic.Uint64
+
+	fsyncs       metrics.Counter
+	fsyncLatency *metrics.Histogram
+}
+
+// Open opens (creating if absent) the journal at path, replays every
+// valid record through apply, truncates any torn tail, and returns a
+// writer positioned after the last valid record.
+//
+// Replay stops cleanly at the first invalid record: a power cut can tear
+// the final record or drop unsynced bytes, and everything from that
+// point on was never acknowledged. apply's error aborts the open — a
+// record that passed its checksum must apply, or the store is genuinely
+// inconsistent.
+func Open(fsys vfs.FS, path string, cfg Config, apply func(Entry) error) (*Writer, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer{fsys: fsys, path: path, f: f, fsyncLatency: newFsyncHistogram()}
+	if err := w.recover(cfg, apply); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.bw = bufio.NewWriter(f)
+	w.durableSeq.Store(w.seq)
+	return w, nil
+}
+
+// recover scans the file, replays valid records and positions the writer.
+func (w *Writer) recover(cfg Config, apply func(Entry) error) error {
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	size, err := fileSize(w.f)
+	if err != nil {
+		return err
+	}
+	res, err := scan(bufio.NewReader(io.LimitReader(w.f, size)), apply)
+	if err != nil {
+		return err
+	}
+	w.baseRecords = res.records
+	startSeq := cfg.StartSeq
+	if startSeq == 0 {
+		startSeq = 1
+	}
+	w.seq = startSeq - 1
+	if res.headerOK && res.startSeq > startSeq {
+		w.seq = res.startSeq - 1
+	}
+	if res.lastSeq > w.seq {
+		w.seq = res.lastSeq
+	}
+
+	if !res.headerOK {
+		// Empty or header-corrupt file: rewrite from scratch. The header
+		// is synced, and the name is made durable, before any append can
+		// be acknowledged on top of it.
+		if err := w.f.Truncate(0); err != nil {
+			return err
+		}
+		if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+			return err
+		}
+		if _, err := w.f.Write(encodeHeader(startSeq)); err != nil {
+			return err
+		}
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+		if err := w.fsys.SyncDir(filepath.Dir(w.path)); err != nil {
+			return err
+		}
+		w.bytes = headerSize
+		return nil
+	}
+
+	w.bytes = res.valid
+	if res.valid < size && !cfg.KeepCorruptTail {
+		// Torn tail: drop it so future appends extend the valid prefix.
+		// Without this, appends land beyond the garbage and the next
+		// replay — which stops at the garbage — never sees them.
+		if err := w.f.Truncate(res.valid); err != nil {
+			return err
+		}
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+	}
+	at := res.valid
+	if cfg.KeepCorruptTail {
+		at = size
+		w.bytes = size
+	}
+	if _, err := w.f.Seek(at, io.SeekStart); err != nil {
+		return err
+	}
+	return nil
+}
+
+// AppendAdd journals an added summary and returns its sequence number.
+// The record is buffered; it is durable only once Commit(seq) returns.
+func (w *Writer) AppendAdd(s *core.Summary) (uint64, error) {
+	payload, err := addPayload(s)
+	if err != nil {
+		return 0, err
+	}
+	return w.append(KindAdd, payload)
+}
+
+// AppendRemove journals a removed video id.
+func (w *Writer) AppendRemove(videoID int) (uint64, error) {
+	if videoID < 0 {
+		return 0, fmt.Errorf("journal: negative video id %d", videoID)
+	}
+	return w.append(KindRemove, removePayload(videoID))
+}
+
+func (w *Writer) append(kind Kind, payload []byte) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return 0, w.err
+	}
+	w.seq++
+	var buf bytes.Buffer
+	buf.Grow(len(payload) + recOverhead)
+	encodeRecord(&buf, kind, w.seq, payload)
+	if _, err := w.bw.Write(buf.Bytes()); err != nil {
+		w.err = fmt.Errorf("%w: %v", ErrPoisoned, err)
+		return 0, err
+	}
+	w.records++
+	w.bytes += int64(buf.Len())
+	return w.seq, nil
+}
+
+// Commit makes every record up to and including seq durable. Multiple
+// goroutines committing concurrently share fsyncs: a caller whose seq is
+// already covered returns immediately; otherwise one leader flushes and
+// syncs for everyone waiting.
+func (w *Writer) Commit(seq uint64) error {
+	if w.durableSeq.Load() >= seq {
+		return w.stickyErr()
+	}
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	if w.durableSeq.Load() >= seq {
+		return w.stickyErr()
+	}
+	w.mu.Lock()
+	if w.err != nil {
+		w.mu.Unlock()
+		return w.err
+	}
+	target := w.seq
+	if err := w.bw.Flush(); err != nil {
+		w.err = fmt.Errorf("%w: %v", ErrPoisoned, err)
+		w.mu.Unlock()
+		return err
+	}
+	f := w.f
+	w.mu.Unlock()
+
+	start := time.Now()
+	if err := f.Sync(); err != nil {
+		w.mu.Lock()
+		w.err = fmt.Errorf("%w: %v", ErrPoisoned, err)
+		w.mu.Unlock()
+		return err
+	}
+	w.observeFsync(start)
+	w.durableSeq.Store(target)
+	return nil
+}
+
+func (w *Writer) stickyErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Rotate atomically replaces the journal with a fresh, empty one
+// starting at startSeq — the checkpoint's LastSeq+1. The caller must
+// guarantee no concurrent Append/Commit (vitri.DB holds its write lock
+// across the checkpoint). The replacement follows the same discipline as
+// snapshots: temp file + fsync + rename + directory sync, so a crash at
+// any point leaves either the old journal (whose records the new
+// snapshot's LastSeq filter skips) or the new one.
+func (w *Writer) Rotate(startSeq uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	tmp := w.path + ".tmp"
+	tf, err := w.fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := tf.Write(encodeHeader(startSeq)); err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+	if err := w.fsys.Rename(tmp, w.path); err != nil {
+		return err
+	}
+	if err := w.fsys.SyncDir(filepath.Dir(w.path)); err != nil {
+		return err
+	}
+	// Swap handles: the old descriptor still points at the replaced
+	// inode; reopen the live name.
+	nf, err := w.fsys.OpenFile(w.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := nf.Seek(headerSize, io.SeekStart); err != nil {
+		nf.Close()
+		return err
+	}
+	old := w.f
+	w.f = nf
+	w.bw = bufio.NewWriter(nf)
+	w.baseRecords, w.records = 0, 0
+	w.bytes = headerSize
+	if startSeq > 0 && startSeq-1 > w.seq {
+		w.seq = startSeq - 1
+	}
+	w.durableSeq.Store(w.seq)
+	return old.Close()
+}
+
+// Close flushes, syncs and closes the journal. Safe to call once; the
+// writer is unusable afterwards.
+func (w *Writer) Close() error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		err := w.f.Close()
+		if err == nil {
+			err = w.err
+		}
+		return err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	w.durableSeq.Store(w.seq)
+	return w.f.Close()
+}
+
+// LastSeq returns the last assigned sequence number.
+func (w *Writer) LastSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// Stats snapshots the writer's counters.
+func (w *Writer) Stats() Stats {
+	w.mu.Lock()
+	depth := w.baseRecords + w.records
+	bytes := w.bytes
+	seq := w.seq
+	w.mu.Unlock()
+	return Stats{
+		Depth:        depth,
+		Bytes:        bytes,
+		LastSeq:      seq,
+		DurableSeq:   w.durableSeq.Load(),
+		Fsyncs:       w.fsyncs.Value(),
+		FsyncLatency: w.fsyncLatency.Snapshot(),
+	}
+}
+
+// fileSize reports f's size without Stat (vfs.File carries no Stat).
+func fileSize(f vfs.File) (int64, error) {
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	return size, nil
+}

@@ -119,6 +119,8 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{DroppedErr, []string{"dropped"}, 2},
 		// hotvec seeds one suppressed cold-loop Clone.
 		{HotAlloc, []string{"hotvec", "hotcluster"}, 1},
+		// renames seeds one suppressed contents-untouched rename.
+		{SyncBeforeRename, []string{"renames"}, 1},
 	}
 	for _, tc := range tests {
 		t.Run(tc.analyzer.Name, func(t *testing.T) {
@@ -162,12 +164,12 @@ func TestEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	matchDiags(t, res.Diagnostics, collectWants(t, root,
-		[]string{"pager", "locks", "btree", "index", "floats", "dropped", "clean", "hotvec", "hotcluster"}))
-	if res.Suppressed != 3 {
-		t.Errorf("suppressed = %d, want 3", res.Suppressed)
+		[]string{"pager", "locks", "btree", "index", "floats", "dropped", "clean", "hotvec", "hotcluster", "vfs", "renames"}))
+	if res.Suppressed != 4 {
+		t.Errorf("suppressed = %d, want 4", res.Suppressed)
 	}
-	if res.Packages != 9 {
-		t.Errorf("packages = %d, want 9", res.Packages)
+	if res.Packages != 11 {
+		t.Errorf("packages = %d, want 11", res.Packages)
 	}
 	format := regexp.MustCompile(`^[^:]+\.go:\d+: \[[a-z]+\] .+$`)
 	for _, d := range res.Diagnostics {
@@ -185,7 +187,7 @@ func TestPatternsSelectPackages(t *testing.T) {
 		patterns []string
 		packages int
 	}{
-		{[]string{"./..."}, 9},
+		{[]string{"./..."}, 11},
 		{[]string{"./locks"}, 1},
 		{[]string{"./locks", "./floats"}, 2},
 		{[]string{"./nosuchdir"}, 0},
@@ -221,4 +223,5 @@ func ExampleAll() {
 	// floatorder
 	// droppederr
 	// hotalloc
+	// syncbeforerename
 }

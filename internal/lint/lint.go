@@ -16,7 +16,11 @@
 //     droppederr),
 //   - no per-iteration allocations from the vec helpers inside the
 //     summarization hot loops, which the ingest pipeline's zero-alloc
-//     Lloyd kernels depend on (analyzer hotalloc).
+//     Lloyd kernels depend on (analyzer hotalloc),
+//   - the durability layer's atomic-replace discipline: a vfs Rename
+//     publishes the source file's bytes, so the file must be fsynced
+//     first or a crash can leave the new name pointing at garbage
+//     (analyzer syncbeforerename).
 //
 // The cmd/vitrilint driver loads the whole module, runs every analyzer
 // and exits nonzero with "file:line: [analyzer] message" diagnostics.
@@ -110,7 +114,7 @@ func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
 
 // All returns the full analyzer suite in stable reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{LockOrder, TrackedIO, FloatOrder, DroppedErr, HotAlloc}
+	return []*Analyzer{LockOrder, TrackedIO, FloatOrder, DroppedErr, HotAlloc, SyncBeforeRename}
 }
 
 // unparen strips any number of enclosing parentheses.

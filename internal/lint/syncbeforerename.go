@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// SyncBeforeRename enforces the atomic-replace discipline the durability
+// layer's crash safety rests on: a vfs rename publishes whatever bytes
+// the source file holds, so the file must be fsynced first. Renaming an
+// unsynced temp file is the classic crash bug — after a power cut the
+// new name can point at an empty or partial file even though the rename
+// itself survived ("All File Systems Are Not Created Equal", OSDI 2014).
+//
+// The analyzer flags every call to a Rename method from a package named
+// vfs (the interface method and any implementation alike, matched by
+// package name so testdata fixture modules exercise the same rule)
+// unless a vfs File.Sync call appears earlier in the same function body.
+// The check is intraprocedural and positional — deliberately simple: the
+// sanctioned shape is storefmt.WriteFileAtomic, which writes, syncs,
+// closes and renames in one function. A rename that genuinely needs no
+// preceding sync (moving a file whose content was never touched) is
+// suppressed in place with //lint:ignore syncbeforerename <reason>.
+var SyncBeforeRename = &Analyzer{
+	Name: "syncbeforerename",
+	Doc:  "require a vfs File.Sync before a vfs Rename in the same function (atomic-replace discipline)",
+	Run:  runSyncBeforeRename,
+}
+
+func runSyncBeforeRename(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var syncs []token.Pos
+			var renames []*ast.CallExpr
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := pass.calleeFunc(call)
+				if callee == nil || callee.Pkg() == nil || callee.Pkg().Name() != "vfs" {
+					return true
+				}
+				switch callee.Name() {
+				case "Sync":
+					syncs = append(syncs, call.Pos())
+				case "Rename":
+					renames = append(renames, call)
+				}
+				return true
+			})
+			for _, call := range renames {
+				if syncedBefore(syncs, call.Pos()) {
+					continue
+				}
+				args := "?"
+				if len(call.Args) > 0 {
+					args = exprString(call.Args[0])
+				}
+				pass.Reportf(call.Pos(),
+					"rename of %s without a preceding File.Sync in %s; fsync the temp file before publishing it (see storefmt.WriteFileAtomic)",
+					args, fd.Name.Name)
+			}
+		}
+	}
+}
+
+// syncedBefore reports whether any sync position precedes pos.
+func syncedBefore(syncs []token.Pos, pos token.Pos) bool {
+	for _, p := range syncs {
+		if p < pos {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,65 @@
+// Package renames seeds violations and blessed shapes of the
+// atomic-replace discipline syncbeforerename enforces: a vfs Rename must
+// be preceded by a vfs File.Sync in the same function.
+package renames
+
+import "fixture/vfs"
+
+// PublishUnsynced renames a temp file whose bytes were never fsynced —
+// the classic crash bug the analyzer exists for.
+func PublishUnsynced(fsys vfs.FS, data []byte) error {
+	f, err := fsys.Create("store.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fsys.Rename("store.tmp", "store") // want "without a preceding File.Sync in PublishUnsynced"
+}
+
+// BareRename has no write at all in scope; the rule still demands a sync
+// (or a suppression, when the contents provably never changed).
+func BareRename(fsys vfs.FS) error {
+	return fsys.Rename("a", "b") // want "without a preceding File.Sync in BareRename"
+}
+
+// SyncAfterRenameTooLate syncs the wrong side of the rename.
+func SyncAfterRenameTooLate(fsys vfs.FS, f vfs.File) error {
+	if err := fsys.Rename("x.tmp", "x"); err != nil { // want "without a preceding File.Sync in SyncAfterRenameTooLate"
+		return err
+	}
+	return f.Sync()
+}
+
+// PublishAtomic is the sanctioned shape: write, sync, close, rename,
+// sync the directory.
+func PublishAtomic(fsys vfs.FS, data []byte) error {
+	f, err := fsys.Create("store.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename("store.tmp", "store"); err != nil {
+		return err
+	}
+	return fsys.SyncDir(".")
+}
+
+// MoveUntouched legitimately renames a file it never wrote; the drop is
+// documented in place.
+func MoveUntouched(fsys vfs.FS) error {
+	//lint:ignore syncbeforerename the source file's contents were never modified here
+	return fsys.Rename("old-name", "new-name")
+}

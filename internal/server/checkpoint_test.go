@@ -1,0 +1,117 @@
+package server
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"vitri"
+)
+
+// durableCorpus opens a durable DB in a temp dir and loads n synthetic
+// videos through the journaled path.
+func durableCorpus(t *testing.T, n int) (*vitri.DB, [][]vitri.Vector) {
+	t.Helper()
+	db, err := vitri.OpenDurable(t.TempDir(), vitri.Options{Epsilon: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(77))
+	videos := make([][]vitri.Vector, n)
+	for i := range videos {
+		videos[i] = synthVideo(r, 8, 2, 15, 0.2, 0.8)
+		if err := db.Add(i, videos[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, videos
+}
+
+func TestCheckpointEndpoint(t *testing.T) {
+	db, videos := durableCorpus(t, 6)
+	srv := New(db, Config{ErrorLog: quietLog()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close(t.Context())
+
+	// The six adds sit in the journal; /stats should say so.
+	var stats statsResponse
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp, &stats)
+	if stats.Durability == nil {
+		t.Fatal("durable DB reported no durability stats")
+	}
+	if stats.Durability.JournalDepth != 6 {
+		t.Fatalf("journal depth = %d, want 6", stats.Durability.JournalDepth)
+	}
+
+	// Folding the journal empties it and bumps the snapshot position.
+	var ck checkpointResponse
+	resp = postJSON(t, ts.URL+"/checkpoint", struct{}{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint: status %d", resp.StatusCode)
+	}
+	decodeBody(t, resp, &ck)
+	if ck.JournalDepth != 0 || ck.SnapshotSeq != 6 || ck.Checkpoints != 1 {
+		t.Fatalf("checkpoint response = %+v, want depth 0, seq 6, count 1", ck)
+	}
+
+	// The checkpointed store still answers searches.
+	var sr searchResponse
+	resp = postJSON(t, ts.URL+"/search", searchRequest{Frames: framesJSON(videos[2]), K: 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search after checkpoint: status %d", resp.StatusCode)
+	}
+	decodeBody(t, resp, &sr)
+	if len(sr.Matches) != 1 || sr.Matches[0].VideoID != 2 {
+		t.Fatalf("search after checkpoint: matches %+v, want video 2", sr.Matches)
+	}
+}
+
+func TestCheckpointNotDurable(t *testing.T) {
+	db, _ := testCorpus(t, 3, vitri.Options{})
+	srv := New(db, Config{ErrorLog: quietLog()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close(t.Context())
+
+	resp := postJSON(t, ts.URL+"/checkpoint", struct{}{})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("checkpoint on non-durable DB: status %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestAutoCheckpoint(t *testing.T) {
+	db, _ := durableCorpus(t, 0)
+	srv := New(db, Config{CheckpointEvery: 3, ErrorLog: quietLog()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close(t.Context())
+
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 4; i++ {
+		resp := postJSON(t, ts.URL+"/insert", insertRequest{ID: i, Frames: framesJSON(synthVideo(r, 8, 2, 10, 0.2, 0.8))})
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("insert %d: status %d", i, resp.StatusCode)
+		}
+	}
+	// The third insert crosses the threshold; the checkpoint runs detached
+	// from the request, so poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for db.DurabilityStats().Checkpoints == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no automatic checkpoint after 4 inserts with CheckpointEvery=3 (stats %+v)", db.DurabilityStats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if ds := db.DurabilityStats(); ds.SnapshotSeq < 3 {
+		t.Fatalf("snapshot seq = %d after auto checkpoint, want >= 3", ds.SnapshotSeq)
+	}
+}

@@ -212,6 +212,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, statusFor(err), err.Error())
 		return
 	}
+	s.maybeCheckpoint()
 	writeJSON(w, http.StatusOK, mutateResponse{ID: req.ID, Videos: s.db.Len()})
 }
 
@@ -260,6 +261,7 @@ func (s *Server) handleInsertBatch(w http.ResponseWriter, r *http.Request, items
 		writeJSONError(w, statusFor(err), err.Error())
 		return
 	}
+	s.maybeCheckpoint()
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -280,7 +282,35 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, statusFor(err), err.Error())
 		return
 	}
+	s.maybeCheckpoint()
 	writeJSON(w, http.StatusOK, mutateResponse{ID: req.ID, Videos: s.db.Len()})
+}
+
+// checkpointResponse is the /checkpoint body: the durable position after
+// the fold.
+type checkpointResponse struct {
+	SnapshotSeq  uint64 `json:"snapshot_seq"`
+	JournalDepth int    `json:"journal_depth"`
+	Checkpoints  uint64 `json:"checkpoints"`
+}
+
+// handleCheckpoint folds the journal into a fresh snapshot on demand —
+// the admin endpoint behind `curl -X POST /checkpoint`. Answers 409 on a
+// non-durable database.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	_, err := s.callWithDeadline(r.Context(), func() (interface{}, error) {
+		return nil, s.db.Checkpoint()
+	})
+	if err != nil {
+		writeJSONError(w, statusFor(err), err.Error())
+		return
+	}
+	st := s.db.DurabilityStats()
+	writeJSON(w, http.StatusOK, checkpointResponse{
+		SnapshotSeq:  st.SnapshotSeq,
+		JournalDepth: st.Journal.Depth,
+		Checkpoints:  st.Checkpoints,
+	})
 }
 
 type healthzResponse struct {
@@ -319,6 +349,25 @@ type cacheStatsJSON struct {
 	HitRate  float64 `json:"hit_rate"`
 }
 
+// durabilityStatsJSON surfaces the durable store's health: journal depth
+// and size, the fsync profile (group commit makes fsyncs < operations
+// under load), and the snapshot position.
+type durabilityStatsJSON struct {
+	Dir             string  `json:"dir"`
+	SnapshotSeq     uint64  `json:"snapshot_seq"`
+	SnapshotVersion uint32  `json:"snapshot_version"`
+	Checkpoints     uint64  `json:"checkpoints"`
+	JournalDepth    int     `json:"journal_depth"`
+	JournalBytes    int64   `json:"journal_bytes"`
+	LastSeq         uint64  `json:"last_seq"`
+	DurableSeq      uint64  `json:"durable_seq"`
+	Fsyncs          uint64  `json:"fsyncs"`
+	FsyncMeanS      float64 `json:"fsync_mean_s"`
+	FsyncP50S       float64 `json:"fsync_p50_s"`
+	FsyncP99S       float64 `json:"fsync_p99_s"`
+	FsyncMaxS       float64 `json:"fsync_max_s"`
+}
+
 type statsResponse struct {
 	Videos          int                          `json:"videos"`
 	Triplets        int                          `json:"triplets"`
@@ -332,6 +381,7 @@ type statsResponse struct {
 	SearchPageReads uint64                       `json:"search_page_reads"`
 	Pager           pagerStatsJSON               `json:"pager"`
 	Cache           *cacheStatsJSON              `json:"cache,omitempty"`
+	Durability      *durabilityStatsJSON         `json:"durability,omitempty"`
 	Endpoints       map[string]endpointStatsJSON `json:"endpoints"`
 }
 
@@ -354,6 +404,24 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if s.cfg.CacheStats != nil {
 		accesses, hits, rate := s.cfg.CacheStats()
 		resp.Cache = &cacheStatsJSON{Accesses: accesses, Hits: hits, HitRate: rate}
+	}
+	if ds := s.db.DurabilityStats(); ds.Enabled {
+		fl := ds.Journal.FsyncLatency
+		resp.Durability = &durabilityStatsJSON{
+			Dir:             ds.Dir,
+			SnapshotSeq:     ds.SnapshotSeq,
+			SnapshotVersion: ds.SnapshotVersion,
+			Checkpoints:     ds.Checkpoints,
+			JournalDepth:    ds.Journal.Depth,
+			JournalBytes:    ds.Journal.Bytes,
+			LastSeq:         ds.Journal.LastSeq,
+			DurableSeq:      ds.Journal.DurableSeq,
+			Fsyncs:          ds.Journal.Fsyncs,
+			FsyncMeanS:      fl.MeanValue(),
+			FsyncP50S:       fl.Quantile(0.50),
+			FsyncP99S:       fl.Quantile(0.99),
+			FsyncMaxS:       fl.Max,
+		}
 	}
 	for name, ep := range s.met.endpoints {
 		snap := ep.latency.Snapshot()

@@ -18,6 +18,7 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("POST "+epSearch, s.instrument(epSearch, true, s.handleSearch))
 	mux.HandleFunc("POST "+epInsert, s.instrument(epInsert, true, s.handleInsert))
 	mux.HandleFunc("POST "+epRemove, s.instrument(epRemove, true, s.handleRemove))
+	mux.HandleFunc("POST "+epCheckpoint, s.instrument(epCheckpoint, true, s.handleCheckpoint))
 	mux.HandleFunc("GET "+epHealthz, s.instrument(epHealthz, false, s.handleHealthz))
 	mux.HandleFunc("GET "+epStats, s.instrument(epStats, false, s.handleStats))
 	return mux

@@ -55,6 +55,12 @@ type Config struct {
 	// CacheStats, when set, surfaces the page cache hit rate in /stats
 	// (see CachedPager).
 	CacheStats func() (accesses, hits uint64, rate float64)
+	// CheckpointEvery, on a durable database, folds the journal into a
+	// fresh snapshot whenever its depth reaches this many operations.
+	// The checkpoint runs detached from the triggering request (it joins
+	// the drain group, so graceful shutdown still waits for it). Zero
+	// disables automatic checkpoints; POST /checkpoint always works.
+	CheckpointEvery int
 	// ErrorLog receives panic reports; log.Default() when nil.
 	ErrorLog *log.Logger
 }
@@ -95,6 +101,10 @@ type Server struct {
 	wg       sync.WaitGroup // in-flight requests + detached search work
 	inflight atomic.Int64   // requests inside the lifecycle gate
 
+	// checkpointing dedupes automatic checkpoints: while one runs, later
+	// mutations skip triggering another instead of queueing on db.mu.
+	checkpointing atomic.Bool
+
 	// Test hooks, called when non-nil; must be set before the first
 	// request (they are read without synchronization).
 	testHookAdmitted func() // holding an admission slot, before handler work
@@ -109,7 +119,7 @@ func New(db *vitri.DB, cfg Config) *Server {
 		cfg: cfg.withDefaults(),
 	}
 	s.adm = newAdmission(s.cfg.MaxInFlight)
-	s.met = newServerMetrics(epSearch, epInsert, epRemove, epHealthz, epStats)
+	s.met = newServerMetrics(epSearch, epInsert, epRemove, epCheckpoint, epHealthz, epStats)
 	s.mux = s.routes()
 	return s
 }
@@ -194,6 +204,8 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, vitri.ErrDuplicateID):
 		return http.StatusConflict
+	case errors.Is(err, vitri.ErrNotDurable):
+		return http.StatusConflict
 	case errors.Is(err, vitri.ErrNotFound):
 		return http.StatusNotFound
 	case errors.Is(err, vitri.ErrEmptyDB), errors.Is(err, pager.ErrClosed):
@@ -234,12 +246,38 @@ func CachedPager(newUnder func() pager.Pager, capacity int) (newPager func() pag
 
 // Endpoint names (also the /stats keys).
 const (
-	epSearch  = "/search"
-	epInsert  = "/insert"
-	epRemove  = "/remove"
-	epHealthz = "/healthz"
-	epStats   = "/stats"
+	epSearch     = "/search"
+	epInsert     = "/insert"
+	epRemove     = "/remove"
+	epCheckpoint = "/checkpoint"
+	epHealthz    = "/healthz"
+	epStats      = "/stats"
 )
+
+// maybeCheckpoint triggers an automatic checkpoint when the journal has
+// grown past Config.CheckpointEvery. Called after a successful mutation,
+// from inside the drain group; the checkpoint itself runs detached so
+// the triggering request doesn't wait for the snapshot write. At most
+// one automatic checkpoint runs at a time.
+func (s *Server) maybeCheckpoint() {
+	if s.cfg.CheckpointEvery <= 0 || !s.db.Durable() {
+		return
+	}
+	if s.db.DurabilityStats().Journal.Depth < s.cfg.CheckpointEvery {
+		return
+	}
+	if !s.checkpointing.CompareAndSwap(false, true) {
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer s.checkpointing.Store(false)
+		if err := s.db.Checkpoint(); err != nil {
+			s.cfg.ErrorLog.Printf("server: automatic checkpoint: %v", err)
+		}
+	}()
+}
 
 // serverMetrics aggregates the service's counters and latency histograms.
 type serverMetrics struct {

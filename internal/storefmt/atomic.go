@@ -1,0 +1,92 @@
+package storefmt
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"vitri/internal/core"
+	"vitri/internal/vfs"
+)
+
+// WriteFileAtomic writes a file so the previous contents of path are
+// never damaged, whatever the crash point:
+//
+//  1. write to path+".tmp" (created fresh),
+//  2. fsync the temp file — its data is durable before any name changes,
+//  3. rename over path — readers see old-complete or new-complete, never
+//     a mix,
+//  4. fsync the parent directory — the rename itself is durable.
+//
+// A crash before step 3 leaves path untouched; a crash between 3 and 4
+// leaves either the old or the new file, both complete. The temp file is
+// removed on error, best-effort.
+func WriteFileAtomic(fsys vfs.FS, path string, write func(io.Writer) error) (err error) {
+	tmp := path + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			//lint:ignore droppederr cleanup on the error path; the original error is what matters
+			fsys.Remove(tmp)
+		}
+	}()
+	bw := bufio.NewWriter(f)
+	if err = write(bw); err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = fsys.Rename(tmp, path); err != nil {
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(path))
+}
+
+// WriteSnapshotFile writes snap as a v2 store via the atomic discipline.
+func WriteSnapshotFile(fsys vfs.FS, path string, snap *Snapshot) error {
+	return WriteFileAtomic(fsys, path, func(w io.Writer) error {
+		return EncodeV2(w, snap)
+	})
+}
+
+// ReadSnapshotFile reads a v1 or v2 store. A missing file reports
+// fs.ErrNotExist (callers treat it as an empty store).
+func ReadSnapshotFile(fsys vfs.FS, path string) (*Snapshot, error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := Decode(bufio.NewReader(f))
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// IsNotExist reports whether err is a missing-file error from any FS.
+func IsNotExist(err error) bool { return errors.Is(err, fs.ErrNotExist) }
+
+// SortSummaries orders summaries by video id in place — the canonical
+// order snapshots are written in, which is what makes two stores of the
+// same logical contents byte-identical.
+func SortSummaries(sums []core.Summary) {
+	sort.Slice(sums, func(i, j int) bool { return sums[i].VideoID < sums[j].VideoID })
+}

@@ -1,0 +1,245 @@
+package storefmt
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"vitri/internal/core"
+	"vitri/internal/vec"
+	"vitri/internal/vfs"
+)
+
+// -update regenerates the golden store files from the canonical test
+// snapshot. The goldens pin both wire formats: an accidental format
+// change fails TestGolden until the goldens are deliberately refreshed.
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// testSummaries is the canonical fixture: a handful of small summaries
+// with varying triplet counts and dimensionalities exercised by every
+// codec test and pinned by the goldens.
+func testSummaries() []core.Summary {
+	var sums []core.Summary
+	for id := 0; id < 5; id++ {
+		nt := 1 + id%3
+		ts := make([]core.ViTri, 0, nt)
+		for t := 0; t < nt; t++ {
+			pos := vec.Vector{float64(id) + 0.125, float64(t) + 0.25, 1.5 - float64(id)*0.0625}
+			ts = append(ts, core.NewViTri(pos, 0.25+float64(t)*0.125, 1+id+t))
+		}
+		sums = append(sums, core.Summary{VideoID: id * 3, FrameCount: 10 + id, Triplets: ts})
+	}
+	return sums
+}
+
+func testSnapshot() *Snapshot {
+	return &Snapshot{Version: Version2, Epsilon: 0.3, LastSeq: 42, Summaries: testSummaries()}
+}
+
+func TestRoundTripV1(t *testing.T) {
+	sums := testSummaries()
+	var buf bytes.Buffer
+	if err := EncodeV1(&buf, 0.3, sums); err != nil {
+		t.Fatalf("EncodeV1: %v", err)
+	}
+	snap, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if snap.Version != Version1 {
+		t.Fatalf("Version = %d, want %d", snap.Version, Version1)
+	}
+	if snap.Epsilon != 0.3 || snap.LastSeq != 0 {
+		t.Fatalf("header = (%v, %d), want (0.3, 0)", snap.Epsilon, snap.LastSeq)
+	}
+	if !reflect.DeepEqual(snap.Summaries, sums) {
+		t.Fatal("summaries did not round-trip")
+	}
+	// Encoding is deterministic: same input, same bytes.
+	var buf2 bytes.Buffer
+	if err := EncodeV1(&buf2, 0.3, sums); err != nil {
+		t.Fatalf("EncodeV1 again: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("EncodeV1 is not deterministic")
+	}
+}
+
+func TestRoundTripV2(t *testing.T) {
+	want := testSnapshot()
+	var buf bytes.Buffer
+	if err := EncodeV2(&buf, want); err != nil {
+		t.Fatalf("EncodeV2: %v", err)
+	}
+	snap, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if snap.Version != Version2 || snap.Epsilon != want.Epsilon || snap.LastSeq != want.LastSeq {
+		t.Fatalf("header = (%d, %v, %d), want (%d, %v, %d)",
+			snap.Version, snap.Epsilon, snap.LastSeq, want.Version, want.Epsilon, want.LastSeq)
+	}
+	if !reflect.DeepEqual(snap.Summaries, want.Summaries) {
+		t.Fatal("summaries did not round-trip")
+	}
+	var buf2 bytes.Buffer
+	if err := EncodeV2(&buf2, want); err != nil {
+		t.Fatalf("EncodeV2 again: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("EncodeV2 is not deterministic")
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	snap := &Snapshot{Version: Version2, Epsilon: 0.5, LastSeq: 7}
+	var buf bytes.Buffer
+	if err := EncodeV2(&buf, snap); err != nil {
+		t.Fatalf("EncodeV2: %v", err)
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(got.Summaries) != 0 || got.LastSeq != 7 || got.Epsilon != 0.5 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+// TestV2DetectsCorruption flips every byte of a v2 store in turn; the
+// checksums must catch each one. This is the property the whole
+// durability design leans on: a v2 snapshot is either valid or loudly
+// rejected, never silently wrong.
+func TestV2DetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeV2(&buf, testSnapshot()); err != nil {
+		t.Fatalf("EncodeV2: %v", err)
+	}
+	valid := buf.Bytes()
+	for i := range valid {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 0xff
+		if _, err := Decode(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("flipping byte %d of %d went undetected", i, len(valid))
+		}
+	}
+}
+
+// TestV2DetectsTruncation checks every proper prefix is rejected — a v2
+// snapshot is sealed by its footer, so a torn write can't masquerade as
+// a shorter valid store.
+func TestV2DetectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeV2(&buf, testSnapshot()); err != nil {
+		t.Fatalf("EncodeV2: %v", err)
+	}
+	valid := buf.Bytes()
+	for n := 0; n < len(valid); n++ {
+		if _, err := Decode(bytes.NewReader(valid[:n])); err == nil {
+			t.Fatalf("prefix of %d/%d bytes went undetected", n, len(valid))
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("NOTMAGIC________________"),
+		bytes.Repeat([]byte{0xab}, 64),
+	}
+	for i, data := range cases {
+		if _, err := Decode(bytes.NewReader(data)); err == nil {
+			t.Errorf("case %d: garbage decoded without error", i)
+		}
+	}
+}
+
+func TestSortSummaries(t *testing.T) {
+	sums := []core.Summary{{VideoID: 9}, {VideoID: 1}, {VideoID: 4}}
+	SortSummaries(sums)
+	for i, want := range []int{1, 4, 9} {
+		if sums[i].VideoID != want {
+			t.Fatalf("order %v", []int{sums[0].VideoID, sums[1].VideoID, sums[2].VideoID})
+		}
+	}
+}
+
+// TestGolden pins both wire formats byte-for-byte. The files under
+// testdata/ are the compatibility contract: stores written by past
+// releases must keep loading, so changing either encoder fails here
+// until the change is an explicitly versioned new format.
+func TestGolden(t *testing.T) {
+	var v1, v2 bytes.Buffer
+	if err := EncodeV1(&v1, 0.3, testSummaries()); err != nil {
+		t.Fatalf("EncodeV1: %v", err)
+	}
+	if err := EncodeV2(&v2, testSnapshot()); err != nil {
+		t.Fatalf("EncodeV2: %v", err)
+	}
+	for _, tc := range []struct {
+		file string
+		got  []byte
+	}{
+		{"store-v1.golden", v1.Bytes()},
+		{"store-v2.golden", v2.Bytes()},
+	} {
+		path := filepath.Join("testdata", tc.file)
+		if *update {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read golden (run with -update to regenerate): %v", err)
+		}
+		if !bytes.Equal(tc.got, want) {
+			t.Errorf("%s: encoder output diverged from golden (%d vs %d bytes)", tc.file, len(tc.got), len(want))
+		}
+	}
+	// Both goldens must decode to the same logical content — the v1→v2
+	// migration invariant at the codec level.
+	s1, err := Decode(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatalf("decode v1 golden: %v", err)
+	}
+	s2, err := Decode(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatalf("decode v2 golden: %v", err)
+	}
+	if !reflect.DeepEqual(s1.Summaries, s2.Summaries) || s1.Epsilon != s2.Epsilon {
+		t.Fatal("v1 and v2 goldens decode to different contents")
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	fsys := vfs.NewMemFS()
+	snap := testSnapshot()
+	if err := WriteSnapshotFile(fsys, "dir/store.vitri", snap); err != nil {
+		t.Fatalf("WriteSnapshotFile: %v", err)
+	}
+	got, err := ReadSnapshotFile(fsys, "dir/store.vitri")
+	if err != nil {
+		t.Fatalf("ReadSnapshotFile: %v", err)
+	}
+	if !reflect.DeepEqual(got.Summaries, snap.Summaries) {
+		t.Fatal("snapshot did not round-trip through the filesystem")
+	}
+	// The temp file must not linger.
+	for _, name := range fsys.Names() {
+		if name != "dir/store.vitri" {
+			t.Fatalf("unexpected leftover file %q", name)
+		}
+	}
+	if _, err := ReadSnapshotFile(fsys, "dir/absent"); !IsNotExist(err) {
+		t.Fatalf("missing file: err = %v, want IsNotExist", err)
+	}
+}

@@ -1,0 +1,261 @@
+package vfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path"
+	"sort"
+	"sync"
+	"time"
+)
+
+// MemFS is an in-memory FS. It backs unit tests and is the substrate the
+// crash simulator materializes reconstructed post-crash disk images into,
+// so recovery code can run against a simulated power-cut state without
+// touching the real disk. Directories are implicit: any name can be
+// created; Stat on a prefix held by files reports a directory.
+//
+// MemFS is safe for concurrent use. Sync and SyncDir are no-ops — the
+// whole store is "durable" by construction; crash semantics live in
+// internal/crashfs, not here.
+type MemFS struct {
+	mu    sync.Mutex
+	nodes map[string]*memNode
+}
+
+type memNode struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{nodes: make(map[string]*memNode)}
+}
+
+// Snapshot returns a deep copy of every file's contents, keyed by cleaned
+// path. The crash simulator uses it to compare disk images.
+func (m *MemFS) Snapshot() map[string][]byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string][]byte, len(m.nodes))
+	for name, n := range m.nodes {
+		n.mu.Lock()
+		out[name] = append([]byte(nil), n.data...)
+		n.mu.Unlock()
+	}
+	return out
+}
+
+// SetFile creates or replaces a file's full contents (test setup helper).
+func (m *MemFS) SetFile(name string, data []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nodes[path.Clean(name)] = &memNode{data: append([]byte(nil), data...)}
+}
+
+// Names returns every file path in sorted order.
+func (m *MemFS) Names() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.nodes))
+	for name := range m.nodes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OpenFile implements FS.
+func (m *MemFS) OpenFile(name string, flag int, _ fs.FileMode) (File, error) {
+	name = path.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.nodes[name]
+	switch {
+	case !ok && flag&os.O_CREATE == 0:
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	case !ok:
+		n = &memNode{}
+		m.nodes[name] = n
+	case flag&os.O_TRUNC != 0:
+		n.mu.Lock()
+		n.data = nil
+		n.mu.Unlock()
+	}
+	f := &memFile{node: n, name: name, writable: flag&(os.O_WRONLY|os.O_RDWR) != 0}
+	if flag&os.O_APPEND != 0 {
+		n.mu.Lock()
+		f.off = int64(len(n.data))
+		n.mu.Unlock()
+	}
+	return f, nil
+}
+
+// Rename implements FS.
+func (m *MemFS) Rename(oldname, newname string) error {
+	oldname, newname = path.Clean(oldname), path.Clean(newname)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.nodes[oldname]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldname, Err: fs.ErrNotExist}
+	}
+	m.nodes[newname] = n
+	delete(m.nodes, oldname)
+	return nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	name = path.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.nodes[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(m.nodes, name)
+	return nil
+}
+
+// Stat implements FS. A name that prefixes existing files is reported as
+// a directory, so existence checks on implicit directories succeed.
+func (m *MemFS) Stat(name string) (fs.FileInfo, error) {
+	name = path.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n, ok := m.nodes[name]; ok {
+		n.mu.Lock()
+		size := int64(len(n.data))
+		n.mu.Unlock()
+		return memInfo{name: path.Base(name), size: size}, nil
+	}
+	for p := range m.nodes {
+		if name == "." || name == "/" || (len(p) > len(name) && p[:len(name)] == name && p[len(name)] == '/') {
+			return memInfo{name: path.Base(name), dir: true}, nil
+		}
+	}
+	return nil, &fs.PathError{Op: "stat", Path: name, Err: fs.ErrNotExist}
+}
+
+// MkdirAll implements FS; directories are implicit, so it only validates.
+func (m *MemFS) MkdirAll(string, fs.FileMode) error { return nil }
+
+// SyncDir implements FS (a no-op: MemFS has no volatility).
+func (m *MemFS) SyncDir(string) error { return nil }
+
+// memFile is one open handle with its own offset.
+type memFile struct {
+	node     *memNode
+	name     string
+	off      int64
+	writable bool
+	closed   bool
+}
+
+func (f *memFile) Read(p []byte) (int, error) {
+	if f.closed {
+		return 0, fs.ErrClosed
+	}
+	f.node.mu.Lock()
+	defer f.node.mu.Unlock()
+	if f.off >= int64(len(f.node.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.node.data[f.off:])
+	f.off += int64(n)
+	return n, nil
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	if f.closed {
+		return 0, fs.ErrClosed
+	}
+	if !f.writable {
+		return 0, &fs.PathError{Op: "write", Path: f.name, Err: fs.ErrPermission}
+	}
+	f.node.mu.Lock()
+	defer f.node.mu.Unlock()
+	if grow := f.off + int64(len(p)) - int64(len(f.node.data)); grow > 0 {
+		f.node.data = append(f.node.data, make([]byte, grow)...)
+	}
+	copy(f.node.data[f.off:], p)
+	f.off += int64(len(p))
+	return len(p), nil
+}
+
+func (f *memFile) Seek(offset int64, whence int) (int64, error) {
+	if f.closed {
+		return 0, fs.ErrClosed
+	}
+	f.node.mu.Lock()
+	defer f.node.mu.Unlock()
+	switch whence {
+	case io.SeekStart:
+		f.off = offset
+	case io.SeekCurrent:
+		f.off += offset
+	case io.SeekEnd:
+		f.off = int64(len(f.node.data)) + offset
+	}
+	if f.off < 0 {
+		f.off = 0
+		return 0, &fs.PathError{Op: "seek", Path: f.name, Err: fs.ErrInvalid}
+	}
+	return f.off, nil
+}
+
+func (f *memFile) Truncate(size int64) error {
+	if f.closed {
+		return fs.ErrClosed
+	}
+	if !f.writable {
+		return &fs.PathError{Op: "truncate", Path: f.name, Err: fs.ErrPermission}
+	}
+	f.node.mu.Lock()
+	defer f.node.mu.Unlock()
+	switch {
+	case size < 0:
+		return &fs.PathError{Op: "truncate", Path: f.name, Err: fs.ErrInvalid}
+	case size <= int64(len(f.node.data)):
+		f.node.data = f.node.data[:size]
+	default:
+		f.node.data = append(f.node.data, make([]byte, size-int64(len(f.node.data)))...)
+	}
+	return nil
+}
+
+func (f *memFile) Sync() error {
+	if f.closed {
+		return fs.ErrClosed
+	}
+	return nil
+}
+
+func (f *memFile) Close() error {
+	if f.closed {
+		return fs.ErrClosed
+	}
+	f.closed = true
+	return nil
+}
+
+// memInfo is MemFS's fs.FileInfo.
+type memInfo struct {
+	name string
+	size int64
+	dir  bool
+}
+
+func (i memInfo) Name() string { return i.name }
+func (i memInfo) Size() int64  { return i.size }
+func (i memInfo) Mode() fs.FileMode {
+	if i.dir {
+		return fs.ModeDir | 0o755
+	}
+	return 0o644
+}
+func (i memInfo) ModTime() time.Time { return time.Time{} }
+func (i memInfo) IsDir() bool        { return i.dir }
+func (i memInfo) Sys() interface{}   { return nil }

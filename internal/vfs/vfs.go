@@ -1,0 +1,86 @@
+// Package vfs is the narrow filesystem seam the durability layer writes
+// through. Production code uses OS (thin wrappers over package os); the
+// crash-simulation harness substitutes internal/crashfs's recorder, which
+// logs every write/sync boundary so a simulated power cut can be injected
+// between any two of them.
+//
+// The interface is deliberately minimal — exactly the operations a
+// snapshot writer and an append-only journal need — because every method
+// is a crash boundary the harness must model:
+//
+//   - File.Write and File.Truncate change file data, volatile until the
+//     next File.Sync;
+//   - FS.Rename, FS.Remove and file creation change directory entries,
+//     volatile until FS.SyncDir on the parent directory (the POSIX rule
+//     "All File Systems Are Not Created Equal" (OSDI 2014) showed real
+//     applications forget).
+package vfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// File is one open file. The durability contract mirrors POSIX: data
+// written is volatile until Sync returns; Close does not imply Sync.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	// Truncate changes the file's size; like writes, the new size is
+	// volatile until Sync.
+	Truncate(size int64) error
+	// Sync makes all of the file's current data and size durable.
+	Sync() error
+}
+
+// FS is the filesystem the store and journal operate on.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics (O_RDONLY, O_RDWR,
+	// O_CREATE, O_TRUNC, O_APPEND are honoured).
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Rename atomically replaces newname with oldname. The new directory
+	// entry is volatile until SyncDir on the parent.
+	Rename(oldname, newname string) error
+	// Remove deletes a name (volatile until SyncDir).
+	Remove(name string) error
+	// Stat reports a name's metadata (fs.ErrNotExist when absent).
+	Stat(name string) (fs.FileInfo, error)
+	// MkdirAll creates a directory path.
+	MkdirAll(path string, perm fs.FileMode) error
+	// SyncDir makes the directory's entries — creations, renames and
+	// removals under it — durable.
+	SyncDir(name string) error
+}
+
+// OS is the production FS: direct delegation to package os.
+type OS struct{}
+
+// osFile adapts *os.File (method set already matches File).
+func (OS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (OS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+func (OS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+func (OS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+// SyncDir fsyncs the directory itself, making renames under it durable.
+func (OS) SyncDir(name string) error {
+	d, err := os.Open(filepath.Clean(name))
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}

@@ -1,47 +1,46 @@
 package vitri
 
 import (
-	"bufio"
-	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
-	"math"
-	"os"
 
 	"vitri/internal/core"
+	"vitri/internal/storefmt"
+	"vitri/internal/vfs"
 )
 
 // Summary persistence: a compact, versioned binary format holding every
-// video's triplets. A database can be saved after ingest and reloaded —
-// the index is rebuilt on load (bulk construction from summaries is fast
-// and re-derives the optimal reference point for the stored data).
+// video's triplets (see internal/storefmt for the wire layouts). A
+// database can be saved after ingest and reloaded — the index is rebuilt
+// on load (bulk construction from summaries is fast and re-derives the
+// optimal reference point for the stored data). Save writes the legacy
+// v1 layout for compatibility; Load reads v1 and the checksummed v2
+// layout the durable store produces.
 
-const (
-	storeMagic   = "VITRIDB1"
-	storeVersion = uint32(1)
-)
+const storeMagic = storefmt.MagicV1
 
 // Save writes the database's summaries to path. The database may be
-// saved before or after its index has been built.
+// saved before or after its index has been built. The file is written to
+// a temporary name, fsynced and renamed into place, so a crash mid-save
+// never damages an existing store at path.
 func (db *DB) Save(path string) error {
+	return db.saveFS(vfs.OS{}, path)
+}
+
+// saveFS is Save over an explicit filesystem (the crash harness records
+// through it).
+func (db *DB) saveFS(fsys vfs.FS, path string) error {
 	sums, err := db.summaries()
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(path)
+	err = storefmt.WriteFileAtomic(fsys, path, func(w io.Writer) error {
+		return storefmt.EncodeV1(w, db.opts.Epsilon, sums)
+	})
 	if err != nil {
 		return fmt.Errorf("vitri: save: %w", err)
 	}
-	defer f.Close()
-	w := bufio.NewWriter(f)
-	if err := writeSummaries(w, db.opts.Epsilon, sums); err != nil {
-		return fmt.Errorf("vitri: save: %w", err)
-	}
-	if err := w.Flush(); err != nil {
-		return fmt.Errorf("vitri: save: %w", err)
-	}
-	return f.Sync()
+	return nil
 }
 
 // summaries snapshots the database contents.
@@ -56,26 +55,22 @@ func (db *DB) summaries() ([]core.Summary, error) {
 	return db.ix.Summaries()
 }
 
-// Load reads a database saved with Save. opts fields other than Epsilon
-// are applied as given; Epsilon is taken from the file (a database's
-// summaries are only meaningful at the ε they were built with) and must
-// either match opts.Epsilon or opts.Epsilon must be zero.
+// Load reads a database saved with Save (v1) or checkpointed by a
+// durable database (v2; checksums are verified). opts fields other than
+// Epsilon are applied as given; Epsilon is taken from the file (a
+// database's summaries are only meaningful at the ε they were built
+// with) and must either match opts.Epsilon or opts.Epsilon must be zero.
 func Load(path string, opts Options) (*DB, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("vitri: load: %w", err)
-	}
-	defer f.Close()
-	eps, sums, err := readSummaries(bufio.NewReader(f))
+	snap, err := storefmt.ReadSnapshotFile(vfs.OS{}, path)
 	if err != nil {
 		return nil, fmt.Errorf("vitri: load %s: %w", path, err)
 	}
-	if opts.Epsilon != 0 && opts.Epsilon != eps {
-		return nil, fmt.Errorf("vitri: load: file epsilon %v conflicts with requested %v", eps, opts.Epsilon)
+	if opts.Epsilon != 0 && opts.Epsilon != snap.Epsilon {
+		return nil, fmt.Errorf("vitri: load: file epsilon %v conflicts with requested %v", snap.Epsilon, opts.Epsilon)
 	}
-	opts.Epsilon = eps
+	opts.Epsilon = snap.Epsilon
 	db := New(opts)
-	for _, s := range sums {
+	for _, s := range snap.Summaries {
 		if err := db.AddSummary(s); err != nil {
 			return nil, fmt.Errorf("vitri: load: %w", err)
 		}
@@ -83,160 +78,50 @@ func Load(path string, opts Options) (*DB, error) {
 	return db, nil
 }
 
-// writeSummaries streams the store format.
+// writeSummaries streams the legacy v1 store format (kept as the
+// package-internal codec entry point; the formats live in storefmt).
 func writeSummaries(w io.Writer, epsilon float64, sums []core.Summary) error {
-	if _, err := io.WriteString(w, storeMagic); err != nil {
-		return err
-	}
-	if err := binWrite(w, storeVersion); err != nil {
-		return err
-	}
-	if err := binWrite(w, math.Float64bits(epsilon)); err != nil {
-		return err
-	}
-	if err := binWrite(w, uint32(len(sums))); err != nil {
-		return err
-	}
-	for i := range sums {
-		s := &sums[i]
-		if err := binWrite(w, uint32(s.VideoID)); err != nil {
-			return err
-		}
-		if err := binWrite(w, uint32(s.FrameCount)); err != nil {
-			return err
-		}
-		if err := binWrite(w, uint32(len(s.Triplets))); err != nil {
-			return err
-		}
-		for t := range s.Triplets {
-			tp := &s.Triplets[t]
-			if err := binWrite(w, uint32(tp.Count)); err != nil {
-				return err
-			}
-			if err := binWrite(w, math.Float64bits(tp.Radius)); err != nil {
-				return err
-			}
-			if err := binWrite(w, uint32(len(tp.Position))); err != nil {
-				return err
-			}
-			for _, v := range tp.Position {
-				if err := binWrite(w, math.Float64bits(v)); err != nil {
-					return err
-				}
-			}
-		}
-	}
-	return nil
+	return storefmt.EncodeV1(w, epsilon, sums)
 }
 
-// readSummaries parses the store format.
+// readSummaries parses either store format.
 func readSummaries(r io.Reader) (float64, []core.Summary, error) {
-	magic := make([]byte, len(storeMagic))
-	if _, err := io.ReadFull(r, magic); err != nil {
+	snap, err := storefmt.Decode(r)
+	if err != nil {
 		return 0, nil, err
 	}
-	if string(magic) != storeMagic {
-		return 0, nil, errors.New("not a vitri summary store")
-	}
-	var version uint32
-	if err := binRead(r, &version); err != nil {
-		return 0, nil, err
-	}
-	if version != storeVersion {
-		return 0, nil, fmt.Errorf("unsupported store version %d", version)
-	}
-	var epsBits uint64
-	if err := binRead(r, &epsBits); err != nil {
-		return 0, nil, err
-	}
-	eps := math.Float64frombits(epsBits)
-	// !(eps > 0) rather than eps <= 0: NaN compares false both ways and
-	// must be rejected here, not fed to the summarizer.
-	if !(eps > 0) || math.IsInf(eps, 0) {
-		return 0, nil, fmt.Errorf("invalid stored epsilon %v", eps)
-	}
-	var count uint32
-	if err := binRead(r, &count); err != nil {
-		return 0, nil, err
-	}
-	const maxReasonable = 100_000_000
-	if count > maxReasonable {
-		return 0, nil, fmt.Errorf("implausible video count %d", count)
-	}
-	// Capacity hints are clamped: header counts are untrusted until the
-	// records behind them have actually been read, and a 12-byte header
-	// claiming 100M videos must not pre-allocate gigabytes (the slices
-	// grow geometrically, bounded by input actually consumed).
-	sums := make([]core.Summary, 0, capHint(count))
-	for i := uint32(0); i < count; i++ {
-		var vid, frames, nt uint32
-		if err := binRead(r, &vid); err != nil {
-			return 0, nil, err
-		}
-		if err := binRead(r, &frames); err != nil {
-			return 0, nil, err
-		}
-		if err := binRead(r, &nt); err != nil {
-			return 0, nil, err
-		}
-		if nt > maxReasonable {
-			return 0, nil, fmt.Errorf("implausible triplet count %d", nt)
-		}
-		s := core.Summary{VideoID: int(vid), FrameCount: int(frames), Triplets: make([]core.ViTri, 0, capHint(nt))}
-		for t := uint32(0); t < nt; t++ {
-			var cnt, dim uint32
-			var radBits uint64
-			if err := binRead(r, &cnt); err != nil {
-				return 0, nil, err
-			}
-			if err := binRead(r, &radBits); err != nil {
-				return 0, nil, err
-			}
-			if err := binRead(r, &dim); err != nil {
-				return 0, nil, err
-			}
-			if dim == 0 || dim > 1<<20 {
-				return 0, nil, fmt.Errorf("implausible dimensionality %d", dim)
-			}
-			pos := make(Vector, 0, capHint(dim))
-			for d := uint32(0); d < dim; d++ {
-				var bits uint64
-				if err := binRead(r, &bits); err != nil {
-					return 0, nil, err
-				}
-				v := math.Float64frombits(bits)
-				if math.IsNaN(v) || math.IsInf(v, 0) {
-					return 0, nil, fmt.Errorf("non-finite position coordinate in triplet %d", t)
-				}
-				pos = append(pos, v)
-			}
-			radius := math.Float64frombits(radBits)
-			if !(radius > 0) || math.IsInf(radius, 0) || cnt == 0 {
-				return 0, nil, fmt.Errorf("invalid triplet (radius %v, count %d)", radius, cnt)
-			}
-			s.Triplets = append(s.Triplets, core.NewViTri(pos, radius, int(cnt)))
-		}
-		sums = append(sums, s)
-	}
-	return eps, sums, nil
+	return snap.Epsilon, snap.Summaries, nil
 }
 
-func binWrite(w io.Writer, v interface{}) error { return binary.Write(w, binary.LittleEndian, v) }
-func binRead(r io.Reader, v interface{}) error  { return binary.Read(r, binary.LittleEndian, v) }
-
-// capHint bounds an untrusted length prefix to a sane preallocation.
-func capHint(n uint32) int {
-	const maxPrealloc = 4096
-	if n > maxPrealloc {
-		return maxPrealloc
-	}
-	return int(n)
-}
-
-// Remove deletes a video from the database.
+// Remove deletes a video from the database. On a durable database the
+// removal is journaled and Remove returns only once the record is
+// fsynced to disk.
 func (db *DB) Remove(videoID int) error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
+	var seq uint64
+	err := func() error {
+		if !db.ids[videoID] {
+			return fmt.Errorf("%w: %d", ErrNotFound, videoID)
+		}
+		// Journal before applying: a removal has no cheap rollback. The
+		// apply below only fails on an index-internal error that already
+		// signals corruption, so the ordering's divergence window is moot.
+		var jerr error
+		if seq, jerr = db.journalRemoveLocked(videoID); jerr != nil {
+			return jerr
+		}
+		return db.removeLocked(videoID)
+	}()
+	db.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return db.commitSeq(seq)
+}
+
+// removeLocked deletes a video from the in-memory state. Caller holds
+// the write lock.
+func (db *DB) removeLocked(videoID int) error {
 	if !db.ids[videoID] {
 		return fmt.Errorf("%w: %d", ErrNotFound, videoID)
 	}

@@ -126,6 +126,9 @@ type Options struct {
 	// summarization across. <= 0 selects GOMAXPROCS; 1 reduces AddBatch
 	// to a sequential loop. Results are byte-identical at every setting.
 	IngestParallelism int
+	// Durable tunes the durable store; see OpenDurable. Ignored by New —
+	// durability exists only on databases opened with OpenDurable.
+	Durable *DurableOptions
 }
 
 // DB is a searchable video database. All methods are safe for concurrent
@@ -139,6 +142,9 @@ type DB struct {
 	pending []core.Summary
 	ix      *index.Index
 	ids     map[int]bool
+	// dur is non-nil on databases opened with OpenDurable: mutations are
+	// journaled under mu and group-committed (fsynced) after release.
+	dur *durableState
 }
 
 // New creates an empty database. It panics if opts.Epsilon is not
@@ -184,14 +190,35 @@ func (db *DB) Add(videoID int, frames []Vector) error {
 }
 
 // AddSummary adds a pre-computed summary (e.g. produced offline or loaded
-// from storage).
+// from storage). On a durable database the summary is journaled and
+// AddSummary returns only once the record is fsynced to disk.
 func (db *DB) AddSummary(s Summary) error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	if err := db.addSummaryLocked(s); err != nil {
+	err := db.addSummaryLocked(s)
+	var seq uint64
+	if err == nil {
+		// Journal under the same lock that ordered the in-memory apply, so
+		// journal order always matches memory order; the fsync happens
+		// outside the lock (commitSeq) and batches across goroutines.
+		if seq, err = db.journalAddLocked(&s); err != nil {
+			db.rollbackAddLocked(s.VideoID)
+		}
+	}
+	if err == nil {
+		err = db.maybeRebuildLocked()
+	}
+	db.mu.Unlock()
+	if err != nil {
 		return err
 	}
-	return db.maybeRebuildLocked()
+	return db.commitSeq(seq)
+}
+
+// rollbackAddLocked undoes an addSummaryLocked whose journal append
+// failed. Caller holds the write lock.
+func (db *DB) rollbackAddLocked(videoID int) {
+	//lint:ignore droppederr rollback of an apply that just succeeded; the original journal error is surfaced
+	db.removeLocked(videoID)
 }
 
 // addSummaryLocked validates and stores one summary. Caller holds the
@@ -371,17 +398,26 @@ func (db *DB) Epsilon() float64 { return db.opts.Epsilon }
 func (db *DB) Seed() int64 { return db.opts.Seed }
 
 // Close releases the database's index resources, closing the underlying
-// page store. Operations after Close fail with the pager's ErrClosed;
+// page store, and — on a durable database — flushes and closes the
+// journal. Operations after Close fail with the pager's ErrClosed;
 // callers serving concurrent traffic must drain in-flight searches first
 // (see internal/server's lifecycle). Close is idempotent and returns nil
 // on a database whose index was never built.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if db.ix == nil {
-		return nil
+	var jerr error
+	if db.dur != nil {
+		jerr = db.dur.wal.Close()
+		db.dur = nil
 	}
-	return db.ix.Close()
+	if db.ix == nil {
+		return jerr
+	}
+	if err := db.ix.Close(); err != nil {
+		return err
+	}
+	return jerr
 }
 
 // IndexStats describes the physical shape of the database's B+-tree.
