@@ -181,7 +181,11 @@ func OpenDurable(dir string, opts Options) (*DB, error) {
 }
 
 // Durable reports whether the database persists mutations.
-func (db *DB) Durable() bool { return db.dur != nil }
+func (db *DB) Durable() bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.dur != nil
+}
 
 // Checkpoint folds the journal into a fresh snapshot: the database's
 // current contents are written as a new v2 snapshot (atomically — the
@@ -250,20 +254,27 @@ type DurabilityStats struct {
 
 // DurabilityStats snapshots the durable store's counters.
 func (db *DB) DurabilityStats() DurabilityStats {
-	if db.dur == nil {
+	// Snapshot db.dur once under the lock: Close nils the field under the
+	// write lock, so re-reading it after RUnlock could dereference nil.
+	db.mu.RLock()
+	dur := db.dur
+	var snapSeq uint64
+	var snapVer uint32
+	if dur != nil {
+		snapSeq = dur.snapLastSeq
+		snapVer = dur.snapVersion
+	}
+	db.mu.RUnlock()
+	if dur == nil {
 		return DurabilityStats{}
 	}
-	db.mu.RLock()
-	snapSeq := db.dur.snapLastSeq
-	snapVer := db.dur.snapVersion
-	db.mu.RUnlock()
 	return DurabilityStats{
 		Enabled:         true,
-		Dir:             db.dur.dir,
+		Dir:             dur.dir,
 		SnapshotSeq:     snapSeq,
 		SnapshotVersion: snapVer,
-		Checkpoints:     db.dur.checkpoints.Load(),
-		Journal:         db.dur.wal.Stats(),
+		Checkpoints:     dur.checkpoints.Load(),
+		Journal:         dur.wal.Stats(),
 	}
 }
 
@@ -289,10 +300,13 @@ func (db *DB) journalRemoveLocked(videoID int) (uint64, error) {
 }
 
 // commitSeq makes operations up to seq durable (group commit); a no-op
-// on non-durable databases.
-func (db *DB) commitSeq(seq uint64) error {
-	if db.dur == nil || seq == 0 {
+// on a nil receiver (non-durable database) or seq 0. Mutation paths
+// snapshot db.dur while still holding db.mu and commit on the snapshot
+// after releasing it — re-reading db.dur unsynchronized after unlock
+// races Close, which nils the field under the write lock.
+func (d *durableState) commitSeq(seq uint64) error {
+	if d == nil || seq == 0 {
 		return nil
 	}
-	return db.dur.wal.Commit(seq)
+	return d.wal.Commit(seq)
 }

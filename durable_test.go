@@ -2,8 +2,11 @@ package vitri
 
 import (
 	"errors"
+	"io/fs"
 	"path/filepath"
 	"reflect"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"vitri/internal/storefmt"
@@ -241,6 +244,109 @@ func TestDurableErrors(t *testing.T) {
 	}
 	if got := db3.DurabilityStats().Journal.Depth; got != depth {
 		t.Fatalf("failed ops changed journal depth %d -> %d", depth, got)
+	}
+}
+
+// TestCloseRacesDurabilityAccess is a regression test for the unlocked
+// db.dur reads Close used to race: mutations and DurabilityStats must
+// snapshot the durable state under db.mu, so a concurrent Close (which
+// nils db.dur under the write lock) can neither panic them nor skip the
+// fsync of an acknowledged mutation. Run under -race; errors from losing
+// the race to Close are tolerated, panics and race reports are not.
+func TestCloseRacesDurabilityAccess(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDurable(dir, Options{Epsilon: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 50; i++ {
+				//lint:ignore droppederr Close may win the race at any point
+				db.AddSummary(crashSummary(base*1000 + i))
+				db.DurabilityStats()
+				db.Durable()
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		//lint:ignore droppederr racing goroutines may have poisoned nothing; any close error is irrelevant here
+		db.Close()
+	}()
+	close(start)
+	wg.Wait()
+}
+
+// toggleFailFS fails every file fsync while fail is set.
+type toggleFailFS struct {
+	vfs.FS
+	fail atomic.Bool
+}
+
+func (f *toggleFailFS) OpenFile(name string, flag int, perm fs.FileMode) (vfs.File, error) {
+	file, err := f.FS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &toggleFailFile{File: file, fs: f}, nil
+}
+
+type toggleFailFile struct {
+	vfs.File
+	fs *toggleFailFS
+}
+
+func (f *toggleFailFile) Sync() error {
+	if f.fs.fail.Load() {
+		return errors.New("injected fsync failure")
+	}
+	return f.File.Sync()
+}
+
+// TestAddBatchCommitFailureMarksItems: when the batch's single group
+// commit fails, every journaled item's error slot must carry the failure
+// — a nil slot means "durably inserted", and callers inspecting itemErrs
+// per item (the documented pattern) must not see non-durable inserts as
+// acknowledged. Items that already failed per-item keep their own error.
+func TestAddBatchCommitFailureMarksItems(t *testing.T) {
+	fsys := &toggleFailFS{FS: vfs.NewMemFS()}
+	db, err := OpenDurable("db", Options{Epsilon: 0.3, Durable: &DurableOptions{FS: fsys}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := func(seed int) []Vector {
+		out := make([]Vector, 6)
+		for i := range out {
+			out[i] = Vector{float64(seed) * 0.1, float64(i) * 0.02, 0.5}
+		}
+		return out
+	}
+	fsys.fail.Store(true)
+	videos := []Video{
+		{ID: 1, Frames: frames(1)},
+		{ID: 2, Frames: nil}, // per-item failure, independent of the commit
+		{ID: 3, Frames: frames(3)},
+	}
+	itemErrs, batchErr := db.AddBatch(videos)
+	if batchErr == nil {
+		t.Fatal("AddBatch reported no batch error despite failed group commit")
+	}
+	if itemErrs[0] == nil || itemErrs[2] == nil {
+		t.Fatalf("journaled items not marked failed: %v", itemErrs)
+	}
+	if !errors.Is(itemErrs[0], batchErr) && itemErrs[0].Error() != batchErr.Error() {
+		t.Fatalf("item error %v does not reflect commit error %v", itemErrs[0], batchErr)
+	}
+	if itemErrs[1] == nil || itemErrs[1].Error() == batchErr.Error() {
+		t.Fatalf("per-item failure overwritten: %v", itemErrs[1])
 	}
 }
 

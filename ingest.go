@@ -35,8 +35,10 @@ type Video struct {
 // the same error the corresponding Add would have returned (no frames,
 // negative id, duplicate id — including duplicates within the batch, of
 // which the first wins). The second return value reports batch-level
-// failures (the drift-triggered rebuild); per-item failures never abort
-// the rest of the batch.
+// failures (the drift-triggered rebuild, or a failed durable group
+// commit); per-item failures never abort the rest of the batch. If the
+// group commit fails, every item it covered gets the commit error in its
+// slot too — a nil item error always means the insert is durable.
 func (db *DB) AddBatch(videos []Video) ([]error, error) {
 	if len(videos) == 0 {
 		return nil, nil
@@ -100,9 +102,22 @@ func (db *DB) AddBatch(videos []Video) ([]error, error) {
 		}
 	}
 	batchErr := db.maybeRebuildLocked()
+	dur := db.dur // snapshotted under the lock; see commitSeq
 	db.mu.Unlock()
-	if cerr := db.commitSeq(maxSeq); cerr != nil && batchErr == nil {
-		batchErr = cerr
+	if cerr := dur.commitSeq(maxSeq); cerr != nil {
+		// The single group commit covers every journaled item: none of
+		// them is durable, so the failure must surface in each item's
+		// slot, not just the batch-level error — callers inspecting
+		// itemErrs per item would otherwise treat non-durable inserts as
+		// acknowledged.
+		for i := range itemErrs {
+			if itemErrs[i] == nil {
+				itemErrs[i] = cerr
+			}
+		}
+		if batchErr == nil {
+			batchErr = cerr
+		}
 	}
 	return itemErrs, batchErr
 }

@@ -4,7 +4,11 @@ import (
 	"bytes"
 	"errors"
 	"io/fs"
+	"os"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"vitri/internal/core"
 	"vitri/internal/vec"
@@ -231,6 +235,199 @@ func TestRotate(t *testing.T) {
 	}
 	if _, err := fsys.Stat("j.wal.tmp"); !errors.Is(err, fs.ErrNotExist) {
 		t.Fatal("rotation temp file leaked")
+	}
+}
+
+// gatedSyncFS blocks the next file Sync after arm: it signals entered,
+// then waits for release before delegating. It freezes a Commit leader
+// exactly between capturing the descriptor and fsyncing it — the window
+// the Rotate descriptor-swap race lives in.
+type gatedSyncFS struct {
+	vfs.FS
+	armed   atomic.Bool
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (f *gatedSyncFS) OpenFile(name string, flag int, perm fs.FileMode) (vfs.File, error) {
+	file, err := f.FS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &gatedSyncFile{File: file, fs: f}, nil
+}
+
+type gatedSyncFile struct {
+	vfs.File
+	fs *gatedSyncFS
+}
+
+func (f *gatedSyncFile) Sync() error {
+	if f.fs.armed.CompareAndSwap(true, false) {
+		close(f.fs.entered)
+		<-f.fs.release
+	}
+	return f.File.Sync()
+}
+
+// TestRotateWaitsForInflightCommit is a deterministic regression test for
+// the descriptor-swap race: a Commit leader syncs w.f after releasing
+// w.mu, and Rotate used to take only w.mu, so a rotation concurrent with
+// the in-flight fsync swapped and closed the descriptor mid-sync — the
+// sync hit a closed fd and permanently poisoned the writer. Rotate must
+// instead wait for the leader (on syncMu) and leave the writer healthy.
+func TestRotateWaitsForInflightCommit(t *testing.T) {
+	fsys := &gatedSyncFS{FS: vfs.NewMemFS(), entered: make(chan struct{}), release: make(chan struct{})}
+	w, err := Open(fsys, "j.wal", Config{StartSeq: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testSummary(1)
+	seq, err := w.AppendAdd(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsys.armed.Store(true)
+	commitDone := make(chan error, 1)
+	go func() { commitDone <- w.Commit(seq) }()
+	<-fsys.entered // the leader holds the old descriptor, mid-fsync
+	rotateDone := make(chan error, 1)
+	go func() { rotateDone <- w.Rotate(seq + 1) }()
+	select {
+	case rerr := <-rotateDone:
+		t.Fatalf("Rotate completed while a commit fsync was in flight (err=%v); it would have closed the descriptor under the sync", rerr)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(fsys.release)
+	if err := <-commitDone; err != nil {
+		t.Fatalf("Commit poisoned by concurrent rotation: %v", err)
+	}
+	if err := <-rotateDone; err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	// The writer must still be usable end to end.
+	if seq, err = w.AppendAdd(&s); err != nil {
+		t.Fatalf("append after rotation: %v", err)
+	}
+	if err := w.Commit(seq); err != nil {
+		t.Fatalf("commit after rotation: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestRotateDuringCommit stress-tests the same interleaving under -race,
+// mirroring vitri.DB's real locking — Append and Rotate serialize on an
+// outer lock (db.mu), Commit runs outside it.
+func TestRotateDuringCommit(t *testing.T) {
+	fsys := vfs.NewMemFS()
+	w, err := Open(fsys, "j.wal", Config{StartSeq: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dbMu sync.Mutex // stands in for vitri.DB's write lock
+	stop := make(chan struct{})
+	errCh := make(chan error, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			s := testSummary(id)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				dbMu.Lock()
+				seq, aerr := w.AppendAdd(&s)
+				dbMu.Unlock()
+				if aerr != nil {
+					errCh <- aerr
+					return
+				}
+				if cerr := w.Commit(seq); cerr != nil {
+					errCh <- cerr
+					return
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		dbMu.Lock()
+		last := w.LastSeq()
+		rerr := w.Rotate(last + 1)
+		dbMu.Unlock()
+		if rerr != nil {
+			t.Errorf("Rotate #%d: %v", i, rerr)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatalf("concurrent append/commit failed: %v", err)
+	default:
+	}
+	// The writer must still be usable end to end.
+	s := testSummary(99)
+	seq, err := w.AppendAdd(&s)
+	if err != nil {
+		t.Fatalf("append after rotations: %v", err)
+	}
+	if err := w.Commit(seq); err != nil {
+		t.Fatalf("commit after rotations: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// failReopenFS fails any OpenFile without O_CREATE once armed — exactly
+// the reopen of the live journal name inside Rotate.
+type failReopenFS struct {
+	vfs.FS
+	armed bool
+}
+
+func (f *failReopenFS) OpenFile(name string, flag int, perm fs.FileMode) (vfs.File, error) {
+	if f.armed && flag&os.O_CREATE == 0 {
+		return nil, errors.New("injected reopen failure")
+	}
+	return f.FS.OpenFile(name, flag, perm)
+}
+
+// TestRotateFailureAfterRenamePoisons: once Rotate has renamed the fresh
+// journal over the live name, a failure to reopen it leaves the writer
+// holding the replaced, unlinked inode. The writer must poison itself so
+// later appends fail loudly instead of being acknowledged against a file
+// recovery will never read.
+func TestRotateFailureAfterRenamePoisons(t *testing.T) {
+	fsys := &failReopenFS{FS: vfs.NewMemFS()}
+	w, err := Open(fsys, "j.wal", Config{StartSeq: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testSummary(1)
+	seq, err := w.AppendAdd(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(seq); err != nil {
+		t.Fatal(err)
+	}
+	fsys.armed = true
+	if err := w.Rotate(seq + 1); err == nil {
+		t.Fatal("Rotate succeeded despite injected reopen failure")
+	}
+	if _, err := w.AppendAdd(&s); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append after failed rotation: %v, want ErrPoisoned", err)
+	}
+	if err := w.Commit(seq + 1); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("commit after failed rotation: %v, want ErrPoisoned", err)
 	}
 }
 

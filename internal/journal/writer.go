@@ -187,8 +187,7 @@ func (w *Writer) append(kind Kind, payload []byte) (uint64, error) {
 	buf.Grow(len(payload) + recOverhead)
 	encodeRecord(&buf, kind, w.seq, payload)
 	if _, err := w.bw.Write(buf.Bytes()); err != nil {
-		w.err = fmt.Errorf("%w: %v", ErrPoisoned, err)
-		return 0, err
+		return 0, w.poisonLocked(err)
 	}
 	w.records++
 	w.bytes += int64(buf.Len())
@@ -215,17 +214,20 @@ func (w *Writer) Commit(seq uint64) error {
 	}
 	target := w.seq
 	if err := w.bw.Flush(); err != nil {
-		w.err = fmt.Errorf("%w: %v", ErrPoisoned, err)
+		err = w.poisonLocked(err)
 		w.mu.Unlock()
 		return err
 	}
 	f := w.f
 	w.mu.Unlock()
 
+	// Syncing outside w.mu keeps appends flowing during the fsync; the
+	// descriptor stays valid because Rotate and Close, the only swappers/
+	// closers, serialize on w.syncMu, which this leader holds.
 	start := time.Now()
 	if err := f.Sync(); err != nil {
 		w.mu.Lock()
-		w.err = fmt.Errorf("%w: %v", ErrPoisoned, err)
+		err = w.poisonLocked(err)
 		w.mu.Unlock()
 		return err
 	}
@@ -240,14 +242,29 @@ func (w *Writer) stickyErr() error {
 	return w.err
 }
 
+// poisonLocked records err as the writer's sticky failure and returns the
+// original err. Caller holds w.mu.
+func (w *Writer) poisonLocked(err error) error {
+	w.err = fmt.Errorf("%w: %v", ErrPoisoned, err)
+	return err
+}
+
 // Rotate atomically replaces the journal with a fresh, empty one
 // starting at startSeq — the checkpoint's LastSeq+1. The caller must
-// guarantee no concurrent Append/Commit (vitri.DB holds its write lock
-// across the checkpoint). The replacement follows the same discipline as
+// guarantee no concurrent Append (vitri.DB holds its write lock across
+// the checkpoint); a concurrent Commit is fine — its records are covered
+// by the snapshot the caller just wrote, and Rotate serializes with the
+// in-flight leader below. The replacement follows the same discipline as
 // snapshots: temp file + fsync + rename + directory sync, so a crash at
 // any point leaves either the old journal (whose records the new
 // snapshot's LastSeq filter skips) or the new one.
 func (w *Writer) Rotate(startSeq uint64) error {
+	// syncMu before mu, the same order as Close: a Commit leader syncs
+	// w.f after releasing w.mu, so taking only w.mu here could swap and
+	// close the descriptor mid-sync — the sync would hit a closed fd and
+	// poison the writer for no real storage failure.
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.err != nil {
@@ -272,18 +289,23 @@ func (w *Writer) Rotate(startSeq uint64) error {
 	if err := w.fsys.Rename(tmp, w.path); err != nil {
 		return err
 	}
+	// Past the rename the live name is the fresh journal while w.f still
+	// references the replaced, unlinked inode. A failure from here on
+	// must poison the writer: returning a plain error would leave later
+	// appends acknowledged against (fsynced to) the dead inode and
+	// silently lost at the next recovery.
 	if err := w.fsys.SyncDir(filepath.Dir(w.path)); err != nil {
-		return err
+		return w.poisonLocked(err)
 	}
 	// Swap handles: the old descriptor still points at the replaced
 	// inode; reopen the live name.
 	nf, err := w.fsys.OpenFile(w.path, os.O_RDWR, 0o644)
 	if err != nil {
-		return err
+		return w.poisonLocked(err)
 	}
 	if _, err := nf.Seek(headerSize, io.SeekStart); err != nil {
 		nf.Close()
-		return err
+		return w.poisonLocked(err)
 	}
 	old := w.f
 	w.f = nf

@@ -112,11 +112,12 @@ func (db *DB) Remove(videoID int) error {
 		}
 		return db.removeLocked(videoID)
 	}()
+	dur := db.dur // snapshotted under the lock; see commitSeq
 	db.mu.Unlock()
 	if err != nil {
 		return err
 	}
-	return db.commitSeq(seq)
+	return dur.commitSeq(seq)
 }
 
 // removeLocked deletes a video from the in-memory state. Caller holds

@@ -207,11 +207,12 @@ func (db *DB) AddSummary(s Summary) error {
 	if err == nil {
 		err = db.maybeRebuildLocked()
 	}
+	dur := db.dur // snapshotted under the lock; see commitSeq
 	db.mu.Unlock()
 	if err != nil {
 		return err
 	}
-	return db.commitSeq(seq)
+	return dur.commitSeq(seq)
 }
 
 // rollbackAddLocked undoes an addSummaryLocked whose journal append
