@@ -6,7 +6,8 @@
 //	vitribench [flags] [experiment ...]
 //
 // Experiments: table2 table3 fig14 fig15 fig16 fig17 fig18 fig19 parallel
-// ingest (default: all but ingest, in paper order).
+// ingest checkpoint (default: all but ingest and checkpoint, in paper
+// order).
 //
 // Examples:
 //
@@ -15,6 +16,7 @@
 //	vitribench -paper                # paper-scale settings (slow)
 //	vitribench -parallel 8 parallel  # sequential vs 8-worker query engine
 //	vitribench ingest                # AddBatch throughput by worker count
+//	vitribench checkpoint            # mutation latency during checkpoints
 package main
 
 import (
@@ -38,6 +40,7 @@ func main() {
 		counts    = flag.String("vitris", "", "comma-separated ViTri counts for figures 16-17 (e.g. 20000,40000)")
 		parallel  = flag.Int("parallel", 0, "search worker-pool width for the parallel experiment (0 = GOMAXPROCS)")
 		ingestOut = flag.String("ingest-out", "BENCH_ingest.json", "JSON output path for the ingest experiment (empty = no file)")
+		ckptOut   = flag.String("checkpoint-out", "BENCH_checkpoint.json", "JSON output path for the checkpoint experiment (empty = no file)")
 	)
 	flag.Parse()
 
@@ -86,6 +89,9 @@ func main() {
 		"ingest": func(cfg experiments.Config) ([]*metrics.Table, error) {
 			return runIngest(cfg, *ingestOut)
 		},
+		"checkpoint": func(experiments.Config) ([]*metrics.Table, error) {
+			return runCheckpoint(*ckptOut)
+		},
 	}
 
 	names := flag.Args()
@@ -98,7 +104,7 @@ func main() {
 	for _, name := range names {
 		fn, ok := runners[strings.ToLower(name)]
 		if !ok {
-			fatalf("unknown experiment %q (have: table2 table3 fig14 fig15 fig16 fig17 fig18 fig19 parallel extension ingest)", name)
+			fatalf("unknown experiment %q (have: table2 table3 fig14 fig15 fig16 fig17 fig18 fig19 parallel extension ingest checkpoint)", name)
 		}
 		tables, err := fn(cfg)
 		if err != nil {

@@ -13,8 +13,12 @@
 // restarts recover the store from <dir>/snapshot.vitri plus the journal,
 // truncating any torn tail a crash left. -checkpoint-every <N> folds the
 // journal into a fresh snapshot whenever it reaches N operations (0 =
-// manual only, via POST /checkpoint). A -corpus given alongside -journal
-// bootstraps an empty durable store and is ignored on later starts.
+// manual only, via POST /checkpoint); the fold runs concurrently with
+// mutations (two-phase checkpoint, see DESIGN.md §12), and after a
+// failed auto-checkpoint further attempts pause for -checkpoint-cooldown
+// (the failure and its time appear in /stats). A -corpus given alongside
+// -journal bootstraps an empty durable store and is ignored on later
+// starts.
 //
 // Example:
 //
@@ -58,6 +62,7 @@ func main() {
 		drain       = flag.Duration("drain", 30*time.Second, "shutdown drain budget")
 		journalDir  = flag.String("journal", "", "durable store directory: mutations are journaled and fsynced; restarts recover snapshot+journal")
 		ckptEvery   = flag.Int("checkpoint-every", 0, "fold the journal into a snapshot every N operations (0 = only on POST /checkpoint)")
+		ckptCool    = flag.Duration("checkpoint-cooldown", 30*time.Second, "suppress automatic checkpoints this long after one fails (negative = retry immediately)")
 	)
 	flag.Parse()
 	switch {
@@ -94,11 +99,12 @@ func main() {
 	}
 
 	srv := server.New(db, server.Config{
-		DefaultK:        *k,
-		MaxInFlight:     *maxInflight,
-		RequestTimeout:  *timeout,
-		CacheStats:      cacheStats,
-		CheckpointEvery: *ckptEvery,
+		DefaultK:           *k,
+		MaxInFlight:        *maxInflight,
+		RequestTimeout:     *timeout,
+		CacheStats:         cacheStats,
+		CheckpointEvery:    *ckptEvery,
+		CheckpointCooldown: *ckptCool,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

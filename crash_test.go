@@ -62,12 +62,28 @@ type wlStep struct {
 	checkpoint bool
 	batch      []int // AddBatch when len > 1, AddSummary when len == 1
 	remove     int   // Remove when > 0 and batch empty and !checkpoint
+	// preWrite and preRotate are mutations injected inside a checkpoint's
+	// unlocked windows via the DB's test hooks (checkpoint must be true):
+	// preWrite runs after the capture but before the snapshot write,
+	// preRotate after the snapshot write but before the journal rotation.
+	// Positive ids are adds, negative ids removes. These are the ops the
+	// retained-suffix rotation exists for — acknowledged after the cut,
+	// absent from the snapshot being written, surviving only through the
+	// journal.
+	preWrite  []int
+	preRotate []int
 }
 
 // defaultCrashWorkload: 8 adds, a checkpoint, then 36 journaled ops
 // (adds, removes and one group-committed batch) with a second checkpoint
 // mid-stream — the shape the acceptance bar asks for: every boundary of
-// snapshot writing plus a journal at least 32 operations deep.
+// snapshot writing plus a journal at least 32 operations deep. The
+// mid-stream checkpoint runs with concurrent mutations in flight: three
+// adds land between the capture and the snapshot write, and one more add
+// plus a remove (of a just-added id) land between the write and the
+// journal rotation — power cuts at every boundary of the snapshot write
+// and the retained-suffix rotation are enumerated with those acked ops
+// living only in the journal suffix.
 func defaultCrashWorkload() []wlStep {
 	var steps []wlStep
 	for i := 1; i <= 8; i++ {
@@ -78,7 +94,7 @@ func defaultCrashWorkload() []wlStep {
 	for i := 9; i <= 28; i++ {
 		steps = append(steps, wlStep{batch: []int{i}})
 		if i == 18 {
-			steps = append(steps, wlStep{checkpoint: true})
+			steps = append(steps, wlStep{checkpoint: true, preWrite: []int{60, 61, 62}, preRotate: []int{63, -61}})
 		}
 	}
 	steps = append(steps, wlStep{batch: []int{40, 41, 42, 43, 44, 45}})
@@ -91,10 +107,39 @@ func defaultCrashWorkload() []wlStep {
 // runCrashWorkload executes steps durably on fsys, recording each call's
 // op-log span. Every step must succeed — the workload is the golden run.
 func runCrashWorkload(t *testing.T, rec *crashfs.Recorder, steps []wlStep) []ackedCall {
+	return runCrashWorkloadOpts(t, rec, steps, false)
+}
+
+// runCrashWorkloadOpts is runCrashWorkload with the retained-suffix
+// rotation optionally broken (dropRetain) — the teeth switch: with the
+// old rotate-to-empty, mutations acknowledged during a checkpoint's
+// unlocked write are wiped from the journal.
+func runCrashWorkloadOpts(t *testing.T, rec *crashfs.Recorder, steps []wlStep, dropRetain bool) []ackedCall {
 	t.Helper()
 	db, err := OpenDurable("db", Options{Epsilon: 0.3, Durable: &DurableOptions{FS: rec}})
 	if err != nil {
 		t.Fatalf("OpenDurable: %v", err)
+	}
+	db.testDropRetainedSuffix = dropRetain
+	// applyHook runs one hook-injected mutation inside a checkpoint's
+	// unlocked window. Each is its own acknowledged call whose op-log
+	// span nests inside the checkpoint's span.
+	applyHook := func(id int) ackedCall {
+		start := rec.Ops()
+		var op crashOp
+		if id < 0 {
+			if err := db.Remove(-id); err != nil {
+				t.Fatalf("mid-checkpoint Remove(%d): %v", -id, err)
+			}
+			op = crashOp{remove: true, id: -id}
+		} else {
+			s := crashSummary(id)
+			if err := db.AddSummary(s); err != nil {
+				t.Fatalf("mid-checkpoint AddSummary(%d): %v", id, err)
+			}
+			op = crashOp{id: id, summary: s}
+		}
+		return ackedCall{start: start, end: rec.Ops(), ops: []crashOp{op}}
 	}
 	calls := []ackedCall{{start: 0, end: rec.Ops()}} // the open itself
 	for _, st := range steps {
@@ -102,9 +147,30 @@ func runCrashWorkload(t *testing.T, rec *crashfs.Recorder, steps []wlStep) []ack
 		var ops []crashOp
 		switch {
 		case st.checkpoint:
+			var hookCalls []ackedCall
+			if len(st.preWrite) > 0 {
+				db.testBeforeSnapshotWrite = func() {
+					for _, id := range st.preWrite {
+						hookCalls = append(hookCalls, applyHook(id))
+					}
+				}
+			}
+			if len(st.preRotate) > 0 {
+				db.testBeforeRotate = func() {
+					for _, id := range st.preRotate {
+						hookCalls = append(hookCalls, applyHook(id))
+					}
+				}
+			}
 			if err := db.Checkpoint(); err != nil {
 				t.Fatalf("Checkpoint: %v", err)
 			}
+			db.testBeforeSnapshotWrite, db.testBeforeRotate = nil, nil
+			// The checkpoint's own (op-free) call is recorded at the end
+			// of the loop body like every step; the nested hook calls
+			// carry the in-flight mutations. acceptable() matches calls
+			// on spans, not slice order.
+			calls = append(calls, hookCalls...)
 		case st.remove > 0:
 			if err := db.Remove(st.remove); err != nil {
 				t.Fatalf("Remove(%d): %v", st.remove, err)
@@ -172,7 +238,12 @@ func acceptable(got map[int]core.Summary, calls []ackedCall, p int) (bool, strin
 			for _, o := range c.ops {
 				oracleApply(state, o)
 			}
-		case c.start <= p && p < c.end:
+		case c.start <= p && p < c.end && len(c.ops) > 0:
+			// The op-carrying call in flight at p. Op-free calls
+			// (checkpoints) must not claim the slot: a mutation injected
+			// inside a checkpoint's unlocked window has its span nested
+			// inside the checkpoint's, and at most one op-carrying call
+			// overlaps any point (hook mutations run synchronously).
 			inflight = c.ops
 		}
 	}
@@ -339,6 +410,103 @@ func TestCrashSuiteHasTeeth(t *testing.T) {
 		t.Fatal("recovery without torn-tail truncation passed every crash state — the suite has no teeth")
 	}
 	t.Logf("broken recovery failed %d crash states, as it should", failures)
+}
+
+// TestMidCheckpointCrashSuiteHasTeeth breaks the retained-suffix
+// rotation on purpose — the checkpoint reverts to the old
+// rotate-to-empty while mutations land in its unlocked windows — and
+// demands the suite notice: acknowledged mid-checkpoint mutations then
+// live only in the journal bytes the rotation wipes, so crash states at
+// and after the rotation must diverge from the oracle. If this passes
+// every state, the new mid-checkpoint boundaries prove nothing.
+func TestMidCheckpointCrashSuiteHasTeeth(t *testing.T) {
+	rec := crashfs.NewRecorder()
+	calls := runCrashWorkloadOpts(t, rec, defaultCrashWorkload(), true)
+	failures := 0
+	for _, st := range rec.CrashStates() {
+		if msg := verifyCrashState(st, calls, false); msg != "" {
+			failures++
+		}
+	}
+	if failures == 0 {
+		t.Fatal("rotate-to-empty under concurrent mutations passed every crash state — the retained-suffix rotation is not load-bearing or the suite is vacuous")
+	}
+	t.Logf("broken retained-suffix rotation failed %d crash states, as it should", failures)
+}
+
+// TestCheckpointEquivalence proves the non-blocking checkpoint is
+// observationally identical to the blocking fold: the same logical
+// mutation sequence — once applied around a checkpoint (the blocking
+// path's only possibility), once injected into the checkpoint's
+// unlocked windows — recovers to deep-equal contents, and folding both
+// stores once more yields byte-identical snapshot files (summaries are
+// written in canonical order, so logical equality is byte equality).
+func TestCheckpointEquivalence(t *testing.T) {
+	build := func(concurrent bool) (map[int]core.Summary, []byte) {
+		fsys := vfs.NewMemFS()
+		db, err := OpenDurable("db", Options{Epsilon: 0.3, Durable: &DurableOptions{FS: fsys}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= 10; i++ {
+			if err := db.AddSummary(crashSummary(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mid := func(ids []int) {
+			for _, id := range ids {
+				if id < 0 {
+					if err := db.Remove(-id); err != nil {
+						t.Fatal(err)
+					}
+				} else if err := db.AddSummary(crashSummary(id)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		preWrite, preRotate := []int{11, 12, 13, -2}, []int{14, -11}
+		if concurrent {
+			db.testBeforeSnapshotWrite = func() { mid(preWrite) }
+			db.testBeforeRotate = func() { mid(preRotate) }
+		}
+		if err := db.Checkpoint(); err != nil {
+			t.Fatalf("checkpoint (concurrent=%v): %v", concurrent, err)
+		}
+		db.testBeforeSnapshotWrite, db.testBeforeRotate = nil, nil
+		if !concurrent {
+			// The blocking path: the same mutations, after the fold.
+			mid(preWrite)
+			mid(preRotate)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Recover — the concurrent variant replays its retained journal
+		// suffix here — then fold once more for a canonical snapshot.
+		db2, err := OpenDurable("db", Options{Epsilon: 0.3, Durable: &DurableOptions{FS: fsys}})
+		if err != nil {
+			t.Fatalf("recovery (concurrent=%v): %v", concurrent, err)
+		}
+		contents := dbContents(t, db2)
+		if err := db2.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		if err := db2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return contents, fsys.Snapshot()["db/snapshot.vitri"]
+	}
+	blockingContents, blockingSnap := build(false)
+	concurrentContents, concurrentSnap := build(true)
+	if !reflect.DeepEqual(blockingContents, concurrentContents) {
+		t.Fatalf("recovered contents diverge: %s", describeDiff(concurrentContents, blockingContents))
+	}
+	if len(blockingSnap) == 0 {
+		t.Fatal("blocking snapshot file missing or empty")
+	}
+	if !bytes.Equal(blockingSnap, concurrentSnap) {
+		t.Fatalf("snapshot files differ (%d vs %d bytes) for identical logical contents", len(blockingSnap), len(concurrentSnap))
+	}
 }
 
 // TestCrashProperty drives random Add/Remove/Checkpoint interleavings

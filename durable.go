@@ -187,17 +187,44 @@ func (db *DB) Durable() bool {
 	return db.dur != nil
 }
 
-// Checkpoint folds the journal into a fresh snapshot: the database's
-// current contents are written as a new v2 snapshot (atomically — the
-// old snapshot survives any crash), then the journal is rotated to
-// empty. Opening a v1 legacy store durably upgrades it to v2 here.
-// Recovery cost and journal size are proportional to operations since
-// the last checkpoint, so long-running services checkpoint periodically
-// (vitriserve's -checkpoint-every).
+// Checkpoint folds the journal into a fresh snapshot without stopping
+// the world. The protocol is two-phase:
+//
+//  1. Capture — a short db.mu read hold pins a consistent cut: the
+//     store's summaries plus the journal's position (journal.Cut) taken
+//     under the same hold. Mutators (which need the write lock) are
+//     excluded only for this copy, proportional to store size in memory,
+//     not to any disk work.
+//  2. Write + rotate — entirely outside db.mu: the captured summaries
+//     are encoded and atomically renamed into place as a v2 snapshot
+//     (the old snapshot survives any crash), then the journal is rotated
+//     with journal.Writer.RotateRetain, which preserves byte-for-byte
+//     every record mutators appended after the cut (seq > cut.LastSeq).
+//     A brief db.mu re-acquire publishes the new snapshot bookkeeping.
+//
+// Concurrent Adds/Removes/Searches proceed during the disk work; they
+// block only on the capture, the suffix copy inside RotateRetain
+// (proportional to mutations since the cut), and the finish. ckptMu
+// serializes overlapping Checkpoint calls. Opening a v1 legacy store
+// durably upgrades it to v2 here. Recovery cost and journal size are
+// proportional to operations since the last checkpoint, so long-running
+// services checkpoint periodically (vitriserve's -checkpoint-every).
 func (db *DB) Checkpoint() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.dur == nil {
+	// ckptMu is level 0 in the lock hierarchy: always acquired before
+	// db.mu, never while holding it (vitrilint's lockorder enforces
+	// this). Serializing here keeps the capture→rotate window of one
+	// checkpoint from interleaving with another's.
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+
+	// Phase 1 — capture. A read hold suffices: mutators take the write
+	// lock, so summaries and cut are a consistent pair, while searches
+	// stay unblocked. The summary copies own their memory — later
+	// mutations touch the live structures, never these.
+	db.mu.RLock()
+	dur := db.dur
+	if dur == nil {
+		db.mu.RUnlock()
 		return ErrNotDurable
 	}
 	var sums []core.Summary
@@ -206,30 +233,64 @@ func (db *DB) Checkpoint() error {
 		sums = append([]core.Summary(nil), db.pending...)
 	} else {
 		sums, err = db.ix.Summaries()
-		if err != nil {
-			return fmt.Errorf("vitri: checkpoint: %w", err)
-		}
 	}
+	var cut journal.Cut
+	if err == nil {
+		cut, err = dur.wal.CutPoint()
+	}
+	db.mu.RUnlock()
+	if err != nil {
+		return fmt.Errorf("vitri: checkpoint: %w", err)
+	}
+
+	// Phase 2 — write and rotate, with mutations in flight.
 	storefmt.SortSummaries(sums)
-	lastSeq := db.dur.wal.LastSeq()
 	snap := &storefmt.Snapshot{
 		Version:   storefmt.Version2,
 		Epsilon:   db.opts.Epsilon,
-		LastSeq:   lastSeq,
+		LastSeq:   cut.LastSeq,
 		Summaries: sums,
 	}
-	if err := storefmt.WriteSnapshotFile(db.dur.fs, db.dur.snapPath, snap); err != nil {
+	if hook := db.testBeforeSnapshotWrite; hook != nil {
+		hook()
+	}
+	// The snapshot's storage syncs take the WAL's fsync slot so they
+	// never run concurrently with a mutation's group commit: on one
+	// journaling filesystem the two fsync streams would entangle in the
+	// filesystem journal and stall acknowledged mutations for tens of
+	// milliseconds. Through the gate, a commit waits at most one chunk.
+	if err := storefmt.WriteSnapshotFileGated(dur.fs, dur.snapPath, snap, dur.wal.WithSyncSlot); err != nil {
 		return fmt.Errorf("vitri: checkpoint: %w", err)
 	}
+	if hook := db.testBeforeRotate; hook != nil {
+		hook()
+	}
 	// Crash window: snapshot renamed, journal not yet rotated. Harmless —
-	// every journal record now has seq <= the snapshot's LastSeq and is
-	// skipped at the next open.
-	if err := db.dur.wal.Rotate(lastSeq + 1); err != nil {
+	// records with seq <= cut.LastSeq are skipped at the next open by the
+	// snapshot's LastSeq filter; records past the cut replay on top.
+	// RotateRetain excludes appends on the journal's own mutex while it
+	// copies the post-cut suffix into the replacement journal, so no
+	// acknowledged record is lost however the rotation lands.
+	if db.testDropRetainedSuffix {
+		err = dur.wal.Rotate(cut.LastSeq + 1)
+	} else {
+		err = dur.wal.RotateRetain(cut)
+	}
+	if err != nil {
 		return fmt.Errorf("vitri: checkpoint: rotate journal: %w", err)
 	}
-	db.dur.snapLastSeq = lastSeq
-	db.dur.snapVersion = storefmt.Version2
-	db.dur.checkpoints.Add(1)
+
+	// Finish — publish the snapshot bookkeeping under a brief write hold.
+	// Close may have swapped db.dur out mid-checkpoint; dur's own fields
+	// are then dead state and the counters don't matter, but never write
+	// through db.dur without re-checking it.
+	db.mu.Lock()
+	if db.dur == dur {
+		dur.snapLastSeq = cut.LastSeq
+		dur.snapVersion = storefmt.Version2
+	}
+	db.mu.Unlock()
+	dur.checkpoints.Add(1)
 	return nil
 }
 

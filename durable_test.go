@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"vitri/internal/journal"
 	"vitri/internal/storefmt"
 	"vitri/internal/vfs"
 )
@@ -347,6 +348,54 @@ func TestAddBatchCommitFailureMarksItems(t *testing.T) {
 	}
 	if itemErrs[1] == nil || itemErrs[1].Error() == batchErr.Error() {
 		t.Fatalf("per-item failure overwritten: %v", itemErrs[1])
+	}
+}
+
+// TestAddBatchPoisonedWriterShortCircuits: once the journal reports its
+// sticky failure mid-batch, the remaining items must not churn through
+// apply → append → rollback each — they short-circuit to the sticky
+// error. The probe is a duplicate-id item placed after the poisoning
+// point: the old loop would apply it first and report ErrDuplicateID;
+// the short-circuit never touches the index and reports ErrPoisoned.
+func TestAddBatchPoisonedWriterShortCircuits(t *testing.T) {
+	fsys := &toggleFailFS{FS: vfs.NewMemFS()}
+	db, err := OpenDurable("db", Options{Epsilon: 0.3, Durable: &DurableOptions{FS: fsys}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := func(seed int) []Vector {
+		out := make([]Vector, 6)
+		for i := range out {
+			out[i] = Vector{float64(seed) * 0.1, float64(i) * 0.02, 0.5}
+		}
+		return out
+	}
+	if err := db.Add(1, frames(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Poison the writer: a failed group commit is sticky.
+	fsys.fail.Store(true)
+	if err := db.Add(2, frames(2)); err == nil {
+		t.Fatal("Add succeeded despite injected fsync failure")
+	}
+	videos := []Video{
+		{ID: 3, Frames: frames(3)}, // hits the sticky error at its append
+		{ID: 1, Frames: frames(1)}, // duplicate — must short-circuit, not apply
+		{ID: 4, Frames: frames(4)},
+	}
+	itemErrs, batchErr := db.AddBatch(videos)
+	if batchErr != nil {
+		// No item was journaled, so there is nothing the group commit
+		// could fail over; the failure belongs to the item slots.
+		t.Fatalf("batch error = %v", batchErr)
+	}
+	for i, ierr := range itemErrs {
+		if !errors.Is(ierr, journal.ErrPoisoned) {
+			t.Fatalf("item %d error = %v, want ErrPoisoned", i, ierr)
+		}
+	}
+	if errors.Is(itemErrs[1], ErrDuplicateID) {
+		t.Fatal("duplicate item was applied against a poisoned writer — short-circuit missing")
 	}
 }
 

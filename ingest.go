@@ -81,8 +81,19 @@ func (db *DB) AddBatch(videos []Video) ([]error, error) {
 
 	db.mu.Lock()
 	var maxSeq uint64
+	// A failed journal append poisons the writer: every later append can
+	// only return the same sticky error. Once one item hits it, the
+	// remaining items short-circuit to that error instead of churning
+	// through apply → append → rollback each, which at batch scale is
+	// thousands of pointless index mutations against a store that can no
+	// longer acknowledge anything.
+	var poisoned error
 	for i := range videos {
 		if itemErrs[i] != nil {
+			continue
+		}
+		if poisoned != nil {
+			itemErrs[i] = poisoned
 			continue
 		}
 		if itemErrs[i] = db.addSummaryLocked(summaries[i]); itemErrs[i] != nil {
@@ -95,6 +106,12 @@ func (db *DB) AddBatch(videos []Video) ([]error, error) {
 		if jerr != nil {
 			db.rollbackAddLocked(summaries[i].VideoID)
 			itemErrs[i] = jerr
+			// Append failures poison the writer; pick up the sticky error
+			// (ErrPoisoned-wrapped) so the remaining slots report what a
+			// real append attempt would have.
+			if serr := db.dur.wal.Err(); serr != nil {
+				poisoned = serr
+			}
 			continue
 		}
 		if seq > maxSeq {

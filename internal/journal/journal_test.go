@@ -527,3 +527,180 @@ func TestOpenEmptyAndHeaderCorrupt(t *testing.T) {
 		t.Fatalf("replayed %d, LastSeq %d", len(got), w2.LastSeq())
 	}
 }
+
+// TestRotateRetain: records appended after the cut must survive the
+// rotation byte-for-byte and replay with their original sequence
+// numbers — the invariant the non-blocking checkpoint leans on.
+func TestRotateRetain(t *testing.T) {
+	fsys := vfs.NewMemFS()
+	w, err := Open(fsys, "j.wal", Config{StartSeq: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testSummary(0)
+	for i := 0; i < 4; i++ {
+		s.VideoID = i
+		if _, err := w.AppendAdd(&s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Commit(4); err != nil {
+		t.Fatal(err)
+	}
+	cut, err := w.CutPoint()
+	if err != nil {
+		t.Fatalf("CutPoint: %v", err)
+	}
+	if cut.LastSeq != 4 || cut.Depth != 4 {
+		t.Fatalf("cut = %+v", cut)
+	}
+	// Mutations land while the checkpoint writes its snapshot.
+	for i := 10; i < 12; i++ {
+		s.VideoID = i
+		if _, err := w.AppendAdd(&s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Commit(6); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RotateRetain(cut); err != nil {
+		t.Fatalf("RotateRetain: %v", err)
+	}
+	st := w.Stats()
+	if st.Depth != 2 || st.LastSeq != 6 || st.DurableSeq != 6 {
+		t.Fatalf("stats after retained rotation = %+v", st)
+	}
+	if _, err := fsys.Stat("j.wal.tmp"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatal("rotation temp file leaked")
+	}
+	// Appends continue the sequence on the rotated journal.
+	if seq, err := w.AppendRemove(10); err != nil || seq != 7 {
+		t.Fatalf("append after retained rotation: seq=%d err=%v", seq, err)
+	}
+	if err := w.Commit(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []Entry
+	w2, err := Open(fsys, "j.wal", Config{StartSeq: cut.LastSeq + 1}, collect(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(got) != 3 {
+		t.Fatalf("replayed %d entries, want 3: %+v", len(got), got)
+	}
+	if got[0].Seq != 5 || got[0].Summary.VideoID != 10 ||
+		got[1].Seq != 6 || got[1].Summary.VideoID != 11 ||
+		got[2].Seq != 7 || got[2].Kind != KindRemove {
+		t.Fatalf("retained replay = %+v", got)
+	}
+}
+
+// TestRotateRetainEmptySuffix: with no appends past the cut a retained
+// rotation degenerates to the plain rotate-to-empty.
+func TestRotateRetainEmptySuffix(t *testing.T) {
+	fsys := vfs.NewMemFS()
+	w, err := Open(fsys, "j.wal", Config{StartSeq: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testSummary(1)
+	if _, err := w.AppendAdd(&s); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	cut, err := w.CutPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RotateRetain(cut); err != nil {
+		t.Fatalf("RotateRetain: %v", err)
+	}
+	st := w.Stats()
+	if st.Depth != 0 || st.LastSeq != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	var got []Entry
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Open(fsys, "j.wal", Config{StartSeq: 2}, collect(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(got) != 0 {
+		t.Fatalf("replayed %d entries from an empty rotation, want 0", len(got))
+	}
+}
+
+// TestRotateRetainUncommitted: records appended after the cut but not
+// yet committed must still be carried across the rotation — the flush
+// inside RotateRetain makes them part of the suffix, and the pre-rename
+// fsync makes them durable.
+func TestRotateRetainUncommitted(t *testing.T) {
+	fsys := vfs.NewMemFS()
+	w, err := Open(fsys, "j.wal", Config{StartSeq: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, err := w.CutPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testSummary(5)
+	if _, err := w.AppendAdd(&s); err != nil {
+		t.Fatal(err)
+	}
+	// No Commit: the record sits in the bufio layer.
+	if err := w.RotateRetain(cut); err != nil {
+		t.Fatalf("RotateRetain: %v", err)
+	}
+	st := w.Stats()
+	if st.Depth != 1 || st.DurableSeq != 1 {
+		t.Fatalf("stats = %+v; the retained record must be durable after rotation", st)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []Entry
+	w2, err := Open(fsys, "j.wal", Config{StartSeq: 1}, collect(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(got) != 1 || got[0].Seq != 1 || got[0].Summary.VideoID != 5 {
+		t.Fatalf("replay = %+v", got)
+	}
+}
+
+// TestRotateTmpRemovedOnError: a rotation that fails before the rename
+// (here: the temp file's fsync) must not leave journal.wal.tmp behind,
+// and must not poison the writer — the live journal is untouched.
+func TestRotateTmpRemovedOnError(t *testing.T) {
+	fsys := &failAfterFS{FS: vfs.NewMemFS(), remaining: 1} // one sync for Open's header
+	w, err := Open(fsys, "j.wal", Config{StartSeq: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testSummary(1)
+	if _, err := w.AppendAdd(&s); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Rotate(2); err == nil {
+		t.Fatal("Rotate succeeded despite injected tmp fsync failure")
+	}
+	if _, err := fsys.Stat("j.wal.tmp"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatal("failed rotation leaked its temp file")
+	}
+	// The failure happened before the rename; the writer must stay usable.
+	if _, err := w.AppendAdd(&s); err != nil {
+		t.Fatalf("append after pre-rename rotation failure: %v", err)
+	}
+}

@@ -242,6 +242,12 @@ func (w *Writer) stickyErr() error {
 	return w.err
 }
 
+// Err reports the writer's sticky failure (wrapping ErrPoisoned), or nil
+// on a healthy writer. Batch callers use it to stop feeding a poisoned
+// writer: after the first failed append every further operation can only
+// return this same error.
+func (w *Writer) Err() error { return w.stickyErr() }
+
 // poisonLocked records err as the writer's sticky failure and returns the
 // original err. Caller holds w.mu.
 func (w *Writer) poisonLocked(err error) error {
@@ -249,15 +255,56 @@ func (w *Writer) poisonLocked(err error) error {
 	return err
 }
 
+// Cut is a consistent capture of the journal's position, taken while the
+// caller excludes appends (vitri.DB holds its write or read lock — either
+// keeps mutators out, since appends run under the write lock). Every
+// record at a byte offset below Offset has seq <= LastSeq; every record
+// appended after the cut lands beyond Offset with seq > LastSeq. A Cut is
+// what makes the retained-suffix rotation O(appends since the cut): the
+// suffix is a contiguous byte range, never a full-journal rescan.
+type Cut struct {
+	// LastSeq is the last assigned sequence number at the cut.
+	LastSeq uint64
+	// Offset is the journal's valid byte length at the cut (header plus
+	// every record with seq <= LastSeq, including still-buffered ones).
+	Offset int64
+	// Depth is the live record count at the cut (replayed + appended).
+	Depth int
+}
+
+// CutPoint captures the journal's current cut. The caller must hold its
+// own append exclusion (vitri.DB's mutex) so the cut is consistent with
+// the in-memory state captured under the same hold.
+func (w *Writer) CutPoint() (Cut, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return Cut{}, w.err
+	}
+	return Cut{LastSeq: w.seq, Offset: w.bytes, Depth: w.baseRecords + w.records}, nil
+}
+
+// WithSyncSlot runs fn while holding the writer's group-commit fsync
+// slot: no journal fsync, rotation, or close runs concurrently with fn.
+// Background writers syncing OTHER files on the same filesystem use it
+// to keep their fsyncs from entangling with journal commits — on a
+// journaling filesystem two concurrent fsync streams serialize anyway,
+// but through the filesystem journal's commit batching, which can cost
+// tens of milliseconds per commit; an explicit slot costs one fn. fn
+// must not call back into the Writer or the slot deadlocks.
+func (w *Writer) WithSyncSlot(fn func() error) error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	return fn()
+}
+
 // Rotate atomically replaces the journal with a fresh, empty one
 // starting at startSeq — the checkpoint's LastSeq+1. The caller must
-// guarantee no concurrent Append (vitri.DB holds its write lock across
-// the checkpoint); a concurrent Commit is fine — its records are covered
-// by the snapshot the caller just wrote, and Rotate serializes with the
-// in-flight leader below. The replacement follows the same discipline as
-// snapshots: temp file + fsync + rename + directory sync, so a crash at
-// any point leaves either the old journal (whose records the new
-// snapshot's LastSeq filter skips) or the new one.
+// guarantee every record in the journal is covered by the snapshot it
+// just wrote (vitri.DB used to hold its write lock across the whole
+// checkpoint for this; the non-blocking checkpoint uses RotateRetain
+// instead). A concurrent Commit is fine — Rotate serializes with the
+// in-flight leader on syncMu.
 func (w *Writer) Rotate(startSeq uint64) error {
 	// syncMu before mu, the same order as Close: a Commit leader syncs
 	// w.f after releasing w.mu, so taking only w.mu here could swap and
@@ -270,23 +317,92 @@ func (w *Writer) Rotate(startSeq uint64) error {
 	if w.err != nil {
 		return w.err
 	}
+	return w.rotateLocked(startSeq, nil, 0)
+}
+
+// RotateRetain replaces the journal with a fresh one that retains every
+// record appended after c — the records with seq > c.LastSeq that
+// mutators appended while a checkpoint was writing its snapshot outside
+// the lock. The new journal's header starts at c.LastSeq+1 (the
+// snapshot's fold point), followed by the retained suffix byte-for-byte.
+// Appends are blocked only while the suffix — proportional to mutations
+// since the cut, not to journal depth — is copied.
+//
+// Crash safety: the retained records were fsynced into the old journal
+// before their operations were acknowledged, and the replacement file is
+// fsynced before the rename, so a power cut at any boundary leaves a
+// journal (old or new) that still carries every acknowledged record past
+// the cut. The crash suite enumerates these windows with inserts in
+// flight mid-checkpoint.
+func (w *Writer) RotateRetain(c Cut) error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	// Flush buffered appends so the suffix is readable from the file. A
+	// flush failure leaves the durable prefix unknowable: poison.
+	if err := w.bw.Flush(); err != nil {
+		return w.poisonLocked(err)
+	}
+	var suffix []byte
+	if w.bytes > c.Offset {
+		suffix = make([]byte, w.bytes-c.Offset)
+		// A failed seek or short read leaves the descriptor at an unknown
+		// position; later appends would interleave into the middle of the
+		// file. Poison rather than guess.
+		if _, err := w.f.Seek(c.Offset, io.SeekStart); err != nil {
+			return w.poisonLocked(err)
+		}
+		if _, err := io.ReadFull(w.f, suffix); err != nil {
+			return w.poisonLocked(err)
+		}
+	}
+	return w.rotateLocked(c.LastSeq+1, suffix, w.baseRecords+w.records-c.Depth)
+}
+
+// rotateLocked writes header(startSeq)+suffix as the replacement journal
+// via the atomic discipline (temp file + fsync + rename + directory
+// sync), then swaps the writer onto it. Caller holds syncMu and mu. A
+// crash at any point leaves either the old journal or the new one,
+// both complete: the temp file's bytes are durable before the rename.
+func (w *Writer) rotateLocked(startSeq uint64, suffix []byte, retained int) error {
 	tmp := w.path + ".tmp"
 	tf, err := w.fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
-	if _, err := tf.Write(encodeHeader(startSeq)); err != nil {
+	// Before the rename a failure is recoverable — the live journal is
+	// untouched — but the temp file must not linger: the next rotation
+	// truncates it, yet an orphan between failed checkpoints is dead
+	// weight a recovery scan has to step around.
+	abort := func(err error) error {
 		tf.Close()
+		//lint:ignore droppederr best-effort cleanup of a never-read temp file; the original error is surfaced
+		w.fsys.Remove(tmp)
 		return err
+	}
+	if _, err := tf.Write(encodeHeader(startSeq)); err != nil {
+		return abort(err)
+	}
+	if len(suffix) > 0 {
+		if _, err := tf.Write(suffix); err != nil {
+			return abort(err)
+		}
 	}
 	if err := tf.Sync(); err != nil {
-		tf.Close()
-		return err
+		return abort(err)
 	}
 	if err := tf.Close(); err != nil {
+		//lint:ignore droppederr best-effort cleanup of a never-read temp file; the close error is surfaced
+		w.fsys.Remove(tmp)
 		return err
 	}
 	if err := w.fsys.Rename(tmp, w.path); err != nil {
+		//lint:ignore droppederr best-effort cleanup of a never-read temp file; the rename error is surfaced
+		w.fsys.Remove(tmp)
 		return err
 	}
 	// Past the rename the live name is the fresh journal while w.f still
@@ -303,18 +419,22 @@ func (w *Writer) Rotate(startSeq uint64) error {
 	if err != nil {
 		return w.poisonLocked(err)
 	}
-	if _, err := nf.Seek(headerSize, io.SeekStart); err != nil {
+	end := headerSize + int64(len(suffix))
+	if _, err := nf.Seek(end, io.SeekStart); err != nil {
 		nf.Close()
 		return w.poisonLocked(err)
 	}
 	old := w.f
 	w.f = nf
 	w.bw = bufio.NewWriter(nf)
-	w.baseRecords, w.records = 0, 0
-	w.bytes = headerSize
+	w.baseRecords, w.records = retained, 0
+	w.bytes = end
 	if startSeq > 0 && startSeq-1 > w.seq {
 		w.seq = startSeq - 1
 	}
+	// Everything in the replacement file was fsynced before the rename,
+	// and the rename itself is dir-synced: the whole journal — retained
+	// suffix included — is durable.
 	w.durableSeq.Store(w.seq)
 	return old.Close()
 }

@@ -9,11 +9,15 @@ import (
 // LockOrder enforces the documented lock hierarchy and structural locking
 // hygiene. The hierarchy, outermost first, is
 //
-//	DB (level 0) → Index (level 1) → Tree (level 2) → pager (level 3)
+//	checkpoint (level 0) → DB (level 1) → Index (level 2) → Tree (level 3) → pager (level 4)
 //
-// where a mutex's level comes from the type that owns it (a type named
-// DB, Index or Tree) or, failing that, from the owning type's package
-// (btree → 2, pager → 3). Within one function body the analyzer flags:
+// where a mutex's level comes first from its field name (a field named
+// ckptMu is the checkpoint serialization lock, above everything — it is
+// taken before the short db.mu holds inside DB.Checkpoint and must never
+// be acquired while db.mu is held), then from the type that owns it (a
+// type named DB, Index or Tree) or, failing that, from the owning type's
+// package (btree → 3, pager → 4). Within one function body the analyzer
+// flags:
 //
 //   - acquiring a mutex at the same or an earlier level while holding a
 //     later one (a DB lock taken under a pager lock inverts the
@@ -29,15 +33,18 @@ import (
 // spelled out.
 var LockOrder = &Analyzer{
 	Name: "lockorder",
-	Doc:  "check DB → Index → Tree → pager lock ordering, double-acquires, upgrades, and unlock-on-every-path",
+	Doc:  "check checkpoint → DB → Index → Tree → pager lock ordering, double-acquires, upgrades, and unlock-on-every-path",
 	Run:  runLockOrder,
 }
 
-// Hierarchy levels by owning type name and by owning package name.
+// Hierarchy levels by mutex field name, by owning type name, and by
+// owning package name — consulted in that order: the field name is the
+// most specific signal (ckptMu on DB must rank above DB's own mu).
 var (
-	lockLevelByType = map[string]int{"DB": 0, "Index": 1, "Tree": 2}
-	lockLevelByPkg  = map[string]int{"btree": 2, "pager": 3}
-	lockLevelLabel  = []string{"DB", "Index", "Tree", "pager"}
+	lockLevelByField = map[string]int{"ckptMu": 0}
+	lockLevelByType  = map[string]int{"DB": 1, "Index": 2, "Tree": 3}
+	lockLevelByPkg   = map[string]int{"btree": 3, "pager": 4}
+	lockLevelLabel   = []string{"checkpoint", "DB", "Index", "Tree", "pager"}
 )
 
 // lockCall is one recognized sync.Mutex/RWMutex (un)lock call site.
@@ -312,7 +319,7 @@ func (lc *lockChecker) apply(c *lockCall, st *lockState) {
 		}
 		if h.level >= 0 && c.level >= 0 && c.level <= h.level {
 			lc.pass.Reportf(c.pos,
-				"lock order violation: acquiring %s lock %s while holding %s lock %s; the hierarchy is DB → Index → Tree → pager",
+				"lock order violation: acquiring %s lock %s while holding %s lock %s; the hierarchy is checkpoint → DB → Index → Tree → pager",
 				lockLevelLabel[c.level], c.key, lockLevelLabel[h.level], h.key)
 		}
 	}
@@ -380,14 +387,23 @@ func (lc *lockChecker) asLockCall(call *ast.CallExpr) *lockCall {
 	}
 }
 
-// lockLevel derives the hierarchy level of the type owning mutex
-// expression x ("owner.mu" → owner's type; a bare receiver with an
-// embedded mutex → the receiver's type).
+// lockLevel derives the hierarchy level of mutex expression x: the
+// mutex's own field name first ("db.ckptMu" → checkpoint level,
+// whatever type holds it), then the owning type ("owner.mu" → owner's
+// type; a bare receiver with an embedded mutex → the receiver's type).
 func (lc *lockChecker) lockLevel(x ast.Expr) int {
 	var ownerT types.Type
 	switch e := unparen(x).(type) {
 	case *ast.SelectorExpr:
+		if lvl, ok := lockLevelByField[e.Sel.Name]; ok {
+			return lvl
+		}
 		ownerT = lc.pass.typeOf(e.X)
+	case *ast.Ident:
+		if lvl, ok := lockLevelByField[e.Name]; ok {
+			return lvl
+		}
+		ownerT = lc.pass.typeOf(x)
 	default:
 		ownerT = lc.pass.typeOf(x)
 	}

@@ -9,9 +9,13 @@ import (
 	"fixture/pager"
 )
 
-// DB, Index and Tree carry the level-0/1/2 locks of the documented
-// hierarchy; pager.Store carries level 3.
-type DB struct{ mu sync.RWMutex }
+// DB, Index and Tree carry the level-1/2/3 locks of the documented
+// hierarchy; pager.Store carries level 4; DB's ckptMu field carries
+// level 0 (the checkpoint serialization lock, ranked by field name).
+type DB struct {
+	ckptMu sync.Mutex
+	mu     sync.RWMutex
+}
 
 type Index struct{ mu sync.RWMutex }
 
@@ -40,6 +44,27 @@ func PagerThenTree(s *pager.Store, t *Tree) {
 	defer s.Mu.Unlock()
 	t.mu.Lock() // want "lock order violation: acquiring Tree lock t.mu while holding pager lock s.Mu"
 	defer t.mu.Unlock()
+}
+
+// MutationThenCkpt acquires the checkpoint lock under the DB lock —
+// against a checkpoint holding ckptMu and waiting on db.mu, that
+// deadlocks.
+func MutationThenCkpt(db *DB) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.ckptMu.Lock() // want "lock order violation: acquiring checkpoint lock db.ckptMu while holding DB lock db.mu"
+	defer db.ckptMu.Unlock()
+}
+
+// CkptThenDB descends the hierarchy from the checkpoint lock: clean —
+// DB.Checkpoint's capture and finish sections take exactly this shape.
+func CkptThenDB(db *DB) {
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+	db.mu.RLock()
+	db.mu.RUnlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
 }
 
 // Upgrade attempts the RLock-then-Lock upgrade on one mutex.

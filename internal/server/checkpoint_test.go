@@ -1,13 +1,18 @@
 package server
 
 import (
+	"errors"
+	"io/fs"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"vitri"
+	"vitri/internal/vfs"
 )
 
 // durableCorpus opens a durable DB in a temp dir and loads n synthetic
@@ -113,5 +118,124 @@ func TestAutoCheckpoint(t *testing.T) {
 	}
 	if ds := db.DurabilityStats(); ds.SnapshotSeq < 3 {
 		t.Fatalf("snapshot seq = %d after auto checkpoint, want >= 3", ds.SnapshotSeq)
+	}
+}
+
+// failSnapshotFS fails creating the snapshot's temp file while armed and
+// counts every attempt. Journal appends keep working, so inserts still
+// succeed — only checkpoints fail, the retry-storm scenario.
+type failSnapshotFS struct {
+	vfs.FS
+	fail     atomic.Bool
+	attempts atomic.Int64
+}
+
+func (f *failSnapshotFS) OpenFile(name string, flag int, perm fs.FileMode) (vfs.File, error) {
+	if strings.HasSuffix(name, "snapshot.vitri.tmp") {
+		f.attempts.Add(1)
+		if f.fail.Load() {
+			return nil, errors.New("injected snapshot write failure")
+		}
+	}
+	return f.FS.OpenFile(name, flag, perm)
+}
+
+// TestAutoCheckpointFailureCooldown: one failed automatic checkpoint
+// must start the cooldown — later mutations over the depth threshold do
+// NOT relaunch it — and the failure must be visible in /stats until a
+// successful checkpoint clears it.
+func TestAutoCheckpointFailureCooldown(t *testing.T) {
+	fsys := &failSnapshotFS{FS: vfs.NewMemFS()}
+	db, err := vitri.OpenDurable("db", vitri.Options{Epsilon: 0.3, Seed: 1, Durable: &vitri.DurableOptions{FS: fsys}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db, Config{CheckpointEvery: 2, CheckpointCooldown: time.Hour, ErrorLog: quietLog()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close(t.Context())
+
+	fsys.fail.Store(true)
+	base := fsys.attempts.Load()
+	r := rand.New(rand.NewSource(9))
+	insert := func(id int) {
+		t.Helper()
+		resp := postJSON(t, ts.URL+"/insert", insertRequest{ID: id, Frames: framesJSON(synthVideo(r, 8, 2, 10, 0.2, 0.8))})
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("insert %d: status %d", id, resp.StatusCode)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		insert(i)
+	}
+	// The detached checkpoint fails; wait for the failure to be recorded.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if lastErr, _, _ := srv.checkpointHealth(); lastErr != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("failed automatic checkpoint never recorded its error")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := fsys.attempts.Load(); got != base+1 {
+		t.Fatalf("checkpoint attempts = %d, want exactly 1 past baseline %d", got, base)
+	}
+	// The journal is still over the threshold; without the cooldown each
+	// of these would relaunch the doomed checkpoint.
+	for i := 3; i < 8; i++ {
+		insert(i)
+	}
+	if got := fsys.attempts.Load(); got != base+1 {
+		t.Fatalf("cooldown did not hold: %d checkpoint attempts past baseline, want 1", got-base)
+	}
+
+	// /stats surfaces the standing failure.
+	var stats statsResponse
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp, &stats)
+	if stats.Durability == nil || !strings.Contains(stats.Durability.LastCheckpointError, "injected snapshot write failure") {
+		t.Fatalf("stats durability = %+v, want last_checkpoint_error with the injected failure", stats.Durability)
+	}
+	if stats.Durability.LastCheckpointErrorT == "" {
+		t.Fatal("stats missing last_checkpoint_error_time")
+	}
+
+	// A successful manual checkpoint clears the failure and the cooldown.
+	fsys.fail.Store(false)
+	cp := postJSON(t, ts.URL+"/checkpoint", struct{}{})
+	cp.Body.Close()
+	if cp.StatusCode != http.StatusOK {
+		t.Fatalf("manual checkpoint: status %d", cp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats = statsResponse{} // omitempty fields would otherwise keep stale values
+	decodeBody(t, resp, &stats)
+	if stats.Durability.LastCheckpointError != "" {
+		t.Fatalf("last_checkpoint_error = %q after successful checkpoint, want cleared", stats.Durability.LastCheckpointError)
+	}
+	if stats.Durability.LastCheckpointTime == "" {
+		t.Fatal("stats missing last_checkpoint_time after successful checkpoint")
+	}
+
+	// Automatic checkpoints resume now that the cooldown is cleared.
+	before := db.DurabilityStats().Checkpoints
+	for i := 8; i < 11; i++ {
+		insert(i)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for db.DurabilityStats().Checkpoints == before {
+		if time.Now().After(deadline) {
+			t.Fatal("automatic checkpoints did not resume after the cooldown cleared")
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"time"
 
 	"vitri"
 )
@@ -299,7 +300,7 @@ type checkpointResponse struct {
 // non-durable database.
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	_, err := s.callWithDeadline(r.Context(), func() (interface{}, error) {
-		return nil, s.db.Checkpoint()
+		return nil, s.runCheckpoint()
 	})
 	if err != nil {
 		writeJSONError(w, statusFor(err), err.Error())
@@ -366,6 +367,14 @@ type durabilityStatsJSON struct {
 	FsyncP50S       float64 `json:"fsync_p50_s"`
 	FsyncP99S       float64 `json:"fsync_p99_s"`
 	FsyncMaxS       float64 `json:"fsync_max_s"`
+	// Checkpoint health through this server: the last failure (empty
+	// when the most recent checkpoint succeeded) with its time, and the
+	// last success. A standing LastCheckpointError means automatic
+	// checkpoints are in their failure cooldown and the journal is
+	// growing unchecked — the alertable condition.
+	LastCheckpointError  string `json:"last_checkpoint_error,omitempty"`
+	LastCheckpointErrorT string `json:"last_checkpoint_error_time,omitempty"`
+	LastCheckpointTime   string `json:"last_checkpoint_time,omitempty"`
 }
 
 type statsResponse struct {
@@ -421,6 +430,15 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			FsyncP50S:       fl.Quantile(0.50),
 			FsyncP99S:       fl.Quantile(0.99),
 			FsyncMaxS:       fl.Max,
+		}
+		if lastErr, lastErrT, lastOK := s.checkpointHealth(); lastErr != nil || !lastOK.IsZero() {
+			if lastErr != nil {
+				resp.Durability.LastCheckpointError = lastErr.Error()
+				resp.Durability.LastCheckpointErrorT = lastErrT.UTC().Format(time.RFC3339Nano)
+			}
+			if !lastOK.IsZero() {
+				resp.Durability.LastCheckpointTime = lastOK.UTC().Format(time.RFC3339Nano)
+			}
 		}
 	}
 	for name, ep := range s.met.endpoints {

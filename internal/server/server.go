@@ -61,6 +61,13 @@ type Config struct {
 	// the drain group, so graceful shutdown still waits for it). Zero
 	// disables automatic checkpoints; POST /checkpoint always works.
 	CheckpointEvery int
+	// CheckpointCooldown suppresses automatic checkpoints for this long
+	// after one fails. Without it a failed checkpoint is a retry storm:
+	// the journal stays over CheckpointEvery, so every subsequent
+	// mutation immediately relaunches the same doomed snapshot write.
+	// A successful checkpoint (automatic or via POST /checkpoint) clears
+	// the cooldown. Zero selects 30s; negative disables the cooldown.
+	CheckpointCooldown time.Duration
 	// ErrorLog receives panic reports; log.Default() when nil.
 	ErrorLog *log.Logger
 }
@@ -80,6 +87,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 32 << 20
+	}
+	if c.CheckpointCooldown == 0 {
+		c.CheckpointCooldown = 30 * time.Second
 	}
 	if c.ErrorLog == nil {
 		c.ErrorLog = log.Default()
@@ -104,6 +114,14 @@ type Server struct {
 	// checkpointing dedupes automatic checkpoints: while one runs, later
 	// mutations skip triggering another instead of queueing on db.mu.
 	checkpointing atomic.Bool
+
+	// Checkpoint health, surfaced in /stats and consulted by the failure
+	// cooldown. Guarded by ckptHealthMu (leaf lock: never held across a
+	// DB call).
+	ckptHealthMu    sync.Mutex
+	lastCkptErr     error
+	lastCkptErrTime time.Time
+	lastCkptTime    time.Time // last successful checkpoint through this server
 
 	// Test hooks, called when non-nil; must be set before the first
 	// request (they are read without synchronization).
@@ -258,12 +276,18 @@ const (
 // grown past Config.CheckpointEvery. Called after a successful mutation,
 // from inside the drain group; the checkpoint itself runs detached so
 // the triggering request doesn't wait for the snapshot write. At most
-// one automatic checkpoint runs at a time.
+// one automatic checkpoint runs at a time, and a failed one starts the
+// Config.CheckpointCooldown clock — the journal is still over the
+// threshold after a failure, so without the cooldown every subsequent
+// mutation would immediately relaunch the same doomed snapshot write.
 func (s *Server) maybeCheckpoint() {
 	if s.cfg.CheckpointEvery <= 0 || !s.db.Durable() {
 		return
 	}
 	if s.db.DurabilityStats().Journal.Depth < s.cfg.CheckpointEvery {
+		return
+	}
+	if s.inCheckpointCooldown() {
 		return
 	}
 	if !s.checkpointing.CompareAndSwap(false, true) {
@@ -273,10 +297,46 @@ func (s *Server) maybeCheckpoint() {
 	go func() {
 		defer s.wg.Done()
 		defer s.checkpointing.Store(false)
-		if err := s.db.Checkpoint(); err != nil {
-			s.cfg.ErrorLog.Printf("server: automatic checkpoint: %v", err)
+		if err := s.runCheckpoint(); err != nil {
+			s.cfg.ErrorLog.Printf("server: automatic checkpoint: %v (next attempt after %v)", err, s.cfg.CheckpointCooldown)
 		}
 	}()
+}
+
+// inCheckpointCooldown reports whether a recent checkpoint failure is
+// still suppressing automatic checkpoints.
+func (s *Server) inCheckpointCooldown() bool {
+	if s.cfg.CheckpointCooldown <= 0 {
+		return false
+	}
+	s.ckptHealthMu.Lock()
+	defer s.ckptHealthMu.Unlock()
+	return s.lastCkptErr != nil && time.Since(s.lastCkptErrTime) < s.cfg.CheckpointCooldown
+}
+
+// runCheckpoint folds the journal and records the outcome in the
+// checkpoint-health fields /stats surfaces. Both the automatic trigger
+// and POST /checkpoint go through it, so a successful manual checkpoint
+// also clears the failure cooldown.
+func (s *Server) runCheckpoint() error {
+	err := s.db.Checkpoint()
+	s.ckptHealthMu.Lock()
+	if err != nil {
+		s.lastCkptErr = err
+		s.lastCkptErrTime = time.Now()
+	} else {
+		s.lastCkptErr = nil
+		s.lastCkptTime = time.Now()
+	}
+	s.ckptHealthMu.Unlock()
+	return err
+}
+
+// checkpointHealth snapshots the health fields for /stats.
+func (s *Server) checkpointHealth() (lastErr error, lastErrTime, lastOK time.Time) {
+	s.ckptHealthMu.Lock()
+	defer s.ckptHealthMu.Unlock()
+	return s.lastCkptErr, s.lastCkptErrTime, s.lastCkptTime
 }
 
 // serverMetrics aggregates the service's counters and latency histograms.

@@ -25,10 +25,42 @@ import (
 // A crash before step 3 leaves path untouched; a crash between 3 and 4
 // leaves either the old or the new file, both complete. The temp file is
 // removed on error, best-effort.
-func WriteFileAtomic(fsys vfs.FS, path string, write func(io.Writer) error) (err error) {
+//
+// Large files are additionally synced every syncEvery bytes while being
+// written. Step 2's final fsync would otherwise flush the whole file's
+// dirty pages at once, and on a journaling filesystem a concurrent
+// fsync — the WAL commit of a mutation acknowledged while a checkpoint
+// writes its snapshot — can be made to wait behind that entire backlog.
+// Incremental syncs bound the backlog, which bounds the mutation's tail
+// latency; files smaller than syncEvery never hit the threshold and pay
+// nothing extra.
+func WriteFileAtomic(fsys vfs.FS, path string, write func(io.Writer) error) error {
+	return WriteFileAtomicGated(fsys, path, nil, write)
+}
+
+// A SyncGate serializes this writer's storage syncs against a
+// foreground commit stream — every fsync-like operation (file creation,
+// chunk and final syncs, rename, directory sync) runs inside gate(fn).
+// vitri's checkpoint passes the journal writer's WithSyncSlot so
+// snapshot syncs and WAL commits never run concurrently: on one
+// journaling filesystem they would serialize anyway, but through the
+// filesystem journal's commit batching, stalling acknowledged-mutation
+// fsyncs for tens of milliseconds. With the gate, a WAL commit waits at
+// most one syncEvery-sized chunk. A nil gate syncs directly.
+type SyncGate func(func() error) error
+
+// WriteFileAtomicGated is WriteFileAtomic with every storage sync
+// routed through gate (when non-nil).
+func WriteFileAtomicGated(fsys vfs.FS, path string, gate SyncGate, write func(io.Writer) error) (err error) {
+	if gate == nil {
+		gate = func(fn func() error) error { return fn() }
+	}
 	tmp := path + ".tmp"
-	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
+	var f vfs.File
+	if err = gate(func() (oerr error) {
+		f, oerr = fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+		return oerr
+	}); err != nil {
 		return err
 	}
 	defer func() {
@@ -38,28 +70,59 @@ func WriteFileAtomic(fsys vfs.FS, path string, write func(io.Writer) error) (err
 			fsys.Remove(tmp)
 		}
 	}()
-	bw := bufio.NewWriter(f)
+	bw := bufio.NewWriter(&chunkSyncWriter{f: f, gate: gate})
 	if err = write(bw); err != nil {
 		return err
 	}
 	if err = bw.Flush(); err != nil {
 		return err
 	}
-	if err = f.Sync(); err != nil {
+	if err = gate(f.Sync); err != nil {
 		return err
 	}
 	if err = f.Close(); err != nil {
 		return err
 	}
-	if err = fsys.Rename(tmp, path); err != nil {
+	//lint:ignore syncbeforerename the temp file is fsynced above via gate(f.Sync); the analyzer cannot see the Sync through the gate's method-value indirection
+	if err = gate(func() error { return fsys.Rename(tmp, path) }); err != nil {
 		return err
 	}
-	return fsys.SyncDir(filepath.Dir(path))
+	return gate(func() error { return fsys.SyncDir(filepath.Dir(path)) })
+}
+
+// syncEvery is WriteFileAtomic's incremental-sync interval: at most
+// this many bytes are ever dirty at once while a large file is written,
+// and at most this many bytes of flushing ever stand between a gated
+// foreground fsync and the device.
+const syncEvery = 64 << 10
+
+// chunkSyncWriter counts bytes through to the file and fsyncs each time
+// syncEvery of them accumulate since the last sync.
+type chunkSyncWriter struct {
+	f       vfs.File
+	gate    SyncGate
+	pending int
+}
+
+func (w *chunkSyncWriter) Write(p []byte) (int, error) {
+	n, err := w.f.Write(p)
+	w.pending += n
+	if err == nil && w.pending >= syncEvery {
+		w.pending = 0
+		err = w.gate(w.f.Sync)
+	}
+	return n, err
 }
 
 // WriteSnapshotFile writes snap as a v2 store via the atomic discipline.
 func WriteSnapshotFile(fsys vfs.FS, path string, snap *Snapshot) error {
-	return WriteFileAtomic(fsys, path, func(w io.Writer) error {
+	return WriteSnapshotFileGated(fsys, path, snap, nil)
+}
+
+// WriteSnapshotFileGated is WriteSnapshotFile with the storage syncs
+// routed through gate — the checkpoint's variant, see SyncGate.
+func WriteSnapshotFileGated(fsys vfs.FS, path string, snap *Snapshot, gate SyncGate) error {
+	return WriteFileAtomicGated(fsys, path, gate, func(w io.Writer) error {
 		return EncodeV2(w, snap)
 	})
 }

@@ -134,8 +134,14 @@ type Options struct {
 // DB is a searchable video database. All methods are safe for concurrent
 // use.
 type DB struct {
-	mu   sync.RWMutex
-	opts Options
+	// ckptMu serializes checkpoints. It sits above mu in the lock
+	// hierarchy (checkpoint → DB → Index → Tree → pager, enforced by
+	// vitrilint's lockorder): Checkpoint acquires ckptMu first and then
+	// takes mu only for its short capture/finish critical sections —
+	// never acquire ckptMu while holding mu.
+	ckptMu sync.Mutex
+	mu     sync.RWMutex
+	opts   Options
 	// pending holds summaries added before the index exists; the index
 	// is built lazily on the first search (bulk construction beats
 	// repeated insertion).
@@ -145,6 +151,19 @@ type DB struct {
 	// dur is non-nil on databases opened with OpenDurable: mutations are
 	// journaled under mu and group-committed (fsynced) after release.
 	dur *durableState
+
+	// Test hooks, nil outside tests and set before any checkpoint runs
+	// (read without synchronization). The crash and equivalence suites
+	// use them to run mutations inside a checkpoint's unlocked windows:
+	// after the capture but before the snapshot write, and after the
+	// write but before the journal rotation.
+	testBeforeSnapshotWrite func()
+	testBeforeRotate        func()
+	// testDropRetainedSuffix reverts Checkpoint to the pre-retained
+	// rotate-to-empty. The crash suite flips it to prove the retained-
+	// suffix rotation is load-bearing: with it, mid-checkpoint crash
+	// states lose acknowledged mutations.
+	testDropRetainedSuffix bool
 }
 
 // New creates an empty database. It panics if opts.Epsilon is not
