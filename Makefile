@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmtcheck lint race e2e fuzz-smoke crash check bench bench-ingest bench-checkpoint
+.PHONY: all build test vet fmtcheck lint lint-stats benchguard race e2e fuzz-smoke crash check bench bench-ingest bench-checkpoint
 
 all: check
 
@@ -30,6 +30,18 @@ fmtcheck:
 # finding.
 lint:
 	$(GO) run ./cmd/vitrilint ./...
+
+# lint-stats runs the suite with the per-analyzer summary (findings,
+# suppressions, wall time, call-graph construction cost) and refreshes
+# the committed BENCH_lint.json timing entry.
+lint-stats:
+	$(GO) run ./cmd/vitrilint -stats -bench BENCH_lint.json ./...
+
+# benchguard fails the build when the committed BENCH_checkpoint.json
+# says the non-blocking checkpoint's engine p99 has degraded past 2x the
+# quiescent baseline (the disk co-tenancy section is informational).
+benchguard:
+	$(GO) run ./cmd/benchguard BENCH_checkpoint.json
 
 race:
 	$(GO) test -race ./...
@@ -55,7 +67,7 @@ fuzz-smoke:
 crash:
 	$(GO) test -run 'TestCrash|TestSaveCrash' -count 1 -v .
 
-check: vet fmtcheck lint race e2e fuzz-smoke crash
+check: vet fmtcheck lint-stats benchguard race e2e fuzz-smoke crash
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ ./...

@@ -1,0 +1,92 @@
+package vitri
+
+import (
+	"io/fs"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vitri/internal/vfs"
+)
+
+// gatedSyncFS makes every file's Sync block on the gate channel once
+// armed, and signals started when a sync first parks there.
+type gatedSyncFS struct {
+	vfs.FS
+	armed   atomic.Bool
+	gate    chan struct{}
+	started chan struct{}
+}
+
+func (g *gatedSyncFS) OpenFile(name string, flag int, perm fs.FileMode) (vfs.File, error) {
+	f, err := g.FS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &gatedSyncFile{File: f, fs: g}, nil
+}
+
+type gatedSyncFile struct {
+	vfs.File
+	fs *gatedSyncFS
+}
+
+func (f *gatedSyncFile) Sync() error {
+	if f.fs.armed.Load() {
+		select {
+		case f.fs.started <- struct{}{}:
+		default:
+		}
+		<-f.fs.gate
+	}
+	return f.File.Sync()
+}
+
+// TestCloseSyncDoesNotBlockReaders locks down the fix the lock graph
+// forced on DB.Close: the journal's final fsync must happen outside
+// db.mu, so readers racing a shutdown are never stalled behind disk
+// latency. With the old under-lock Close, db.Len here deadlocks until
+// the gate opens.
+func TestCloseSyncDoesNotBlockReaders(t *testing.T) {
+	fsys := &gatedSyncFS{
+		FS:      vfs.NewMemFS(),
+		gate:    make(chan struct{}),
+		started: make(chan struct{}, 1),
+	}
+	db, err := OpenDurable("db", Options{Epsilon: 0.3, Durable: &DurableOptions{FS: fsys}})
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := db.AddSummary(crashSummary(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fsys.armed.Store(true)
+	closed := make(chan error, 1)
+	go func() { closed <- db.Close() }()
+
+	// Close is parked inside the journal's gated fsync.
+	select {
+	case <-fsys.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close never reached the journal fsync")
+	}
+
+	lenDone := make(chan int, 1)
+	go func() { lenDone <- db.Len() }()
+	select {
+	case n := <-lenDone:
+		if n != 3 {
+			t.Fatalf("Len = %d, want 3", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("db.Len blocked while Close was stalled in the journal fsync: the sync is back under db.mu")
+	}
+
+	close(fsys.gate)
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

@@ -1,0 +1,67 @@
+// Command benchguard gates make check on the committed benchmark
+// numbers: it fails when BENCH_checkpoint.json's engine p99 ratio —
+// per-mutation latency during a checkpoint over the quiescent baseline,
+// on a RAM-backed store — exceeds 2x. That ratio is the non-blocking
+// checkpoint's contract; a regression means checkpoints have started
+// blocking the mutation path again.
+//
+// Only the engine section is gated. The disk_cotenancy section records
+// what sharing one filesystem journal with snapshot syncs costs on the
+// measurement machine; it is expected to exceed 2x and is reported, not
+// enforced.
+//
+// Usage:
+//
+//	benchguard [path/to/BENCH_checkpoint.json]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+const maxP99Ratio = 2.0
+
+type section struct {
+	P99Ratio *float64 `json:"p99_ratio"`
+}
+
+type benchCheckpoint struct {
+	Engine        *section `json:"engine"`
+	DiskCotenancy *section `json:"disk_cotenancy"`
+}
+
+func main() {
+	path := "BENCH_checkpoint.json"
+	if len(os.Args) > 1 {
+		path = os.Args[1]
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var b benchCheckpoint
+	if err := json.Unmarshal(data, &b); err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	if b.Engine == nil || b.Engine.P99Ratio == nil {
+		fatalf("%s: no engine.p99_ratio — re-run make bench-checkpoint", path)
+	}
+	ratio := *b.Engine.P99Ratio
+	if ratio > maxP99Ratio {
+		fatalf("%s: engine p99 ratio %.3f exceeds %.1fx — checkpoints are blocking the mutation path again",
+			path, ratio, maxP99Ratio)
+	}
+	if b.DiskCotenancy != nil && b.DiskCotenancy.P99Ratio != nil {
+		fmt.Printf("benchguard: engine p99 ratio %.3f (limit %.1fx); disk co-tenancy %.1fx (informational)\n",
+			ratio, maxP99Ratio, *b.DiskCotenancy.P99Ratio)
+		return
+	}
+	fmt.Printf("benchguard: engine p99 ratio %.3f (limit %.1fx)\n", ratio, maxP99Ratio)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "benchguard: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -15,9 +15,15 @@
 // load/type-check failure). Intentional violations are suppressed in
 // place with "//lint:ignore <analyzer> <reason>" on the flagged line or
 // the line above; the summary line counts them.
+//
+// -stats prints a per-analyzer table (findings, suppressions, wall
+// time) plus the module-load and call-graph construction times; -bench
+// writes the same numbers as JSON to the given path, which make
+// lint-stats commits as BENCH_lint.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,8 +34,10 @@ import (
 )
 
 func main() {
+	stats := flag.Bool("stats", false, "print per-analyzer findings/suppressions/timings")
+	benchOut := flag.String("bench", "", "write per-analyzer stats as JSON to `path`")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: vitrilint [package pattern ...]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: vitrilint [-stats] [-bench path] [package pattern ...]\n\nAnalyzers:\n")
 		for _, a := range lint.All() {
 			fmt.Fprintf(os.Stderr, "  %-11s %s\n", a.Name, a.Doc)
 		}
@@ -61,9 +69,52 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "vitrilint: %d packages, %d findings, %d suppressed\n",
 		res.Packages, len(res.Diagnostics), res.Suppressed)
+	if *stats {
+		printStats(res)
+	}
+	if *benchOut != "" {
+		if err := writeBench(*benchOut, res); err != nil {
+			fatalf("%v", err)
+		}
+	}
 	if len(res.Diagnostics) > 0 {
 		os.Exit(1)
 	}
+}
+
+// printStats renders the per-analyzer summary table.
+func printStats(res *lint.Result) {
+	fmt.Fprintf(os.Stderr, "\n%-17s %9s %11s %9s\n", "analyzer", "findings", "suppressed", "ms")
+	for _, s := range res.Stats {
+		fmt.Fprintf(os.Stderr, "%-17s %9d %11d %9.1f\n", s.Name, s.Findings, s.Suppressed, s.Millis)
+	}
+	fmt.Fprintf(os.Stderr, "load %.1fms, call graph %.1fms\n", res.LoadMillis, res.GraphMillis)
+}
+
+// benchFile is the BENCH_lint.json schema.
+type benchFile struct {
+	Packages    int                 `json:"packages"`
+	Findings    int                 `json:"findings"`
+	Suppressed  int                 `json:"suppressed"`
+	LoadMillis  float64             `json:"load_millis"`
+	GraphMillis float64             `json:"graph_millis"`
+	Analyzers   []lint.AnalyzerStat `json:"analyzers"`
+}
+
+func writeBench(path string, res *lint.Result) error {
+	out := benchFile{
+		Packages:    res.Packages,
+		Findings:    len(res.Diagnostics),
+		Suppressed:  res.Suppressed,
+		LoadMillis:  res.LoadMillis,
+		GraphMillis: res.GraphMillis,
+		Analyzers:   res.Stats,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func fatalf(format string, args ...interface{}) {

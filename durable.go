@@ -60,12 +60,14 @@ type DurableOptions struct {
 
 // durableState is the open journal plus snapshot bookkeeping.
 type durableState struct {
-	fs          vfs.FS
-	dir         string
-	snapPath    string
-	wal         *journal.Writer
-	snapLastSeq uint64 // journal seq folded into the on-disk snapshot (guarded by db.mu)
-	snapVersion uint32 // on-disk snapshot format (0 = no snapshot yet)
+	fs       vfs.FS          // immutable after OpenDurable
+	dir      string          // immutable after OpenDurable
+	snapPath string          // immutable after OpenDurable
+	wal      *journal.Writer // immutable after OpenDurable; internally synchronized
+	// snapLastSeq is the journal seq folded into the on-disk snapshot.
+	// guarded by db.mu
+	snapLastSeq uint64
+	snapVersion uint32 // on-disk snapshot format (0 = none). guarded by db.mu
 	checkpoints atomic.Uint64
 }
 
@@ -146,6 +148,7 @@ func OpenDurable(dir string, opts Options) (*DB, error) {
 	// missing removes are tolerated (they can only arise from the benign
 	// crash window between snapshot rename and journal rotation).
 	db.mu.Lock()
+	//lint:ignore lockorder open-time replay: the DB is unpublished, so no waiter exists for the journal's recovery fsync to stall
 	wal, err := journal.Open(fsys, walPath, journal.Config{
 		StartSeq:        lastSeq + 1,
 		KeepCorruptTail: d.keepCorruptTail,
@@ -169,6 +172,7 @@ func OpenDurable(dir string, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("vitri: open durable %s: %w", walPath, err)
 	}
+	db.mu.Lock()
 	db.dur = &durableState{
 		fs:          fsys,
 		dir:         dir,
@@ -177,6 +181,7 @@ func OpenDurable(dir string, opts Options) (*DB, error) {
 		snapLastSeq: lastSeq,
 		snapVersion: snapVersion,
 	}
+	db.mu.Unlock()
 	return db, nil
 }
 

@@ -43,23 +43,23 @@ type Config struct {
 // interleaving with their in-memory state hold their own lock around
 // Append, as vitri.DB does), and Commit group-commits across goroutines.
 type Writer struct {
-	fsys vfs.FS
-	path string
+	fsys vfs.FS // immutable after Open
+	path string // immutable after Open
 
-	mu          sync.Mutex // guards f, bw, seq, counters, err
-	f           vfs.File
-	bw          *bufio.Writer
-	seq         uint64 // last assigned sequence number
-	baseRecords int    // records replayed at open (not yet checkpointed)
-	records     int    // records appended since open/rotation
-	bytes       int64  // valid file length including buffered appends
-	err         error  // sticky storage failure
+	mu          sync.Mutex    // guards f, bw, seq, counters, err
+	f           vfs.File      // guarded by mu
+	bw          *bufio.Writer // guarded by mu
+	seq         uint64        // last assigned sequence number. guarded by mu
+	baseRecords int           // records replayed at open. guarded by mu
+	records     int           // records appended since open/rotation. guarded by mu
+	bytes       int64         // valid length incl. buffered appends. guarded by mu
+	err         error         // sticky storage failure. guarded by mu
 
 	syncMu     sync.Mutex // serializes group-commit leaders
 	durableSeq atomic.Uint64
 
-	fsyncs       metrics.Counter
-	fsyncLatency *metrics.Histogram
+	fsyncs       metrics.Counter    // internally synchronized
+	fsyncLatency *metrics.Histogram // internally synchronized
 }
 
 // Open opens (creating if absent) the journal at path, replays every
@@ -208,9 +208,11 @@ func (w *Writer) Commit(seq uint64) error {
 		return w.stickyErr()
 	}
 	w.mu.Lock()
-	if w.err != nil {
+	// Capture the sticky error under the lock: reading w.err after the
+	// unlock would race a concurrent poison.
+	if err := w.err; err != nil {
 		w.mu.Unlock()
-		return w.err
+		return err
 	}
 	target := w.seq
 	if err := w.bw.Flush(); err != nil {

@@ -1,0 +1,308 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AtomicMix enforces the module's field-synchronization discipline on
+// the shared lock graph:
+//
+//   - a field whose address is ever passed to a sync/atomic operation
+//     must never be read or written plainly — mixing the two loses the
+//     atomicity both sides assume;
+//   - a field annotated "// guarded by <mu>" may only be touched with
+//     that mutex held: reads need at least RLock, writes and address-of
+//     need the exclusive lock. The proof is interprocedural: a
+//     *Locked-style helper inherits the locks every caller provably
+//     holds at its entry (the engine's entryMust sets), and
+//     constructors writing unpublished values are exempt;
+//   - "// immutable" fields are written only before publication,
+//     "// internally synchronized" fields carry their own discipline
+//     (atomic counters, histograms with private locks);
+//   - every struct in the durability and serving paths (the module
+//     root, and packages named journal, server or pager) that carries a
+//     mutex — or already has one annotated field — must annotate every
+//     field that is not self-evidently safe (mutex, sync.*,
+//     sync/atomic.* and channel fields are exempt), so the guarded-by
+//     map stays complete as structs grow.
+var AtomicMix = &Analyzer{
+	Name:      "atomicmix",
+	Doc:       "no mixed atomic/plain field access; // guarded by <mu> fields only touched under their mutex; required annotations on mutex-carrying structs in durability and server paths",
+	RunModule: runAtomicMix,
+}
+
+const (
+	annGuarded = iota
+	annImmutable
+	annInternal
+)
+
+type fieldAnn struct {
+	kind     int
+	guardRaw string     // the annotation's spelling, for messages
+	guard    *types.Var // resolved mutex field (annGuarded)
+}
+
+func runAtomicMix(mp *ModulePass) {
+	anns := collectAnnotations(mp)
+	mf := mp.Facts
+
+	// Every field reached through sync/atomic anywhere in the module,
+	// with a deterministic example position.
+	atomicAt := make(map[*types.Var]token.Pos)
+	for _, fi := range mp.Graph.Order {
+		f := mf.fns[fi.Fn]
+		for v, poss := range f.atomicFields {
+			for _, p := range poss {
+				if cur, ok := atomicAt[v]; !ok || p < cur {
+					atomicAt[v] = p
+				}
+			}
+		}
+	}
+
+	reported := make(map[token.Pos]bool)
+	for _, fi := range mp.Graph.Order {
+		f := mf.fns[fi.Fn]
+		for i := range f.accesses {
+			a := &f.accesses[i]
+			if reported[a.pos] {
+				continue
+			}
+			if at, ok := atomicAt[a.field]; ok {
+				reported[a.pos] = true
+				mp.Reportf(a.pos,
+					"field %s is accessed through sync/atomic (e.g. at %s) but plainly here; every access must use sync/atomic",
+					a.field.Name(), mf.shortPos(at))
+				continue
+			}
+			ann := anns[a.field]
+			if ann == nil || a.fresh || f.prePub {
+				continue
+			}
+			switch ann.kind {
+			case annInternal:
+			case annImmutable:
+				if a.write {
+					reported[a.pos] = true
+					mp.Reportf(a.pos,
+						"field %s is annotated // immutable but written after publication", a.field.Name())
+				}
+			case annGuarded:
+				if ann.guard == nil {
+					continue // unresolvable guard already reported at the struct
+				}
+				eff := f.entryMust[ann.guard]
+				if m, ok := a.must[ann.guard]; ok && m > eff {
+					eff = m
+				}
+				need := 1
+				if a.write {
+					need = 2
+				}
+				if eff < need {
+					reported[a.pos] = true
+					if a.write {
+						mp.Reportf(a.pos,
+							"field %s is written without exclusively holding %s (// guarded by %s)",
+							a.field.Name(), ann.guardRaw, ann.guardRaw)
+					} else {
+						mp.Reportf(a.pos,
+							"field %s is read without holding %s (// guarded by %s)",
+							a.field.Name(), ann.guardRaw, ann.guardRaw)
+					}
+				}
+			}
+		}
+	}
+}
+
+// collectAnnotations parses // guarded by / immutable / internally
+// synchronized field annotations module-wide, resolves guards, and
+// enforces the annotation requirement on durability/serving structs.
+func collectAnnotations(mp *ModulePass) map[*types.Var]*fieldAnn {
+	anns := make(map[*types.Var]*fieldAnn)
+	for _, pkg := range mp.Mod.Pkgs {
+		required := pkg.RelDir == "" ||
+			pkg.Name == "journal" || pkg.Name == "server" || pkg.Name == "pager"
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				checkStruct(mp, pkg, ts.Name.Name, st, required, anns)
+				return true
+			})
+		}
+	}
+	return anns
+}
+
+func checkStruct(mp *ModulePass, pkg *Package, structName string, st *ast.StructType, required bool, anns map[*types.Var]*fieldAnn) {
+	// First pass: the struct's own fields, for bare-guard resolution and
+	// the mutex trigger.
+	own := make(map[string]*types.Var)
+	hasMutex := false
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			v, ok := pkg.Info.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			own[name.Name] = v
+			if isMutexType(v.Type()) {
+				hasMutex = true
+			}
+		}
+	}
+	// Second pass: parse and resolve annotations.
+	hasAnn := false
+	parsed := make(map[*types.Var]*fieldAnn)
+	for _, field := range st.Fields.List {
+		ann := parseFieldAnn(field)
+		if ann == nil {
+			continue
+		}
+		hasAnn = true
+		if ann.kind == annGuarded {
+			ann.guard = resolveGuard(pkg, own, ann.guardRaw)
+			if ann.guard == nil {
+				mp.Reportf(field.Pos(),
+					"// guarded by %s does not resolve to a mutex field (use a field of this struct, or type.field within this package)",
+					ann.guardRaw)
+			}
+		}
+		for _, name := range field.Names {
+			if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+				anns[v] = ann
+				parsed[v] = ann
+			}
+		}
+	}
+	if !required || (!hasMutex && !hasAnn) {
+		return
+	}
+	// Annotation requirement: every field is a mutex, self-synchronizing
+	// (sync.*, sync/atomic.*, chan), or annotated.
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			v, ok := pkg.Info.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			if parsed[v] != nil || isMutexType(v.Type()) || isAutoSyncType(v.Type()) {
+				continue
+			}
+			mp.Reportf(name.Pos(),
+				"field %s of %s needs a concurrency annotation: // guarded by <mu>, // immutable, or // internally synchronized",
+				name.Name, structName)
+		}
+	}
+}
+
+// parseFieldAnn reads a field's doc or trailing comment for one of the
+// recognized markers.
+func parseFieldAnn(field *ast.Field) *fieldAnn {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			lower := strings.ToLower(text)
+			if idx := strings.Index(lower, "guarded by "); idx >= 0 {
+				rest := strings.Fields(text[idx+len("guarded by "):])
+				if len(rest) > 0 {
+					return &fieldAnn{kind: annGuarded, guardRaw: strings.TrimRight(rest[0], ".,;)")}
+				}
+			}
+			if strings.Contains(lower, "internally synchronized") {
+				return &fieldAnn{kind: annInternal}
+			}
+			if strings.Contains(lower, "immutable") {
+				return &fieldAnn{kind: annImmutable}
+			}
+		}
+	}
+	return nil
+}
+
+// resolveGuard maps a guard spelling to its mutex field: "mu" is a
+// field of the same struct; "db.mu" finds a named type in the same
+// package whose name matches the first component case-insensitively
+// (the annotation uses the receiver spelling, the type its declared
+// name) and takes its field.
+func resolveGuard(pkg *Package, own map[string]*types.Var, raw string) *types.Var {
+	parts := strings.Split(raw, ".")
+	if len(parts) == 1 {
+		if v := own[raw]; v != nil && isMutexType(v.Type()) {
+			return v
+		}
+		return nil
+	}
+	if len(parts) != 2 {
+		return nil
+	}
+	scope := pkg.Pkg.Scope()
+	var match *types.Named
+	names := scope.Names()
+	sort.Strings(names)
+	for _, name := range names {
+		if !strings.EqualFold(name, parts[0]) {
+			continue
+		}
+		if tn, ok := scope.Lookup(name).(*types.TypeName); ok {
+			if n, ok := tn.Type().(*types.Named); ok {
+				match = n
+				break
+			}
+		}
+	}
+	if match == nil {
+		return nil
+	}
+	obj, _, _ := types.LookupFieldOrMethod(match, true, pkg.Pkg, parts[1])
+	v, ok := obj.(*types.Var)
+	if !ok || !v.IsField() || !isMutexType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+// isMutexType reports sync.Mutex / sync.RWMutex (or pointers to them).
+func isMutexType(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	if n.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex"
+}
+
+// isAutoSyncType reports types that synchronize themselves: anything
+// from sync or sync/atomic, and channels.
+func isAutoSyncType(t types.Type) bool {
+	if n := namedOf(t); n != nil && n.Obj().Pkg() != nil {
+		switch n.Obj().Pkg().Path() {
+		case "sync", "sync/atomic":
+			return true
+		}
+	}
+	if t != nil {
+		if _, ok := t.Underlying().(*types.Chan); ok {
+			return true
+		}
+	}
+	return false
+}

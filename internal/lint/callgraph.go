@@ -1,0 +1,226 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file builds the module-wide call graph the interprocedural
+// analyzers (lockorder's lock graph, goroutinelife, atomicmix) share.
+// It is purely structural: which module functions exist, which calls
+// each body contains (and whether they run deferred or in a spawned
+// goroutine), and which concrete module methods an interface method
+// call can dispatch to. The flow-sensitive facts layered on top live in
+// lockgraph.go.
+
+// CallKind classifies how a call site runs relative to its enclosing
+// function.
+type CallKind int
+
+const (
+	// CallNormal runs synchronously where it is spelled.
+	CallNormal CallKind = iota
+	// CallDefer runs at function exit (locks held there are
+	// approximated by the locks held at the defer statement).
+	CallDefer
+	// CallGo runs on a new goroutine: the callee inherits no locks and
+	// its acquisitions never propagate back to the spawner.
+	CallGo
+)
+
+// FuncInfo is one module function with a body.
+type FuncInfo struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// External means the function is callable from outside the analyzed
+	// call graph: it is exported, or its value escapes (address taken /
+	// stored / passed as a function value). Such functions can be
+	// entered with no locks held, so caller-derived entry facts are
+	// pinned to the empty set.
+	External bool
+}
+
+// CallGraph indexes every module function and resolves interface
+// dispatch within the module.
+type CallGraph struct {
+	Mod   *Module
+	Funcs map[*types.Func]*FuncInfo
+	// Order lists the functions deterministically: package topological
+	// order, then file order, then source position.
+	Order []*FuncInfo
+	// impls maps an interface method declared in this module to the
+	// concrete module methods implementing it. Interfaces from outside
+	// the module (stdlib, etc.) are deliberately not expanded: they
+	// would drag unrelated implementations into every summary.
+	impls map[*types.Func][]*types.Func
+}
+
+// BuildCallGraph constructs the graph for a loaded module.
+func BuildCallGraph(mod *Module) *CallGraph {
+	cg := &CallGraph{
+		Mod:   mod,
+		Funcs: make(map[*types.Func]*FuncInfo),
+		impls: make(map[*types.Func][]*types.Func),
+	}
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fi := &FuncInfo{Fn: fn, Decl: fd, Pkg: pkg, External: fd.Name.IsExported()}
+				cg.Funcs[fn] = fi
+				cg.Order = append(cg.Order, fi)
+			}
+		}
+	}
+	cg.markEscaping()
+	cg.linkInterfaces()
+	return cg
+}
+
+// markEscaping flags module functions whose value is used outside a
+// direct call position (assigned, passed, compared): those can be
+// invoked from anywhere, including goroutines the graph cannot see.
+func (cg *CallGraph) markEscaping() {
+	for _, pkg := range cg.Mod.Pkgs {
+		for _, f := range pkg.Files {
+			// Idents that are the operator of a call are the only
+			// non-escaping uses of a function name.
+			calleeIdent := make(map[*ast.Ident]bool)
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := unparen(call.Fun).(type) {
+				case *ast.Ident:
+					calleeIdent[fun] = true
+				case *ast.SelectorExpr:
+					calleeIdent[fun.Sel] = true
+				}
+				return true
+			})
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || calleeIdent[id] {
+					return true
+				}
+				fn, ok := pkg.Info.Uses[id].(*types.Func)
+				if !ok {
+					return true
+				}
+				if fi := cg.Funcs[fn]; fi != nil {
+					fi.External = true
+				}
+				return true
+			})
+		}
+	}
+}
+
+// linkInterfaces connects each method of a module-declared interface to
+// the module's named types implementing it.
+func (cg *CallGraph) linkInterfaces() {
+	type ifaceDecl struct {
+		iface *types.Interface
+		pkg   *types.Package
+	}
+	var ifaces []ifaceDecl
+	var named []*types.Named
+	for _, pkg := range cg.Mod.Pkgs {
+		scope := pkg.Pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			n, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if iface, ok := n.Underlying().(*types.Interface); ok {
+				if iface.NumMethods() > 0 {
+					ifaces = append(ifaces, ifaceDecl{iface, pkg.Pkg})
+				}
+				continue
+			}
+			named = append(named, n)
+		}
+	}
+	for _, id := range ifaces {
+		for _, n := range named {
+			impl := types.NewPointer(n)
+			if !types.Implements(impl, id.iface) && !types.Implements(n.Underlying(), id.iface) {
+				// Neither *T nor the value type satisfies the interface.
+				if !types.Implements(n, id.iface) {
+					continue
+				}
+			}
+			for i := 0; i < id.iface.NumMethods(); i++ {
+				im := id.iface.Method(i)
+				obj, _, _ := types.LookupFieldOrMethod(impl, true, im.Pkg(), im.Name())
+				m, ok := obj.(*types.Func)
+				if !ok {
+					continue
+				}
+				if cg.Funcs[m] == nil {
+					continue // no body in this module
+				}
+				cg.impls[im] = append(cg.impls[im], m)
+			}
+		}
+	}
+}
+
+// Targets resolves the module functions a call to fn can reach: the
+// function itself when it has a module body, or — for a module-declared
+// interface method — every module implementation.
+func (cg *CallGraph) Targets(fn *types.Func) []*types.Func {
+	if fn == nil {
+		return nil
+	}
+	if impls := cg.impls[fn]; len(impls) > 0 {
+		return impls
+	}
+	if cg.Funcs[fn] != nil {
+		return []*types.Func{fn}
+	}
+	return nil
+}
+
+// FuncAt returns the FuncInfo enclosing pos, for diagnostics that need
+// the frame a position belongs to.
+func (cg *CallGraph) FuncAt(pos token.Pos) *FuncInfo {
+	for _, fi := range cg.Order {
+		if fi.Decl.Pos() <= pos && pos <= fi.Decl.End() {
+			return fi
+		}
+	}
+	return nil
+}
+
+// funcDisplay renders a function for chain diagnostics as pkg.Func or
+// pkg.Type.Method.
+func funcDisplay(fn *types.Func) string {
+	if fn == nil {
+		return "?"
+	}
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if n := namedOf(sig.Recv().Type()); n != nil {
+			name = n.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + name
+	}
+	return name
+}

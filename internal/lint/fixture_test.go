@@ -111,16 +111,21 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		dirs       []string
 		suppressed int
 	}{
-		{LockOrder, []string{"locks"}, 0},
+		// lockio seeds locks held across fsync/sends; cyclea+cycleb seed
+		// the cross-package lock-order cycle.
+		{LockOrder, []string{"locks", "lockio", "cyclea", "cycleb"}, 0},
 		{TrackedIO, []string{"btree", "index"}, 0},
 		{FloatOrder, []string{"floats"}, 0},
 		// The dropped fixture also seeds directive handling: two valid
-		// suppressions plus malformed directives reported as [lint].
+		// suppressions, malformed directives reported as [lint], and a
+		// stale directive whose finding no longer exists.
 		{DroppedErr, []string{"dropped"}, 2},
 		// hotvec seeds one suppressed cold-loop Clone.
 		{HotAlloc, []string{"hotvec", "hotcluster"}, 1},
 		// renames seeds one suppressed contents-untouched rename.
 		{SyncBeforeRename, []string{"renames"}, 1},
+		{GoroutineLife, []string{"goro"}, 0},
+		{AtomicMix, []string{"atomix"}, 0},
 	}
 	for _, tc := range tests {
 		t.Run(tc.analyzer.Name, func(t *testing.T) {
@@ -164,12 +169,12 @@ func TestEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	matchDiags(t, res.Diagnostics, collectWants(t, root,
-		[]string{"pager", "locks", "btree", "index", "floats", "dropped", "clean", "hotvec", "hotcluster", "vfs", "renames"}))
-	if res.Suppressed != 4 {
-		t.Errorf("suppressed = %d, want 4", res.Suppressed)
+		[]string{"pager", "locks", "btree", "index", "floats", "dropped", "clean", "hotvec", "hotcluster", "vfs", "renames", "lockio", "cyclea", "cycleb", "goro", "atomix"}))
+	if res.Suppressed != 5 {
+		t.Errorf("suppressed = %d, want 5", res.Suppressed)
 	}
-	if res.Packages != 11 {
-		t.Errorf("packages = %d, want 11", res.Packages)
+	if res.Packages != 16 {
+		t.Errorf("packages = %d, want 16", res.Packages)
 	}
 	format := regexp.MustCompile(`^[^:]+\.go:\d+: \[[a-z]+\] .+$`)
 	for _, d := range res.Diagnostics {
@@ -187,7 +192,7 @@ func TestPatternsSelectPackages(t *testing.T) {
 		patterns []string
 		packages int
 	}{
-		{[]string{"./..."}, 11},
+		{[]string{"./..."}, 16},
 		{[]string{"./locks"}, 1},
 		{[]string{"./locks", "./floats"}, 2},
 		{[]string{"./nosuchdir"}, 0},
@@ -224,4 +229,6 @@ func ExampleAll() {
 	// droppederr
 	// hotalloc
 	// syncbeforerename
+	// goroutinelife
+	// atomicmix
 }

@@ -1,0 +1,312 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineLife checks that every go statement has a provable join or
+// cancel path, on the shared call graph: the spawned body (or its
+// callees, transitively) must signal a sync.WaitGroup, send on or close
+// a channel, or block receiving from one — the idioms the module uses
+// to join (drain groups, result channels) or cancel (done channels,
+// context selects) its goroutines. On top of that it flags:
+//
+//   - WaitGroup-joined spawns whose spawner never calls Add before the
+//     go statement (Wait returns immediately: the "join" is a no-op);
+//   - unbounded spawning: a go statement inside a range loop or a
+//     condition-less for loop with no channel send before it (the
+//     semaphore-acquire idiom) bounding concurrency;
+//   - leak-on-early-return: a goroutine whose only join path is a send
+//     on an unbuffered spawner-local channel, when the spawner's select
+//     can return through another case without receiving — the send
+//     blocks forever and the goroutine leaks.
+var GoroutineLife = &Analyzer{
+	Name:      "goroutinelife",
+	Doc:       "every go statement needs a provable join or cancel path (WaitGroup, channel send/close, or receive); loops must bound their spawns",
+	RunModule: runGoroutineLife,
+}
+
+func runGoroutineLife(mp *ModulePass) {
+	for _, fi := range mp.Graph.Order {
+		ga := &goLifeAnalyzer{mp: mp, fi: fi, info: fi.Pkg.Info}
+		ga.run()
+	}
+}
+
+type goLifeAnalyzer struct {
+	mp   *ModulePass
+	fi   *FuncInfo
+	info *types.Info
+}
+
+func (ga *goLifeAnalyzer) run() {
+	var stack []ast.Node
+	ast.Inspect(ga.fi.Decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if g, ok := n.(*ast.GoStmt); ok {
+			ga.checkGo(g, stack)
+		}
+		return true
+	})
+}
+
+func (ga *goLifeAnalyzer) checkGo(g *ast.GoStmt, stack []ast.Node) {
+	ga.checkBounded(g, stack)
+
+	life, sentChans := ga.spawnEvidence(g.Call)
+	facts := ga.mp.Facts.fns[ga.fi.Fn]
+	otherEvidence := life.chanSend || life.chanClose || life.chanRecv
+	if life.wgDone {
+		if ga.addBefore(facts, g.Pos()) || otherEvidence {
+			return
+		}
+		ga.mp.Reportf(g.Pos(),
+			"goroutine is joined by WaitGroup.Done but the spawner never calls Add before the go statement, so Wait does not cover it")
+		return
+	}
+	if !otherEvidence {
+		ga.mp.Reportf(g.Pos(),
+			"goroutine has no provable join or cancel path: neither its body nor its callees signal a WaitGroup, send on or close a channel, or block receiving from one")
+		return
+	}
+	ga.checkEarlyReturnLeak(g, life, sentChans)
+}
+
+// addBefore reports whether the spawner calls WaitGroup.Add before pos.
+func (ga *goLifeAnalyzer) addBefore(facts *fnFacts, pos token.Pos) bool {
+	if facts == nil {
+		return false
+	}
+	for _, p := range facts.wgAdds {
+		if p < pos {
+			return true
+		}
+	}
+	return false
+}
+
+// checkBounded flags go statements inside unbounded loops (range, or
+// for without a condition) lacking a channel send before the spawn —
+// the `sem <- struct{}{}` acquire that bounds concurrency.
+func (ga *goLifeAnalyzer) checkBounded(g *ast.GoStmt, stack []ast.Node) {
+	var loopBody *ast.BlockStmt
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch l := stack[i].(type) {
+		case *ast.RangeStmt:
+			loopBody = l.Body
+		case *ast.ForStmt:
+			if l.Cond == nil {
+				loopBody = l.Body
+			}
+		case *ast.FuncLit:
+			// The literal is its own spawn scope; loops outside it run it
+			// at most once per call.
+			i = -1
+		}
+		if loopBody != nil {
+			break
+		}
+	}
+	if loopBody == nil {
+		return
+	}
+	bounded := false
+	ast.Inspect(loopBody, func(n ast.Node) bool {
+		if s, ok := n.(*ast.SendStmt); ok && s.Pos() < g.Pos() {
+			bounded = true
+		}
+		_, isLit := n.(*ast.FuncLit)
+		return !bounded && !isLit
+	})
+	if !bounded {
+		ga.mp.Reportf(g.Pos(),
+			"unbounded goroutine spawn: this loop launches a goroutine per iteration with no bounding semaphore (no channel send before the go statement)")
+	}
+}
+
+// spawnEvidence computes the join/cancel evidence of one spawned call:
+// the literal body's own signals plus the transitive flags of every
+// statically resolvable callee. It also returns the local channel
+// objects the body sends on, for the leak check.
+func (ga *goLifeAnalyzer) spawnEvidence(call *ast.CallExpr) (lifeFlags, map[types.Object]bool) {
+	sent := make(map[types.Object]bool)
+	var life lifeFlags
+	lit, ok := unparen(call.Fun).(*ast.FuncLit)
+	if !ok {
+		if callee := staticCallee(ga.info, call); callee != nil {
+			if f := ga.mp.Facts.fns[callee]; f != nil {
+				life.merge(f.life)
+			}
+		}
+		return life, sent
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			// A nested goroutine's signals are its own, not this one's.
+			return false
+		case *ast.SendStmt:
+			life.chanSend = true
+			if id, ok := unparen(x.Chan).(*ast.Ident); ok {
+				if obj := ga.info.ObjectOf(id); obj != nil {
+					sent[obj] = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				life.chanRecv = true
+			}
+		case *ast.RangeStmt:
+			if t := typeOfExpr(ga.info, x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					life.chanRecv = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := unparen(x.Fun).(*ast.Ident); ok {
+				if b, ok := ga.info.ObjectOf(id).(*types.Builtin); ok {
+					if b.Name() == "close" {
+						life.chanClose = true
+					}
+					return true
+				}
+			}
+			callee := staticCallee(ga.info, x)
+			if callee == nil {
+				return true
+			}
+			if callee.Pkg() != nil && callee.Pkg().Path() == "sync" &&
+				recvNamed(callee) == "WaitGroup" && callee.Name() == "Done" {
+				life.wgDone = true
+				return true
+			}
+			if f := ga.mp.Facts.fns[callee]; f != nil {
+				life.merge(f.life)
+			}
+		}
+		return true
+	})
+	return life, sent
+}
+
+// checkEarlyReturnLeak flags goroutines whose only join path is a send
+// on an unbuffered spawner-local channel the spawner may abandon: a
+// select receiving from that channel with a sibling case that returns.
+func (ga *goLifeAnalyzer) checkEarlyReturnLeak(g *ast.GoStmt, life lifeFlags, sentChans map[types.Object]bool) {
+	if !life.chanSend || life.wgDone || life.chanClose || life.chanRecv || len(sentChans) == 0 {
+		return
+	}
+	unbuffered := ga.unbufferedLocals()
+	for obj := range sentChans {
+		if !unbuffered[obj] {
+			return // a buffered or non-local channel: the send cannot strand
+		}
+	}
+	leakObj := ga.abandonableRecv(sentChans)
+	if leakObj == nil {
+		return
+	}
+	ga.mp.Reportf(g.Pos(),
+		"goroutine may leak on early return: its only join path is a send on unbuffered channel %s, but the spawner's select can return through another case without receiving; buffer the channel or always drain it",
+		leakObj.Name())
+}
+
+// unbufferedLocals collects the channels this function makes without a
+// capacity argument.
+func (ga *goLifeAnalyzer) unbufferedLocals() map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(ga.fi.Decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		call, ok := unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		if fid, ok := unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := ga.info.ObjectOf(fid).(*types.Builtin); ok && b.Name() == "make" {
+				if _, isChan := typeOfExpr(ga.info, call.Args[0]).(*types.Chan); isChan || isChanExpr(ga.info, call) {
+					out[ga.info.ObjectOf(id)] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isChanExpr(info *types.Info, e ast.Expr) bool {
+	t := typeOfExpr(info, e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// abandonableRecv finds a select that receives from one of chans but
+// has a sibling case returning without the receive, and returns the
+// abandoned channel object.
+func (ga *goLifeAnalyzer) abandonableRecv(chans map[types.Object]bool) types.Object {
+	var leak types.Object
+	ast.Inspect(ga.fi.Decl.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if ok && leak == nil {
+			var recvObj types.Object
+			otherReturns := false
+			for _, cl := range sel.Body.List {
+				cc, ok := cl.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if obj := recvChanObj(ga.info, cc.Comm); obj != nil && chans[obj] {
+					recvObj = obj
+					continue
+				}
+				for _, s := range cc.Body {
+					if _, ok := s.(*ast.ReturnStmt); ok {
+						otherReturns = true
+					}
+				}
+			}
+			if recvObj != nil && otherReturns {
+				leak = recvObj
+			}
+		}
+		return leak == nil
+	})
+	return leak
+}
+
+// recvChanObj resolves the channel object a comm clause receives from.
+func recvChanObj(info *types.Info, comm ast.Stmt) types.Object {
+	var recv ast.Expr
+	switch c := comm.(type) {
+	case *ast.ExprStmt:
+		recv = c.X
+	case *ast.AssignStmt:
+		if len(c.Rhs) == 1 {
+			recv = c.Rhs[0]
+		}
+	}
+	ue, ok := unparen(recv).(*ast.UnaryExpr)
+	if !ok || ue.Op != token.ARROW {
+		return nil
+	}
+	id, ok := unparen(ue.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.ObjectOf(id)
+}

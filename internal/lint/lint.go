@@ -21,7 +21,23 @@
 //   - the durability layer's atomic-replace discipline: a vfs Rename
 //     publishes the source file's bytes, so the file must be fsynced
 //     first or a crash can leave the new name pointing at garbage
-//     (analyzer syncbeforerename).
+//     (analyzer syncbeforerename),
+//   - every spawned goroutine has a provable join or cancel path —
+//     WaitGroup, channel send/close, or a receive loop — and loops do
+//     not spawn unboundedly without a semaphore (analyzer
+//     goroutinelife),
+//   - atomic/mutex consistency: a field touched through sync/atomic is
+//     never accessed plainly, fields annotated "// guarded by <mu>" are
+//     only touched with that mutex held (proved through the
+//     interprocedural entry-lock sets), and every field of a
+//     mutex-carrying struct in the durability and serving paths carries
+//     a concurrency annotation (analyzer atomicmix).
+//
+// The lockorder, goroutinelife and atomicmix analyzers are
+// interprocedural: they share a module-wide call graph (callgraph.go)
+// and lock graph (lockgraph.go) that propagate which locks each call
+// can acquire, whether it can fsync or block on a channel, and which
+// locks every caller provably holds at a function's entry.
 //
 // The cmd/vitrilint driver loads the whole module, runs every analyzer
 // and exits nonzero with "file:line: [analyzer] message" diagnostics.
@@ -30,7 +46,9 @@
 //	//lint:ignore <analyzer>[,<analyzer>...] <reason>
 //
 // on the flagged line or the line above it; the driver counts
-// suppressions in its summary line.
+// suppressions in its summary line, and a directive that no longer
+// suppresses anything is itself reported (analyzer lint), so stale
+// suppressions cannot outlive the bug they excused.
 package lint
 
 import (
@@ -52,7 +70,8 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
 }
 
-// Analyzer is one named check over a type-checked package.
+// Analyzer is one named check over a type-checked package, a whole
+// module, or both.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and //lint:ignore
 	// directives.
@@ -60,7 +79,13 @@ type Analyzer struct {
 	// Doc is a one-paragraph description of the invariant enforced.
 	Doc string
 	// Run inspects one package and reports findings via pass.Reportf.
+	// May be nil for module-only analyzers.
 	Run func(pass *Pass)
+	// RunModule inspects the whole module at once on the shared call
+	// graph and lock facts (built lazily, once per lint run). The
+	// driver filters its diagnostics to the packages the run selected.
+	// May be nil for package-only analyzers.
+	RunModule func(mp *ModulePass)
 }
 
 // Pass carries one package's syntax and type information to an analyzer.
@@ -82,6 +107,28 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	p.report(Diagnostic{
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ModulePass carries the whole loaded module plus the shared
+// interprocedural facts to a module-level analyzer.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Mod      *Module
+	// Graph is the module-wide call graph; Facts the lock/flow facts
+	// computed on it (held sets, transitive summaries, entry musts).
+	Graph *CallGraph
+	Facts *modFacts
+
+	report func(Diagnostic)
+}
+
+// Reportf records a module-level finding at pos.
+func (mp *ModulePass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	mp.report(Diagnostic{
+		Pos:      mp.Mod.Fset.Position(pos),
+		Analyzer: mp.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
@@ -115,7 +162,7 @@ func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
 
 // All returns the full analyzer suite in stable reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{LockOrder, TrackedIO, FloatOrder, DroppedErr, HotAlloc, SyncBeforeRename}
+	return []*Analyzer{LockOrder, TrackedIO, FloatOrder, DroppedErr, HotAlloc, SyncBeforeRename, GoroutineLife, AtomicMix}
 }
 
 // unparen strips any number of enclosing parentheses.

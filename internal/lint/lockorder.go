@@ -21,20 +21,30 @@ import (
 //
 //   - acquiring a mutex at the same or an earlier level while holding a
 //     later one (a DB lock taken under a pager lock inverts the
-//     hierarchy and can deadlock against the normal descent);
+//     hierarchy and can deadlock against the normal descent) — checked
+//     both where the acquisition is spelled out and, through the
+//     module-wide lock graph, at every call that can transitively reach
+//     one (the diagnostic carries the acquisition chain);
 //   - re-acquiring a mutex already held, including the RLock-then-Lock
 //     upgrade, both of which self-deadlock under sync;
 //   - a Lock/RLock with a return path (or function end) that neither
-//     unlocks nor defers the unlock.
+//     unlocks nor defers the unlock;
+//   - lock-order cycles among lock classes, including unranked ones,
+//     anywhere in the module (reported once per strongly connected
+//     component, with the full acquisition chain);
+//   - a ranked lock held across an fsync (directly or through callees):
+//     fsync latency under the engine hierarchy stalls every waiter;
+//   - a classed lock held across a blocking channel send, which couples
+//     lock hold time to an arbitrary receiver.
 //
-// The analysis is per-function and branch-aware but not inter-procedural:
-// a lock held across a call into another locking function is the
-// documented hierarchy's job, caught where the nested acquisition is
-// spelled out.
+// The per-function pass (Run) handles the structural checks; the
+// interprocedural ones run once per module on the shared lock graph
+// (RunModule, see lockorder_module.go).
 var LockOrder = &Analyzer{
-	Name: "lockorder",
-	Doc:  "check checkpoint → DB → Index → Tree → pager lock ordering, double-acquires, upgrades, and unlock-on-every-path",
-	Run:  runLockOrder,
+	Name:      "lockorder",
+	Doc:       "check checkpoint → DB → Index → Tree → pager lock ordering (intra- and interprocedural), double-acquires, upgrades, unlock-on-every-path, cycles, and locks held across fsync or blocking sends",
+	Run:       runLockOrder,
+	RunModule: runLockOrderModule,
 }
 
 // Hierarchy levels by mutex field name, by owning type name, and by
@@ -165,7 +175,7 @@ func (lc *lockChecker) scanStmt(stmt ast.Stmt, st *lockState) bool {
 			lc.apply(c, st)
 			return false
 		}
-		return isTerminalCall(lc.pass, call)
+		return isTerminalCall(lc.pass.Info, call)
 
 	case *ast.DeferStmt:
 		lc.registerDefer(s.Call, st)
@@ -315,13 +325,9 @@ func (lc *lockChecker) apply(c *lockCall, st *lockState) {
 					"%s.%s() while %s is already held (acquired at %s) self-deadlocks",
 					c.key, c.name, c.key, lc.pass.Fset.Position(h.pos))
 			}
-			continue
 		}
-		if h.level >= 0 && c.level >= 0 && c.level <= h.level {
-			lc.pass.Reportf(c.pos,
-				"lock order violation: acquiring %s lock %s while holding %s lock %s; the hierarchy is checkpoint → DB → Index → Tree → pager",
-				lockLevelLabel[c.level], c.key, lockLevelLabel[h.level], h.key)
-		}
+		// Hierarchy violations are the lock graph's job (RunModule):
+		// it sees the same local acquisitions plus everything callees do.
 	}
 	st.held = append(st.held, heldLock{key: c.key, name: c.name, level: c.level, pos: c.pos})
 }
@@ -382,30 +388,30 @@ func (lc *lockChecker) asLockCall(call *ast.CallExpr) *lockCall {
 	return &lockCall{
 		name:  sel.Sel.Name,
 		key:   exprString(sel.X),
-		level: lc.lockLevel(sel.X),
+		level: lockLevelOf(lc.pass.Info, sel.X),
 		pos:   call.Pos(),
 	}
 }
 
-// lockLevel derives the hierarchy level of mutex expression x: the
+// lockLevelOf derives the hierarchy level of mutex expression x: the
 // mutex's own field name first ("db.ckptMu" → checkpoint level,
 // whatever type holds it), then the owning type ("owner.mu" → owner's
 // type; a bare receiver with an embedded mutex → the receiver's type).
-func (lc *lockChecker) lockLevel(x ast.Expr) int {
+func lockLevelOf(info *types.Info, x ast.Expr) int {
 	var ownerT types.Type
 	switch e := unparen(x).(type) {
 	case *ast.SelectorExpr:
 		if lvl, ok := lockLevelByField[e.Sel.Name]; ok {
 			return lvl
 		}
-		ownerT = lc.pass.typeOf(e.X)
+		ownerT = typeOfExpr(info, e.X)
 	case *ast.Ident:
 		if lvl, ok := lockLevelByField[e.Name]; ok {
 			return lvl
 		}
-		ownerT = lc.pass.typeOf(x)
+		ownerT = typeOfExpr(info, x)
 	default:
-		ownerT = lc.pass.typeOf(x)
+		ownerT = typeOfExpr(info, x)
 	}
 	n := namedOf(ownerT)
 	if n == nil {
@@ -415,7 +421,7 @@ func (lc *lockChecker) lockLevel(x ast.Expr) int {
 	if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
 		// A bare mutex variable: fall back to the package declaring it.
 		if id, ok := unparen(x).(*ast.Ident); ok {
-			if vo := lc.pass.Info.ObjectOf(id); vo != nil && vo.Pkg() != nil {
+			if vo := info.ObjectOf(id); vo != nil && vo.Pkg() != nil {
 				if lvl, ok := lockLevelByPkg[vo.Pkg().Name()]; ok {
 					return lvl
 				}
@@ -436,10 +442,10 @@ func (lc *lockChecker) lockLevel(x ast.Expr) int {
 
 // isTerminalCall reports calls that never return: panic and os.Exit-like
 // fatals. Used to avoid leak reports on paths that abort the process.
-func isTerminalCall(pass *Pass, call *ast.CallExpr) bool {
+func isTerminalCall(info *types.Info, call *ast.CallExpr) bool {
 	switch fun := unparen(call.Fun).(type) {
 	case *ast.Ident:
-		if _, ok := pass.Info.Uses[fun].(*types.Builtin); ok && fun.Name == "panic" {
+		if _, ok := info.Uses[fun].(*types.Builtin); ok && fun.Name == "panic" {
 			return true
 		}
 		// Locally defined fatalf helpers (the cmds' idiom).
@@ -447,7 +453,7 @@ func isTerminalCall(pass *Pass, call *ast.CallExpr) bool {
 			return true
 		}
 	case *ast.SelectorExpr:
-		fn, ok := pass.Info.Uses[fun.Sel].(*types.Func)
+		fn, ok := info.Uses[fun.Sel].(*types.Func)
 		if !ok || fn.Pkg() == nil {
 			return false
 		}

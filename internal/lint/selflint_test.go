@@ -22,3 +22,25 @@ func TestSelfLint(t *testing.T) {
 		t.Error("expected the tree's documented //lint:ignore suppressions to be counted")
 	}
 }
+
+// TestServerGoroutinesLint pins the audit of the server's drain and
+// auto-checkpoint goroutines: the lifecycle and atomic-consistency
+// analyzers verified them clean — every spawn is WaitGroup-joined or
+// done-channel-cancelled, and every shared field's guard holds — so any
+// finding (or new suppression) here is a regression.
+func TestServerGoroutinesLint(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(root, []string{"./internal/server"}, []*Analyzer{GoroutineLife, AtomicMix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Diagnostics {
+		t.Errorf("server goroutine/atomic finding: %s", d)
+	}
+	if res.Suppressed != 0 {
+		t.Errorf("server lifecycle checks consumed %d suppressions, want 0", res.Suppressed)
+	}
+}

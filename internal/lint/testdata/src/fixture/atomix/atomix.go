@@ -1,0 +1,101 @@
+// Package atomix seeds the atomic-consistency violations — mixed
+// atomic/plain access, guarded fields touched outside their mutex,
+// post-publication writes to immutable fields, unresolvable guards —
+// next to the annotated shapes atomicmix accepts.
+package atomix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter mixes atomic and plain access to hits.
+type Counter struct {
+	hits uint64
+}
+
+// Bump is the atomic side.
+func (c *Counter) Bump() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+// Read is the plain side: racy against Bump.
+func (c *Counter) Read() uint64 {
+	return c.hits // want "field hits is accessed through sync/atomic"
+}
+
+// Gauge documents its guard; the analyzer enforces it.
+type Gauge struct {
+	mu  sync.Mutex
+	val int // guarded by mu
+}
+
+// Set takes the lock: clean.
+func (g *Gauge) Set(v int) {
+	g.mu.Lock()
+	g.val = v
+	g.mu.Unlock()
+}
+
+// setLocked inherits the caller's lock — the interprocedural entry set
+// proves every caller holds g.mu: clean.
+func (g *Gauge) setLocked(v int) {
+	g.val = v
+}
+
+// SetViaHelper funnels the write through setLocked under the lock.
+func (g *Gauge) SetViaHelper(v int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.setLocked(v)
+}
+
+// Peek reads without the lock.
+func (g *Gauge) Peek() int {
+	return g.val // want "field val is read without holding mu"
+}
+
+// RGauge's writers need the exclusive lock: RLock is not enough.
+type RGauge struct {
+	mu  sync.RWMutex
+	val int // guarded by mu
+}
+
+// BumpUnderRLock writes under a read lock.
+func (g *RGauge) BumpUnderRLock() {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.val++ // want "field val is written without exclusively holding mu"
+}
+
+// Config is fixed at construction.
+type Config struct {
+	name string // immutable
+}
+
+// NewConfig writes before publication — the receiver is provably fresh:
+// clean.
+func NewConfig(name string) *Config {
+	c := &Config{}
+	c.name = name
+	return c
+}
+
+// Rename mutates a published Config.
+func (c *Config) Rename(name string) {
+	c.name = name // want "field name is annotated // immutable but written after publication"
+}
+
+// Broken's guard names a mutex that does not exist.
+type Broken struct {
+	mu sync.Mutex
+	// guarded by missing
+	val int // want "does not resolve to a mutex field"
+}
+
+// touch keeps Broken.val referenced.
+func (b *Broken) touch() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.val
+}

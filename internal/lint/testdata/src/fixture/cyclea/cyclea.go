@@ -1,0 +1,34 @@
+// Package cyclea seeds half of a cross-package lock-order cycle. A
+// Registry holds its own lock while notifying through an interface; the
+// implementation lives in package cycleb, takes its own lock, and calls
+// back into Poke — which retakes r.mu. Neither package alone sees the
+// cycle; only the module-wide lock graph does.
+package cyclea
+
+import "sync"
+
+// Notifier is implemented by cycleb.Peer, linked purely through the
+// type system — cyclea never imports cycleb.
+type Notifier interface {
+	Notify()
+}
+
+// Registry tracks peers behind an unranked lock.
+type Registry struct {
+	mu sync.Mutex
+}
+
+// WithNotifier holds r.mu across the dynamic Notify call: the first
+// half of the cycle.
+func (r *Registry) WithNotifier(n Notifier) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n.Notify() // want "lock-order cycle: cyclea.Registry.mu → cycleb.Peer.mu → cyclea.Registry.mu"
+}
+
+// Poke acquires r.mu; cycleb calls it with the peer lock held, closing
+// the cycle.
+func (r *Registry) Poke() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+}

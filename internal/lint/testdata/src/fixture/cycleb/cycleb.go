@@ -1,0 +1,32 @@
+// Package cycleb closes the lock-order cycle that cyclea opens: Peer
+// implements cyclea.Notifier by taking its own lock, and WithRegistry
+// calls back into the registry with that lock held. The module-wide
+// lock graph reports the cycle once, in cyclea, with both edges'
+// acquisition chains.
+package cycleb
+
+import (
+	"sync"
+
+	"fixture/cyclea"
+)
+
+// Peer implements cyclea.Notifier.
+type Peer struct {
+	mu sync.Mutex
+}
+
+// Notify takes the peer lock, so cyclea.Registry.WithNotifier holds
+// Registry.mu → Peer.mu.
+func (p *Peer) Notify() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+}
+
+// WithRegistry holds p.mu across Poke, which acquires Registry.mu:
+// Peer.mu → Registry.mu, the second half of the cycle.
+func (p *Peer) WithRegistry(r *cyclea.Registry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r.Poke()
+}

@@ -18,6 +18,13 @@ func Discard() {
 	mutate() // want "dropped.mutate returns an error that is discarded"
 }
 
+// StaleSuppression carries a directive whose finding no longer exists:
+// the runner reports the directive itself.
+func StaleSuppression() error {
+	//lint:ignore droppederr the mutation this once excused was deleted
+	return nil // want "stale //lint:ignore directive: droppederr reports nothing here"
+}
+
 // Blank drops the error through the blank identifier.
 func Blank() {
 	_, _ = pair() // want "error result of dropped.pair assigned to _"
@@ -42,6 +49,7 @@ func DeferExempt(pg pager.Pager) error {
 
 // GoExempt spawns the call; the error belongs to the goroutine.
 func GoExempt() {
+	//lint:ignore goroutinelife fixture: fire-and-forget spawn seeds droppederr's go exemption, not a lifecycle idiom
 	go mutate()
 }
 

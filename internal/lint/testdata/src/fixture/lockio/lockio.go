@@ -1,0 +1,79 @@
+// Package lockio seeds ranked locks held across fsync and locks held
+// across blocking channel sends — the lock graph's I/O-latency
+// findings — next to the leaf and try-send shapes it must accept.
+package lockio
+
+import (
+	"sync"
+
+	"fixture/vfs"
+)
+
+// DB carries a level-1 lock, ranked by type name exactly like the real
+// tree's DB.
+type DB struct {
+	mu sync.Mutex
+}
+
+// SyncUnderLock fsyncs with the DB lock held: every waiter stalls on
+// disk latency.
+func (db *DB) SyncUnderLock(f vfs.File) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return f.Sync() // want "DB lock db.mu is held across vfs.File.Sync, which fsyncs"
+}
+
+// flush is the helper the interprocedural pass must see through.
+func flush(f vfs.File) error {
+	return f.Sync()
+}
+
+// SyncViaHelper reaches the fsync through a callee.
+func (db *DB) SyncViaHelper(f vfs.File) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return flush(f) // want "DB lock db.mu is held across a call that can fsync (lockio.DB.SyncViaHelper → lockio.flush fsyncs via vfs.File.Sync"
+}
+
+// SendUnderLock blocks on a channel send with the DB lock held.
+func (db *DB) SendUnderLock(ch chan int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ch <- 1 // want "lock db.mu is held across a blocking channel send"
+}
+
+// push is the sending helper behind SendViaHelper.
+func push(ch chan int) {
+	ch <- 1
+}
+
+// SendViaHelper reaches the blocking send through a callee.
+func (db *DB) SendViaHelper(ch chan int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	push(ch) // want "lock db.mu is held across a call that can block on a channel send"
+}
+
+// TrySend never blocks — the default case makes the send conditional:
+// clean.
+func (db *DB) TrySend(ch chan int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+// journalish is unranked: holding its lock across the fsync is the leaf
+// flush-primitive pattern the check deliberately permits.
+type journalish struct {
+	mu sync.Mutex
+}
+
+// Flush is the permitted leaf shape: the lock IS the flush serialization.
+func (j *journalish) Flush(f vfs.File) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return f.Sync()
+}

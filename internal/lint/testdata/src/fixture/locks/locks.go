@@ -133,9 +133,12 @@ func WaitLocked(t *Tree, ch chan struct{}) {
 	}
 }
 
-// Spawn's goroutine body is analyzed as its own function: clean.
-func Spawn(t *Tree) {
+// Spawn's goroutine body is analyzed as its own function, and the
+// WaitGroup joins it: clean.
+func Spawn(t *Tree, wg *sync.WaitGroup) {
+	wg.Add(1)
 	go func() {
+		defer wg.Done()
 		t.mu.Lock()
 		defer t.mu.Unlock()
 	}()

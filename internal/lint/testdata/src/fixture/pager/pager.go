@@ -36,3 +36,20 @@ func ReadTracked(pg Pager, id PageID, p *Page, st *ScanStats) error {
 type Store struct {
 	Mu sync.Mutex
 }
+
+// Tracked carries a mutex in a package named pager, so atomicmix's
+// annotation requirement applies: every field must declare its
+// discipline.
+type Tracked struct {
+	mu    sync.Mutex
+	pages int  // guarded by mu
+	dirty bool // want "field dirty of Tracked needs a concurrency annotation"
+}
+
+// bump keeps Tracked's fields referenced.
+func (t *Tracked) bump() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pages++
+	t.dirty = true
+}

@@ -10,12 +10,12 @@ import (
 // physical (miss) I/O, while Cache.Accesses counts logical page requests.
 type Cache struct {
 	mu       sync.Mutex
-	under    Pager
-	capacity int
-	lru      *list.List               // of *cacheEntry, front = most recent
-	table    map[PageID]*list.Element // id -> element
-	accesses uint64
-	hits     uint64
+	under    Pager                    // immutable after NewCache
+	capacity int                      // immutable after NewCache
+	lru      *list.List               // front = most recent. guarded by mu
+	table    map[PageID]*list.Element // id -> element. guarded by mu
+	accesses uint64                   // guarded by mu
+	hits     uint64                   // guarded by mu
 }
 
 type cacheEntry struct {
@@ -54,6 +54,7 @@ func (c *Cache) ReadTracked(id PageID, p *Page, st *ScanStats) error {
 		*p = el.Value.(*cacheEntry).page
 		return nil
 	}
+	//lint:ignore lockorder write-through wrapper: Cache.mu sits strictly above its wrapped pager's lock, and the wrapped pager never calls back into the cache
 	if err := ReadTracked(c.under, id, p, st); err != nil {
 		return err
 	}
@@ -66,6 +67,7 @@ func (c *Cache) ReadTracked(id PageID, p *Page, st *ScanStats) error {
 func (c *Cache) Write(id PageID, p *Page) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	//lint:ignore lockorder write-through wrapper: Cache.mu sits strictly above its wrapped pager's lock, and the wrapped pager never calls back into the cache
 	if err := c.under.Write(id, p); err != nil {
 		return err
 	}

@@ -15,19 +15,21 @@ var ErrInjected = errors.New("pager: injected fault")
 // optional per-operation countdowns.
 type Faulty struct {
 	mu    sync.Mutex
-	under Pager
-	rng   *rand.Rand
+	under Pager      // immutable after NewFaulty
+	rng   *rand.Rand // guarded by mu
 
 	// ReadFailEvery / WriteFailEvery fail every k-th operation (0 = off).
-	ReadFailEvery  int
-	WriteFailEvery int
+	// Fault knobs are immutable once traffic flows: tests set them
+	// between construction and first use.
+	ReadFailEvery  int // immutable once in use
+	WriteFailEvery int // immutable once in use
 	// ReadFailProb / WriteFailProb fail with this probability (0 = off).
-	ReadFailProb  float64
-	WriteFailProb float64
-	// CorruptReads flips a byte in the page instead of returning an error.
-	CorruptReads bool
+	ReadFailProb  float64 // immutable once in use
+	WriteFailProb float64 // immutable once in use
+	// CorruptReads flips a byte in the page instead of failing the read.
+	CorruptReads bool // immutable once in use
 
-	reads, writes int
+	reads, writes int // guarded by mu
 }
 
 // NewFaulty wraps under; seed makes the probabilistic faults reproducible.

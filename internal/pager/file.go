@@ -10,10 +10,10 @@ import (
 // File is an os.File-backed Pager. Pages live at offset id×PageSize.
 type File struct {
 	mu     sync.Mutex
-	f      *os.File
-	pages  int
-	stats  Stats
-	closed bool
+	f      *os.File // guarded by mu
+	pages  int      // guarded by mu
+	stats  Stats    // guarded by mu
+	closed bool     // guarded by mu
 }
 
 // OpenFile opens (or creates) a page file at path. An existing file must
@@ -114,6 +114,7 @@ func (fp *File) Sync() error {
 	if fp.closed {
 		return ErrClosed
 	}
+	//lint:ignore lockorder Sync IS this pager's flush primitive: the mutex orders it against concurrent writes, and callers sync off the hot path
 	return fp.f.Sync()
 }
 

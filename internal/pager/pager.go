@@ -97,9 +97,9 @@ var ErrClosed = errors.New("pager: closed")
 // Mem is an in-memory Pager. The zero value is ready to use.
 type Mem struct {
 	mu     sync.Mutex
-	pages  []*Page
-	stats  Stats
-	closed bool
+	pages  []*Page // guarded by mu
+	stats  Stats   // guarded by mu
+	closed bool    // guarded by mu
 }
 
 // NewMem returns an empty in-memory pager.

@@ -100,14 +100,14 @@ func (c Config) withDefaults() Config {
 // Server serves KNN queries over one vitri.DB. Create with New; all
 // methods are safe for concurrent use.
 type Server struct {
-	db  *vitri.DB
-	cfg Config
-	adm *admission
-	met *serverMetrics
-	mux http.Handler
+	db  *vitri.DB      // immutable after New
+	cfg Config         // immutable after New
+	adm *admission     // immutable after New; internally synchronized
+	met *serverMetrics // immutable after New; internally synchronized
+	mux http.Handler   // immutable after New
 
 	mu       sync.Mutex
-	draining bool
+	draining bool           // guarded by mu
 	wg       sync.WaitGroup // in-flight requests + detached search work
 	inflight atomic.Int64   // requests inside the lifecycle gate
 
@@ -119,14 +119,16 @@ type Server struct {
 	// cooldown. Guarded by ckptHealthMu (leaf lock: never held across a
 	// DB call).
 	ckptHealthMu    sync.Mutex
-	lastCkptErr     error
-	lastCkptErrTime time.Time
-	lastCkptTime    time.Time // last successful checkpoint through this server
+	lastCkptErr     error     // guarded by ckptHealthMu
+	lastCkptErrTime time.Time // guarded by ckptHealthMu
+	// lastCkptTime is the last successful checkpoint through this
+	// server. guarded by ckptHealthMu
+	lastCkptTime time.Time
 
 	// Test hooks, called when non-nil; must be set before the first
 	// request (they are read without synchronization).
-	testHookAdmitted func() // holding an admission slot, before handler work
-	testHookWork     func() // inside the request's work goroutine
+	testHookAdmitted func() // immutable once serving; holds an admission slot
+	testHookWork     func() // immutable once serving; runs in the work goroutine
 }
 
 // New builds a Server over db. The db should be fully loaded; the index

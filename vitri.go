@@ -141,29 +141,29 @@ type DB struct {
 	// never acquire ckptMu while holding mu.
 	ckptMu sync.Mutex
 	mu     sync.RWMutex
-	opts   Options
+	opts   Options // immutable after New
 	// pending holds summaries added before the index exists; the index
 	// is built lazily on the first search (bulk construction beats
 	// repeated insertion).
-	pending []core.Summary
-	ix      *index.Index
-	ids     map[int]bool
+	pending []core.Summary // guarded by mu
+	ix      *index.Index   // guarded by mu
+	ids     map[int]bool   // guarded by mu
 	// dur is non-nil on databases opened with OpenDurable: mutations are
 	// journaled under mu and group-committed (fsynced) after release.
-	dur *durableState
+	dur *durableState // guarded by mu
 
 	// Test hooks, nil outside tests and set before any checkpoint runs
 	// (read without synchronization). The crash and equivalence suites
 	// use them to run mutations inside a checkpoint's unlocked windows:
 	// after the capture but before the snapshot write, and after the
 	// write but before the journal rotation.
-	testBeforeSnapshotWrite func()
-	testBeforeRotate        func()
+	testBeforeSnapshotWrite func() // immutable once serving
+	testBeforeRotate        func() // immutable once serving
 	// testDropRetainedSuffix reverts Checkpoint to the pre-retained
 	// rotate-to-empty. The crash suite flips it to prove the retained-
 	// suffix rotation is load-bearing: with it, mid-checkpoint crash
 	// states lose acknowledged mutations.
-	testDropRetainedSuffix bool
+	testDropRetainedSuffix bool // immutable once serving
 }
 
 // New creates an empty database. It panics if opts.Epsilon is not
@@ -425,17 +425,21 @@ func (db *DB) Seed() int64 { return db.opts.Seed }
 // on a database whose index was never built.
 func (db *DB) Close() error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
+	dur := db.dur
+	db.dur = nil
+	var ierr error
+	if db.ix != nil {
+		ierr = db.ix.Close()
+	}
+	db.mu.Unlock()
 	var jerr error
-	if db.dur != nil {
-		jerr = db.dur.wal.Close()
-		db.dur = nil
+	if dur != nil {
+		// The journal fsyncs on Close; do it outside db.mu so a slow
+		// sync cannot stall readers racing the shutdown.
+		jerr = dur.wal.Close()
 	}
-	if db.ix == nil {
-		return jerr
-	}
-	if err := db.ix.Close(); err != nil {
-		return err
+	if ierr != nil {
+		return ierr
 	}
 	return jerr
 }
