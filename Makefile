@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmtcheck lint lint-stats benchguard race e2e fuzz-smoke crash check bench bench-ingest bench-checkpoint
+.PHONY: all build test vet fmtcheck lint lint-stats benchguard race e2e fuzz-smoke crash check bench bench-ingest bench-checkpoint bench-shard
 
 all: check
 
@@ -37,11 +37,13 @@ lint:
 lint-stats:
 	$(GO) run ./cmd/vitrilint -stats -bench BENCH_lint.json ./...
 
-# benchguard fails the build when the committed BENCH_checkpoint.json
-# says the non-blocking checkpoint's engine p99 has degraded past 2x the
-# quiescent baseline (the disk co-tenancy section is informational).
+# benchguard fails the build when the committed benchmark numbers say a
+# contract has regressed: BENCH_checkpoint.json's engine p99 past 2x the
+# quiescent baseline (the non-blocking checkpoint; disk co-tenancy is
+# informational), or BENCH_shard.json recording non-equivalent sharded
+# results or collapsed scatter-gather search throughput.
 benchguard:
-	$(GO) run ./cmd/benchguard BENCH_checkpoint.json
+	$(GO) run ./cmd/benchguard BENCH_checkpoint.json BENCH_shard.json
 
 race:
 	$(GO) test -race ./...
@@ -87,3 +89,12 @@ bench-ingest:
 # on this machine.
 bench-checkpoint:
 	$(GO) run ./cmd/vitribench checkpoint
+
+# bench-shard measures the shard-per-core engine at 1/2/4/8 shards on a
+# fixed-seed corpus — batch ingest and scatter-gather search throughput —
+# and records whether every shard count returned results bit-identical to
+# the single engine, writing BENCH_shard.json. benchguard gates on the
+# equivalence verdict and on search throughput at 8 shards staying above
+# 0.35x the single engine.
+bench-shard:
+	$(GO) run ./cmd/vitribench shard

@@ -1,27 +1,41 @@
 // Command benchguard gates make check on the committed benchmark
-// numbers: it fails when BENCH_checkpoint.json's engine p99 ratio —
-// per-mutation latency during a checkpoint over the quiescent baseline,
-// on a RAM-backed store — exceeds 2x. That ratio is the non-blocking
-// checkpoint's contract; a regression means checkpoints have started
-// blocking the mutation path again.
+// numbers. Each path given (default BENCH_checkpoint.json) is checked by
+// the rules its basename selects:
 //
-// Only the engine section is gated. The disk_cotenancy section records
-// what sharing one filesystem journal with snapshot syncs costs on the
-// measurement machine; it is expected to exceed 2x and is reported, not
-// enforced.
+//   - BENCH_checkpoint*.json: fails when the engine p99 ratio —
+//     per-mutation latency during a checkpoint over the quiescent
+//     baseline, on a RAM-backed store — exceeds 2x. That ratio is the
+//     non-blocking checkpoint's contract; a regression means checkpoints
+//     have started blocking the mutation path again. Only the engine
+//     section is gated: the disk_cotenancy section records what sharing
+//     one filesystem journal with snapshot syncs costs on the
+//     measurement machine and is reported, not enforced.
+//
+//   - BENCH_shard*.json: fails when the recorded equivalence verdict is
+//     false (the sharded engine returned different results from the
+//     single engine — correctness, not speed), when any of the shard
+//     counts 1/2/4/8 is missing, or when scatter-gather search
+//     throughput at the highest shard count has collapsed below 0.35x
+//     the single engine (the fan-out tax has eaten the engine).
 //
 // Usage:
 //
-//	benchguard [path/to/BENCH_checkpoint.json]
+//	benchguard [path ...]
 package main
 
 import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 )
 
-const maxP99Ratio = 2.0
+const (
+	maxP99Ratio       = 2.0
+	minShardSpeedup   = 0.35
+	maxShardOfPattern = 8
+)
 
 type section struct {
 	P99Ratio *float64 `json:"p99_ratio"`
@@ -32,15 +46,36 @@ type benchCheckpoint struct {
 	DiskCotenancy *section `json:"disk_cotenancy"`
 }
 
+type benchShardRow struct {
+	Shards        int     `json:"shards"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	SearchSpeedup float64 `json:"search_speedup_vs_single"`
+}
+
+type benchShard struct {
+	Equivalent bool            `json:"equivalent"`
+	Rows       []benchShardRow `json:"rows"`
+}
+
 func main() {
-	path := "BENCH_checkpoint.json"
-	if len(os.Args) > 1 {
-		path = os.Args[1]
+	paths := os.Args[1:]
+	if len(paths) == 0 {
+		paths = []string{"BENCH_checkpoint.json"}
 	}
-	data, err := os.ReadFile(path)
-	if err != nil {
-		fatalf("%v", err)
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if strings.HasPrefix(filepath.Base(path), "BENCH_shard") {
+			checkShard(path, data)
+		} else {
+			checkCheckpoint(path, data)
+		}
 	}
+}
+
+func checkCheckpoint(path string, data []byte) {
 	var b benchCheckpoint
 	if err := json.Unmarshal(data, &b); err != nil {
 		fatalf("%s: %v", path, err)
@@ -59,6 +94,32 @@ func main() {
 		return
 	}
 	fmt.Printf("benchguard: engine p99 ratio %.3f (limit %.1fx)\n", ratio, maxP99Ratio)
+}
+
+func checkShard(path string, data []byte) {
+	var b benchShard
+	if err := json.Unmarshal(data, &b); err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	if !b.Equivalent {
+		fatalf("%s: sharded engine results diverge from the single engine — re-run make bench-shard and fix the engine, not the gate", path)
+	}
+	byShards := map[int]benchShardRow{}
+	for _, r := range b.Rows {
+		byShards[r.Shards] = r
+	}
+	for _, want := range []int{1, 2, 4, maxShardOfPattern} {
+		if _, ok := byShards[want]; !ok {
+			fatalf("%s: no row for %d shards — re-run make bench-shard", path, want)
+		}
+	}
+	top := byShards[maxShardOfPattern]
+	if top.SearchSpeedup < minShardSpeedup {
+		fatalf("%s: search throughput at %d shards is %.2fx the single engine (floor %.2fx) — scatter-gather overhead has collapsed search",
+			path, maxShardOfPattern, top.SearchSpeedup, minShardSpeedup)
+	}
+	fmt.Printf("benchguard: sharded engine equivalent; search at %d shards %.2fx single (floor %.2fx)\n",
+		maxShardOfPattern, top.SearchSpeedup, minShardSpeedup)
 }
 
 func fatalf(format string, args ...interface{}) {

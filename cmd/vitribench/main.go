@@ -6,8 +6,8 @@
 //	vitribench [flags] [experiment ...]
 //
 // Experiments: table2 table3 fig14 fig15 fig16 fig17 fig18 fig19 parallel
-// ingest checkpoint (default: all but ingest and checkpoint, in paper
-// order).
+// ingest checkpoint shard (default: all but ingest, checkpoint and
+// shard, in paper order).
 //
 // Examples:
 //
@@ -17,6 +17,7 @@
 //	vitribench -parallel 8 parallel  # sequential vs 8-worker query engine
 //	vitribench ingest                # AddBatch throughput by worker count
 //	vitribench checkpoint            # mutation latency during checkpoints
+//	vitribench shard                 # sharded engine throughput + equivalence
 package main
 
 import (
@@ -41,6 +42,7 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "search worker-pool width for the parallel experiment (0 = GOMAXPROCS)")
 		ingestOut = flag.String("ingest-out", "BENCH_ingest.json", "JSON output path for the ingest experiment (empty = no file)")
 		ckptOut   = flag.String("checkpoint-out", "BENCH_checkpoint.json", "JSON output path for the checkpoint experiment (empty = no file)")
+		shardOut  = flag.String("shard-out", "BENCH_shard.json", "JSON output path for the shard experiment (empty = no file)")
 	)
 	flag.Parse()
 
@@ -92,6 +94,9 @@ func main() {
 		"checkpoint": func(experiments.Config) ([]*metrics.Table, error) {
 			return runCheckpoint(*ckptOut)
 		},
+		"shard": func(cfg experiments.Config) ([]*metrics.Table, error) {
+			return runShard(cfg, *shardOut)
+		},
 	}
 
 	names := flag.Args()
@@ -104,7 +109,7 @@ func main() {
 	for _, name := range names {
 		fn, ok := runners[strings.ToLower(name)]
 		if !ok {
-			fatalf("unknown experiment %q (have: table2 table3 fig14 fig15 fig16 fig17 fig18 fig19 parallel extension ingest checkpoint)", name)
+			fatalf("unknown experiment %q (have: table2 table3 fig14 fig15 fig16 fig17 fig18 fig19 parallel extension ingest checkpoint shard)", name)
 		}
 		tables, err := fn(cfg)
 		if err != nil {

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"vitri"
+	"vitri/internal/dataset"
+	"vitri/internal/experiments"
+	"vitri/internal/metrics"
+)
+
+// The shard experiment measures the shard-per-core engine against the
+// single engine it must be indistinguishable from: batch ingest
+// throughput (routed group commits) and scatter-gather search throughput
+// at increasing shard counts, on the same corpus and query set. Before
+// any shard count's timing is reported, its search results are compared
+// bit-for-bit against the single engine's — a fast sharded engine that
+// ranks differently would be worthless, so BENCH_shard.json records the
+// equivalence verdict and benchguard refuses a file where it is false.
+// Like the ingest and checkpoint experiments it lives in package main
+// because it exercises the public vitri API.
+
+// shardSearchRounds is how many passes over the query set each shard
+// count's search timing averages.
+const shardSearchRounds = 3
+
+// shardRow is one shard-count measurement in BENCH_shard.json.
+type shardRow struct {
+	Shards        int     `json:"shards"`
+	IngestSeconds float64 `json:"ingest_seconds"`
+	VideosPerSec  float64 `json:"videos_per_sec"`
+	SearchSeconds float64 `json:"search_seconds"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	SearchSpeedup float64 `json:"search_speedup_vs_single"`
+	IngestSpeedup float64 `json:"ingest_speedup_vs_single"`
+}
+
+// shardReport is the BENCH_shard.json schema.
+type shardReport struct {
+	Scale      float64    `json:"scale"`
+	Videos     int        `json:"videos"`
+	Triplets   int        `json:"triplets"`
+	Epsilon    float64    `json:"epsilon"`
+	K          int        `json:"k"`
+	Queries    int        `json:"queries"`
+	Rounds     int        `json:"search_rounds"`
+	Equivalent bool       `json:"equivalent"`
+	Rows       []shardRow `json:"rows"`
+}
+
+// runShard builds the experiment corpus once, then ingests and queries
+// it at each shard count. The ingest timing covers AddBatch plus the
+// bulk index build; the search timing covers shardSearchRounds passes
+// over the query set through the scatter-gather path.
+func runShard(cfg experiments.Config, outPath string) ([]*metrics.Table, error) {
+	corpus, err := dataset.GenerateHist(dataset.DefaultHistConfig(cfg.Scale, cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	videos := make([]vitri.Video, len(corpus.Videos))
+	for i := range corpus.Videos {
+		videos[i] = vitri.Video{ID: corpus.Videos[i].ID, Frames: corpus.Videos[i].Frames}
+	}
+	nq := cfg.Queries
+	if nq > len(videos) {
+		nq = len(videos)
+	}
+	queries := make([]vitri.Summary, nq)
+	for i := range queries {
+		queries[i] = vitri.Summarize(-1, videos[i].Frames, cfg.Epsilon, cfg.Seed)
+	}
+
+	report := shardReport{
+		Scale:      cfg.Scale,
+		Videos:     len(videos),
+		Epsilon:    cfg.Epsilon,
+		K:          cfg.K,
+		Queries:    nq,
+		Rounds:     shardSearchRounds,
+		Equivalent: true,
+	}
+	table := &metrics.Table{
+		Title:   "Shard-per-core engine (ingest and scatter-gather search by shard count)",
+		Columns: []string{"shards", "ingest s", "videos/sec", "search s", "queries/sec", "search speedup", "equivalent"},
+	}
+
+	// reference holds the single engine's matches per query; every other
+	// shard count must reproduce them bit-for-bit.
+	var reference [][]vitri.Match
+	var single shardRow
+	for i, shards := range []int{1, 2, 4, 8} {
+		db := vitri.New(vitri.Options{Epsilon: cfg.Epsilon, Seed: cfg.Seed, Shards: shards})
+		start := time.Now()
+		itemErrs, err := db.AddBatch(videos)
+		if err != nil {
+			return nil, fmt.Errorf("shards %d: ingest: %w", shards, err)
+		}
+		for _, e := range itemErrs {
+			if e != nil {
+				return nil, fmt.Errorf("shards %d: ingest: %w", shards, e)
+			}
+		}
+		// The bulk index build is lazy; the first search pays for it, so it
+		// belongs to the ingest measurement, not the search loop.
+		if _, _, err := db.SearchSummary(&queries[0], cfg.K, vitri.Composed); err != nil {
+			return nil, fmt.Errorf("shards %d: index build: %w", shards, err)
+		}
+		ingest := time.Since(start)
+
+		matches := make([][]vitri.Match, nq)
+		start = time.Now()
+		for round := 0; round < shardSearchRounds; round++ {
+			for qi := range queries {
+				res, _, err := db.SearchSummary(&queries[qi], cfg.K, vitri.Composed)
+				if err != nil {
+					return nil, fmt.Errorf("shards %d: query %d: %w", shards, qi, err)
+				}
+				matches[qi] = res
+			}
+		}
+		search := time.Since(start)
+
+		if i == 0 {
+			reference = matches
+			report.Triplets = db.Triplets()
+		} else if !shardMatchesEqual(matches, reference) {
+			report.Equivalent = false
+		}
+
+		row := shardRow{
+			Shards:        shards,
+			IngestSeconds: ingest.Seconds(),
+			VideosPerSec:  float64(len(videos)) / ingest.Seconds(),
+			SearchSeconds: search.Seconds(),
+			QueriesPerSec: float64(shardSearchRounds*nq) / search.Seconds(),
+		}
+		if i == 0 {
+			single = row
+		}
+		row.SearchSpeedup = row.QueriesPerSec / single.QueriesPerSec
+		row.IngestSpeedup = row.VideosPerSec / single.VideosPerSec
+		report.Rows = append(report.Rows, row)
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprintf("%d", shards),
+			fmt.Sprintf("%.3f", row.IngestSeconds),
+			fmt.Sprintf("%.0f", row.VideosPerSec),
+			fmt.Sprintf("%.3f", row.SearchSeconds),
+			fmt.Sprintf("%.0f", row.QueriesPerSec),
+			fmt.Sprintf("%.2fx", row.SearchSpeedup),
+			fmt.Sprintf("%t", report.Equivalent),
+		})
+	}
+
+	if outPath != "" {
+		b, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(outPath, append(b, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return []*metrics.Table{table}, nil
+}
+
+// shardMatchesEqual reports whether two per-query match sets are
+// bit-identical: same videos, same similarity and shared-footage values
+// down to the float bits, in the same order.
+func shardMatchesEqual(got, want [][]vitri.Match) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for qi := range got {
+		if len(got[qi]) != len(want[qi]) {
+			return false
+		}
+		for j := range got[qi] {
+			g, w := got[qi][j], want[qi][j]
+			if g.VideoID != w.VideoID ||
+				math.Float64bits(g.Similarity) != math.Float64bits(w.Similarity) ||
+				math.Float64bits(g.Shared) != math.Float64bits(w.Shared) {
+				return false
+			}
+		}
+	}
+	return true
+}

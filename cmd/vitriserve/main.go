@@ -11,7 +11,13 @@
 // Durability: with -journal <dir>, every insert and remove is journaled
 // to <dir>/journal.wal and fsynced before the request is acknowledged;
 // restarts recover the store from <dir>/snapshot.vitri plus the journal,
-// truncating any torn tail a crash left. -checkpoint-every <N> folds the
+// truncating any torn tail a crash left. -shards N (default 1) runs the
+// shard-per-core engine: mutations route to one of N independent shards
+// by video id, searches scatter and merge with results byte-identical to
+// the single engine, and a durable store keeps one journal+snapshot per
+// shard under a cross-shard manifest (the shard count is fixed when the
+// store is created; later starts must pass the same N, or 0 to adopt
+// whatever the manifest records). -checkpoint-every <N> folds the
 // journal into a fresh snapshot whenever it reaches N operations (0 =
 // manual only, via POST /checkpoint); the fold runs concurrently with
 // mutations (two-phase checkpoint, see DESIGN.md §12), and after a
@@ -63,6 +69,7 @@ func main() {
 		journalDir  = flag.String("journal", "", "durable store directory: mutations are journaled and fsynced; restarts recover snapshot+journal")
 		ckptEvery   = flag.Int("checkpoint-every", 0, "fold the journal into a snapshot every N operations (0 = only on POST /checkpoint)")
 		ckptCool    = flag.Duration("checkpoint-cooldown", 30*time.Second, "suppress automatic checkpoints this long after one fails (negative = retry immediately)")
+		shards      = flag.Int("shards", 1, "shard-per-core engine: shard count (1 = classic single engine; an existing durable store fixes it, pass 0 to adopt)")
 	)
 	flag.Parse()
 	switch {
@@ -74,6 +81,10 @@ func main() {
 		fatalf("-checkpoint-every must be non-negative")
 	case *ckptEvery > 0 && *journalDir == "":
 		fatalf("-checkpoint-every needs -journal")
+	case *shards < 0:
+		fatalf("-shards must be non-negative")
+	case *shards == 0 && *journalDir == "":
+		fatalf("-shards 0 (adopt from store) needs -journal")
 	}
 
 	newPager := func() pager.Pager { return pager.NewMem() }
@@ -86,6 +97,7 @@ func main() {
 		Seed:              *seed,
 		SearchParallelism: *parallelism,
 		NewPager:          newPager,
+		Shards:            *shards,
 	}
 
 	db, err := loadDB(*corpusPath, *dbPath, *journalDir, opts)
@@ -168,7 +180,11 @@ func loadDB(corpusPath, dbPath, journalDir string, opts vitri.Options) (*vitri.D
 // from the corpus when the store is empty and one was given.
 func openDurable(corpusPath, journalDir string, opts vitri.Options) (*vitri.DB, error) {
 	// An existing store fixes ε; only a fresh one takes it from the flag.
+	// A flat store is marked by its snapshot, a sharded one by the
+	// MANIFEST that records its layout.
 	if _, err := os.Stat(filepath.Join(journalDir, "snapshot.vitri")); err == nil {
+		opts.Epsilon = 0
+	} else if _, err := os.Stat(filepath.Join(journalDir, "MANIFEST")); err == nil {
 		opts.Epsilon = 0
 	}
 	db, err := vitri.OpenDurable(journalDir, opts)

@@ -8,6 +8,7 @@ import (
 
 	"vitri/internal/core"
 	"vitri/internal/journal"
+	"vitri/internal/shard"
 	"vitri/internal/storefmt"
 	"vitri/internal/vfs"
 )
@@ -77,6 +78,14 @@ type durableState struct {
 // must match a non-empty store's epsilon (or be zero to adopt it), the
 // same contract as Load. The returned DB persists every mutation; see
 // Checkpoint for folding the journal down.
+//
+// With opts.Shards > 1 a fresh directory becomes a sharded store: a
+// manifest records the shard count and each shard keeps its own snapshot
+// + journal in a subdirectory. An existing store's layout wins — its
+// manifest (or its absence, for the classic flat layout) decides, and
+// opts.Shards must agree with it or be 0 to adopt. A flat store can
+// never be reopened sharded or vice versa; the shard count is fixed at
+// creation because routing is baked into which journal holds which video.
 func OpenDurable(dir string, opts Options) (*DB, error) {
 	d := DurableOptions{Dir: dir}
 	if opts.Durable != nil {
@@ -90,6 +99,47 @@ func OpenDurable(dir string, opts Options) (*DB, error) {
 	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("vitri: open durable: %w", err)
 	}
+	manPath := filepath.Join(dir, shard.ManifestFile)
+	//lint:ignore droppederr best-effort cleanup of a never-read temp file
+	fsys.Remove(manPath + ".tmp")
+	man, merr := shard.ReadManifest(fsys, manPath)
+	switch {
+	case merr == nil:
+		if opts.Shards > 1 && opts.Shards != man.Shards {
+			return nil, fmt.Errorf("vitri: open durable: store has %d shards; Options.Shards requests %d (pass 0 to adopt)", man.Shards, opts.Shards)
+		}
+		return openDurableSharded(dir, man, fsys, d, opts)
+	case storefmt.IsNotExist(merr):
+		if opts.Shards > 1 {
+			if flatStoreExists(fsys, dir) {
+				return nil, fmt.Errorf("vitri: open durable: %s holds a single-shard store, which cannot be reopened with Options.Shards = %d", dir, opts.Shards)
+			}
+			fresh := &shard.Manifest{Shards: opts.Shards, Cuts: make([]uint64, opts.Shards)}
+			if err := shard.WriteManifest(fsys, manPath, fresh); err != nil {
+				return nil, fmt.Errorf("vitri: open durable: manifest: %w", err)
+			}
+			return openDurableSharded(dir, fresh, fsys, d, opts)
+		}
+		return openDurableFlat(dir, fsys, d, opts)
+	default:
+		return nil, fmt.Errorf("vitri: open durable: %w", merr)
+	}
+}
+
+// flatStoreExists reports whether dir already holds a classic
+// single-shard snapshot or journal.
+func flatStoreExists(fsys vfs.FS, dir string) bool {
+	for _, name := range []string{snapshotFile, journalFile} {
+		if _, err := fsys.Stat(filepath.Join(dir, name)); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// openDurableFlat opens the classic single-shard snapshot + journal
+// layout in dir.
+func openDurableFlat(dir string, fsys vfs.FS, d DurableOptions, opts Options) (*DB, error) {
 	snapPath := filepath.Join(dir, snapshotFile)
 	walPath := filepath.Join(dir, journalFile)
 	// A crash can leave stale temp files behind; they are dead weight
@@ -185,8 +235,67 @@ func OpenDurable(dir string, opts Options) (*DB, error) {
 	return db, nil
 }
 
+// openDurableSharded opens a sharded store: each shard is a complete
+// flat durable store in its own subdirectory, recovered independently
+// (own snapshot, own journal replay, own torn-tail handling), and the
+// router wraps them with the manifest bookkeeping. Recovery then
+// verifies every recovered video still routes to the shard holding it.
+func openDurableSharded(dir string, man *shard.Manifest, fsys vfs.FS, d DurableOptions, opts Options) (*DB, error) {
+	n := man.Shards
+	if n < 2 {
+		return nil, fmt.Errorf("vitri: open durable: manifest shard count %d (a sharded store has at least 2)", n)
+	}
+	children := make([]*DB, 0, n)
+	closeAll := func() {
+		for _, sh := range children {
+			//lint:ignore droppederr open failed; best-effort release of the shards already opened
+			sh.Close()
+		}
+	}
+	copts := opts
+	copts.Shards = 0
+	for i := 0; i < n; i++ {
+		cd := d
+		cd.FS = fsys
+		co := copts
+		co.Durable = &cd
+		sh, err := OpenDurable(filepath.Join(dir, shard.DirName(i)), co)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("vitri: open durable shard %d: %w", i, err)
+		}
+		children = append(children, sh)
+		// Later shards must agree with the epsilon the first shard
+		// resolved (possibly adopted from its snapshot); each shard's own
+		// open enforces the match, turning divergence into an error.
+		copts.Epsilon = sh.opts.Epsilon
+	}
+	for i, sh := range children {
+		if err := sh.checkRouting(i, n); err != nil {
+			closeAll()
+			return nil, err
+		}
+	}
+	popts := opts
+	popts.Epsilon = copts.Epsilon
+	popts.Shards = n
+	return &DB{
+		opts: popts,
+		sub:  children,
+		shdur: &shardDur{
+			fs:           fsys,
+			dir:          dir,
+			manifestPath: filepath.Join(dir, shard.ManifestFile),
+			epoch:        man.Epoch,
+		},
+	}, nil
+}
+
 // Durable reports whether the database persists mutations.
 func (db *DB) Durable() bool {
+	if db.sub != nil {
+		return db.shdur != nil
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.dur != nil
@@ -214,23 +323,49 @@ func (db *DB) Durable() bool {
 // durably upgrades it to v2 here. Recovery cost and journal size are
 // proportional to operations since the last checkpoint, so long-running
 // services checkpoint periodically (vitriserve's -checkpoint-every).
+//
+// On a sharded database the same two phases run per shard — every
+// capture under one exclusive view-lock hold, so the per-shard cuts form
+// a single consistent cross-shard cut — and a third phase commits the
+// cut by atomically replacing the manifest. See checkpointSharded.
 func (db *DB) Checkpoint() error {
+	if db.sub != nil {
+		return db.checkpointSharded()
+	}
 	// ckptMu is level 0 in the lock hierarchy: always acquired before
 	// db.mu, never while holding it (vitrilint's lockorder enforces
 	// this). Serializing here keeps the capture→rotate window of one
 	// checkpoint from interleaving with another's.
 	db.ckptMu.Lock()
 	defer db.ckptMu.Unlock()
+	c, err := db.checkpointCapture()
+	if err != nil {
+		return err
+	}
+	return db.checkpointCommit(c)
+}
 
-	// Phase 1 — capture. A read hold suffices: mutators take the write
-	// lock, so summaries and cut are a consistent pair, while searches
-	// stay unblocked. The summary copies own their memory — later
-	// mutations touch the live structures, never these.
+// ckptCapture is checkpointCapture's output: the consistent (summaries,
+// journal cut) pair pinned under db.mu, encoded as the snapshot to
+// write, plus the durable state it was captured against.
+type ckptCapture struct {
+	dur  *durableState
+	snap *storefmt.Snapshot
+	cut  journal.Cut
+}
+
+// checkpointCapture is Checkpoint's phase 1 — capture. A read hold
+// suffices: mutators take the write lock, so summaries and cut are a
+// consistent pair, while searches stay unblocked. The summary copies own
+// their memory — later mutations touch the live structures, never these.
+// Callers serialize via ckptMu (a shard router serializes on its own
+// ckptMu; per-shard engines are not independently reachable).
+func (db *DB) checkpointCapture() (*ckptCapture, error) {
 	db.mu.RLock()
 	dur := db.dur
 	if dur == nil {
 		db.mu.RUnlock()
-		return ErrNotDurable
+		return nil, ErrNotDurable
 	}
 	var sums []core.Summary
 	var err error
@@ -245,17 +380,26 @@ func (db *DB) Checkpoint() error {
 	}
 	db.mu.RUnlock()
 	if err != nil {
-		return fmt.Errorf("vitri: checkpoint: %w", err)
+		return nil, fmt.Errorf("vitri: checkpoint: %w", err)
 	}
-
-	// Phase 2 — write and rotate, with mutations in flight.
 	storefmt.SortSummaries(sums)
-	snap := &storefmt.Snapshot{
-		Version:   storefmt.Version2,
-		Epsilon:   db.opts.Epsilon,
-		LastSeq:   cut.LastSeq,
-		Summaries: sums,
-	}
+	return &ckptCapture{
+		dur: dur,
+		snap: &storefmt.Snapshot{
+			Version:   storefmt.Version2,
+			Epsilon:   db.opts.Epsilon,
+			LastSeq:   cut.LastSeq,
+			Summaries: sums,
+		},
+		cut: cut,
+	}, nil
+}
+
+// checkpointCommit is Checkpoint's phase 2 — write and rotate, with
+// mutations in flight, then publish the bookkeeping under a brief write
+// hold.
+func (db *DB) checkpointCommit(c *ckptCapture) error {
+	dur := c.dur
 	if hook := db.testBeforeSnapshotWrite; hook != nil {
 		hook()
 	}
@@ -264,7 +408,7 @@ func (db *DB) Checkpoint() error {
 	// journaling filesystem the two fsync streams would entangle in the
 	// filesystem journal and stall acknowledged mutations for tens of
 	// milliseconds. Through the gate, a commit waits at most one chunk.
-	if err := storefmt.WriteSnapshotFileGated(dur.fs, dur.snapPath, snap, dur.wal.WithSyncSlot); err != nil {
+	if err := storefmt.WriteSnapshotFileGated(dur.fs, dur.snapPath, c.snap, dur.wal.WithSyncSlot); err != nil {
 		return fmt.Errorf("vitri: checkpoint: %w", err)
 	}
 	if hook := db.testBeforeRotate; hook != nil {
@@ -276,10 +420,11 @@ func (db *DB) Checkpoint() error {
 	// RotateRetain excludes appends on the journal's own mutex while it
 	// copies the post-cut suffix into the replacement journal, so no
 	// acknowledged record is lost however the rotation lands.
+	var err error
 	if db.testDropRetainedSuffix {
-		err = dur.wal.Rotate(cut.LastSeq + 1)
+		err = dur.wal.Rotate(c.cut.LastSeq + 1)
 	} else {
-		err = dur.wal.RotateRetain(cut)
+		err = dur.wal.RotateRetain(c.cut)
 	}
 	if err != nil {
 		return fmt.Errorf("vitri: checkpoint: rotate journal: %w", err)
@@ -291,7 +436,7 @@ func (db *DB) Checkpoint() error {
 	// through db.dur without re-checking it.
 	db.mu.Lock()
 	if db.dur == dur {
-		dur.snapLastSeq = cut.LastSeq
+		dur.snapLastSeq = c.cut.LastSeq
 		dur.snapVersion = storefmt.Version2
 	}
 	db.mu.Unlock()
@@ -318,8 +463,17 @@ type DurabilityStats struct {
 	Journal journal.Stats
 }
 
-// DurabilityStats snapshots the durable store's counters.
+// DurabilityStats snapshots the durable store's counters. A sharded
+// database aggregates its shards: counts (journal depth, bytes, fsyncs)
+// and the per-shard sequence spaces (LastSeq, DurableSeq, SnapshotSeq —
+// together the total operations journaled, durable and checkpointed) are
+// summed, fsync latency histograms are merged, SnapshotVersion is the
+// lowest across shards, and Checkpoints counts committed cross-shard
+// checkpoints (manifest replacements).
 func (db *DB) DurabilityStats() DurabilityStats {
+	if db.sub != nil {
+		return db.durabilityStatsSharded()
+	}
 	// Snapshot db.dur once under the lock: Close nils the field under the
 	// write lock, so re-reading it after RUnlock could dereference nil.
 	db.mu.RLock()

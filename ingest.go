@@ -43,6 +43,38 @@ func (db *DB) AddBatch(videos []Video) ([]error, error) {
 	if len(videos) == 0 {
 		return nil, nil
 	}
+	summaries, itemErrs := db.summarizeBatch(videos)
+	if db.sub != nil {
+		return db.addBatchSharded(summaries, itemErrs)
+	}
+	all := make([]int, len(videos))
+	for i := range all {
+		all[i] = i
+	}
+	dur, maxSeq, batchErr := db.applyBatch(summaries, all, itemErrs)
+	if cerr := dur.commitSeq(maxSeq); cerr != nil {
+		// The single group commit covers every journaled item: none of
+		// them is durable, so the failure must surface in each item's
+		// slot, not just the batch-level error — callers inspecting
+		// itemErrs per item would otherwise treat non-durable inserts as
+		// acknowledged.
+		for i := range itemErrs {
+			if itemErrs[i] == nil {
+				itemErrs[i] = cerr
+			}
+		}
+		if batchErr == nil {
+			batchErr = cerr
+		}
+	}
+	return itemErrs, batchErr
+}
+
+// summarizeBatch is AddBatch's CPU-bound phase: one summary per video,
+// computed by the worker pool, with per-item validation errors in the
+// matching itemErrs slots. It touches no database state beyond the
+// immutable options, so a shard router runs it once for all shards.
+func (db *DB) summarizeBatch(videos []Video) ([]core.Summary, []error) {
 	summaries := make([]core.Summary, len(videos))
 	itemErrs := make([]error, len(videos))
 	workers := db.ingestParallelism()
@@ -78,7 +110,17 @@ func (db *DB) AddBatch(videos []Video) ([]error, error) {
 		}()
 	}
 	wg.Wait()
+	return summaries, itemErrs
+}
 
+// applyBatch is AddBatch's apply phase on one engine: the summaries at
+// indices mine (ascending, preserving input order) are validated,
+// applied and journaled under a single db.mu hold, skipping slots whose
+// itemErrs entry is already set and writing failures into their slots.
+// Returns the commit ticket for the caller's group commit; a shard
+// router calls this concurrently on different shards with disjoint index
+// sets, so the shared slices are written race-free.
+func (db *DB) applyBatch(summaries []core.Summary, mine []int, itemErrs []error) (*durableState, uint64, error) {
 	db.mu.Lock()
 	var maxSeq uint64
 	// A failed journal append poisons the writer: every later append can
@@ -88,7 +130,7 @@ func (db *DB) AddBatch(videos []Video) ([]error, error) {
 	// thousands of pointless index mutations against a store that can no
 	// longer acknowledge anything.
 	var poisoned error
-	for i := range videos {
+	for _, i := range mine {
 		if itemErrs[i] != nil {
 			continue
 		}
@@ -121,22 +163,7 @@ func (db *DB) AddBatch(videos []Video) ([]error, error) {
 	batchErr := db.maybeRebuildLocked()
 	dur := db.dur // snapshotted under the lock; see commitSeq
 	db.mu.Unlock()
-	if cerr := dur.commitSeq(maxSeq); cerr != nil {
-		// The single group commit covers every journaled item: none of
-		// them is durable, so the failure must surface in each item's
-		// slot, not just the batch-level error — callers inspecting
-		// itemErrs per item would otherwise treat non-durable inserts as
-		// acknowledged.
-		for i := range itemErrs {
-			if itemErrs[i] == nil {
-				itemErrs[i] = cerr
-			}
-		}
-		if batchErr == nil {
-			batchErr = cerr
-		}
-	}
-	return itemErrs, batchErr
+	return dur, maxSeq, batchErr
 }
 
 // BuildParallel summarizes videos across a worker pool, bulk-loads them
@@ -156,7 +183,7 @@ func BuildParallel(videos []Video, opts Options) (*DB, error) {
 	if len(videos) > 0 {
 		// Force the bulk index build now so the first search doesn't pay
 		// for it.
-		if _, err := db.index(); err != nil {
+		if err := db.forceBuild(); err != nil {
 			return nil, err
 		}
 	}

@@ -85,23 +85,36 @@ func (qt *queryTriplet) covers(key float64) bool {
 	return false
 }
 
-// videoScore accumulates per-video similarity evidence.
+// videoScore accumulates per-video similarity evidence as canonical
+// (query triplet, db cluster) cells. Each cell is written by exactly one
+// (query triplet, record) evaluation — scan ranges for one triplet are
+// disjoint, and a video's cluster ordinal names one record — so the cell
+// map is a pure function of (query, video contents), independent of scan
+// order, task split, parallelism, or how the key space was mapped. That
+// independence is what lets a sharded database reproduce the single-index
+// engine's similarities bit for bit: rankLocked folds the cells in a
+// canonical order of its own choosing.
 type videoScore struct {
-	qSums  []float64         // per query triplet: Σ shared with this video
-	dbSums map[int32]float64 // per db cluster ordinal: Σ shared
+	cells  map[int64]float64 // cellKey(qi, cn) -> shared frames
 	dbCnts map[int32]int32   // db cluster ordinal -> |C|
 }
 
-// merge folds another score for the same video in. Addition is a left
-// fold in task order, so a parallel search reproduces the sequential
-// float-accumulation order bit for bit.
+// cellKey packs a query triplet index and a db cluster ordinal into one
+// map key: qi in the high 32 bits, cn (as unsigned) in the low 32.
+func cellKey(qi int, cn int32) int64 {
+	return int64(qi)<<32 | int64(uint32(cn))
+}
+
+// merge folds another score for the same video in. Cells are keyed by
+// (query triplet, cluster), each set by exactly one evaluation, so the
+// union is order-independent — merge order across tasks cannot change
+// the ranked output.
 func (vs *videoScore) merge(o *videoScore) {
-	for i, s := range o.qSums {
-		vs.qSums[i] += s
+	for k, s := range o.cells {
+		vs.cells[k] += s
 	}
-	for cn, s := range o.dbSums {
-		vs.dbSums[cn] += s
-		vs.dbCnts[cn] = o.dbCnts[cn]
+	for cn, c := range o.dbCnts {
+		vs.dbCnts[cn] = c
 	}
 }
 
@@ -183,9 +196,10 @@ func (ix *Index) SearchParallel(q *core.Summary, k int, mode Mode, parallelism i
 		return nil, stats, err
 	}
 
-	// Merge per-task score maps in task order: the left fold reproduces
-	// the float-accumulation order of a sequential search exactly, so
-	// parallel and sequential searches return byte-identical results.
+	// Merge per-task score maps. Scores are canonical (qi, cluster) cells
+	// — see videoScore — so the merge is an order-independent union and
+	// parallel, sequential, and sharded searches all return byte-identical
+	// results.
 	scores := make(map[int32]*videoScore)
 	for i := range results {
 		stats.add(&results[i].stats)
@@ -282,14 +296,12 @@ func (ix *Index) runTask(qts []queryTriplet, tk *scanTask, res *taskResult) erro
 				vs := res.scores[rec.VideoID]
 				if vs == nil {
 					vs = &videoScore{
-						qSums:  make([]float64, len(qts)),
-						dbSums: make(map[int32]float64),
+						cells:  make(map[int64]float64),
 						dbCnts: make(map[int32]int32),
 					}
 					res.scores[rec.VideoID] = vs
 				}
-				vs.qSums[qi] += shared
-				vs.dbSums[rec.ClusterN] += shared
+				vs.cells[cellKey(qi, rec.ClusterN)] += shared
 				vs.dbCnts[rec.ClusterN] = rec.Count
 			}
 		}
@@ -299,33 +311,69 @@ func (ix *Index) runTask(qts []queryTriplet, tk *scanTask, res *taskResult) erro
 	return err
 }
 
+// scoreCell is one unpacked (query triplet, db cluster) evidence cell,
+// the unit rankLocked's canonical fold sorts and sums.
+type scoreCell struct {
+	qi, cn int32
+	v      float64
+}
+
 // rankLocked turns accumulated scores into the sorted top-k result list.
-// Caller holds at least a read lock. The per-cluster fold iterates
-// cluster ordinals in sorted order so the float summation order — and
-// therefore the returned similarities — is deterministic run to run.
+// Caller holds at least a read lock. Every float summation runs in a
+// canonical order derived from the cells themselves — query-side sums
+// fold each triplet's cells in ascending cluster order, db-side sums fold
+// each cluster's cells in ascending triplet order — so the returned
+// similarities are a pure function of (query, matching video contents):
+// identical run to run, at every parallelism, and across any sharding of
+// the database.
 func (ix *Index) rankLocked(q *core.Summary, qts []queryTriplet, scores map[int32]*videoScore, k int) []Result {
 	results := make([]Result, 0, len(scores))
-	var cns []int32
+	var cells []scoreCell
 	for vid, vs := range scores {
 		info := ix.catalog[vid]
+		cells = cells[:0]
+		for key, v := range vs.cells {
+			cells = append(cells, scoreCell{qi: int32(key >> 32), cn: int32(uint32(key)), v: v})
+		}
 		var total float64
-		for i, s := range vs.qSums {
-			if c := float64(qts[i].vt.Count); s > c {
+		// Query side: per triplet (ascending), clamp Σ shared at the
+		// triplet's own frame count.
+		sort.Slice(cells, func(i, j int) bool {
+			if cells[i].qi != cells[j].qi {
+				return cells[i].qi < cells[j].qi
+			}
+			return cells[i].cn < cells[j].cn
+		})
+		for i := 0; i < len(cells); {
+			j := i
+			var s float64
+			for ; j < len(cells) && cells[j].qi == cells[i].qi; j++ {
+				s += cells[j].v
+			}
+			if c := float64(qts[cells[i].qi].vt.Count); s > c {
 				s = c
 			}
 			total += s
+			i = j
 		}
-		cns = cns[:0]
-		for cn := range vs.dbSums {
-			cns = append(cns, cn)
-		}
-		sort.Slice(cns, func(i, j int) bool { return cns[i] < cns[j] })
-		for _, cn := range cns {
-			s := vs.dbSums[cn]
-			if c := float64(vs.dbCnts[cn]); s > c {
+		// DB side: per cluster (ascending), clamp at the cluster's |C|.
+		sort.Slice(cells, func(i, j int) bool {
+			if cells[i].cn != cells[j].cn {
+				return cells[i].cn < cells[j].cn
+			}
+			return cells[i].qi < cells[j].qi
+		})
+		for i := 0; i < len(cells); {
+			j := i
+			var s float64
+			for ; j < len(cells) && cells[j].cn == cells[i].cn; j++ {
+				s += cells[j].v
+			}
+			if c := float64(vs.dbCnts[cells[i].cn]); s > c {
 				s = c
 			}
 			total += s
+			i = j
 		}
 		if total <= 0 {
 			continue

@@ -9,15 +9,16 @@ import (
 // LockOrder enforces the documented lock hierarchy and structural locking
 // hygiene. The hierarchy, outermost first, is
 //
-//	checkpoint (level 0) → DB (level 1) → Index (level 2) → Tree (level 3) → pager (level 4)
+//	checkpoint (level 0) → shard-view (level 1) → DB (level 2) → Index (level 3) → Tree (level 4) → pager (level 5)
 //
 // where a mutex's level comes first from its field name (a field named
 // ckptMu is the checkpoint serialization lock, above everything — it is
 // taken before the short db.mu holds inside DB.Checkpoint and must never
-// be acquired while db.mu is held), then from the type that owns it (a
-// type named DB, Index or Tree) or, failing that, from the owning type's
-// package (btree → 3, pager → 4). Within one function body the analyzer
-// flags:
+// be acquired while db.mu is held; a field named viewMu is the shard
+// router's cross-shard view lock, taken before any per-shard db.mu),
+// then from the type that owns it (a type named DB, Index or Tree) or,
+// failing that, from the owning type's package (btree → 4, pager → 5).
+// Within one function body the analyzer flags:
 //
 //   - acquiring a mutex at the same or an earlier level while holding a
 //     later one (a DB lock taken under a pager lock inverts the
@@ -42,7 +43,7 @@ import (
 // (RunModule, see lockorder_module.go).
 var LockOrder = &Analyzer{
 	Name:      "lockorder",
-	Doc:       "check checkpoint → DB → Index → Tree → pager lock ordering (intra- and interprocedural), double-acquires, upgrades, unlock-on-every-path, cycles, and locks held across fsync or blocking sends",
+	Doc:       "check checkpoint → shard-view → DB → Index → Tree → pager lock ordering (intra- and interprocedural), double-acquires, upgrades, unlock-on-every-path, cycles, and locks held across fsync or blocking sends",
 	Run:       runLockOrder,
 	RunModule: runLockOrderModule,
 }
@@ -51,10 +52,10 @@ var LockOrder = &Analyzer{
 // owning package name — consulted in that order: the field name is the
 // most specific signal (ckptMu on DB must rank above DB's own mu).
 var (
-	lockLevelByField = map[string]int{"ckptMu": 0}
-	lockLevelByType  = map[string]int{"DB": 1, "Index": 2, "Tree": 3}
-	lockLevelByPkg   = map[string]int{"btree": 3, "pager": 4}
-	lockLevelLabel   = []string{"checkpoint", "DB", "Index", "Tree", "pager"}
+	lockLevelByField = map[string]int{"ckptMu": 0, "viewMu": 1}
+	lockLevelByType  = map[string]int{"DB": 2, "Index": 3, "Tree": 4}
+	lockLevelByPkg   = map[string]int{"btree": 4, "pager": 5}
+	lockLevelLabel   = []string{"checkpoint", "shard-view", "DB", "Index", "Tree", "pager"}
 )
 
 // lockCall is one recognized sync.Mutex/RWMutex (un)lock call site.

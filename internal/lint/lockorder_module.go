@@ -57,7 +57,7 @@ func runLockOrderModule(mp *ModulePass) {
 				hier := h.level >= 0 && acq.op.level >= 0 && acq.op.level <= h.level && h.key != acq.op.key
 				if hier {
 					mp.Reportf(acq.op.pos,
-						"lock order violation: acquiring %s lock %s while holding %s lock %s; the hierarchy is checkpoint → DB → Index → Tree → pager",
+						"lock order violation: acquiring %s lock %s while holding %s lock %s; the hierarchy is checkpoint → shard-view → DB → Index → Tree → pager",
 						lockLevelLabel[acq.op.level], acq.op.key, lockLevelLabel[h.level], h.key)
 				}
 				if h.class != nil && acq.op.class != nil && h.class != acq.op.class {
@@ -71,7 +71,7 @@ func runLockOrderModule(mp *ModulePass) {
 		for i := range f.syncs {
 			s := &f.syncs[i]
 			for _, h := range s.held {
-				if h.level >= 1 && h.level <= 4 {
+				if h.level >= 1 && h.level <= 5 {
 					mp.Reportf(s.pos,
 						"%s lock %s is held across %s, which fsyncs; fsync latency under the lock stalls every waiter — move the sync outside",
 						lockLevelLabel[h.level], h.key, funcDisplay(s.callee))
@@ -155,11 +155,11 @@ func runLockOrderModule(mp *ModulePass) {
 					if len(viol) > 0 {
 						sort.Strings(viol)
 						mp.Reportf(call.pos,
-							"lock order violation: %s lock %s is held across a call that may acquire %s (%s); the hierarchy is checkpoint → DB → Index → Tree → pager",
+							"lock order violation: %s lock %s is held across a call that may acquire %s (%s); the hierarchy is checkpoint → shard-view → DB → Index → Tree → pager",
 							lockLevelLabel[h.level], h.key, strings.Join(viol, ", "), mf.chainString(wit, acquireLeaf))
 					}
 				}
-				if h.level >= 1 && h.level <= 4 && sy != nil {
+				if h.level >= 1 && h.level <= 5 && sy != nil {
 					mp.Reportf(call.pos,
 						"%s lock %s is held across a call that can fsync (%s); fsync latency under the lock stalls every waiter — move the sync outside",
 						lockLevelLabel[h.level], h.key, mf.chainString(sy, syncLeaf))

@@ -9,11 +9,13 @@ import (
 	"fixture/pager"
 )
 
-// DB, Index and Tree carry the level-1/2/3 locks of the documented
-// hierarchy; pager.Store carries level 4; DB's ckptMu field carries
-// level 0 (the checkpoint serialization lock, ranked by field name).
+// DB, Index and Tree carry the level-2/3/4 locks of the documented
+// hierarchy; pager.Store carries level 5; DB's ckptMu field carries
+// level 0 (the checkpoint serialization lock) and viewMu level 1 (the
+// shard router's cross-shard view lock), both ranked by field name.
 type DB struct {
 	ckptMu sync.Mutex
+	viewMu sync.RWMutex
 	mu     sync.RWMutex
 }
 
@@ -65,6 +67,35 @@ func CkptThenDB(db *DB) {
 	db.mu.RUnlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
+}
+
+// MutationThenView acquires the shard-view lock under a per-shard DB
+// lock — against a snapshot reader holding viewMu and waiting on db.mu,
+// that deadlocks.
+func MutationThenView(db *DB) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.viewMu.RLock() // want "lock order violation: acquiring shard-view lock db.viewMu while holding DB lock db.mu"
+	defer db.viewMu.RUnlock()
+}
+
+// ViewThenCkpt acquires the checkpoint lock under the shard-view lock:
+// a sharded checkpoint takes ckptMu first, then viewMu.
+func ViewThenCkpt(db *DB) {
+	db.viewMu.Lock()
+	defer db.viewMu.Unlock()
+	db.ckptMu.Lock() // want "lock order violation: acquiring checkpoint lock db.ckptMu while holding shard-view lock db.viewMu"
+	defer db.ckptMu.Unlock()
+}
+
+// ViewThenDB descends from the shard-view lock into a shard's DB lock:
+// clean — the shard router's mutation and snapshot paths take exactly
+// this shape.
+func ViewThenDB(router, shard *DB) {
+	router.viewMu.RLock()
+	defer router.viewMu.RUnlock()
+	shard.mu.Lock()
+	defer shard.mu.Unlock()
 }
 
 // Upgrade attempts the RLock-then-Lock upgrade on one mutex.

@@ -103,6 +103,41 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 }
 
+// Merge folds another snapshot into a copy of this one: counts and sums
+// add, Max takes the larger. It exists to aggregate per-shard histograms
+// recorded against identical bucket bounds into one distribution.
+// Snapshots with mismatched bounds cannot be meaningfully merged; the
+// one with more observations wins (defensive — every fsync histogram in
+// the module shares LatencyBounds).
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	if s.Count == 0 {
+		return o
+	}
+	if o.Count == 0 {
+		return s
+	}
+	if len(s.Bounds) != len(o.Bounds) || len(s.Counts) != len(o.Counts) {
+		if o.Count > s.Count {
+			return o
+		}
+		return s
+	}
+	out := HistogramSnapshot{
+		Count:  s.Count + o.Count,
+		Sum:    s.Sum + o.Sum,
+		Max:    s.Max,
+		Bounds: append([]float64(nil), s.Bounds...),
+		Counts: append([]uint64(nil), s.Counts...),
+	}
+	if o.Max > out.Max {
+		out.Max = o.Max
+	}
+	for i, c := range o.Counts {
+		out.Counts[i] += c
+	}
+	return out
+}
+
 // MeanValue returns the mean observation (0 when empty).
 func (s *HistogramSnapshot) MeanValue() float64 {
 	if s.Count == 0 {

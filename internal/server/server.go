@@ -238,28 +238,36 @@ func statusFor(err error) int {
 }
 
 // CachedPager returns a NewPager function for vitri.Options that wraps
-// every store the database creates (one per build or rebuild) in an LRU
-// page cache of the given capacity, plus a stats function reporting the
-// live cache's hit rate — the /stats plumbing for a server whose DB is
-// built with it.
+// every store the database creates in an LRU page cache of the given
+// capacity, plus a stats function reporting the aggregate hit rate — the
+// /stats plumbing for a server whose DB is built with it. A database
+// creates one pager per tree build, and a sharded database one per shard
+// per build, so the stats sum over every cache created: the counters are
+// monotone across rebuilds and cover all shards.
 func CachedPager(newUnder func() pager.Pager, capacity int) (newPager func() pager.Pager, stats func() (accesses, hits uint64, rate float64)) {
 	var mu sync.Mutex
-	var cur *pager.Cache
+	var caches []*pager.Cache
 	newPager = func() pager.Pager {
 		c := pager.NewCache(newUnder(), capacity)
 		mu.Lock()
-		cur = c
+		caches = append(caches, c)
 		mu.Unlock()
 		return c
 	}
 	stats = func() (uint64, uint64, float64) {
 		mu.Lock()
-		c := cur
+		all := append([]*pager.Cache(nil), caches...)
 		mu.Unlock()
-		if c == nil {
+		var accesses, hits uint64
+		for _, c := range all {
+			a, h, _ := c.HitRate()
+			accesses += a
+			hits += h
+		}
+		if accesses == 0 {
 			return 0, 0, 0
 		}
-		return c.HitRate()
+		return accesses, hits, float64(hits) / float64(accesses)
 	}
 	return newPager, stats
 }

@@ -1,0 +1,191 @@
+// Package shard holds the shard-per-core engine's routing function and
+// the cross-shard checkpoint manifest.
+//
+// Routing is a pure function hash(videoID) % N so a video's home shard is
+// stable across processes, restarts and machines — the property the
+// durable layout depends on (each shard directory replays only its own
+// journal, and recovery can verify every recovered video still routes to
+// the shard that holds it).
+//
+// The manifest is the sharded store's commit record: it pins the shard
+// count and, after every checkpoint, the per-shard journal cut sequences
+// that together form one consistent cross-shard cut. It is replaced only
+// via temp file + fsync + rename + directory sync, and carries a checksum
+// so a torn write is detected at open instead of being read as a valid
+// (wrong) cut.
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"vitri/internal/storefmt"
+	"vitri/internal/vfs"
+)
+
+// Open flags, named for readability at the call sites.
+const (
+	readOnly         = os.O_RDONLY
+	writeCreateTrunc = os.O_WRONLY | os.O_CREATE | os.O_TRUNC
+)
+
+// ManifestFile is the manifest's name inside a sharded durable directory.
+// Its presence is what distinguishes the sharded layout from the flat
+// single-shard snapshot + journal layout.
+const ManifestFile = "MANIFEST"
+
+// DirName returns shard i's subdirectory name inside a sharded durable
+// directory.
+func DirName(i int) string {
+	return fmt.Sprintf("shard-%03d", i)
+}
+
+// Route returns the home shard of videoID among n shards. It is a stable
+// pure function: the same id routes to the same shard in every process
+// and on every platform. The id is mixed through the splitmix64 finalizer
+// first so dense sequential ids (the common case) spread evenly instead
+// of striping by id % n.
+func Route(videoID, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	x := uint64(int64(videoID))
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(n))
+}
+
+// Manifest is the sharded store's commit record.
+type Manifest struct {
+	// Shards is the store's shard count, fixed at creation.
+	Shards int
+	// Epoch counts committed cross-shard checkpoints. Recovery does not
+	// interpret it (each shard's snapshot LastSeq filter is
+	// self-describing); it exists so operators and tests can tell which
+	// checkpoint a directory reflects.
+	Epoch uint64
+	// Cuts holds, per shard, the journal sequence folded into that
+	// shard's snapshot at the last committed checkpoint (0 before any).
+	Cuts []uint64
+}
+
+// Manifest wire layout: magic, version, shard count, epoch, one cut per
+// shard, then a CRC-32C over everything before it.
+const (
+	manifestMagic   = "VITRISHD"
+	manifestVersion = 1
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// encode renders the manifest's wire bytes.
+func (m *Manifest) encode() []byte {
+	buf := make([]byte, 0, len(manifestMagic)+4+4+8+8*len(m.Cuts)+4)
+	buf = append(buf, manifestMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, manifestVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Shards))
+	buf = binary.LittleEndian.AppendUint64(buf, m.Epoch)
+	for _, c := range m.Cuts {
+		buf = binary.LittleEndian.AppendUint64(buf, c)
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+}
+
+// decode parses and verifies manifest bytes.
+func decode(data []byte) (*Manifest, error) {
+	header := len(manifestMagic) + 4 + 4 + 8
+	if len(data) < header+4 {
+		return nil, fmt.Errorf("shard: manifest truncated (%d bytes)", len(data))
+	}
+	if string(data[:len(manifestMagic)]) != manifestMagic {
+		return nil, fmt.Errorf("shard: bad manifest magic %q", data[:len(manifestMagic)])
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.Checksum(body, crcTable); got != sum {
+		return nil, fmt.Errorf("shard: manifest checksum mismatch (stored %08x, computed %08x)", sum, got)
+	}
+	off := len(manifestMagic)
+	if v := binary.LittleEndian.Uint32(data[off:]); v != manifestVersion {
+		return nil, fmt.Errorf("shard: unsupported manifest version %d", v)
+	}
+	off += 4
+	m := &Manifest{Shards: int(binary.LittleEndian.Uint32(data[off:]))}
+	off += 4
+	m.Epoch = binary.LittleEndian.Uint64(data[off:])
+	off += 8
+	if m.Shards <= 0 {
+		return nil, fmt.Errorf("shard: manifest shard count %d", m.Shards)
+	}
+	if want := off + 8*m.Shards; len(body) != want {
+		return nil, fmt.Errorf("shard: manifest holds %d bytes of cuts, want %d shards", len(body)-off, m.Shards)
+	}
+	m.Cuts = make([]uint64, m.Shards)
+	for i := range m.Cuts {
+		m.Cuts[i] = binary.LittleEndian.Uint64(data[off:])
+		off += 8
+	}
+	return m, nil
+}
+
+// ReadManifest loads and verifies the manifest at path. A missing file
+// reports through storefmt.IsNotExist; any other failure (truncation,
+// torn write, checksum mismatch) is an error — a sharded store without a
+// readable manifest must not be opened with guessed parameters.
+func ReadManifest(fsys vfs.FS, path string) (*Manifest, error) {
+	f, err := fsys.OpenFile(path, readOnly, 0)
+	if err != nil {
+		return nil, err
+	}
+	data, rerr := io.ReadAll(f)
+	cerr := f.Close()
+	if rerr != nil {
+		return nil, fmt.Errorf("shard: read manifest %s: %w", path, rerr)
+	}
+	if cerr != nil {
+		return nil, fmt.Errorf("shard: read manifest %s: %w", path, cerr)
+	}
+	m, err := decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// WriteManifest atomically replaces the manifest at path: temp file,
+// fsync, rename, directory sync. This is the commit point of a sharded
+// checkpoint — until the rename lands, recovery sees the previous
+// manifest and the previous per-shard cuts, which the retained journal
+// suffixes still satisfy.
+func WriteManifest(fsys vfs.FS, path string, m *Manifest) error {
+	data := m.encode()
+	return storefmt.WriteFileAtomic(fsys, path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// WriteManifestUnsafe overwrites the manifest in place — truncate, two
+// raw writes, no sync, no rename. It exists only so the crash suite can
+// prove WriteManifest's atomicity is load-bearing: with this version, a
+// power cut between the truncate and the final write leaves a torn
+// manifest and recovery of the whole store fails.
+func WriteManifestUnsafe(fsys vfs.FS, path string, m *Manifest) error {
+	data := m.encode()
+	f, err := fsys.OpenFile(path, writeCreateTrunc, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err = f.Write(data[:len(data)/2]); err == nil {
+		_, err = f.Write(data[len(data)/2:])
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

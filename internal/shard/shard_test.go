@@ -1,0 +1,115 @@
+package shard
+
+import (
+	"testing"
+
+	"vitri/internal/storefmt"
+	"vitri/internal/vfs"
+)
+
+// TestRouteStable pins the routing function: the assignment of a video id
+// to a shard is part of the durable on-disk contract (each shard replays
+// only its own journal), so it must never change.
+func TestRouteStable(t *testing.T) {
+	got := make([]int, 0, 8)
+	for id := 0; id < 8; id++ {
+		got = append(got, Route(id, 4))
+	}
+	want := []int{0, 1, 2, 0, 0, 0, 0, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Route(%d, 4) = %d, want %d (routing function changed — this breaks existing sharded stores)", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRouteProperties checks range validity and a rough balance bound
+// over dense sequential ids, the common ingest pattern.
+func TestRouteProperties(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8} {
+		counts := make([]int, n)
+		for id := 0; id < 4096; id++ {
+			s := Route(id, n)
+			if s < 0 || s >= n {
+				t.Fatalf("Route(%d, %d) = %d out of range", id, n, s)
+			}
+			counts[s]++
+		}
+		for s, c := range counts {
+			if mean := 4096 / n; c < mean/2 || c > mean*2 {
+				t.Errorf("n=%d shard %d holds %d of 4096 sequential ids (mean %d) — hash is striping", n, s, c, mean)
+			}
+		}
+	}
+	if Route(7, 1) != 0 {
+		t.Fatal("Route with one shard must always return 0")
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	fsys := vfs.NewMemFS()
+	m := &Manifest{Shards: 3, Epoch: 7, Cuts: []uint64{12, 0, 9}}
+	if err := WriteManifest(fsys, "db/MANIFEST", m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(fsys, "db/MANIFEST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shards != m.Shards || got.Epoch != m.Epoch {
+		t.Fatalf("round trip: got %+v want %+v", got, m)
+	}
+	for i := range m.Cuts {
+		if got.Cuts[i] != m.Cuts[i] {
+			t.Fatalf("cut %d: got %d want %d", i, got.Cuts[i], m.Cuts[i])
+		}
+	}
+}
+
+func TestManifestMissing(t *testing.T) {
+	_, err := ReadManifest(vfs.NewMemFS(), "db/MANIFEST")
+	if !storefmt.IsNotExist(err) {
+		t.Fatalf("missing manifest: got %v, want not-exist", err)
+	}
+}
+
+// TestManifestCorruptionDetected flips, truncates and empties the
+// manifest bytes: every damaged form must fail to read, never parse as a
+// valid (wrong) cut.
+func TestManifestCorruptionDetected(t *testing.T) {
+	fsys := vfs.NewMemFS()
+	m := &Manifest{Shards: 2, Epoch: 1, Cuts: []uint64{5, 6}}
+	if err := WriteManifest(fsys, "MANIFEST", m); err != nil {
+		t.Fatal(err)
+	}
+	orig := append([]byte(nil), fsys.Snapshot()["MANIFEST"]...)
+	for name, mutate := range map[string]func([]byte) []byte{
+		"bit flip":  func(b []byte) []byte { b[len(b)/2] ^= 0x40; return b },
+		"truncated": func(b []byte) []byte { return b[:len(b)-5] },
+		"empty":     func(b []byte) []byte { return nil },
+		"magic":     func(b []byte) []byte { b[0] = 'X'; return b },
+	} {
+		fsys.SetFile("MANIFEST", mutate(append([]byte(nil), orig...)))
+		if _, err := ReadManifest(fsys, "MANIFEST"); err == nil {
+			t.Errorf("%s: corrupt manifest read back without error", name)
+		} else if storefmt.IsNotExist(err) {
+			t.Errorf("%s: corruption reported as not-exist", name)
+		}
+	}
+}
+
+// TestManifestUnsafeWriteIsTorn documents why WriteManifestUnsafe exists:
+// interrupted after its truncate, the store's commit record is gone. The
+// crash suite relies on this to prove the atomic path is load-bearing.
+func TestManifestUnsafeWriteIsTorn(t *testing.T) {
+	fsys := vfs.NewMemFS()
+	if err := WriteManifest(fsys, "MANIFEST", &Manifest{Shards: 2, Epoch: 1, Cuts: []uint64{5, 6}}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the unsafe writer's first step (truncate-on-open) landing
+	// without the data writes.
+	fsys.SetFile("MANIFEST", nil)
+	if _, err := ReadManifest(fsys, "MANIFEST"); err == nil {
+		t.Fatal("truncated-in-place manifest read back without error")
+	}
+}

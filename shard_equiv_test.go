@@ -1,0 +1,301 @@
+package vitri
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"vitri/internal/vfs"
+)
+
+// Differential equivalence suite: a sharded database must be
+// observationally identical to the single-shard oracle. "Identical" here
+// is the strictest form available — matches compared by Float64bits of
+// every similarity and shared-frame count (not a tolerance), contents
+// compared through the on-disk byte encoding — because the engine's
+// canonical similarity fold makes scores a pure function of (query,
+// video contents), independent of shard count, tree layout and
+// parallelism. Anything weaker would let a shard-dependent accumulation
+// order creep in unnoticed.
+
+// equivShardCounts is the shard matrix the suite proves equivalent.
+var equivShardCounts = []int{1, 2, 3, 8}
+
+// matchesIdentical compares two rankings bit-for-bit.
+func matchesIdentical(a, b []Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].VideoID != b[i].VideoID ||
+			math.Float64bits(a[i].Similarity) != math.Float64bits(b[i].Similarity) ||
+			math.Float64bits(a[i].Shared) != math.Float64bits(b[i].Shared) {
+			return false
+		}
+	}
+	return true
+}
+
+// equivQueries builds the fixed query set every phase searches with.
+func equivQueries(n int) []Summary {
+	r := rand.New(rand.NewSource(77))
+	qs := make([]Summary, n)
+	for i := range qs {
+		qs[i] = Summarize(1000+i, synthVideo(r, 8, 2, 5), 0.3, 7)
+	}
+	return qs
+}
+
+// checkEquiv asserts oracle and sharded agree on every observable that
+// is shard-count-invariant: contents (byte-for-byte), Len, Triplets,
+// entry counts, and for every query and both modes the full ranking
+// bit-for-bit plus the candidate and similarity-op totals (each record
+// is scanned in exactly one shard against the same query-derived ranges,
+// so those work counters sum to the oracle's; PageReads and Ranges
+// legitimately depend on tree layout and are asserted deterministic in
+// checkDeterministic instead).
+func checkEquiv(t *testing.T, oracle, sharded *DB, queries []Summary, k int) {
+	t.Helper()
+	if got, want := sharded.Len(), oracle.Len(); got != want {
+		t.Fatalf("Len = %d, oracle %d", got, want)
+	}
+	if got, want := sharded.Triplets(), oracle.Triplets(); got != want {
+		t.Fatalf("Triplets = %d, oracle %d", got, want)
+	}
+	if got, want := storeBytes(t, sharded), storeBytes(t, oracle); !bytes.Equal(got, want) {
+		t.Fatalf("store bytes diverge: %d vs %d bytes", len(got), len(want))
+	}
+	for qi := range queries {
+		for _, mode := range []QueryMode{Naive, Composed} {
+			wantRes, wantStats, wantErr := oracle.SearchSummary(&queries[qi], k, mode)
+			gotRes, gotStats, gotErr := sharded.SearchSummary(&queries[qi], k, mode)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("query %d mode %v: err = %v, oracle err = %v", qi, mode, gotErr, wantErr)
+			}
+			if wantErr != nil {
+				continue
+			}
+			if !matchesIdentical(gotRes, wantRes) {
+				t.Fatalf("query %d mode %v: matches diverge\n got: %+v\nwant: %+v", qi, mode, gotRes, wantRes)
+			}
+			if gotStats.Candidates != wantStats.Candidates || gotStats.SimilarityOps != wantStats.SimilarityOps {
+				t.Fatalf("query %d mode %v: work counters diverge: got %+v, oracle %+v",
+					qi, mode, gotStats, wantStats)
+			}
+		}
+	}
+	wantStats, err := oracle.Stats()
+	if err != nil {
+		t.Fatalf("oracle Stats: %v", err)
+	}
+	gotStats, err := sharded.Stats()
+	if err != nil {
+		t.Fatalf("sharded Stats: %v", err)
+	}
+	if gotStats.Entries != wantStats.Entries {
+		t.Fatalf("Entries = %d, oracle %d", gotStats.Entries, wantStats.Entries)
+	}
+	if err := sharded.CheckIndex(); err != nil {
+		t.Fatalf("CheckIndex: %v", err)
+	}
+}
+
+// equivApply drives one deterministic mixed workload — batch ingest,
+// single adds, removes, a second batch — against a database, asserting
+// per-item and batch-level success.
+func equivApply(t *testing.T, db *DB, videos []Video) {
+	t.Helper()
+	itemErrs, err := db.AddBatch(videos[:len(videos)/2])
+	if err != nil {
+		t.Fatalf("AddBatch: %v", err)
+	}
+	for i, e := range itemErrs {
+		if e != nil {
+			t.Fatalf("AddBatch item %d: %v", i, e)
+		}
+	}
+	for _, v := range videos[len(videos)/2 : 3*len(videos)/4] {
+		if err := db.Add(v.ID, v.Frames); err != nil {
+			t.Fatalf("Add(%d): %v", v.ID, err)
+		}
+	}
+	for id := 0; id < len(videos)/2; id += 5 {
+		if err := db.Remove(id); err != nil {
+			t.Fatalf("Remove(%d): %v", id, err)
+		}
+	}
+	if _, err := db.Search(videos[1].Frames, 3); err != nil {
+		t.Fatalf("mid-workload Search: %v", err)
+	}
+	// The tail batch lands on a built index, exercising the incremental
+	// insert path on every shard.
+	itemErrs, err = db.AddBatch(videos[3*len(videos)/4:])
+	if err != nil {
+		t.Fatalf("tail AddBatch: %v", err)
+	}
+	for i, e := range itemErrs {
+		if e != nil {
+			t.Fatalf("tail AddBatch item %d: %v", i, e)
+		}
+	}
+}
+
+// TestShardEquivalence is the tentpole differential test: the same
+// seeded workload applied to the single-shard oracle and to shard counts
+// 1, 2, 3 and 8 yields bit-identical rankings, contents and
+// shard-invariant work counters at every phase.
+func TestShardEquivalence(t *testing.T) {
+	videos := ingestCorpus(83, 48)
+	queries := equivQueries(6)
+	oracle := New(Options{Epsilon: 0.3, Seed: 7})
+	equivApply(t, oracle, videos)
+	for _, n := range equivShardCounts {
+		n := n
+		t.Run(shardName(n), func(t *testing.T) {
+			sharded := New(Options{Epsilon: 0.3, Seed: 7, Shards: n})
+			if n > 1 && len(sharded.sub) != n {
+				t.Fatalf("router has %d shards, want %d", len(sharded.sub), n)
+			}
+			equivApply(t, sharded, videos)
+			checkEquiv(t, oracle, sharded, queries, 10)
+		})
+	}
+}
+
+// TestShardEquivalenceSearchBatch proves the batch search path merges
+// identically to per-query scatter and to the oracle.
+func TestShardEquivalenceSearchBatch(t *testing.T) {
+	videos := ingestCorpus(84, 40)
+	queries := equivQueries(9)
+	oracle := New(Options{Epsilon: 0.3, Seed: 7})
+	equivApply(t, oracle, videos)
+	wantBatch, err := oracle.SearchBatch(queries, 7, Composed)
+	if err != nil {
+		t.Fatalf("oracle SearchBatch: %v", err)
+	}
+	for _, n := range equivShardCounts {
+		n := n
+		t.Run(shardName(n), func(t *testing.T) {
+			sharded := New(Options{Epsilon: 0.3, Seed: 7, Shards: n})
+			equivApply(t, sharded, videos)
+			gotBatch, err := sharded.SearchBatch(queries, 7, Composed)
+			if err != nil {
+				t.Fatalf("SearchBatch: %v", err)
+			}
+			if len(gotBatch) != len(wantBatch) {
+				t.Fatalf("batch size %d, want %d", len(gotBatch), len(wantBatch))
+			}
+			for i := range gotBatch {
+				if (gotBatch[i].Err == nil) != (wantBatch[i].Err == nil) {
+					t.Fatalf("query %d: err %v, oracle %v", i, gotBatch[i].Err, wantBatch[i].Err)
+				}
+				if !matchesIdentical(gotBatch[i].Results, wantBatch[i].Results) {
+					t.Fatalf("query %d: batch matches diverge from oracle", i)
+				}
+				if gotBatch[i].Stats.Candidates != wantBatch[i].Stats.Candidates ||
+					gotBatch[i].Stats.SimilarityOps != wantBatch[i].Stats.SimilarityOps {
+					t.Fatalf("query %d: work counters diverge: got %+v, oracle %+v",
+						i, gotBatch[i].Stats, wantBatch[i].Stats)
+				}
+			}
+		})
+	}
+}
+
+// TestShardSearchDeterministic pins the layout-dependent counters: at a
+// fixed shard count, two independently built databases report identical
+// SearchStats — including PageReads and Ranges — for every query. This
+// is the other half of the stats contract (checkEquiv covers the
+// shard-invariant half).
+func TestShardSearchDeterministic(t *testing.T) {
+	videos := ingestCorpus(85, 36)
+	queries := equivQueries(5)
+	for _, n := range equivShardCounts {
+		n := n
+		t.Run(shardName(n), func(t *testing.T) {
+			a := New(Options{Epsilon: 0.3, Seed: 7, Shards: n})
+			b := New(Options{Epsilon: 0.3, Seed: 7, Shards: n})
+			equivApply(t, a, videos)
+			equivApply(t, b, videos)
+			for qi := range queries {
+				for _, mode := range []QueryMode{Naive, Composed} {
+					resA, statsA, errA := a.SearchSummary(&queries[qi], 10, mode)
+					resB, statsB, errB := b.SearchSummary(&queries[qi], 10, mode)
+					if errA != nil || errB != nil {
+						t.Fatalf("query %d mode %v: errs %v / %v", qi, mode, errA, errB)
+					}
+					if !matchesIdentical(resA, resB) {
+						t.Fatalf("query %d mode %v: twin builds disagree on matches", qi, mode)
+					}
+					if statsA != statsB {
+						t.Fatalf("query %d mode %v: twin builds disagree on stats: %+v vs %+v",
+							qi, mode, statsA, statsB)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardEquivalenceDurable runs the differential workload against
+// durable stores on an in-memory filesystem: mutate, checkpoint
+// mid-stream, mutate more, close, reopen (shard count adopted from the
+// manifest), and require the recovered database to remain bit-identical
+// to the recovered single-shard oracle.
+func TestShardEquivalenceDurable(t *testing.T) {
+	videos := ingestCorpus(86, 40)
+	queries := equivQueries(5)
+
+	runStore := func(t *testing.T, n int) *DB {
+		fsys := vfs.NewMemFS()
+		dopts := DurableOptions{FS: fsys}
+		db, err := OpenDurable("store", Options{Epsilon: 0.3, Seed: 7, Shards: n, Durable: &dopts})
+		if err != nil {
+			t.Fatalf("OpenDurable(shards=%d): %v", n, err)
+		}
+		equivApply(t, db, videos[:30])
+		if err := db.Checkpoint(); err != nil {
+			t.Fatalf("Checkpoint: %v", err)
+		}
+		for _, v := range videos[30:] {
+			if err := db.Add(v.ID, v.Frames); err != nil {
+				t.Fatalf("post-checkpoint Add(%d): %v", v.ID, err)
+			}
+		}
+		if err := db.Remove(videos[31].ID); err != nil {
+			t.Fatalf("post-checkpoint Remove: %v", err)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		reopened, err := OpenDurable("store", Options{Seed: 7, Durable: &DurableOptions{FS: fsys}})
+		if err != nil {
+			t.Fatalf("reopen(shards=%d): %v", n, err)
+		}
+		if reopened.Epsilon() != 0.3 {
+			t.Fatalf("epsilon not adopted on reopen: %v", reopened.Epsilon())
+		}
+		if got := reopened.Durable(); !got {
+			t.Fatal("reopened store is not durable")
+		}
+		return reopened
+	}
+
+	oracle := runStore(t, 1)
+	for _, n := range equivShardCounts[1:] {
+		n := n
+		t.Run(shardName(n), func(t *testing.T) {
+			sharded := runStore(t, n)
+			if len(sharded.sub) != n {
+				t.Fatalf("reopen recovered %d shards, want %d", len(sharded.sub), n)
+			}
+			checkEquiv(t, oracle, sharded, queries, 8)
+		})
+	}
+}
+
+// shardName labels a subtest by shard count.
+func shardName(n int) string {
+	return map[int]string{1: "shards=1", 2: "shards=2", 3: "shards=3", 8: "shards=8"}[n]
+}

@@ -1,0 +1,343 @@
+package vitri
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"vitri/internal/core"
+)
+
+// TestShardConcurrentMixedWorkload hammers a sharded durable store with
+// concurrent Add, AddBatch, Remove, Search, Len/Triplets snapshots and
+// back-to-back Checkpoints. It exists to run under -race: the shard
+// router's shared/exclusive view-lock discipline, the per-shard group
+// commits and the sequential checkpoint fold are exactly the surfaces
+// where an unsynchronized share would hide. Once the storm has passed,
+// the store must be structurally consistent, hold exactly the surviving
+// ids, and recover to the same contents after a close and reopen.
+func TestShardConcurrentMixedWorkload(t *testing.T) {
+	const (
+		shards  = 4
+		workers = 4
+		ops     = 10
+		base    = 20
+	)
+	dir := t.TempDir()
+	db, err := OpenDurable(dir, Options{Epsilon: 0.3, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < base; i++ {
+		if err := db.AddSummary(crashSummary(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	query := crashSummary(3)
+
+	// Deterministic final-state bookkeeping: each worker owns a disjoint
+	// id range (so adds never collide across workers) and reports the set
+	// of its ids still live when it finished.
+	live := make([][]int, workers)
+	errCh := make(chan error, workers+2)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(500 + w)))
+			next := 1000 + w*1000
+			mine := map[int]bool{}
+			for i := 0; i < ops; i++ {
+				switch op := r.Intn(6); {
+				case op == 0 && len(mine) > 0: // remove one of ours
+					for id := range mine {
+						if err := db.Remove(id); err != nil {
+							errCh <- fmt.Errorf("worker %d remove %d: %w", w, id, err)
+							return
+						}
+						delete(mine, id)
+						break
+					}
+				case op == 1: // multi-shard batch through the group-commit path
+					vids := make([]Video, 3)
+					for j := range vids {
+						vids[j] = Video{ID: next, Frames: stressVideo(r, 3, 12)}
+						mine[next] = true
+						next++
+					}
+					itemErrs, err := db.AddBatch(vids)
+					if err != nil {
+						errCh <- fmt.Errorf("worker %d batch: %w", w, err)
+						return
+					}
+					for j, e := range itemErrs {
+						if e != nil {
+							errCh <- fmt.Errorf("worker %d batch item %d: %w", w, j, e)
+							return
+						}
+					}
+				case op == 2: // cross-shard snapshot reads against in-flight batches
+					if n := db.Len(); n < 0 {
+						errCh <- fmt.Errorf("worker %d: Len() = %d", w, n)
+						return
+					}
+					db.Triplets()
+				case op == 3: // scatter-gather search with stats sanity
+					_, stats, err := db.SearchSummary(&query, 5, Composed)
+					if err != nil {
+						errCh <- fmt.Errorf("worker %d search: %w", w, err)
+						return
+					}
+					if stats.Ranges < 1 {
+						errCh <- fmt.Errorf("worker %d: implausible stats %+v on a non-empty store", w, stats)
+						return
+					}
+				default:
+					if err := db.AddSummary(crashSummary(next)); err != nil {
+						errCh <- fmt.Errorf("worker %d add %d: %w", w, next, err)
+						return
+					}
+					mine[next] = true
+					next++
+				}
+			}
+			ids := make([]int, 0, len(mine))
+			for id := range mine {
+				ids = append(ids, id)
+			}
+			live[w] = ids
+		}(w)
+	}
+	// Checkpointer: continuous sequential folds plus manifest commits
+	// while every mutation and search path runs.
+	checkpoints := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 15; i++ {
+			if err := db.Checkpoint(); err != nil {
+				errCh <- fmt.Errorf("checkpoint %d: %w", i, err)
+				return
+			}
+			checkpoints++
+		}
+		close(stop)
+	}()
+	// Batch searcher: whole-batch scatter while checkpoints capture.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			batch, err := db.SearchBatch([]Summary{query, query, query}, 4, Naive)
+			if err != nil {
+				errCh <- fmt.Errorf("batch search: %w", err)
+				return
+			}
+			for _, item := range batch {
+				if item.Err != nil {
+					errCh <- fmt.Errorf("batch search item: %w", item.Err)
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if checkpoints != 15 {
+		t.Fatalf("only %d/15 checkpoints completed", checkpoints)
+	}
+
+	// Exact final state: base ids plus every worker's surviving ids.
+	want := map[int]bool{}
+	for i := 0; i < base; i++ {
+		want[i] = true
+	}
+	for _, ids := range live {
+		for _, id := range ids {
+			want[id] = true
+		}
+	}
+	got := dbContents(t, db)
+	if len(got) != len(want) || db.Len() != len(want) {
+		t.Fatalf("final Len = %d (contents %d), want %d", db.Len(), len(got), len(want))
+	}
+	for id := range want {
+		if _, ok := got[id]; !ok {
+			t.Fatalf("video %d missing after storm", id)
+		}
+	}
+	if err := db.CheckIndex(); err != nil {
+		t.Fatalf("index inconsistent after storm: %v", err)
+	}
+	st, err := db.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != int64(db.Triplets()) {
+		t.Fatalf("trees report %d entries, catalogs say %d", st.Entries, db.Triplets())
+	}
+
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := OpenDurable(dir, Options{})
+	if err != nil {
+		t.Fatalf("recovery after storm: %v", err)
+	}
+	defer db2.Close()
+	got2 := dbContents(t, db2)
+	if !reflect.DeepEqual(got2, got) {
+		t.Fatalf("recovered contents diverge from pre-close state: %s", describeDiff(got2, got))
+	}
+}
+
+// TestShardLenConsistentSnapshot is the torn-read regression: Len (and
+// every cross-shard snapshot) must never observe a multi-shard batch
+// half-applied. The batch applies under a shared view-lock hold; the
+// test's hook fires between per-shard applies — exactly the torn window
+// — and launches a concurrent Len, which must block until the batch's
+// hold ends and therefore report a multiple of the batch size. Before
+// the view lock existed, the mid-window Len returned a partial count;
+// this test fails deterministically on that regression.
+func TestShardLenConsistentSnapshot(t *testing.T) {
+	const batch = 12 // spans all shards under shard.Route
+	db := New(Options{Epsilon: 0.3, Shards: 3})
+
+	var pending []chan int
+	var launched atomic.Int32
+	db.testBetweenShardApplies = func() {
+		ch := make(chan int, 1)
+		pending = append(pending, ch)
+		launched.Add(1)
+		ready := make(chan struct{})
+		go func() {
+			close(ready)
+			ch <- db.Len() // must block until the batch's view hold ends
+		}()
+		<-ready
+	}
+
+	r := rand.New(rand.NewSource(9))
+	for round := 0; round < 3; round++ {
+		vids := make([]Video, batch)
+		for i := range vids {
+			vids[i] = Video{ID: round*batch + i, Frames: stressVideo(r, 3, 10)}
+		}
+		itemErrs, err := db.AddBatch(vids)
+		if err != nil {
+			t.Fatalf("AddBatch round %d: %v", round, err)
+		}
+		for i, e := range itemErrs {
+			if e != nil {
+				t.Fatalf("round %d item %d: %v", round, i, e)
+			}
+		}
+	}
+	db.testBetweenShardApplies = nil
+
+	if launched.Load() == 0 {
+		t.Fatal("hook never fired — the torn window was not exercised")
+	}
+	for i, ch := range pending {
+		n := <-ch
+		if n%batch != 0 {
+			t.Fatalf("observation %d: Len = %d mid-batch — a torn cross-shard read (want a multiple of %d)", i, n, batch)
+		}
+	}
+	if got := db.Len(); got != 3*batch {
+		t.Fatalf("final Len = %d, want %d", got, 3*batch)
+	}
+}
+
+// TestShardTripletsConsistentSnapshot extends the torn-read regression
+// to Triplets: mid-batch observations must equal a sum over whole
+// batches, never a partial application. Summary triplet counts vary per
+// video, so the check pins the exact observable values instead of a
+// divisibility property.
+func TestShardTripletsConsistentSnapshot(t *testing.T) {
+	db := New(Options{Epsilon: 0.3, Shards: 3})
+	sums := make([]core.Summary, 9)
+	total := 0
+	for i := range sums {
+		sums[i] = crashSummary(100 + i)
+		total += len(sums[i].Triplets)
+	}
+
+	// The hook runs inside the batch's view hold, so it must not wait for
+	// the observation (Triplets blocks on the view lock until the hold
+	// ends — that blocking IS the property under test); it launches the
+	// observer and the results are collected after the batch returns.
+	var observations []chan int
+	db.testBetweenShardApplies = func() {
+		ch := make(chan int, 1)
+		observations = append(observations, ch)
+		go func() { ch <- db.Triplets() }()
+	}
+	// AddBatch summarizes frames; to control triplet counts exactly, feed
+	// the summaries through AddSummary's routed path first (no hook), then
+	// drive one AddBatch whose observations the hook checks.
+	for _, s := range sums[:6] {
+		if err := addNoHook(db, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := rand.New(rand.NewSource(11))
+	batch := make([]Video, 6)
+	for i := range batch {
+		batch[i] = Video{ID: 200 + i, Frames: stressVideo(r, 3, 10)}
+	}
+	itemErrs, err := db.AddBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range itemErrs {
+		if e != nil {
+			t.Fatalf("item %d: %v", i, e)
+		}
+	}
+	db.testBetweenShardApplies = nil
+
+	if len(observations) == 0 {
+		t.Fatal("hook never fired")
+	}
+	// Every mid-batch Triplets observation blocked until the batch's view
+	// hold ended, so it must include all six pre-loaded summaries plus the
+	// whole batch — the final count, never a prefix of it.
+	want := db.Triplets()
+	for i, ch := range observations {
+		if n := <-ch; n != want {
+			t.Fatalf("observation %d: Triplets = %d mid-batch, want the post-batch %d", i, n, want)
+		}
+	}
+	pre := 0
+	for _, s := range sums[:6] {
+		pre += len(s.Triplets)
+	}
+	if want <= pre {
+		t.Fatalf("batch added no triplets (%d <= %d)", want, pre)
+	}
+}
+
+// addNoHook routes one summary while the between-shard hook is parked,
+// so setup inserts don't trip the observation machinery.
+func addNoHook(db *DB, s core.Summary) error {
+	hook := db.testBetweenShardApplies
+	db.testBetweenShardApplies = nil
+	defer func() { db.testBetweenShardApplies = hook }()
+	return db.AddSummary(s)
+}

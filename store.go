@@ -43,8 +43,26 @@ func (db *DB) saveFS(fsys vfs.FS, path string) error {
 	return nil
 }
 
-// summaries snapshots the database contents.
+// summaries snapshots the database contents. On a sharded database the
+// snapshot is one consistent cross-shard view (taken under the exclusive
+// view lock, so no batch is captured half-applied), concatenated and
+// returned in VideoID order — the order every store format and the
+// single-shard engine's Summaries already use.
 func (db *DB) summaries() ([]core.Summary, error) {
+	if db.sub != nil {
+		db.viewMu.Lock()
+		defer db.viewMu.Unlock()
+		var out []core.Summary
+		for i := 0; i < len(db.sub); i++ {
+			ss, err := db.sub[i].summaries()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ss...)
+		}
+		storefmt.SortSummaries(out)
+		return out, nil
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if db.ix == nil {
@@ -97,6 +115,20 @@ func readSummaries(r io.Reader) (float64, []core.Summary, error) {
 // removal is journaled and Remove returns only once the record is
 // fsynced to disk.
 func (db *DB) Remove(videoID int) error {
+	if db.sub != nil {
+		return db.removeSharded(videoID)
+	}
+	dur, seq, err := db.removeApply(videoID)
+	if err != nil {
+		return err
+	}
+	return dur.commitSeq(seq)
+}
+
+// removeApply is Remove's apply phase — journal then apply under one
+// db.mu hold — returning the commit ticket for the caller to
+// group-commit once every lock is released.
+func (db *DB) removeApply(videoID int) (*durableState, uint64, error) {
 	db.mu.Lock()
 	var seq uint64
 	err := func() error {
@@ -114,10 +146,7 @@ func (db *DB) Remove(videoID int) error {
 	}()
 	dur := db.dur // snapshotted under the lock; see commitSeq
 	db.mu.Unlock()
-	if err != nil {
-		return err
-	}
-	return dur.commitSeq(seq)
+	return dur, seq, err
 }
 
 // removeLocked deletes a video from the in-memory state. Caller holds

@@ -33,6 +33,7 @@ import (
 	"vitri/internal/index"
 	"vitri/internal/pager"
 	"vitri/internal/refpoint"
+	"vitri/internal/storefmt"
 	"vitri/internal/vec"
 )
 
@@ -129,19 +130,53 @@ type Options struct {
 	// Durable tunes the durable store; see OpenDurable. Ignored by New —
 	// durability exists only on databases opened with OpenDurable.
 	Durable *DurableOptions
+	// Shards splits the database into this many independent shards, each
+	// with its own index, pager and (when durable) journal + snapshot.
+	// Mutations route by a stable hash of the video id; searches scatter
+	// across every shard and merge the per-shard top-k. Results are
+	// byte-identical at every shard count (see shard_equiv_test.go); what
+	// changes is contention: shards multiply index, cache and fsync
+	// bandwidth. 0 or 1 selects the classic single-shard engine, whose
+	// behavior and on-disk layout are exactly those of earlier versions.
+	// A durable store's shard count is fixed at creation and recorded in
+	// its manifest; later opens must pass the same value or 0 to adopt it.
+	Shards int
 }
 
 // DB is a searchable video database. All methods are safe for concurrent
 // use.
+//
+// A DB is either a plain single-shard engine (sub nil — pending, ix, ids
+// and dur below are its state) or, when Options.Shards > 1, a shard
+// router: sub holds the per-shard engines and every public method routes,
+// scatters or aggregates across them. A router's own pending/ix/ids/dur
+// stay nil — its state is its children plus the view lock and, when
+// durable, the manifest bookkeeping in shdur.
 type DB struct {
-	// ckptMu serializes checkpoints. It sits above mu in the lock
-	// hierarchy (checkpoint → DB → Index → Tree → pager, enforced by
-	// vitrilint's lockorder): Checkpoint acquires ckptMu first and then
-	// takes mu only for its short capture/finish critical sections —
-	// never acquire ckptMu while holding mu.
+	// ckptMu serializes checkpoints. It is level 0, the top of the lock
+	// hierarchy (checkpoint → shard-view → DB → Index → Tree → pager,
+	// enforced by vitrilint's lockorder): Checkpoint acquires ckptMu
+	// first and then takes viewMu/mu only for its short capture/finish
+	// critical sections — never acquire ckptMu while holding either.
 	ckptMu sync.Mutex
+	// viewMu (level 1, shard routers only) makes cross-shard reads
+	// consistent. Its roles are inverted from the usual convention:
+	// multi-shard mutations hold it SHARED for their whole apply window
+	// (they may proceed concurrently — per-shard db.mu serializes them
+	// where it matters), while cross-shard snapshot readers (Len,
+	// Triplets, DriftAngle, Save) and the checkpoint capture hold it
+	// EXCLUSIVELY, so they observe every batch fully applied or not at
+	// all — never a batch torn across shards. Never held across an fsync.
+	viewMu sync.RWMutex
 	mu     sync.RWMutex
 	opts   Options // immutable after New
+	// sub holds the per-shard engines of a shard router (nil on a plain
+	// database). immutable after New
+	sub []*DB
+	// shdur is the shard router's durable bookkeeping: the manifest path
+	// and checkpoint epoch. Non-nil only on routers returned by
+	// OpenDurable. immutable after OpenDurable
+	shdur *shardDur
 	// pending holds summaries added before the index exists; the index
 	// is built lazily on the first search (bulk construction beats
 	// repeated insertion).
@@ -164,13 +199,36 @@ type DB struct {
 	// suffix rotation is load-bearing: with it, mid-checkpoint crash
 	// states lose acknowledged mutations.
 	testDropRetainedSuffix bool // immutable once serving
+	// testNonAtomicManifest makes the sharded checkpoint overwrite the
+	// manifest in place instead of via temp file + rename. The crash
+	// suite flips it to prove the manifest commit's atomicity is
+	// load-bearing: with it, a power cut mid-write leaves the store
+	// unopenable.
+	testNonAtomicManifest bool // immutable once serving
+	// testBetweenShardApplies, when set, serializes a sharded AddBatch's
+	// per-shard applies and runs between them — inside the window where a
+	// batch is torn across shards. The view-lock regression test uses it
+	// to prove Len cannot observe that window.
+	testBetweenShardApplies func() // immutable once serving
 }
 
 // New creates an empty database. It panics if opts.Epsilon is not
 // positive — a database without a similarity threshold is meaningless.
+// With opts.Shards > 1 the database is a shard router over that many
+// independent engines; see Options.Shards.
 func New(opts Options) *DB {
 	if opts.Epsilon <= 0 {
 		panic("vitri: Options.Epsilon must be positive")
+	}
+	if opts.Shards > 1 {
+		db := &DB{opts: opts}
+		copts := opts
+		copts.Shards = 0
+		copts.Durable = nil // durability is wired per shard by OpenDurable
+		for i := 0; i < opts.Shards; i++ {
+			db.sub = append(db.sub, New(copts))
+		}
+		return db
 	}
 	return &DB{opts: opts, ids: make(map[int]bool)}
 }
@@ -212,6 +270,22 @@ func (db *DB) Add(videoID int, frames []Vector) error {
 // from storage). On a durable database the summary is journaled and
 // AddSummary returns only once the record is fsynced to disk.
 func (db *DB) AddSummary(s Summary) error {
+	if db.sub != nil {
+		return db.addSummarySharded(s)
+	}
+	dur, seq, err := db.addSummaryApply(s)
+	if err != nil {
+		return err
+	}
+	return dur.commitSeq(seq)
+}
+
+// addSummaryApply is AddSummary's apply phase: validate, apply in memory
+// and journal, all under one db.mu hold, returning the commit ticket (the
+// durable state snapshotted under the lock plus the journaled sequence)
+// so the caller can group-commit after every lock — including a shard
+// router's view lock — has been released.
+func (db *DB) addSummaryApply(s Summary) (*durableState, uint64, error) {
 	db.mu.Lock()
 	err := db.addSummaryLocked(s)
 	var seq uint64
@@ -228,10 +302,7 @@ func (db *DB) AddSummary(s Summary) error {
 	}
 	dur := db.dur // snapshotted under the lock; see commitSeq
 	db.mu.Unlock()
-	if err != nil {
-		return err
-	}
-	return dur.commitSeq(seq)
+	return dur, seq, err
 }
 
 // rollbackAddLocked undoes an addSummaryLocked whose journal append
@@ -275,6 +346,12 @@ func (db *DB) ensureIndexLocked() error {
 	if len(db.pending) == 0 {
 		return ErrEmptyDB
 	}
+	// Bulk-build from a canonical (VideoID-ascending) order: the mapper's
+	// reference point and the packed tree then depend only on the set of
+	// summaries, not the insertion sequence, which is what makes permuted
+	// ingest orders — and shard routing, which permutes per-shard ingest
+	// order — produce byte-identical indexes and PageReads.
+	storefmt.SortSummaries(db.pending)
 	ix, err := index.Build(db.pending, index.Options{
 		Epsilon:           db.opts.Epsilon,
 		RefKind:           db.opts.RefKind,
@@ -313,13 +390,23 @@ func (db *DB) Search(frames []Vector, k int) ([]Match, error) {
 
 // SearchSummary runs a KNN query for a pre-summarized video in the given
 // mode, returning the matches and the query's work statistics. Stats are
-// attributed per query and exact under concurrent searches.
+// attributed per query and exact under concurrent searches; on a sharded
+// database they are the exact sum of the per-shard counters.
 func (db *DB) SearchSummary(q *Summary, k int, mode QueryMode) ([]Match, SearchStats, error) {
+	if db.sub != nil {
+		return db.scatterSearch(q, k, mode, 0, true)
+	}
+	return db.searchSummaryP(q, k, mode, 0)
+}
+
+// searchSummaryP runs one query on this engine with an explicit
+// intra-query parallelism override (0 = the configured default).
+func (db *DB) searchSummaryP(q *Summary, k int, mode QueryMode, parallelism int) ([]Match, SearchStats, error) {
 	ix, err := db.index()
 	if err != nil {
 		return nil, SearchStats{}, err
 	}
-	return ix.Search(q, k, mode)
+	return ix.SearchParallel(q, k, mode, parallelism)
 }
 
 // BatchResult is one query's outcome in a SearchBatch call.
@@ -330,6 +417,9 @@ type BatchResult = index.BatchItem
 // per query, in input order. It only fails as a whole when the database
 // is empty; per-query failures land in the corresponding slot.
 func (db *DB) SearchBatch(queries []Summary, k int, mode QueryMode) ([]BatchResult, error) {
+	if db.sub != nil {
+		return db.searchBatchSharded(queries, k, mode)
+	}
 	ix, err := db.index()
 	if err != nil {
 		return nil, err
@@ -355,16 +445,37 @@ func (db *DB) index() (*index.Index, error) {
 	return db.ix, nil
 }
 
-// Len returns the number of videos in the database.
+// Len returns the number of videos in the database. On a sharded
+// database the count is one consistent cross-shard snapshot: a
+// concurrent AddBatch is counted fully or not at all, never partially.
 func (db *DB) Len() int {
+	if db.sub != nil {
+		db.viewMu.Lock()
+		defer db.viewMu.Unlock()
+		n := 0
+		for _, sh := range db.sub {
+			n += sh.Len()
+		}
+		return n
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return len(db.ids)
 }
 
 // Triplets returns the number of indexed ViTri records (0 before the
-// index is first built).
+// index is first built). Sharded databases report one consistent
+// cross-shard snapshot, like Len.
 func (db *DB) Triplets() int {
+	if db.sub != nil {
+		db.viewMu.Lock()
+		defer db.viewMu.Unlock()
+		n := 0
+		for _, sh := range db.sub {
+			n += sh.Triplets()
+		}
+		return n
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if db.ix == nil {
@@ -378,8 +489,21 @@ func (db *DB) Triplets() int {
 }
 
 // DriftAngle reports the current principal-direction drift in radians
-// (0 before the index exists or for non-Optimal reference points).
+// (0 before the index exists or for non-Optimal reference points). A
+// sharded database reports the worst (largest) drift across its shards,
+// from one consistent cross-shard snapshot.
 func (db *DB) DriftAngle() float64 {
+	if db.sub != nil {
+		db.viewMu.Lock()
+		defer db.viewMu.Unlock()
+		var worst float64
+		for _, sh := range db.sub {
+			if a := sh.DriftAngle(); a > worst {
+				worst = a
+			}
+		}
+		return worst
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if db.ix == nil {
@@ -389,8 +513,19 @@ func (db *DB) DriftAngle() float64 {
 }
 
 // Rebuild re-derives the reference point from current contents and
-// reconstructs the index.
+// reconstructs the index. On a sharded database every non-empty shard
+// rebuilds its own index.
 func (db *DB) Rebuild() error {
+	if db.sub != nil {
+		db.viewMu.RLock()
+		defer db.viewMu.RUnlock()
+		for _, sh := range db.sub {
+			if err := sh.Rebuild(); err != nil && !errors.Is(err, ErrEmptyDB) {
+				return err
+			}
+		}
+		return nil
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if err := db.ensureIndexLocked(); err != nil {
@@ -400,8 +535,19 @@ func (db *DB) Rebuild() error {
 }
 
 // PagerStats returns physical page I/O counters of the index's page
-// store (zeroes before the index exists).
+// store (zeroes before the index exists), summed across shards on a
+// sharded database.
 func (db *DB) PagerStats() pager.Stats {
+	if db.sub != nil {
+		var agg pager.Stats
+		for _, sh := range db.sub {
+			ps := sh.PagerStats()
+			agg.Reads += ps.Reads
+			agg.Writes += ps.Writes
+			agg.Allocs += ps.Allocs
+		}
+		return agg
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if db.ix == nil {
@@ -422,8 +568,18 @@ func (db *DB) Seed() int64 { return db.opts.Seed }
 // journal. Operations after Close fail with the pager's ErrClosed;
 // callers serving concurrent traffic must drain in-flight searches first
 // (see internal/server's lifecycle). Close is idempotent and returns nil
-// on a database whose index was never built.
+// on a database whose index was never built. Closing a sharded database
+// closes every shard, returning the first failure.
 func (db *DB) Close() error {
+	if db.sub != nil {
+		var first error
+		for _, sh := range db.sub {
+			if err := sh.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
 	db.mu.Lock()
 	dur := db.dur
 	db.dur = nil
@@ -454,8 +610,13 @@ type IndexStats struct {
 }
 
 // Stats returns the index's physical shape (zero value before the index
-// has been built).
+// has been built). A sharded database aggregates its per-shard trees:
+// node and entry counts sum, Height is the tallest shard's, LeafFill is
+// the leaf-count-weighted mean.
 func (db *DB) Stats() (IndexStats, error) {
+	if db.sub != nil {
+		return db.statsSharded()
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if db.ix == nil {
@@ -475,8 +636,17 @@ func (db *DB) Stats() (IndexStats, error) {
 }
 
 // CheckIndex verifies the index's structural invariants (for diagnostics
-// and tests). A nil error means the B+-tree is internally consistent.
+// and tests). A nil error means the B+-tree is internally consistent; a
+// sharded database checks every shard's tree.
 func (db *DB) CheckIndex() error {
+	if db.sub != nil {
+		for i, sh := range db.sub {
+			if err := sh.CheckIndex(); err != nil {
+				return fmt.Errorf("shard %d: %w", i, err)
+			}
+		}
+		return nil
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if db.ix == nil {
