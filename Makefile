@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmtcheck lint lint-stats benchguard race e2e fuzz-smoke crash check bench bench-ingest bench-checkpoint bench-shard
+.PHONY: all build test vet fmtcheck lint lint-stats benchguard race e2e fuzz-smoke crash check bench bench-ingest bench-checkpoint bench-shard bench-prefilter bench-search bench-all
 
 all: check
 
@@ -40,10 +40,13 @@ lint-stats:
 # benchguard fails the build when the committed benchmark numbers say a
 # contract has regressed: BENCH_checkpoint.json's engine p99 past 2x the
 # quiescent baseline (the non-blocking checkpoint; disk co-tenancy is
-# informational), or BENCH_shard.json recording non-equivalent sharded
-# results or collapsed scatter-gather search throughput.
+# informational), BENCH_shard.json recording non-equivalent sharded
+# results or collapsed scatter-gather search throughput, or
+# BENCH_prefilter.json/BENCH_search.json recording non-equivalent
+# pre-filter results, page reads above 0.6x the float64 baseline, or a
+# signature-skip fraction below 50%.
 benchguard:
-	$(GO) run ./cmd/benchguard BENCH_checkpoint.json BENCH_shard.json
+	$(GO) run ./cmd/benchguard BENCH_checkpoint.json BENCH_shard.json BENCH_prefilter.json BENCH_search.json
 
 race:
 	$(GO) test -race ./...
@@ -56,11 +59,14 @@ e2e:
 
 # fuzz-smoke gives each fuzzer a short budget on every check: enough to
 # replay its corpus plus a few thousand fresh mutations. Covers the store
-# codec and the journal replayer (hostile bytes must never panic or be
-# misread as valid records).
+# codec, the journal replayer, the signature codec, and the quantized
+# leaf-record codec (hostile bytes must never panic or be misread as
+# valid records).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadSummaries$$' -fuzztime 5s .
 	$(GO) test -run '^$$' -fuzz '^FuzzJournalReplay$$' -fuzztime 5s ./internal/journal/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeSignature$$' -fuzztime 5s ./internal/sig/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeRecordV3$$' -fuzztime 5s ./internal/index/
 
 # crash runs the crash-simulation suite (crash_test.go): a simulated
 # power cut at every write/sync boundary of a snapshot + journal
@@ -98,3 +104,23 @@ bench-checkpoint:
 # 0.35x the single engine.
 bench-shard:
 	$(GO) run ./cmd/vitribench shard
+
+# bench-prefilter runs the same fixed-seed corpus and query set through
+# four engine configurations — exact float64 pages with no signature
+# tier, each optimization alone, and the default engine — verifying
+# bit-identical rankings before reporting the page-read ratio and the
+# fraction of exact similarity evaluations the signature tier pruned,
+# writing BENCH_prefilter.json. benchguard gates on equivalence, page
+# reads <= 0.6x baseline, and skip fraction >= 50%.
+bench-prefilter:
+	$(GO) run ./cmd/vitribench prefilter
+
+# bench-search profiles the default engine's per-query search path —
+# latency percentiles, page reads, and pre-filter counters per query —
+# writing BENCH_search.json. Timings are informational; benchguard only
+# validates the profile's shape and the skip-fraction floor.
+bench-search:
+	$(GO) run ./cmd/vitribench search
+
+# bench-all regenerates every committed BENCH_*.json with fixed seeds.
+bench-all: bench-ingest bench-checkpoint bench-shard bench-prefilter bench-search

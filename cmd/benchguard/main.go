@@ -18,6 +18,19 @@
 //     throughput at the highest shard count has collapsed below 0.35x
 //     the single engine (the fan-out tax has eaten the engine).
 //
+//   - BENCH_prefilter*.json: fails when the recorded equivalence verdict
+//     is false (the signature tier or the quantized leaf pages changed a
+//     search result — correctness, not speed), when the default engine's
+//     page reads exceed 0.6x the exact float64 baseline (the quantized
+//     leaf fanout win has eroded), or when the signature tier proves
+//     fewer than half the baseline's exact similarity evaluations
+//     unnecessary (the tier has stopped pruning).
+//
+//   - BENCH_search*.json: validates the default-engine search profile —
+//     the file must record a positive query rate and latency percentiles
+//     and its skip fraction must clear the same 0.5 floor; the absolute
+//     timings are machine-dependent and reported, not enforced.
+//
 // Usage:
 //
 //	benchguard [path ...]
@@ -32,9 +45,11 @@ import (
 )
 
 const (
-	maxP99Ratio       = 2.0
-	minShardSpeedup   = 0.35
-	maxShardOfPattern = 8
+	maxP99Ratio          = 2.0
+	minShardSpeedup      = 0.35
+	maxShardOfPattern    = 8
+	maxPrefilterPageRead = 0.6
+	minSkipFraction      = 0.5
 )
 
 type section struct {
@@ -67,9 +82,15 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		if strings.HasPrefix(filepath.Base(path), "BENCH_shard") {
+		base := filepath.Base(path)
+		switch {
+		case strings.HasPrefix(base, "BENCH_shard"):
 			checkShard(path, data)
-		} else {
+		case strings.HasPrefix(base, "BENCH_prefilter"):
+			checkPrefilter(path, data)
+		case strings.HasPrefix(base, "BENCH_search"):
+			checkSearch(path, data)
+		default:
 			checkCheckpoint(path, data)
 		}
 	}
@@ -120,6 +141,57 @@ func checkShard(path string, data []byte) {
 	}
 	fmt.Printf("benchguard: sharded engine equivalent; search at %d shards %.2fx single (floor %.2fx)\n",
 		maxShardOfPattern, top.SearchSpeedup, minShardSpeedup)
+}
+
+type benchPrefilter struct {
+	Equivalent     bool     `json:"equivalent"`
+	PageReadsRatio *float64 `json:"page_reads_ratio"`
+	SkipFraction   *float64 `json:"skip_fraction"`
+}
+
+func checkPrefilter(path string, data []byte) {
+	var b benchPrefilter
+	if err := json.Unmarshal(data, &b); err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	if !b.Equivalent {
+		fatalf("%s: pre-filter or quantized pages changed a search result — re-run make bench-prefilter and fix the engine, not the gate", path)
+	}
+	if b.PageReadsRatio == nil || b.SkipFraction == nil {
+		fatalf("%s: missing page_reads_ratio or skip_fraction — re-run make bench-prefilter", path)
+	}
+	if *b.PageReadsRatio > maxPrefilterPageRead {
+		fatalf("%s: page reads are %.3fx the float64 baseline (ceiling %.2fx) — quantized leaves have stopped doubling the fanout",
+			path, *b.PageReadsRatio, maxPrefilterPageRead)
+	}
+	if *b.SkipFraction < minSkipFraction {
+		fatalf("%s: signature tier pruned only %.1f%% of exact evaluations (floor %.0f%%) — the pre-filter has stopped earning its keep",
+			path, 100**b.SkipFraction, 100*minSkipFraction)
+	}
+	fmt.Printf("benchguard: pre-filter equivalent; page reads %.3fx baseline (ceiling %.2fx), %.1f%% of exact evaluations pruned (floor %.0f%%)\n",
+		*b.PageReadsRatio, maxPrefilterPageRead, 100**b.SkipFraction, 100*minSkipFraction)
+}
+
+type benchSearch struct {
+	QueriesPerSec float64  `json:"queries_per_sec"`
+	P50Micros     float64  `json:"p50_us"`
+	P99Micros     float64  `json:"p99_us"`
+	SkipFraction  *float64 `json:"skip_fraction"`
+}
+
+func checkSearch(path string, data []byte) {
+	var b benchSearch
+	if err := json.Unmarshal(data, &b); err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	if b.QueriesPerSec <= 0 || b.P50Micros <= 0 || b.P99Micros < b.P50Micros {
+		fatalf("%s: implausible search profile (%.1f q/s, p50 %.0fµs, p99 %.0fµs) — re-run make bench-search", path, b.QueriesPerSec, b.P50Micros, b.P99Micros)
+	}
+	if b.SkipFraction == nil || *b.SkipFraction < minSkipFraction {
+		fatalf("%s: search profile skip fraction below %.0f%% floor — re-run make bench-search", path, 100*minSkipFraction)
+	}
+	fmt.Printf("benchguard: search profile %.0f q/s, p50 %.0fµs, p99 %.0fµs (informational), %.1f%% pruned (floor %.0f%%)\n",
+		b.QueriesPerSec, b.P50Micros, b.P99Micros, 100**b.SkipFraction, 100*minSkipFraction)
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -6,8 +6,8 @@
 //	vitribench [flags] [experiment ...]
 //
 // Experiments: table2 table3 fig14 fig15 fig16 fig17 fig18 fig19 parallel
-// ingest checkpoint shard (default: all but ingest, checkpoint and
-// shard, in paper order).
+// ingest checkpoint shard prefilter search (default: all but ingest,
+// checkpoint, shard, prefilter and search, in paper order).
 //
 // Examples:
 //
@@ -18,6 +18,8 @@
 //	vitribench ingest                # AddBatch throughput by worker count
 //	vitribench checkpoint            # mutation latency during checkpoints
 //	vitribench shard                 # sharded engine throughput + equivalence
+//	vitribench prefilter             # signature tier + quantized pages vs exact baseline
+//	vitribench search                # default-engine per-query search profile
 package main
 
 import (
@@ -43,6 +45,8 @@ func main() {
 		ingestOut = flag.String("ingest-out", "BENCH_ingest.json", "JSON output path for the ingest experiment (empty = no file)")
 		ckptOut   = flag.String("checkpoint-out", "BENCH_checkpoint.json", "JSON output path for the checkpoint experiment (empty = no file)")
 		shardOut  = flag.String("shard-out", "BENCH_shard.json", "JSON output path for the shard experiment (empty = no file)")
+		prefOut   = flag.String("prefilter-out", "BENCH_prefilter.json", "JSON output path for the prefilter experiment (empty = no file)")
+		searchOut = flag.String("search-out", "BENCH_search.json", "JSON output path for the search experiment (empty = no file)")
 	)
 	flag.Parse()
 
@@ -97,6 +101,12 @@ func main() {
 		"shard": func(cfg experiments.Config) ([]*metrics.Table, error) {
 			return runShard(cfg, *shardOut)
 		},
+		"prefilter": func(cfg experiments.Config) ([]*metrics.Table, error) {
+			return runPrefilter(cfg, *prefOut)
+		},
+		"search": func(cfg experiments.Config) ([]*metrics.Table, error) {
+			return runSearch(cfg, *searchOut)
+		},
 	}
 
 	names := flag.Args()
@@ -109,7 +119,7 @@ func main() {
 	for _, name := range names {
 		fn, ok := runners[strings.ToLower(name)]
 		if !ok {
-			fatalf("unknown experiment %q (have: table2 table3 fig14 fig15 fig16 fig17 fig18 fig19 parallel extension ingest checkpoint shard)", name)
+			fatalf("unknown experiment %q (have: table2 table3 fig14 fig15 fig16 fig17 fig18 fig19 parallel extension ingest checkpoint shard prefilter search)", name)
 		}
 		tables, err := fn(cfg)
 		if err != nil {

@@ -1,0 +1,318 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"vitri"
+	"vitri/internal/dataset"
+	"vitri/internal/experiments"
+	"vitri/internal/metrics"
+)
+
+// The prefilter experiment measures what the signature tier and the
+// quantized leaf pages buy, and proves they cost nothing: the same
+// corpus and query set run through four engine configurations — exact
+// float64 pages with no tier (the pre-optimization engine), each
+// optimization alone, and the default engine with both — and every
+// configuration's rankings are compared bit-for-bit against the exact
+// baseline before any number is reported. BENCH_prefilter.json records
+// the equivalence verdict, the page-read ratio (quantized vs float64
+// pages) and the fraction of exact geometry evaluations the signature
+// tier eliminated; benchguard fails make check when the verdict is
+// false, the ratio exceeds 0.6, or the skip fraction drops below 0.5.
+
+// prefilterSearchRounds is how many passes over the query set each
+// configuration's timing averages.
+const prefilterSearchRounds = 3
+
+// prefilterRow is one engine configuration in BENCH_prefilter.json.
+type prefilterRow struct {
+	Config         string  `json:"config"`
+	SearchSeconds  float64 `json:"search_seconds"`
+	QueriesPerSec  float64 `json:"queries_per_sec"`
+	PageReads      uint64  `json:"page_reads"`
+	Candidates     int     `json:"candidates"`
+	SimilarityOps  int     `json:"similarity_ops"`
+	SignatureSkips int     `json:"signature_skips"`
+}
+
+// prefilterReport is the BENCH_prefilter.json schema.
+type prefilterReport struct {
+	Scale    float64 `json:"scale"`
+	Videos   int     `json:"videos"`
+	Triplets int     `json:"triplets"`
+	Epsilon  float64 `json:"epsilon"`
+	K        int     `json:"k"`
+	Queries  int     `json:"queries"`
+	Rounds   int     `json:"search_rounds"`
+	// Equivalent is false if ANY configuration's rankings diverged from
+	// the exact float64 baseline on any query.
+	Equivalent bool `json:"equivalent"`
+	// PageReadsRatio is default-engine page reads over baseline page
+	// reads for the identical workload — the quantized-leaf fanout win.
+	PageReadsRatio float64 `json:"page_reads_ratio"`
+	// SkipFraction is the share of the baseline's exact similarity
+	// evaluations the signature tier proved unnecessary.
+	SkipFraction float64        `json:"skip_fraction"`
+	Rows         []prefilterRow `json:"rows"`
+}
+
+// prefilterConfigs is the experiment matrix. The first entry is the
+// baseline every other configuration is differentially checked against.
+var prefilterConfigs = []struct {
+	name                string
+	noSigs, unquantized bool
+}{
+	{"baseline-f64-nosig", true, true},
+	{"quantized-only", true, false},
+	{"prefilter-only", false, true},
+	{"default", false, false},
+}
+
+// runPrefilter builds the experiment corpus once and drives the query
+// set through each engine configuration.
+func runPrefilter(cfg experiments.Config, outPath string) ([]*metrics.Table, error) {
+	videos, queries, err := prefilterCorpus(cfg)
+	if err != nil {
+		return nil, err
+	}
+	report := prefilterReport{
+		Scale:      cfg.Scale,
+		Videos:     len(videos),
+		Epsilon:    cfg.Epsilon,
+		K:          cfg.K,
+		Queries:    len(queries),
+		Rounds:     prefilterSearchRounds,
+		Equivalent: true,
+	}
+	table := &metrics.Table{
+		Title:   "Signature pre-filter + quantized pages (identical results, less work)",
+		Columns: []string{"config", "search s", "queries/sec", "page reads", "sim ops", "sig skips", "equivalent"},
+	}
+
+	var reference [][]vitri.Match
+	var baseline prefilterRow
+	for ci, pc := range prefilterConfigs {
+		db := vitri.New(vitri.Options{
+			Epsilon:          cfg.Epsilon,
+			Seed:             cfg.Seed,
+			DisablePreFilter: pc.noSigs,
+			UnquantizedPages: pc.unquantized,
+		})
+		if err := prefilterIngest(db, videos, &queries[0], cfg.K); err != nil {
+			return nil, fmt.Errorf("%s: %w", pc.name, err)
+		}
+
+		matches := make([][]vitri.Match, len(queries))
+		var agg vitri.SearchStats
+		start := time.Now()
+		for round := 0; round < prefilterSearchRounds; round++ {
+			for qi := range queries {
+				res, stats, err := db.SearchSummary(&queries[qi], cfg.K, vitri.Composed)
+				if err != nil {
+					return nil, fmt.Errorf("%s: query %d: %w", pc.name, qi, err)
+				}
+				matches[qi] = res
+				agg.PageReads += stats.PageReads
+				agg.Candidates += stats.Candidates
+				agg.SimilarityOps += stats.SimilarityOps
+				agg.SignatureSkips += stats.SignatureSkips
+			}
+		}
+		search := time.Since(start)
+
+		if ci == 0 {
+			reference = matches
+			report.Triplets = db.Triplets()
+		} else if !shardMatchesEqual(matches, reference) {
+			report.Equivalent = false
+		}
+
+		row := prefilterRow{
+			Config:         pc.name,
+			SearchSeconds:  search.Seconds(),
+			QueriesPerSec:  float64(prefilterSearchRounds*len(queries)) / search.Seconds(),
+			PageReads:      agg.PageReads,
+			Candidates:     agg.Candidates,
+			SimilarityOps:  agg.SimilarityOps,
+			SignatureSkips: agg.SignatureSkips,
+		}
+		if ci == 0 {
+			baseline = row
+		}
+		report.Rows = append(report.Rows, row)
+		table.Rows = append(table.Rows, []string{
+			pc.name,
+			fmt.Sprintf("%.3f", row.SearchSeconds),
+			fmt.Sprintf("%.0f", row.QueriesPerSec),
+			fmt.Sprintf("%d", row.PageReads),
+			fmt.Sprintf("%d", row.SimilarityOps),
+			fmt.Sprintf("%d", row.SignatureSkips),
+			fmt.Sprintf("%t", report.Equivalent),
+		})
+	}
+
+	deflt := report.Rows[len(report.Rows)-1]
+	if baseline.PageReads > 0 {
+		report.PageReadsRatio = float64(deflt.PageReads) / float64(baseline.PageReads)
+	}
+	if baseline.SimilarityOps > 0 {
+		report.SkipFraction = float64(deflt.SignatureSkips) / float64(baseline.SimilarityOps)
+	}
+	table.Rows = append(table.Rows, []string{
+		"ratio default/baseline", "", "",
+		fmt.Sprintf("%.3fx", report.PageReadsRatio),
+		fmt.Sprintf("skip %.1f%%", 100*report.SkipFraction), "", "",
+	})
+
+	if outPath != "" {
+		if err := writeJSONReport(outPath, &report); err != nil {
+			return nil, err
+		}
+	}
+	return []*metrics.Table{table}, nil
+}
+
+// searchReport is the BENCH_search.json schema: the default engine's
+// per-query search profile on the fixed corpus.
+type searchReport struct {
+	Scale             float64 `json:"scale"`
+	Videos            int     `json:"videos"`
+	Triplets          int     `json:"triplets"`
+	Epsilon           float64 `json:"epsilon"`
+	K                 int     `json:"k"`
+	Queries           int     `json:"queries"`
+	Rounds            int     `json:"search_rounds"`
+	QueriesPerSec     float64 `json:"queries_per_sec"`
+	P50Micros         float64 `json:"p50_us"`
+	P99Micros         float64 `json:"p99_us"`
+	PageReadsPerQuery float64 `json:"page_reads_per_query"`
+	SimOpsPerQuery    float64 `json:"similarity_ops_per_query"`
+	SigSkipsPerQuery  float64 `json:"signature_skips_per_query"`
+	SkipFraction      float64 `json:"skip_fraction"`
+}
+
+// runSearch profiles the default engine: per-query latency percentiles
+// and the per-query work counters, BENCH_search.json.
+func runSearch(cfg experiments.Config, outPath string) ([]*metrics.Table, error) {
+	videos, queries, err := prefilterCorpus(cfg)
+	if err != nil {
+		return nil, err
+	}
+	db := vitri.New(vitri.Options{Epsilon: cfg.Epsilon, Seed: cfg.Seed})
+	if err := prefilterIngest(db, videos, &queries[0], cfg.K); err != nil {
+		return nil, err
+	}
+
+	var agg vitri.SearchStats
+	lat := make([]float64, 0, prefilterSearchRounds*len(queries))
+	start := time.Now()
+	for round := 0; round < prefilterSearchRounds; round++ {
+		for qi := range queries {
+			qStart := time.Now()
+			_, stats, err := db.SearchSummary(&queries[qi], cfg.K, vitri.Composed)
+			if err != nil {
+				return nil, fmt.Errorf("query %d: %w", qi, err)
+			}
+			lat = append(lat, float64(time.Since(qStart).Microseconds()))
+			agg.PageReads += stats.PageReads
+			agg.Candidates += stats.Candidates
+			agg.SimilarityOps += stats.SimilarityOps
+			agg.SignatureSkips += stats.SignatureSkips
+		}
+	}
+	total := time.Since(start)
+	sort.Float64s(lat)
+	n := float64(len(lat))
+	report := searchReport{
+		Scale:             cfg.Scale,
+		Videos:            len(videos),
+		Triplets:          db.Triplets(),
+		Epsilon:           cfg.Epsilon,
+		K:                 cfg.K,
+		Queries:           len(queries),
+		Rounds:            prefilterSearchRounds,
+		QueriesPerSec:     n / total.Seconds(),
+		P50Micros:         lat[len(lat)/2],
+		P99Micros:         lat[len(lat)*99/100],
+		PageReadsPerQuery: float64(agg.PageReads) / n,
+		SimOpsPerQuery:    float64(agg.SimilarityOps) / n,
+		SigSkipsPerQuery:  float64(agg.SignatureSkips) / n,
+	}
+	if ops := agg.SimilarityOps + agg.SignatureSkips; ops > 0 {
+		report.SkipFraction = float64(agg.SignatureSkips) / float64(ops)
+	}
+
+	table := &metrics.Table{
+		Title:   "Search profile (default engine: signature tier + quantized pages)",
+		Columns: []string{"queries/sec", "p50 µs", "p99 µs", "page reads/q", "sim ops/q", "sig skips/q", "skip %"},
+		Rows: [][]string{{
+			fmt.Sprintf("%.0f", report.QueriesPerSec),
+			fmt.Sprintf("%.0f", report.P50Micros),
+			fmt.Sprintf("%.0f", report.P99Micros),
+			fmt.Sprintf("%.1f", report.PageReadsPerQuery),
+			fmt.Sprintf("%.1f", report.SimOpsPerQuery),
+			fmt.Sprintf("%.1f", report.SigSkipsPerQuery),
+			fmt.Sprintf("%.1f%%", 100*report.SkipFraction),
+		}},
+	}
+	if outPath != "" {
+		if err := writeJSONReport(outPath, &report); err != nil {
+			return nil, err
+		}
+	}
+	return []*metrics.Table{table}, nil
+}
+
+// prefilterCorpus generates the shared corpus and query set.
+func prefilterCorpus(cfg experiments.Config) ([]vitri.Video, []vitri.Summary, error) {
+	corpus, err := dataset.GenerateHist(dataset.DefaultHistConfig(cfg.Scale, cfg.Seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	videos := make([]vitri.Video, len(corpus.Videos))
+	for i := range corpus.Videos {
+		videos[i] = vitri.Video{ID: corpus.Videos[i].ID, Frames: corpus.Videos[i].Frames}
+	}
+	nq := cfg.Queries
+	if nq > len(videos) {
+		nq = len(videos)
+	}
+	queries := make([]vitri.Summary, nq)
+	for i := range queries {
+		queries[i] = vitri.Summarize(-1, videos[i].Frames, cfg.Epsilon, cfg.Seed)
+	}
+	return videos, queries, nil
+}
+
+// prefilterIngest loads the corpus and forces the lazy bulk build so the
+// timed loop measures only searches.
+func prefilterIngest(db *vitri.DB, videos []vitri.Video, warm *vitri.Summary, k int) error {
+	itemErrs, err := db.AddBatch(videos)
+	if err != nil {
+		return fmt.Errorf("ingest: %w", err)
+	}
+	for _, e := range itemErrs {
+		if e != nil {
+			return fmt.Errorf("ingest: %w", e)
+		}
+	}
+	if _, _, err := db.SearchSummary(warm, k, vitri.Composed); err != nil {
+		return fmt.Errorf("index build: %w", err)
+	}
+	return nil
+}
+
+// writeJSONReport writes a report with a trailing newline, the format
+// the committed BENCH_*.json files use.
+func writeJSONReport(path string, v interface{}) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

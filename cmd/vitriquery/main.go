@@ -111,8 +111,8 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("query %d: %w", id, err)
 		}
-		fmt.Fprintf(stdout, "\nquery video %d (%d frames, %d triplets): %d matches, %d page reads, %d similarity ops\n",
-			id, len(frames), len(q.Triplets), len(matches), stats.PageReads, stats.SimilarityOps)
+		fmt.Fprintf(stdout, "\nquery video %d (%d frames, %d triplets): %d matches, %d page reads, %d similarity ops, %d signature skips\n",
+			id, len(frames), len(q.Triplets), len(matches), stats.PageReads, stats.SimilarityOps, stats.SignatureSkips)
 		for rank, m := range matches {
 			line := fmt.Sprintf("  #%-2d video %-6d similarity %.4f", rank+1, m.VideoID, m.Similarity)
 			if *exact {

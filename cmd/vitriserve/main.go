@@ -70,6 +70,8 @@ func main() {
 		ckptEvery   = flag.Int("checkpoint-every", 0, "fold the journal into a snapshot every N operations (0 = only on POST /checkpoint)")
 		ckptCool    = flag.Duration("checkpoint-cooldown", 30*time.Second, "suppress automatic checkpoints this long after one fails (negative = retry immediately)")
 		shards      = flag.Int("shards", 1, "shard-per-core engine: shard count (1 = classic single engine; an existing durable store fixes it, pass 0 to adopt)")
+		noPrefilter = flag.Bool("no-prefilter", false, "disable the signature pre-filter tier (results are identical; searches do more exact geometry)")
+		unquantized = flag.Bool("unquantized-pages", false, "store float64 triplet pages instead of quantized float32 (results are identical; leaves hold half as many records)")
 	)
 	flag.Parse()
 	switch {
@@ -98,13 +100,16 @@ func main() {
 		SearchParallelism: *parallelism,
 		NewPager:          newPager,
 		Shards:            *shards,
+		DisablePreFilter:  *noPrefilter,
+		UnquantizedPages:  *unquantized,
 	}
 
 	db, err := loadDB(*corpusPath, *dbPath, *journalDir, opts)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	log.Printf("vitriserve: %d videos, %d triplets (epsilon %g)", db.Len(), db.Triplets(), db.Epsilon())
+	log.Printf("vitriserve: %d videos, %d triplets (epsilon %g, signature pre-filter %s, %s leaf pages)",
+		db.Len(), db.Triplets(), db.Epsilon(), onOff(!*noPrefilter), pageKind(*unquantized))
 	if db.Durable() {
 		ds := db.DurabilityStats()
 		log.Printf("vitriserve: durable store %s (journal depth %d, snapshot seq %d)", ds.Dir, ds.Journal.Depth, ds.SnapshotSeq)
@@ -232,6 +237,20 @@ func warmIndex(db *vitri.DB, frames []vitri.Vector, seed int64) error {
 		return fmt.Errorf("index build: %w", err)
 	}
 	return nil
+}
+
+func onOff(on bool) string {
+	if on {
+		return "on"
+	}
+	return "off"
+}
+
+func pageKind(unquantized bool) string {
+	if unquantized {
+		return "float64"
+	}
+	return "quantized float32"
 }
 
 func fatalf(format string, args ...interface{}) {

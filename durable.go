@@ -171,14 +171,14 @@ func openDurableFlat(dir string, fsys vfs.FS, d DurableOptions, opts Options) (*
 		return nil, errors.New("vitri: open durable: empty store needs a positive Options.Epsilon")
 	}
 	if snap == nil {
-		// Seed a fresh store with an empty v2 snapshot so the directory
+		// Seed a fresh store with an empty v3 snapshot so the directory
 		// always carries its epsilon — later opens may pass Epsilon 0 and
 		// adopt it, exactly as with a checkpointed store.
-		seeded := &storefmt.Snapshot{Version: storefmt.Version2, Epsilon: opts.Epsilon}
+		seeded := &storefmt.Snapshot{Version: storefmt.Version3, Epsilon: opts.Epsilon}
 		if err := storefmt.WriteSnapshotFile(fsys, snapPath, seeded); err != nil {
 			return nil, fmt.Errorf("vitri: open durable: seed snapshot: %w", err)
 		}
-		snapVersion = storefmt.Version2
+		snapVersion = storefmt.Version3
 	}
 	opts.Durable = &d
 	db := New(opts)
@@ -386,7 +386,7 @@ func (db *DB) checkpointCapture() (*ckptCapture, error) {
 	return &ckptCapture{
 		dur: dur,
 		snap: &storefmt.Snapshot{
-			Version:   storefmt.Version2,
+			Version:   storefmt.Version3,
 			Epsilon:   db.opts.Epsilon,
 			LastSeq:   cut.LastSeq,
 			Summaries: sums,
@@ -437,7 +437,7 @@ func (db *DB) checkpointCommit(c *ckptCapture) error {
 	db.mu.Lock()
 	if db.dur == dur {
 		dur.snapLastSeq = c.cut.LastSeq
-		dur.snapVersion = storefmt.Version2
+		dur.snapVersion = storefmt.Version3
 	}
 	db.mu.Unlock()
 	dur.checkpoints.Add(1)

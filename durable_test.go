@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"vitri/internal/core"
 	"vitri/internal/journal"
 	"vitri/internal/storefmt"
 	"vitri/internal/vfs"
@@ -67,7 +68,7 @@ func TestDurableLifecycle(t *testing.T) {
 		t.Fatalf("Checkpoint: %v", err)
 	}
 	st = db2.DurabilityStats()
-	if st.Journal.Depth != 0 || st.SnapshotVersion != storefmt.Version2 || st.Checkpoints != 1 {
+	if st.Journal.Depth != 0 || st.SnapshotVersion != storefmt.Version3 || st.Checkpoints != 1 {
 		t.Fatalf("post-checkpoint stats = %+v", st)
 	}
 	if err := db2.AddSummary(crashSummary(50)); err != nil {
@@ -159,20 +160,21 @@ func TestV1MigratesOnCheckpoint(t *testing.T) {
 	if err := db.Checkpoint(); err != nil {
 		t.Fatalf("migrating checkpoint: %v", err)
 	}
-	if st := db.DurabilityStats(); st.SnapshotVersion != storefmt.Version2 {
-		t.Fatalf("post-migration SnapshotVersion = %d, want %d", st.SnapshotVersion, storefmt.Version2)
+	if st := db.DurabilityStats(); st.SnapshotVersion != storefmt.Version3 {
+		t.Fatalf("post-migration SnapshotVersion = %d, want %d", st.SnapshotVersion, storefmt.Version3)
 	}
 	if err := db.Close(); err != nil {
 		t.Fatal(err)
 	}
 
-	// The file on disk is now genuinely v2 (checksummed), still loadable
-	// by both Load and OpenDurable with identical contents.
+	// The file on disk is now genuinely v3 (checksummed, with the
+	// signatures section), still loadable by both Load and OpenDurable
+	// with identical contents.
 	snap, err := storefmt.ReadSnapshotFile(vfs.OS{}, snapPath)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if snap.Version != storefmt.Version2 {
+	if snap.Version != storefmt.Version3 {
 		t.Fatalf("on-disk version = %d", snap.Version)
 	}
 	loaded, err := Load(snapPath, Options{})
@@ -188,6 +190,68 @@ func TestV1MigratesOnCheckpoint(t *testing.T) {
 	}
 	defer db2.Close()
 	if !reflect.DeepEqual(dbContents(t, db2), legacyContents) {
+		t.Fatal("durable reopen of migrated store changed contents")
+	}
+}
+
+// TestV2MigratesOnCheckpoint: a durable DB opened over a v2 snapshot
+// (written by the previous release) loads it as-is and upgrades the file
+// to v3 — summaries byte-preserved, signatures section derived — at its
+// next checkpoint.
+func TestV2MigratesOnCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	var sums []core.Summary
+	for i := 1; i <= 5; i++ {
+		sums = append(sums, crashSummary(i))
+	}
+	storefmt.SortSummaries(sums)
+	snapPath := filepath.Join(dir, "snapshot.vitri")
+	v2 := &storefmt.Snapshot{Version: storefmt.Version2, Epsilon: 0.3, LastSeq: 0, Summaries: sums}
+	if err := storefmt.WriteSnapshotFile(vfs.OS{}, snapPath, v2); err != nil {
+		t.Fatalf("write v2 snapshot: %v", err)
+	}
+
+	db, err := OpenDurable(dir, Options{})
+	if err != nil {
+		t.Fatalf("OpenDurable over v2 store: %v", err)
+	}
+	if st := db.DurabilityStats(); st.SnapshotVersion != storefmt.Version2 {
+		t.Fatalf("pre-migration SnapshotVersion = %d, want %d", st.SnapshotVersion, storefmt.Version2)
+	}
+	wantContents := dbContents(t, db)
+	if len(wantContents) != len(sums) {
+		t.Fatalf("loaded %d videos, want %d", len(wantContents), len(sums))
+	}
+
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("migrating checkpoint: %v", err)
+	}
+	if st := db.DurabilityStats(); st.SnapshotVersion != storefmt.Version3 {
+		t.Fatalf("post-migration SnapshotVersion = %d, want %d", st.SnapshotVersion, storefmt.Version3)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := storefmt.ReadSnapshotFile(vfs.OS{}, snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != storefmt.Version3 {
+		t.Fatalf("on-disk version = %d, want v3", snap.Version)
+	}
+	if !reflect.DeepEqual(snap.Summaries, sums) {
+		t.Fatal("v2→v3 migration changed the summaries")
+	}
+	if len(snap.Signatures) != len(sums) {
+		t.Fatalf("migrated store carries %d signatures, want %d", len(snap.Signatures), len(sums))
+	}
+	db2, err := OpenDurable(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if !reflect.DeepEqual(dbContents(t, db2), wantContents) {
 		t.Fatal("durable reopen of migrated store changed contents")
 	}
 }

@@ -7,33 +7,22 @@ import (
 	"vitri/internal/core"
 )
 
-// Summaries reconstructs every indexed video's summary from the stored
-// records and the catalog, ordered by video id. Triplets within a video
-// are ordered by their original cluster ordinal. This is the export path
-// used for persistence: the index's leaf records carry everything a
-// summary contains.
+// Summaries reconstructs every indexed video's summary from the catalog,
+// ordered by video id, triplets in their original cluster-ordinal order.
+// This is the export path used for persistence. The catalog holds the
+// exact float64 triplets — the B+-tree's leaf copies may be
+// float32-quantized, so they are deliberately not consulted here.
 func (ix *Index) Summaries() ([]core.Summary, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	recs, err := ix.allRecordsLocked()
-	if err != nil {
-		return nil, err
-	}
-	byVideo := make(map[int32][]Record)
-	for _, r := range recs {
-		byVideo[r.VideoID] = append(byVideo[r.VideoID], r)
-	}
-	out := make([]core.Summary, 0, len(byVideo))
-	for vid, group := range byVideo {
-		sort.Slice(group, func(i, j int) bool { return group[i].ClusterN < group[j].ClusterN })
+	out := make([]core.Summary, 0, len(ix.catalog))
+	for vid, info := range ix.catalog {
 		s := core.Summary{
 			VideoID:    int(vid),
-			FrameCount: ix.catalog[vid].frameCount,
-			Triplets:   make([]core.ViTri, 0, len(group)),
+			FrameCount: info.frameCount,
+			Triplets:   make([]core.ViTri, len(info.trips)),
 		}
-		for _, r := range group {
-			s.Triplets = append(s.Triplets, r.Triplet())
-		}
+		copy(s.Triplets, info.trips)
 		out = append(out, s)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].VideoID < out[j].VideoID })

@@ -1,0 +1,53 @@
+package index
+
+import (
+	"bytes"
+	"testing"
+
+	"vitri/internal/vec"
+)
+
+// FuzzDecodeRecordV3 feeds the quantized leaf codec hostile bytes. The
+// dimensionality is derived from the input length (the tree always knows
+// it from the index geometry; the fuzzer reconstructs it the same way).
+// The codec must never panic, and any record it accepts must re-encode
+// to exactly the input bytes — widening float32 to float64 and narrowing
+// back is the identity on finite values, so the accepted set has no
+// redundant representations.
+func FuzzDecodeRecordV3(f *testing.F) {
+	seed := func(dim int) []byte {
+		pos := make(vec.Vector, dim)
+		for d := range pos {
+			pos[d] = 0.25 * float64(d+1)
+		}
+		rec := Record{VideoID: 7, ClusterN: 1, Count: 3, Radius: 0.5, Position: pos}
+		buf := make([]byte, RecordSizeV3(dim))
+		if err := EncodeRecordV3(&rec, buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf
+	}
+	f.Add(seed(1))
+	f.Add(seed(8))
+	f.Add(seed(64))
+	f.Add([]byte{})
+	f.Add(make([]byte, recordHeaderSizeV3))
+	f.Add(bytes.Repeat([]byte{0xff}, RecordSizeV3(2)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < recordHeaderSizeV3 || (len(data)-recordHeaderSizeV3)%4 != 0 {
+			return
+		}
+		dim := (len(data) - recordHeaderSizeV3) / 4
+		var rec Record
+		if err := DecodeRecordV3(data, dim, &rec); err != nil {
+			return
+		}
+		out := make([]byte, RecordSizeV3(dim))
+		if err := EncodeRecordV3(&rec, out); err != nil {
+			t.Fatalf("decoded record failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatal("re-encode diverged from accepted input")
+		}
+	})
+}

@@ -11,6 +11,7 @@ import (
 	"vitri/internal/linalg"
 	"vitri/internal/pager"
 	"vitri/internal/refpoint"
+	"vitri/internal/sig"
 	"vitri/internal/vec"
 )
 
@@ -40,6 +41,18 @@ type Options struct {
 	// NewPager supplies page stores for the tree — once at build time and
 	// again on every rebuild. Defaults to in-memory pagers.
 	NewPager func() pager.Pager
+	// DisableSignatures turns off the memory-resident signature
+	// pre-filter tier (internal/sig): every covered candidate then pays
+	// the exact similarity evaluation, as before the tier existed.
+	// Results are byte-identical either way — the tier only skips pairs
+	// whose shared-frame estimate is provably zero.
+	DisableSignatures bool
+	// UnquantizedLeaves keeps the v2 float64 leaf record encoding
+	// instead of the v3 float32 one. The default (false) halves the leaf
+	// payload and with it the page reads per range scan; similarity math
+	// reads exact float64 triplets from the catalog in either mode, so
+	// this knob trades I/O, never results.
+	UnquantizedLeaves bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -53,12 +66,22 @@ func (o *Options) withDefaults() Options {
 	return out
 }
 
-// videoInfo is the per-video catalog entry needed to turn shared-frame
-// estimates into the §3.1 normalized similarity.
+// videoInfo is the per-video catalog entry: the normalization inputs for
+// the §3.1 similarity, the exact float64 triplets (the source of truth
+// the similarity math reads — leaf records may be float32-quantized),
+// and the video's signature tier.
 type videoInfo struct {
 	frameCount int
 	triplets   int
 	keys       []float64 // the 1-D keys of this video's triplets (for Remove)
+	// trips are the exact triplets in cluster-ordinal order, so
+	// trips[rec.ClusterN] is the full-precision twin of a leaf record.
+	trips []core.ViTri
+	// vsig is the video-level signature (union of triplet cells, max
+	// radius); tsigs are the per-triplet point signatures. Both nil when
+	// Options.DisableSignatures is set.
+	vsig  *sig.Signature
+	tsigs []*sig.Signature
 }
 
 // Index is the ViTri index: a reference-point transform plus a B+-tree of
@@ -72,7 +95,7 @@ type Index struct {
 	tree *btree.Tree
 	pg   pager.Pager
 
-	catalog map[int32]videoInfo
+	catalog map[int32]*videoInfo
 
 	// Running covariance accumulators over every indexed position, used
 	// for principal-direction drift detection (§6.3.3).
@@ -102,7 +125,7 @@ func Build(summaries []core.Summary, opts Options) (*Index, error) {
 		opts:     o,
 		dim:      dim,
 		tr:       tr,
-		catalog:  make(map[int32]videoInfo),
+		catalog:  make(map[int32]*videoInfo),
 		posSum:   make(vec.Vector, dim),
 		posOuter: make([]float64, dim*dim),
 	}
@@ -112,7 +135,7 @@ func Build(summaries []core.Summary, opts Options) (*Index, error) {
 		if _, dup := ix.catalog[int32(s.VideoID)]; dup {
 			return nil, fmt.Errorf("index: duplicate video id %d", s.VideoID)
 		}
-		info := videoInfo{frameCount: s.FrameCount, triplets: len(s.Triplets)}
+		info := ix.newVideoInfo(s)
 		for ti := range s.Triplets {
 			tpl := &s.Triplets[ti]
 			rec := Record{
@@ -122,8 +145,8 @@ func Build(summaries []core.Summary, opts Options) (*Index, error) {
 				Radius:   tpl.Radius,
 				Position: tpl.Position,
 			}
-			buf := make([]byte, RecordSize(dim))
-			if err := EncodeRecord(&rec, buf); err != nil {
+			buf := make([]byte, ix.recSize())
+			if err := ix.encodeRec(&rec, buf); err != nil {
 				return nil, err
 			}
 			key := tr.Key(tpl.Position)
@@ -135,12 +158,66 @@ func Build(summaries []core.Summary, opts Options) (*Index, error) {
 	}
 	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
 	pg := o.NewPager()
-	tree, err := btree.BulkLoad(pg, RecordSize(dim), entries, o.FillFactor)
+	tree, err := btree.BulkLoad(pg, ix.recSize(), entries, o.FillFactor)
 	if err != nil {
 		return nil, err
 	}
 	ix.tree, ix.pg = tree, pg
 	return ix, nil
+}
+
+// recSize is the leaf record size for this index's encoding mode.
+func (ix *Index) recSize() int {
+	if ix.opts.UnquantizedLeaves {
+		return RecordSize(ix.dim)
+	}
+	return RecordSizeV3(ix.dim)
+}
+
+// encodeRec serializes a record in the index's leaf encoding.
+func (ix *Index) encodeRec(r *Record, dst []byte) error {
+	if ix.opts.UnquantizedLeaves {
+		return EncodeRecord(r, dst)
+	}
+	return EncodeRecordV3(r, dst)
+}
+
+// decodeRec parses a leaf record in the index's encoding. In the default
+// (v3) mode positions and radius come back float32-widened; similarity
+// math must read the exact values from the catalog instead.
+func (ix *Index) decodeRec(src []byte, r *Record) error {
+	if ix.opts.UnquantizedLeaves {
+		return DecodeRecord(src, ix.dim, r)
+	}
+	return DecodeRecordV3(src, ix.dim, r)
+}
+
+// newVideoInfo builds a summary's catalog entry: the exact triplets
+// (via core.NewViTri, the same deterministic constructor the search path
+// used when it decoded triplets from leaves, so LogVolume is bit-for-bit
+// what it always was) plus the signature tier. The caller has validated
+// dimensionality.
+func (ix *Index) newVideoInfo(s *core.Summary) *videoInfo {
+	info := &videoInfo{
+		frameCount: s.FrameCount,
+		triplets:   len(s.Triplets),
+		trips:      make([]core.ViTri, len(s.Triplets)),
+	}
+	for ti := range s.Triplets {
+		tpl := &s.Triplets[ti]
+		info.trips[ti] = core.NewViTri(tpl.Position, tpl.Radius, tpl.Count)
+	}
+	if !ix.opts.DisableSignatures {
+		w := sig.CellWidth(ix.opts.Epsilon)
+		info.vsig = sig.New(ix.dim)
+		info.tsigs = make([]*sig.Signature, len(info.trips))
+		for ti := range info.trips {
+			t := &info.trips[ti]
+			info.tsigs[ti] = sig.FromTriplet(t.Position, t.Radius, w)
+			info.vsig.Add(t.Position, t.Radius, w)
+		}
+	}
+	return info
 }
 
 // newMapper constructs the configured key mapping over the build points.
@@ -261,7 +338,7 @@ func (ix *Index) Insert(s core.Summary) error {
 	// Validate and encode everything before touching the tree: a failure
 	// on triplet i must not leave triplets 0..i-1 orphaned in the tree
 	// with no catalog entry.
-	size := RecordSize(ix.dim)
+	size := ix.recSize()
 	slab := make([]byte, size*len(s.Triplets))
 	keys := make([]float64, len(s.Triplets))
 	for ti := range s.Triplets {
@@ -276,18 +353,22 @@ func (ix *Index) Insert(s core.Summary) error {
 			Radius:   tpl.Radius,
 			Position: tpl.Position,
 		}
-		if err := EncodeRecord(&rec, slab[ti*size:(ti+1)*size]); err != nil {
+		if err := ix.encodeRec(&rec, slab[ti*size:(ti+1)*size]); err != nil {
 			return err
 		}
 		keys[ti] = ix.tr.Key(tpl.Position)
 	}
+	// Catalog entry (exact triplets + signatures) before the first tree
+	// mutation: newVideoInfo inherits NewViTri's panic on invalid
+	// geometry, and that must not fire with half a video inserted.
+	info := ix.newVideoInfo(&s)
+	info.keys = keys
 	for ti := range s.Triplets {
 		if err := ix.tree.Insert(keys[ti], slab[ti*size:(ti+1)*size]); err != nil {
 			ix.rollbackInsertLocked(vid, keys[:ti])
 			return err
 		}
 	}
-	info := videoInfo{frameCount: s.FrameCount, triplets: len(s.Triplets), keys: keys}
 	for ti := range s.Triplets {
 		ix.accumulate(s.Triplets[ti].Position)
 	}
@@ -305,7 +386,7 @@ func (ix *Index) rollbackInsertLocked(vid int32, keys []float64) {
 	for _, key := range keys {
 		//lint:ignore droppederr best-effort rollback: the pager that failed the insert may fail the deletes too
 		_, _ = ix.tree.Delete(key, func(val []byte) bool {
-			return DecodeRecord(val, ix.dim, &rec) == nil && rec.VideoID == vid
+			return ix.decodeRec(val, &rec) == nil && rec.VideoID == vid
 		})
 	}
 }
@@ -362,33 +443,50 @@ func (ix *Index) Rebuild() error {
 }
 
 // rebuildLocked is Rebuild under the write lock the caller already holds.
+//
+// The reference point is re-derived from the exact float64 positions in
+// the catalog, visited in tree order — the same order (and, with
+// unquantized leaves, the same bits) the seed engine fed its PCA, so
+// rebuilds stay deterministic and independent of the leaf encoding.
+// Records whose catalog entry is gone (orphans left by a failed
+// best-effort insert rollback) are dropped here rather than re-encoded:
+// they can never score — scoring reads the catalog — so the rebuild is
+// the natural point to shed them.
 func (ix *Index) rebuildLocked() error {
-	recs, err := ix.allRecordsLocked()
+	refs, err := ix.treeRefsLocked()
 	if err != nil {
 		return err
 	}
-	positions := make([]vec.Vector, len(recs))
-	for i := range recs {
-		positions[i] = recs[i].Position
+	positions := make([]vec.Vector, len(refs))
+	for i, ref := range refs {
+		positions[i] = ix.catalog[ref.vid].trips[ref.cn].Position
 	}
 	tr, err := newMapper(&ix.opts, positions)
 	if err != nil {
 		return err
 	}
-	entries := make([]btree.Entry, len(recs))
+	entries := make([]btree.Entry, len(refs))
 	newKeys := make(map[int32][]float64, len(ix.catalog))
-	for i := range recs {
-		buf := make([]byte, RecordSize(ix.dim))
-		if err := EncodeRecord(&recs[i], buf); err != nil {
+	for i, ref := range refs {
+		t := &ix.catalog[ref.vid].trips[ref.cn]
+		rec := Record{
+			VideoID:  ref.vid,
+			ClusterN: ref.cn,
+			Count:    int32(t.Count),
+			Radius:   t.Radius,
+			Position: t.Position,
+		}
+		buf := make([]byte, ix.recSize())
+		if err := ix.encodeRec(&rec, buf); err != nil {
 			return err
 		}
-		key := tr.Key(recs[i].Position)
+		key := tr.Key(t.Position)
 		entries[i] = btree.Entry{Key: key, Val: buf}
-		newKeys[recs[i].VideoID] = append(newKeys[recs[i].VideoID], key)
+		newKeys[ref.vid] = append(newKeys[ref.vid], key)
 	}
 	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
 	pg := ix.opts.NewPager()
-	tree, err := btree.BulkLoad(pg, RecordSize(ix.dim), entries, ix.opts.FillFactor)
+	tree, err := btree.BulkLoad(pg, ix.recSize(), entries, ix.opts.FillFactor)
 	if err != nil {
 		return errors.Join(err, pg.Close())
 	}
@@ -396,13 +494,43 @@ func (ix *Index) rebuildLocked() error {
 	// every 1-D key.
 	for vid, info := range ix.catalog {
 		info.keys = newKeys[vid]
-		ix.catalog[vid] = info
 	}
 	old := ix.pg
 	ix.tr, ix.tree, ix.pg = tr, tree, pg
 	//lint:ignore droppederr best-effort close of the replaced store; the new pager is already live
 	old.Close()
 	return nil
+}
+
+// recordRef names one indexed triplet: the video and its cluster ordinal
+// — enough to find the exact triplet in the catalog.
+type recordRef struct {
+	vid int32
+	cn  int32
+}
+
+// treeRefsLocked scans the tree in key order and resolves every record
+// to its catalog reference, skipping orphans (records whose video has no
+// catalog entry, or whose cluster ordinal is out of range — the residue
+// of a doubly-failed insert). Caller holds mu.
+func (ix *Index) treeRefsLocked() ([]recordRef, error) {
+	out := make([]recordRef, 0, ix.tree.Len())
+	var r Record
+	err := ix.tree.Scan(func(_ float64, val []byte) bool {
+		if ix.decodeRec(val, &r) != nil {
+			return false
+		}
+		info := ix.catalog[r.VideoID]
+		if info == nil || r.ClusterN < 0 || int(r.ClusterN) >= len(info.trips) {
+			return true
+		}
+		out = append(out, recordRef{vid: r.VideoID, cn: r.ClusterN})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // RebuildIfDrifted rebuilds when DriftAngle exceeds maxAngle (radians) and
@@ -420,24 +548,4 @@ func (ix *Index) RebuildIfDrifted(maxAngle float64) (bool, error) {
 		return false, err
 	}
 	return true, nil
-}
-
-// allRecordsLocked decodes every record in tree order. Caller holds mu.
-func (ix *Index) allRecordsLocked() ([]Record, error) {
-	out := make([]Record, 0, ix.tree.Len())
-	err := ix.tree.Scan(func(_ float64, val []byte) bool {
-		var r Record
-		if DecodeRecord(val, ix.dim, &r) != nil {
-			return false
-		}
-		out = append(out, r)
-		return true
-	})
-	if err != nil {
-		return nil, err
-	}
-	if int64(len(out)) != ix.tree.Len() {
-		return nil, errors.New("index: record decode failed during scan")
-	}
-	return out, nil
 }

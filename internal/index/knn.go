@@ -11,6 +11,7 @@ import (
 	"vitri/internal/core"
 	"vitri/internal/pager"
 	"vitri/internal/refpoint"
+	"vitri/internal/sig"
 )
 
 // Mode selects the KNN range-processing strategy of §5.2.
@@ -47,16 +48,20 @@ type Result struct {
 
 // SearchStats reports the work a query performed. PageReads counts
 // physical page reads attributable to this search; SimilarityOps counts
-// ViTri-pair similarity evaluations (the paper's CPU-cost proxy).
-// Every counter is accumulated per query — PageReads in particular is
-// exact even with any number of concurrent searches on the same index,
-// because each scan carries its own pager.ScanStats instead of diffing
-// the pager's shared counters.
+// ViTri-pair similarity evaluations (the paper's CPU-cost proxy);
+// SignatureSkips counts covered candidate evaluations the signature
+// pre-filter tier proved zero-shared and discarded before the exact
+// geometry — SimilarityOps + SignatureSkips is invariant under the tier
+// being on or off. Every counter is accumulated per query — PageReads in
+// particular is exact even with any number of concurrent searches on the
+// same index, because each scan carries its own pager.ScanStats instead
+// of diffing the pager's shared counters.
 type SearchStats struct {
-	Ranges        int
-	Candidates    int
-	SimilarityOps int
-	PageReads     uint64
+	Ranges         int
+	Candidates     int
+	SimilarityOps  int
+	SignatureSkips int
+	PageReads      uint64
 }
 
 // add folds another query-part's counters in.
@@ -64,15 +69,18 @@ func (s *SearchStats) add(o *SearchStats) {
 	s.Ranges += o.Ranges
 	s.Candidates += o.Candidates
 	s.SimilarityOps += o.SimilarityOps
+	s.SignatureSkips += o.SignatureSkips
 	s.PageReads += o.PageReads
 }
 
 // queryTriplet is a prepared query-side triplet with its 1-D search
 // ranges (one for single-reference mappers, up to one per partition for
-// the iDistance mapper).
+// the iDistance mapper) and, when the signature tier is on, its point
+// signature for the pre-filter gate.
 type queryTriplet struct {
 	vt     *core.ViTri
 	ranges []refpoint.KeyRange
+	psig   *sig.Signature
 }
 
 // covers reports whether any of the triplet's ranges contains key.
@@ -163,6 +171,7 @@ func (ix *Index) SearchParallel(q *core.Summary, k int, mode Mode, parallelism i
 		return nil, stats, nil
 	}
 
+	cellW := sig.CellWidth(ix.opts.Epsilon)
 	qts := make([]queryTriplet, len(q.Triplets))
 	for i := range q.Triplets {
 		vt := &q.Triplets[i]
@@ -172,6 +181,9 @@ func (ix *Index) SearchParallel(q *core.Summary, k int, mode Mode, parallelism i
 		qts[i] = queryTriplet{
 			vt:     vt,
 			ranges: ix.tr.Ranges(vt.Position, vt.Radius+ix.opts.Epsilon/2),
+		}
+		if !ix.opts.DisableSignatures {
+			qts[i].psig = sig.FromTriplet(vt.Position, vt.Radius, cellW)
 		}
 	}
 
@@ -268,6 +280,21 @@ func (ix *Index) runTasks(qts []queryTriplet, tasks []scanTask, parallelism int)
 // runTask scans one disjoint range and accumulates candidate evidence
 // into the task's private score map. Page reads are attributed to this
 // task via a scan-local counter, never the pager's shared one.
+//
+// The exact triplet for a record comes from the catalog, not the leaf
+// bytes: leaf records may be float32-quantized (Options.UnquantizedLeaves
+// unset), and similarity must fold full-precision float64 values to stay
+// byte-identical across encodings, parallelism, and sharding. A record
+// with no catalog entry (the orphan residue of a doubly-failed insert)
+// is skipped — with no entry it could never be ranked anyway.
+//
+// Between range coverage and the exact geometry sits the signature gate:
+// first the video-level signature (union planes, max radius), then the
+// per-triplet one. A prune at either level is a proof that this (query
+// triplet, record) pair shares zero frames (sig.Prune), so skipping it
+// leaves every score cell — and therefore every returned result — exactly
+// as the ungated engine would produce. Skips are counted so
+// SimilarityOps + SignatureSkips stays invariant under the gate.
 func (ix *Index) runTask(qts []queryTriplet, tk *scanTask, res *taskResult) error {
 	res.scores = make(map[int32]*videoScore)
 	res.stats.Ranges = 1
@@ -275,24 +302,31 @@ func (ix *Index) runTask(qts []queryTriplet, tk *scanTask, res *taskResult) erro
 		rec Record
 		sc  pager.ScanStats
 	)
+	cellW := sig.CellWidth(ix.opts.Epsilon)
 	err := ix.tree.RangeScanStats(tk.lo, tk.hi, &sc, func(key float64, val []byte) bool {
-		if DecodeRecord(val, ix.dim, &rec) != nil {
+		if ix.decodeRec(val, &rec) != nil {
 			return false
 		}
 		res.stats.Candidates++
-		var trip core.ViTri
-		haveTrip := false
+		info := ix.catalog[rec.VideoID]
+		if info == nil || rec.ClusterN < 0 || int(rec.ClusterN) >= len(info.trips) {
+			return true
+		}
+		trip := &info.trips[rec.ClusterN]
 		for _, qi := range tk.members {
 			qt := &qts[qi]
 			if !qt.covers(key) {
 				continue
 			}
-			if !haveTrip {
-				trip = rec.Triplet()
-				haveTrip = true
+			if qt.psig != nil && info.vsig != nil {
+				if sig.Prune(sig.GapScore(qt.psig, info.vsig), qt.vt.Radius+info.vsig.MaxRadius, cellW) ||
+					sig.Prune(sig.GapScore(qt.psig, info.tsigs[rec.ClusterN]), qt.vt.Radius+trip.Radius, cellW) {
+					res.stats.SignatureSkips++
+					continue
+				}
 			}
 			res.stats.SimilarityOps++
-			if shared := core.SharedFrames(qt.vt, &trip); shared > 0 {
+			if shared := core.SharedFrames(qt.vt, trip); shared > 0 {
 				vs := res.scores[rec.VideoID]
 				if vs == nil {
 					vs = &videoScore{

@@ -1,0 +1,127 @@
+package index
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"vitri/internal/vec"
+)
+
+func TestRecordV3RoundTrip(t *testing.T) {
+	// Values chosen to be exactly representable in float32, so the
+	// quantize-then-widen cycle is the identity.
+	rec := Record{
+		VideoID:  42,
+		ClusterN: 7,
+		Count:    99,
+		Radius:   0.125,
+		Position: vec.Vector{0.5, -0.25, 0.75, 1.5},
+	}
+	buf := make([]byte, RecordSizeV3(4))
+	if err := EncodeRecordV3(&rec, buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Record
+	if err := DecodeRecordV3(buf, 4, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.VideoID != rec.VideoID || got.ClusterN != rec.ClusterN ||
+		got.Count != rec.Count || got.Radius != rec.Radius ||
+		!vec.Equal(got.Position, rec.Position) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, rec)
+	}
+}
+
+// TestRecordV3Quantization: values that are not float32-exact come back
+// as the nearest float32 widened to float64 — the defined quantization —
+// and a second encode of the decoded record reproduces the bytes
+// (quantization is idempotent).
+func TestRecordV3Quantization(t *testing.T) {
+	rec := Record{
+		VideoID:  1,
+		ClusterN: 0,
+		Count:    3,
+		Radius:   0.1,
+		Position: vec.Vector{0.3, -0.7, 1.0 / 3.0},
+	}
+	buf := make([]byte, RecordSizeV3(3))
+	if err := EncodeRecordV3(&rec, buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Record
+	if err := DecodeRecordV3(buf, 3, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Radius != float64(float32(rec.Radius)) {
+		t.Fatalf("radius %v, want %v", got.Radius, float64(float32(rec.Radius)))
+	}
+	for i, v := range rec.Position {
+		if got.Position[i] != float64(float32(v)) {
+			t.Fatalf("position[%d] = %v, want %v", i, got.Position[i], float64(float32(v)))
+		}
+	}
+	buf2 := make([]byte, RecordSizeV3(3))
+	if err := EncodeRecordV3(&got, buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, buf2) {
+		t.Fatal("re-encoding the decoded record changed the bytes")
+	}
+}
+
+func TestRecordV3Errors(t *testing.T) {
+	rec := Record{Position: vec.Vector{1, 2}, Radius: 1, Count: 1}
+	if err := EncodeRecordV3(&rec, make([]byte, 10)); err == nil {
+		t.Fatal("expected encode size error")
+	}
+	var got Record
+	if err := DecodeRecordV3(make([]byte, 10), 2, &got); err == nil {
+		t.Fatal("expected decode size error")
+	}
+
+	// Values that do not survive narrowing are rejected at encode.
+	for _, bad := range []Record{
+		{Position: vec.Vector{1}, Radius: math.MaxFloat64, Count: 1},
+		{Position: vec.Vector{1}, Radius: math.NaN(), Count: 1},
+		{Position: vec.Vector{math.MaxFloat64}, Radius: 1, Count: 1},
+		{Position: vec.Vector{math.Inf(1)}, Radius: 1, Count: 1},
+	} {
+		if err := EncodeRecordV3(&bad, make([]byte, RecordSizeV3(1))); err == nil {
+			t.Fatalf("encode accepted unquantizable record %+v", bad)
+		}
+	}
+
+	// Non-finite float32 bits are rejected at decode.
+	mk := func(radBits, posBits uint32) []byte {
+		b := make([]byte, RecordSizeV3(1))
+		b[12] = byte(radBits)
+		b[13] = byte(radBits >> 8)
+		b[14] = byte(radBits >> 16)
+		b[15] = byte(radBits >> 24)
+		b[16] = byte(posBits)
+		b[17] = byte(posBits >> 8)
+		b[18] = byte(posBits >> 16)
+		b[19] = byte(posBits >> 24)
+		return b
+	}
+	nan32 := math.Float32bits(float32(math.NaN()))
+	inf32 := math.Float32bits(float32(math.Inf(1)))
+	if err := DecodeRecordV3(mk(nan32, 0), 1, &got); err == nil {
+		t.Fatal("decode accepted NaN radius")
+	}
+	if err := DecodeRecordV3(mk(0, inf32), 1, &got); err == nil {
+		t.Fatal("decode accepted Inf position")
+	}
+}
+
+// TestRecordV3HalvesLeafPayload pins the size claim the fanout argument
+// rests on: 16-byte header (the v2 pad is gone) + 4 bytes per dimension.
+func TestRecordV3HalvesLeafPayload(t *testing.T) {
+	if RecordSizeV3(64) != 272 || RecordSize(64) != 536 {
+		t.Fatalf("record sizes at dim 64: v3 %d (want 272), v2 %d (want 536)", RecordSizeV3(64), RecordSize(64))
+	}
+	if RecordSizeV3(0) != 16 {
+		t.Fatalf("v3 header = %d, want 16", RecordSizeV3(0))
+	}
+}

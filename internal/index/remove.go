@@ -9,7 +9,10 @@ import (
 // Remove deletes a video's triplets from the index. The per-video keys
 // recorded at insert time locate each record in one B+-tree descent; the
 // removed positions are subtracted from the drift accumulators so
-// DriftAngle keeps reflecting the live contents.
+// DriftAngle keeps reflecting the live contents. The subtraction reads
+// the catalog's exact float64 positions in cluster-ordinal order — the
+// leaf copies may be float32-quantized, and un-accumulating a rounded
+// position would leave a residue in the covariance sums.
 //
 // Removing the last video leaves an empty but functional index.
 func (ix *Index) Remove(videoID int) error {
@@ -23,7 +26,7 @@ func (ix *Index) Remove(videoID int) error {
 	var rec Record
 	for _, key := range info.keys {
 		removed, err := ix.tree.Delete(key, func(val []byte) bool {
-			if DecodeRecord(val, ix.dim, &rec) != nil {
+			if ix.decodeRec(val, &rec) != nil {
 				return false
 			}
 			return rec.VideoID == vid
@@ -34,7 +37,9 @@ func (ix *Index) Remove(videoID int) error {
 		if !removed {
 			return fmt.Errorf("index: video %d record at key %v missing (index corrupted?)", videoID, key)
 		}
-		ix.unaccumulate(rec.Position)
+	}
+	for ti := range info.trips {
+		ix.unaccumulate(info.trips[ti].Position)
 	}
 	delete(ix.catalog, vid)
 	return nil

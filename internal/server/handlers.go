@@ -32,10 +32,11 @@ type matchJSON struct {
 }
 
 type searchStatsJSON struct {
-	Ranges        int    `json:"ranges"`
-	Candidates    int    `json:"candidates"`
-	SimilarityOps int    `json:"similarity_ops"`
-	PageReads     uint64 `json:"page_reads"`
+	Ranges         int    `json:"ranges"`
+	Candidates     int    `json:"candidates"`
+	SimilarityOps  int    `json:"similarity_ops"`
+	SignatureSkips int    `json:"signature_skips"`
+	PageReads      uint64 `json:"page_reads"`
 }
 
 type searchResponse struct {
@@ -103,6 +104,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			}
 			s.met.searchQueries.Inc()
 			s.met.searchPageReads.Add(stats.PageReads)
+			s.met.searchSimOps.Add(uint64(stats.SimilarityOps))
+			s.met.searchSignatureSkips.Add(uint64(stats.SignatureSkips))
 			return &searchResponse{Matches: toMatchJSON(matches), Stats: toStatsJSON(stats)}, nil
 		})
 		if err != nil {
@@ -142,6 +145,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			resp.Results[i].Matches = toMatchJSON(it.Results)
 			s.met.searchQueries.Inc()
 			s.met.searchPageReads.Add(it.Stats.PageReads)
+			s.met.searchSimOps.Add(uint64(it.Stats.SimilarityOps))
+			s.met.searchSignatureSkips.Add(uint64(it.Stats.SignatureSkips))
 		}
 		return &resp, nil
 	})
@@ -378,37 +383,44 @@ type durabilityStatsJSON struct {
 }
 
 type statsResponse struct {
-	Videos          int                          `json:"videos"`
-	Triplets        int                          `json:"triplets"`
-	InFlight        int64                        `json:"in_flight"`
-	AdmissionHeld   int                          `json:"admission_held"`
-	AdmissionLimit  int                          `json:"admission_limit"`
-	Shed            uint64                       `json:"shed"`
-	Panics          uint64                       `json:"panics"`
-	Timeouts        uint64                       `json:"timeouts"`
-	SearchQueries   uint64                       `json:"search_queries"`
-	SearchPageReads uint64                       `json:"search_page_reads"`
-	Pager           pagerStatsJSON               `json:"pager"`
-	Cache           *cacheStatsJSON              `json:"cache,omitempty"`
-	Durability      *durabilityStatsJSON         `json:"durability,omitempty"`
-	Endpoints       map[string]endpointStatsJSON `json:"endpoints"`
+	Videos          int    `json:"videos"`
+	Triplets        int    `json:"triplets"`
+	InFlight        int64  `json:"in_flight"`
+	AdmissionHeld   int    `json:"admission_held"`
+	AdmissionLimit  int    `json:"admission_limit"`
+	Shed            uint64 `json:"shed"`
+	Panics          uint64 `json:"panics"`
+	Timeouts        uint64 `json:"timeouts"`
+	SearchQueries   uint64 `json:"search_queries"`
+	SearchPageReads uint64 `json:"search_page_reads"`
+	// Cumulative pre-filter accounting: exact similarity evaluations
+	// performed vs. candidates proven disjoint by the signature tier and
+	// skipped before any geometry ran.
+	SearchSimilarityOps  uint64                       `json:"search_similarity_ops"`
+	SearchSignatureSkips uint64                       `json:"search_signature_skips"`
+	Pager                pagerStatsJSON               `json:"pager"`
+	Cache                *cacheStatsJSON              `json:"cache,omitempty"`
+	Durability           *durabilityStatsJSON         `json:"durability,omitempty"`
+	Endpoints            map[string]endpointStatsJSON `json:"endpoints"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	ps := s.db.PagerStats()
 	resp := statsResponse{
-		Videos:          s.db.Len(),
-		Triplets:        s.db.Triplets(),
-		InFlight:        s.inflight.Load(),
-		AdmissionHeld:   s.adm.held(),
-		AdmissionLimit:  s.cfg.MaxInFlight,
-		Shed:            s.met.shed.Value(),
-		Panics:          s.met.panics.Value(),
-		Timeouts:        s.met.timeouts.Value(),
-		SearchQueries:   s.met.searchQueries.Value(),
-		SearchPageReads: s.met.searchPageReads.Value(),
-		Pager:           pagerStatsJSON{Reads: ps.Reads, Writes: ps.Writes, Allocs: ps.Allocs},
-		Endpoints:       make(map[string]endpointStatsJSON, len(s.met.endpoints)),
+		Videos:               s.db.Len(),
+		Triplets:             s.db.Triplets(),
+		InFlight:             s.inflight.Load(),
+		AdmissionHeld:        s.adm.held(),
+		AdmissionLimit:       s.cfg.MaxInFlight,
+		Shed:                 s.met.shed.Value(),
+		Panics:               s.met.panics.Value(),
+		Timeouts:             s.met.timeouts.Value(),
+		SearchQueries:        s.met.searchQueries.Value(),
+		SearchPageReads:      s.met.searchPageReads.Value(),
+		SearchSimilarityOps:  s.met.searchSimOps.Value(),
+		SearchSignatureSkips: s.met.searchSignatureSkips.Value(),
+		Pager:                pagerStatsJSON{Reads: ps.Reads, Writes: ps.Writes, Allocs: ps.Allocs},
+		Endpoints:            make(map[string]endpointStatsJSON, len(s.met.endpoints)),
 	}
 	if s.cfg.CacheStats != nil {
 		accesses, hits, rate := s.cfg.CacheStats()
@@ -491,9 +503,10 @@ func toMatchJSON(ms []vitri.Match) []matchJSON {
 
 func toStatsJSON(st vitri.SearchStats) searchStatsJSON {
 	return searchStatsJSON{
-		Ranges:        st.Ranges,
-		Candidates:    st.Candidates,
-		SimilarityOps: st.SimilarityOps,
-		PageReads:     st.PageReads,
+		Ranges:         st.Ranges,
+		Candidates:     st.Candidates,
+		SimilarityOps:  st.SimilarityOps,
+		SignatureSkips: st.SignatureSkips,
+		PageReads:      st.PageReads,
 	}
 }

@@ -351,9 +351,10 @@ func (s *Server) checkpointHealth() (lastErr error, lastErrTime, lastOK time.Tim
 
 // serverMetrics aggregates the service's counters and latency histograms.
 type serverMetrics struct {
-	shed, panics, timeouts         metrics.Counter
-	searchQueries, searchPageReads metrics.Counter
-	endpoints                      map[string]*endpointMetrics
+	shed, panics, timeouts             metrics.Counter
+	searchQueries, searchPageReads     metrics.Counter
+	searchSimOps, searchSignatureSkips metrics.Counter
+	endpoints                          map[string]*endpointMetrics
 }
 
 type endpointMetrics struct {

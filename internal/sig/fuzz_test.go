@@ -1,0 +1,44 @@
+package sig
+
+import (
+	"bytes"
+	"testing"
+
+	"vitri/internal/vec"
+)
+
+// FuzzDecodeSignature feeds the signature codec hostile bytes: it must
+// never panic, never allocate unboundedly, and anything it accepts must
+// re-encode to exactly the input bytes (the codec has no redundant
+// representations).
+func FuzzDecodeSignature(f *testing.F) {
+	seed := func(dim int) []byte {
+		s := FromTriplet(make(vec.Vector, dim), 0.05, 0.1)
+		for d := 0; d < dim; d++ {
+			s.Planes[d%Cells][d/64] |= 1 << (uint(d) % 64)
+		}
+		buf := make([]byte, EncodedSize(s.Words()))
+		if err := s.Encode(buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf
+	}
+	f.Add(seed(8))
+	f.Add(seed(64))
+	f.Add(seed(65))
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xf8, 0x7f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return
+		}
+		out := make([]byte, EncodedSize(s.Words()))
+		if err := s.Encode(out); err != nil {
+			t.Fatalf("decoded signature failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("re-encode diverged from accepted input")
+		}
+	})
+}

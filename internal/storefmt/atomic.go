@@ -114,7 +114,8 @@ func (w *chunkSyncWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// WriteSnapshotFile writes snap as a v2 store via the atomic discipline.
+// WriteSnapshotFile writes snap via the atomic discipline in the format
+// snap.Version names (Version2 or Version3).
 func WriteSnapshotFile(fsys vfs.FS, path string, snap *Snapshot) error {
 	return WriteSnapshotFileGated(fsys, path, snap, nil)
 }
@@ -123,11 +124,14 @@ func WriteSnapshotFile(fsys vfs.FS, path string, snap *Snapshot) error {
 // routed through gate — the checkpoint's variant, see SyncGate.
 func WriteSnapshotFileGated(fsys vfs.FS, path string, snap *Snapshot, gate SyncGate) error {
 	return WriteFileAtomicGated(fsys, path, gate, func(w io.Writer) error {
+		if snap.Version == Version3 {
+			return EncodeV3(w, snap)
+		}
 		return EncodeV2(w, snap)
 	})
 }
 
-// ReadSnapshotFile reads a v1 or v2 store. A missing file reports
+// ReadSnapshotFile reads a store of any version. A missing file reports
 // fs.ErrNotExist (callers treat it as an empty store).
 func ReadSnapshotFile(fsys vfs.FS, path string) (*Snapshot, error) {
 	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)

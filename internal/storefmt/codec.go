@@ -1,21 +1,25 @@
 // Package storefmt defines the on-disk summary store formats and the
 // write discipline that keeps them crash-safe.
 //
-// Two formats coexist:
+// Three formats coexist:
 //
 //   - v1 ("VITRIDB1") is the legacy single-stream layout DB.Save has
 //     always written: magic, version, epsilon, then the summary records.
 //     It carries no checksums; a torn write is detectable only as a
 //     decode error.
-//   - v2 ("VITRIDB2") is the durable-store snapshot: a sectioned layout
-//     where every section carries a CRC32C of its payload, followed by a
-//     sealed footer holding a whole-file CRC32C and the total length. A
-//     v2 file either decodes with every checksum intact or is rejected —
-//     there is no silent partial read.
+//   - v2 ("VITRIDB2") is the sectioned durable-store snapshot: every
+//     section carries a CRC32C of its payload, followed by a sealed
+//     footer holding a whole-file CRC32C and the total length. A v2 file
+//     either decodes with every checksum intact or is rejected — there
+//     is no silent partial read.
+//   - v3 ("VITRIDB3") is v2 plus a signatures section carrying the
+//     per-video pre-filter signatures (internal/sig), derived from the
+//     summaries at encode time. The section is optional on read and
+//     purely derived data — the float64 summaries remain authoritative.
 //
-// Decode sniffs the magic and reads either format, which is what makes
-// v1 → v2 migration transparent: a durable DB opened over a v1 snapshot
-// loads it and writes v2 at its next checkpoint.
+// Decode sniffs the magic and reads any format, which is what makes
+// migration transparent: a durable DB opened over a v1 or v2 snapshot
+// loads it and writes v3 at its next checkpoint.
 //
 // Both formats share one per-summary record codec (EncodeSummary /
 // DecodeSummary), which the delta journal also uses for its Add records,
@@ -36,18 +40,21 @@ import (
 	"math"
 
 	"vitri/internal/core"
+	"vitri/internal/sig"
 )
 
-// Format magics. Both are 8 bytes so the header shape is shared.
+// Format magics. All are 8 bytes so the header shape is shared.
 const (
 	MagicV1 = "VITRIDB1"
 	MagicV2 = "VITRIDB2"
+	MagicV3 = "VITRIDB3"
 )
 
 // Version numbers stored after the magic.
 const (
 	Version1 = uint32(1)
 	Version2 = uint32(2)
+	Version3 = uint32(3)
 )
 
 // maxReasonable bounds untrusted counts (videos, triplets) — far above
@@ -55,9 +62,9 @@ const (
 // multiplied by the per-record minimum size.
 const maxReasonable = 100_000_000
 
-// Snapshot is a decoded store of either version.
+// Snapshot is a decoded store of any version.
 type Snapshot struct {
-	// Version is the format the bytes were in (Version1 or Version2).
+	// Version is the format the bytes were in (Version1–Version3).
 	Version uint32
 	// Epsilon is the similarity threshold the summaries were built at.
 	Epsilon float64
@@ -67,6 +74,12 @@ type Snapshot struct {
 	LastSeq uint64
 	// Summaries is the store's contents.
 	Summaries []core.Summary
+	// Signatures holds the per-video pre-filter signatures from a v3
+	// file's signatures section, keyed by video id. Nil for v1/v2 files
+	// and for v3 files written without the section. Derived data: the
+	// index rebuilds signatures from Summaries on load, so this exists
+	// for verification and tooling, not correctness.
+	Signatures map[int32]*sig.Signature
 }
 
 // EncodeSummary writes one summary record: video id, frame count,
@@ -251,6 +264,11 @@ func Decode(r io.Reader) (*Snapshot, error) {
 			return nil, fmt.Errorf("unsupported v2 store version %d", version)
 		}
 		return decodeV2Body(r)
+	case string(magic) == MagicV3:
+		if version != Version3 {
+			return nil, fmt.Errorf("unsupported v3 store version %d", version)
+		}
+		return decodeV3Body(r)
 	}
 	return nil, errors.New("not a vitri summary store")
 }

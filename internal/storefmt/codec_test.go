@@ -173,12 +173,15 @@ func TestSortSummaries(t *testing.T) {
 // releases must keep loading, so changing either encoder fails here
 // until the change is an explicitly versioned new format.
 func TestGolden(t *testing.T) {
-	var v1, v2 bytes.Buffer
+	var v1, v2, v3 bytes.Buffer
 	if err := EncodeV1(&v1, 0.3, testSummaries()); err != nil {
 		t.Fatalf("EncodeV1: %v", err)
 	}
 	if err := EncodeV2(&v2, testSnapshot()); err != nil {
 		t.Fatalf("EncodeV2: %v", err)
+	}
+	if err := EncodeV3(&v3, testSnapshotV3()); err != nil {
+		t.Fatalf("EncodeV3: %v", err)
 	}
 	for _, tc := range []struct {
 		file string
@@ -186,6 +189,7 @@ func TestGolden(t *testing.T) {
 	}{
 		{"store-v1.golden", v1.Bytes()},
 		{"store-v2.golden", v2.Bytes()},
+		{"store-v3.golden", v3.Bytes()},
 	} {
 		path := filepath.Join("testdata", tc.file)
 		if *update {
@@ -205,8 +209,8 @@ func TestGolden(t *testing.T) {
 			t.Errorf("%s: encoder output diverged from golden (%d vs %d bytes)", tc.file, len(tc.got), len(want))
 		}
 	}
-	// Both goldens must decode to the same logical content — the v1→v2
-	// migration invariant at the codec level.
+	// All goldens must decode to the same logical content — the
+	// v1→v2→v3 migration invariant at the codec level.
 	s1, err := Decode(bytes.NewReader(v1.Bytes()))
 	if err != nil {
 		t.Fatalf("decode v1 golden: %v", err)
@@ -215,8 +219,15 @@ func TestGolden(t *testing.T) {
 	if err != nil {
 		t.Fatalf("decode v2 golden: %v", err)
 	}
+	s3, err := Decode(bytes.NewReader(v3.Bytes()))
+	if err != nil {
+		t.Fatalf("decode v3 golden: %v", err)
+	}
 	if !reflect.DeepEqual(s1.Summaries, s2.Summaries) || s1.Epsilon != s2.Epsilon {
 		t.Fatal("v1 and v2 goldens decode to different contents")
+	}
+	if !reflect.DeepEqual(s2.Summaries, s3.Summaries) || s2.Epsilon != s3.Epsilon {
+		t.Fatal("v2 and v3 goldens decode to different contents")
 	}
 }
 

@@ -1,0 +1,212 @@
+package storefmt
+
+import (
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+)
+
+// Sectioned store wire layout, shared by v2 and v3 (all integers
+// little-endian):
+//
+//	magic (8 bytes)
+//	version  uint32
+//	sections uint32
+//	sections × [ id uint32 | length uint64 | payload | crc32c(payload) uint32 ]
+//	footer:
+//	  footer magic "VTRISEAL" (8 bytes)
+//	  fileCRC  uint32  — CRC32C of every byte before the footer
+//	  totalLen uint64  — whole-file length, footer included
+//	  crc32c(footer magic + fileCRC + totalLen) uint32
+//
+// The footer seals the file: a decode that does not end on a
+// checksum-intact footer at exactly totalLen fails, so a torn or
+// truncated file can never be half-read. Unknown section ids are skipped
+// (their checksum still verified), leaving room to grow the format
+// without breaking old readers.
+
+const footerMagic = "VTRISEAL"
+
+// footerSize is the fixed footer length: magic + fileCRC + totalLen + crc.
+const footerSize = 8 + 4 + 8 + 4
+
+// castagnoli is the CRC32C table; Castagnoli is the storage-industry
+// polynomial (iSCSI, ext4, Btrfs) with hardware support on amd64/arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// maxSectionLen bounds a hostile section length before it drives reads.
+const maxSectionLen = 1 << 32
+
+// storeSection is one section to be written by encodeSectioned.
+type storeSection struct {
+	id      uint32
+	payload []byte
+}
+
+// encodeSectioned writes the sealed sectioned layout: magic, version,
+// the sections in order, then the footer.
+func encodeSectioned(w io.Writer, magic string, version uint32, secs []storeSection) error {
+	crc := crc32.New(castagnoli)
+	out := io.MultiWriter(w, crc) // crc accumulates the pre-footer bytes
+	if _, err := io.WriteString(out, magic); err != nil {
+		return err
+	}
+	if err := binWrite(out, version); err != nil {
+		return err
+	}
+	if err := binWrite(out, uint32(len(secs))); err != nil {
+		return err
+	}
+	written := int64(len(magic) + 4 + 4)
+	for _, sec := range secs {
+		if err := binWrite(out, sec.id); err != nil {
+			return err
+		}
+		if err := binWrite(out, uint64(len(sec.payload))); err != nil {
+			return err
+		}
+		if _, err := out.Write(sec.payload); err != nil {
+			return err
+		}
+		if err := binWrite(out, crc32.Checksum(sec.payload, castagnoli)); err != nil {
+			return err
+		}
+		written += 4 + 8 + int64(len(sec.payload)) + 4
+	}
+
+	fileCRC := crc.Sum32()
+	if _, err := io.WriteString(w, footerMagic); err != nil {
+		return err
+	}
+	if err := binWrite(w, fileCRC); err != nil {
+		return err
+	}
+	if err := binWrite(w, uint64(written)+footerSize); err != nil {
+		return err
+	}
+	tail := make([]byte, 0, footerSize-4)
+	tail = append(tail, footerMagic...)
+	tail = le32(tail, fileCRC)
+	tail = le64(tail, uint64(written)+footerSize)
+	return binWrite(w, crc32.Checksum(tail, castagnoli))
+}
+
+// decodeSectioned reads a sectioned body (everything after the magic and
+// version, which the caller has already consumed and passes in so the
+// whole-file CRC can be seeded), verifying every section checksum and
+// the sealed footer. onSection is called once per section with a reader
+// limited to that section's payload; it may consume any prefix — the
+// remainder is drained (that is also how unknown ids are skipped, their
+// checksum still verified).
+func decodeSectioned(r io.Reader, magic string, version uint32, onSection func(id uint32, r io.Reader) error) error {
+	cr := &crcReader{r: r, crc: crc32.New(castagnoli)}
+	seedCRC(cr.crc, magic, version)
+	cr.n = int64(len(magic) + 4)
+
+	var sections uint32
+	if err := binRead(cr, &sections); err != nil {
+		return fmt.Errorf("sectioned header: %w", err)
+	}
+	if sections > 1024 {
+		return fmt.Errorf("implausible section count %d", sections)
+	}
+	for i := uint32(0); i < sections; i++ {
+		var id uint32
+		var length uint64
+		if err := binRead(cr, &id); err != nil {
+			return fmt.Errorf("section %d header: %w", i, err)
+		}
+		if err := binRead(cr, &length); err != nil {
+			return fmt.Errorf("section %d header: %w", i, err)
+		}
+		if length > maxSectionLen {
+			return fmt.Errorf("section %d: implausible length %d", i, length)
+		}
+		// Stream the payload through its own CRC while decoding, so a
+		// hostile length never buffers unbounded memory.
+		secCRC := crc32.New(castagnoli)
+		lim := &io.LimitedReader{R: io.TeeReader(cr, secCRC), N: int64(length)}
+		if err := onSection(id, lim); err != nil {
+			return err
+		}
+		// Drain whatever the section decoder did not consume (unknown
+		// ids, or future fields appended to a known section).
+		if _, err := io.Copy(io.Discard, lim); err != nil {
+			return fmt.Errorf("section %d: %w", i, err)
+		}
+		var want uint32
+		if err := binRead(cr, &want); err != nil {
+			return fmt.Errorf("section %d checksum: %w", i, err)
+		}
+		if got := secCRC.Sum32(); got != want {
+			return fmt.Errorf("section %d (id %d): checksum mismatch (got %08x, want %08x)", i, id, got, want)
+		}
+	}
+
+	// The footer is outside the whole-file CRC; read it from the
+	// underlying reader.
+	preFooter := cr.crc.Sum32()
+	preFooterLen := cr.n
+	footer := make([]byte, footerSize)
+	if _, err := io.ReadFull(r, footer); err != nil {
+		return fmt.Errorf("footer: %w", err)
+	}
+	if string(footer[:8]) != footerMagic {
+		return fmt.Errorf("store is not sealed (bad footer magic)")
+	}
+	fileCRC := le32get(footer[8:12])
+	totalLen := le64get(footer[12:20])
+	footCRC := le32get(footer[20:24])
+	if got := crc32.Checksum(footer[:20], castagnoli); got != footCRC {
+		return fmt.Errorf("footer checksum mismatch (got %08x, want %08x)", got, footCRC)
+	}
+	if fileCRC != preFooter {
+		return fmt.Errorf("file checksum mismatch (got %08x, want %08x)", preFooter, fileCRC)
+	}
+	if want := uint64(preFooterLen) + footerSize; totalLen != want {
+		return fmt.Errorf("footer length %d does not match file length %d", totalLen, want)
+	}
+	return nil
+}
+
+// crcReader mirrors everything read into a running CRC and counts bytes.
+type crcReader struct {
+	r   io.Reader
+	crc hash.Hash32
+	n   int64
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 {
+		c.crc.Write(p[:n])
+		c.n += int64(n)
+	}
+	return n, err
+}
+
+// seedCRC folds the already-consumed magic and version into the digest.
+func seedCRC(h hash.Hash32, magic string, version uint32) {
+	b := make([]byte, 0, len(magic)+4)
+	b = append(b, magic...)
+	b = le32(b, version)
+	h.Write(b)
+}
+
+func le32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func le64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func le32get(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func le64get(b []byte) uint64 {
+	return uint64(le32get(b)) | uint64(le32get(b[4:]))<<32
+}

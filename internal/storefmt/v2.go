@@ -3,31 +3,14 @@ package storefmt
 import (
 	"bytes"
 	"fmt"
-	"hash"
-	"hash/crc32"
 	"io"
 	"math"
 )
 
-// Store format v2 wire layout (all integers little-endian):
-//
-//	magic "VITRIDB2" (8 bytes)
-//	version  uint32 = 2
-//	sections uint32
-//	sections × [ id uint32 | length uint64 | payload | crc32c(payload) uint32 ]
-//	footer:
-//	  footer magic "VTRISEAL" (8 bytes)
-//	  fileCRC  uint32  — CRC32C of every byte before the footer
-//	  totalLen uint64  — whole-file length, footer included
-//	  crc32c(footer magic + fileCRC + totalLen) uint32
-//
-// The footer seals the file: a decode that does not end on a
-// checksum-intact footer at exactly totalLen fails, so a torn or
-// truncated v2 file can never be half-read. Unknown section ids are
-// skipped (their checksum still verified), leaving room to grow the
-// format without breaking old readers.
+// Store format v2: the sealed sectioned layout (see sections.go) under
+// magic "VITRIDB2" with two sections — meta and summaries.
 
-// Section ids.
+// Section ids shared by the sectioned formats (v2 and v3).
 const (
 	// sectionMeta holds epsilon (float64 bits) and LastSeq (uint64).
 	sectionMeta = uint32(1)
@@ -35,217 +18,77 @@ const (
 	sectionSummaries = uint32(2)
 )
 
-const footerMagic = "VTRISEAL"
+// encodeMetaSection serializes the meta payload shared by v2 and v3.
+func encodeMetaSection(snap *Snapshot) ([]byte, error) {
+	var meta bytes.Buffer
+	if err := binWrite(&meta, math.Float64bits(snap.Epsilon)); err != nil {
+		return nil, err
+	}
+	if err := binWrite(&meta, snap.LastSeq); err != nil {
+		return nil, err
+	}
+	return meta.Bytes(), nil
+}
 
-// footerSize is the fixed footer length: magic + fileCRC + totalLen + crc.
-const footerSize = 8 + 4 + 8 + 4
-
-// castagnoli is the CRC32C table; Castagnoli is the storage-industry
-// polynomial (iSCSI, ext4, Btrfs) with hardware support on amd64/arm64.
-var castagnoli = crc32.MakeTable(crc32.Castagnoli)
-
-// maxSectionLen bounds a hostile section length before it drives reads.
-const maxSectionLen = 1 << 32
+// decodeMetaSection parses the meta payload into snap.
+func decodeMetaSection(r io.Reader, snap *Snapshot) error {
+	var epsBits uint64
+	if err := binRead(r, &epsBits); err != nil {
+		return fmt.Errorf("meta section: %w", err)
+	}
+	if err := binRead(r, &snap.LastSeq); err != nil {
+		return fmt.Errorf("meta section: %w", err)
+	}
+	snap.Epsilon = math.Float64frombits(epsBits)
+	if !validEpsilon(snap.Epsilon) {
+		return fmt.Errorf("invalid stored epsilon %v", snap.Epsilon)
+	}
+	return nil
+}
 
 // EncodeV2 writes snap in the sealed sectioned format.
 func EncodeV2(w io.Writer, snap *Snapshot) error {
-	var meta bytes.Buffer
-	if err := binWrite(&meta, math.Float64bits(snap.Epsilon)); err != nil {
-		return err
-	}
-	if err := binWrite(&meta, snap.LastSeq); err != nil {
+	meta, err := encodeMetaSection(snap)
+	if err != nil {
 		return err
 	}
 	var body bytes.Buffer
 	if err := encodeSummaries(&body, snap.Summaries); err != nil {
 		return err
 	}
-
-	crc := crc32.New(castagnoli)
-	out := io.MultiWriter(w, crc) // crc accumulates the pre-footer bytes
-	if _, err := io.WriteString(out, MagicV2); err != nil {
-		return err
-	}
-	if err := binWrite(out, Version2); err != nil {
-		return err
-	}
-	if err := binWrite(out, uint32(2)); err != nil {
-		return err
-	}
-	written := int64(len(MagicV2) + 4 + 4)
-	for _, sec := range []struct {
-		id      uint32
-		payload []byte
-	}{{sectionMeta, meta.Bytes()}, {sectionSummaries, body.Bytes()}} {
-		if err := binWrite(out, sec.id); err != nil {
-			return err
-		}
-		if err := binWrite(out, uint64(len(sec.payload))); err != nil {
-			return err
-		}
-		if _, err := out.Write(sec.payload); err != nil {
-			return err
-		}
-		if err := binWrite(out, crc32.Checksum(sec.payload, castagnoli)); err != nil {
-			return err
-		}
-		written += 4 + 8 + int64(len(sec.payload)) + 4
-	}
-
-	fileCRC := crc.Sum32()
-	if _, err := io.WriteString(w, footerMagic); err != nil {
-		return err
-	}
-	if err := binWrite(w, fileCRC); err != nil {
-		return err
-	}
-	if err := binWrite(w, uint64(written)+footerSize); err != nil {
-		return err
-	}
-	tail := make([]byte, 0, footerSize-4)
-	tail = append(tail, footerMagic...)
-	tail = le32(tail, fileCRC)
-	tail = le64(tail, uint64(written)+footerSize)
-	return binWrite(w, crc32.Checksum(tail, castagnoli))
+	return encodeSectioned(w, MagicV2, Version2, []storeSection{
+		{sectionMeta, meta},
+		{sectionSummaries, body.Bytes()},
+	})
 }
 
 // decodeV2Body reads everything after the v2 magic and version,
 // verifying every section checksum and the sealed footer.
 func decodeV2Body(r io.Reader) (*Snapshot, error) {
-	// cr mirrors every pre-footer byte into the whole-file CRC; the magic
-	// and version were consumed by Decode before we got r, so start the
-	// digest from their known bytes.
-	cr := &crcReader{r: r, crc: crc32.New(castagnoli)}
-	seedCRC(cr.crc, MagicV2, Version2)
-	cr.n = int64(len(MagicV2) + 4)
-
-	var sections uint32
-	if err := binRead(cr, &sections); err != nil {
-		return nil, fmt.Errorf("v2 header: %w", err)
-	}
-	if sections > 1024 {
-		return nil, fmt.Errorf("implausible section count %d", sections)
-	}
 	snap := &Snapshot{Version: Version2}
 	var sawMeta, sawSummaries bool
-	for i := uint32(0); i < sections; i++ {
-		var id uint32
-		var length uint64
-		if err := binRead(cr, &id); err != nil {
-			return nil, fmt.Errorf("section %d header: %w", i, err)
-		}
-		if err := binRead(cr, &length); err != nil {
-			return nil, fmt.Errorf("section %d header: %w", i, err)
-		}
-		if length > maxSectionLen {
-			return nil, fmt.Errorf("section %d: implausible length %d", i, length)
-		}
-		// Stream the payload through its own CRC while decoding, so a
-		// hostile length never buffers unbounded memory.
-		secCRC := crc32.New(castagnoli)
-		lim := &io.LimitedReader{R: io.TeeReader(cr, secCRC), N: int64(length)}
+	err := decodeSectioned(r, MagicV2, Version2, func(id uint32, sec io.Reader) error {
 		switch id {
 		case sectionMeta:
-			var epsBits uint64
-			if err := binRead(lim, &epsBits); err != nil {
-				return nil, fmt.Errorf("meta section: %w", err)
-			}
-			if err := binRead(lim, &snap.LastSeq); err != nil {
-				return nil, fmt.Errorf("meta section: %w", err)
-			}
-			snap.Epsilon = math.Float64frombits(epsBits)
-			if !validEpsilon(snap.Epsilon) {
-				return nil, fmt.Errorf("invalid stored epsilon %v", snap.Epsilon)
+			if err := decodeMetaSection(sec, snap); err != nil {
+				return err
 			}
 			sawMeta = true
 		case sectionSummaries:
-			sums, err := decodeSummaries(lim)
+			sums, err := decodeSummaries(sec)
 			if err != nil {
-				return nil, fmt.Errorf("summaries section: %w", err)
+				return fmt.Errorf("summaries section: %w", err)
 			}
 			snap.Summaries = sums
 			sawSummaries = true
 		}
-		// Drain whatever the section decoder did not consume (unknown
-		// ids, or future fields appended to a known section).
-		if _, err := io.Copy(io.Discard, lim); err != nil {
-			return nil, fmt.Errorf("section %d: %w", i, err)
-		}
-		var want uint32
-		if err := binRead(cr, &want); err != nil {
-			return nil, fmt.Errorf("section %d checksum: %w", i, err)
-		}
-		if got := secCRC.Sum32(); got != want {
-			return nil, fmt.Errorf("section %d (id %d): checksum mismatch (got %08x, want %08x)", i, id, got, want)
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if !sawMeta || !sawSummaries {
 		return nil, fmt.Errorf("v2 store missing required sections (meta %v, summaries %v)", sawMeta, sawSummaries)
 	}
-
-	// The footer is outside the whole-file CRC; read it from the
-	// underlying reader.
-	preFooter := cr.crc.Sum32()
-	preFooterLen := cr.n
-	footer := make([]byte, footerSize)
-	if _, err := io.ReadFull(r, footer); err != nil {
-		return nil, fmt.Errorf("v2 footer: %w", err)
-	}
-	if string(footer[:8]) != footerMagic {
-		return nil, fmt.Errorf("v2 store is not sealed (bad footer magic)")
-	}
-	fileCRC := le32get(footer[8:12])
-	totalLen := le64get(footer[12:20])
-	footCRC := le32get(footer[20:24])
-	if got := crc32.Checksum(footer[:20], castagnoli); got != footCRC {
-		return nil, fmt.Errorf("v2 footer checksum mismatch (got %08x, want %08x)", got, footCRC)
-	}
-	if fileCRC != preFooter {
-		return nil, fmt.Errorf("v2 file checksum mismatch (got %08x, want %08x)", preFooter, fileCRC)
-	}
-	if want := uint64(preFooterLen) + footerSize; totalLen != want {
-		return nil, fmt.Errorf("v2 footer length %d does not match file length %d", totalLen, want)
-	}
 	return snap, nil
-}
-
-// crcReader mirrors everything read into a running CRC and counts bytes.
-type crcReader struct {
-	r   io.Reader
-	crc hash.Hash32
-	n   int64
-}
-
-func (c *crcReader) Read(p []byte) (int, error) {
-	n, err := c.r.Read(p)
-	if n > 0 {
-		c.crc.Write(p[:n])
-		c.n += int64(n)
-	}
-	return n, err
-}
-
-// seedCRC folds the already-consumed magic and version into the digest.
-func seedCRC(h hash.Hash32, magic string, version uint32) {
-	b := make([]byte, 0, len(magic)+4)
-	b = append(b, magic...)
-	b = le32(b, version)
-	h.Write(b)
-}
-
-func le32(b []byte, v uint32) []byte {
-	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-}
-
-func le64(b []byte, v uint64) []byte {
-	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
-		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
-}
-
-func le32get(b []byte) uint32 {
-	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
-}
-
-func le64get(b []byte) uint64 {
-	return uint64(le32get(b)) | uint64(le32get(b[4:]))<<32
 }

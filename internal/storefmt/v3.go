@@ -1,0 +1,158 @@
+package storefmt
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"vitri/internal/sig"
+)
+
+// Store format v3: the same sealed sectioned layout as v2 (see
+// sections.go) under magic "VITRIDB3", plus a signatures section
+// carrying the per-video pre-filter signatures (internal/sig) so a
+// reopened store can verify or adopt the memory-resident tier without
+// recomputation. The exact float64 summaries remain the authoritative
+// payload — signatures are derived data, always recomputable from the
+// summaries and ε, and the encoder always derives them fresh so a v3
+// file cannot carry signatures that disagree with its summaries.
+
+// sectionSignatures holds count-prefixed (videoID uint32, encoded
+// signature) pairs; see internal/sig for the signature codec.
+const sectionSignatures = uint32(3)
+
+// encodeSignaturesSection derives every video's signature from its
+// summary. Videos with no triplets are skipped: they have no geometry to
+// prune, and a zero-dimension signature has no valid encoding.
+func encodeSignaturesSection(snap *Snapshot) ([]byte, error) {
+	w := sig.CellWidth(snap.Epsilon)
+	var body bytes.Buffer
+	n := uint32(0)
+	for i := range snap.Summaries {
+		if len(snap.Summaries[i].Triplets) > 0 {
+			n++
+		}
+	}
+	if err := binWrite(&body, n); err != nil {
+		return nil, err
+	}
+	for i := range snap.Summaries {
+		s := &snap.Summaries[i]
+		if len(s.Triplets) == 0 {
+			continue
+		}
+		if err := binWrite(&body, uint32(s.VideoID)); err != nil {
+			return nil, err
+		}
+		vs := sig.FromSummary(s, len(s.Triplets[0].Position), w)
+		buf := make([]byte, sig.EncodedSize(vs.Words()))
+		if err := vs.Encode(buf); err != nil {
+			return nil, err
+		}
+		if _, err := body.Write(buf); err != nil {
+			return nil, err
+		}
+	}
+	return body.Bytes(), nil
+}
+
+// decodeSignaturesSection parses the signature pairs; duplicate video
+// ids are rejected.
+func decodeSignaturesSection(r io.Reader) (map[int32]*sig.Signature, error) {
+	var count uint32
+	if err := binRead(r, &count); err != nil {
+		return nil, err
+	}
+	if count > maxReasonable {
+		return nil, fmt.Errorf("implausible signature count %d", count)
+	}
+	out := make(map[int32]*sig.Signature, capHint(count))
+	for i := uint32(0); i < count; i++ {
+		var vid uint32
+		if err := binRead(r, &vid); err != nil {
+			return nil, err
+		}
+		s, err := sig.ReadFrom(r)
+		if err != nil {
+			return nil, fmt.Errorf("signature for video %d: %w", int32(vid), err)
+		}
+		if _, dup := out[int32(vid)]; dup {
+			return nil, fmt.Errorf("duplicate signature for video %d", int32(vid))
+		}
+		out[int32(vid)] = s
+	}
+	return out, nil
+}
+
+// EncodeV3 writes snap in the v3 sealed sectioned format: meta,
+// summaries, and the derived signatures section.
+func EncodeV3(w io.Writer, snap *Snapshot) error {
+	meta, err := encodeMetaSection(snap)
+	if err != nil {
+		return err
+	}
+	var body bytes.Buffer
+	if err := encodeSummaries(&body, snap.Summaries); err != nil {
+		return err
+	}
+	sigs, err := encodeSignaturesSection(snap)
+	if err != nil {
+		return err
+	}
+	return encodeSectioned(w, MagicV3, Version3, []storeSection{
+		{sectionMeta, meta},
+		{sectionSummaries, body.Bytes()},
+		{sectionSignatures, sigs},
+	})
+}
+
+// decodeV3Body reads everything after the v3 magic and version. The
+// signatures section is optional on read (a tolerant reader, like
+// unknown-id skipping), but when present every signature must belong to
+// a summarized video — a signature for a video the store does not
+// contain is corruption, not data.
+func decodeV3Body(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{Version: Version3}
+	var sawMeta, sawSummaries bool
+	err := decodeSectioned(r, MagicV3, Version3, func(id uint32, sec io.Reader) error {
+		switch id {
+		case sectionMeta:
+			if err := decodeMetaSection(sec, snap); err != nil {
+				return err
+			}
+			sawMeta = true
+		case sectionSummaries:
+			sums, err := decodeSummaries(sec)
+			if err != nil {
+				return fmt.Errorf("summaries section: %w", err)
+			}
+			snap.Summaries = sums
+			sawSummaries = true
+		case sectionSignatures:
+			sigs, err := decodeSignaturesSection(sec)
+			if err != nil {
+				return fmt.Errorf("signatures section: %w", err)
+			}
+			snap.Signatures = sigs
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !sawMeta || !sawSummaries {
+		return nil, fmt.Errorf("v3 store missing required sections (meta %v, summaries %v)", sawMeta, sawSummaries)
+	}
+	if snap.Signatures != nil {
+		have := make(map[int32]bool, len(snap.Summaries))
+		for i := range snap.Summaries {
+			have[int32(snap.Summaries[i].VideoID)] = true
+		}
+		for vid := range snap.Signatures {
+			if !have[vid] {
+				return nil, fmt.Errorf("signature for video %d which the store does not contain", vid)
+			}
+		}
+	}
+	return snap, nil
+}

@@ -207,6 +207,7 @@ func (db *DB) scatterSearch(q *Summary, k int, mode QueryMode, parallelism int, 
 			stats.Ranges += outs[i].stats.Ranges
 			stats.Candidates += outs[i].stats.Candidates
 			stats.SimilarityOps += outs[i].stats.SimilarityOps
+			stats.SignatureSkips += outs[i].stats.SignatureSkips
 			stats.PageReads += outs[i].stats.PageReads
 			parts = append(parts, outs[i].res)
 		case errors.Is(outs[i].err, ErrEmptyDB):

@@ -50,11 +50,16 @@ func equivQueries(n int) []Summary {
 // checkEquiv asserts oracle and sharded agree on every observable that
 // is shard-count-invariant: contents (byte-for-byte), Len, Triplets,
 // entry counts, and for every query and both modes the full ranking
-// bit-for-bit plus the candidate and similarity-op totals (each record
-// is scanned in exactly one shard against the same query-derived ranges,
-// so those work counters sum to the oracle's; PageReads and Ranges
-// legitimately depend on tree layout and are asserted deterministic in
-// checkDeterministic instead).
+// bit-for-bit plus the candidate and geometry-evaluation totals (each
+// record is scanned in exactly one shard against the same query-derived
+// ranges, so those work counters sum to the oracle's; PageReads and
+// Ranges legitimately depend on tree layout and are asserted
+// deterministic in checkDeterministic instead). Geometry evaluations are
+// compared as SimilarityOps + SignatureSkips: the signature tier moves
+// work between the two counters — a pruned candidate is a skip instead
+// of an op — but their sum is exactly the pre-tier op count, so the sum
+// is invariant across shard counts AND across tier on/off, letting one
+// oracle serve both configurations.
 func checkEquiv(t *testing.T, oracle, sharded *DB, queries []Summary, k int) {
 	t.Helper()
 	if got, want := sharded.Len(), oracle.Len(); got != want {
@@ -79,7 +84,8 @@ func checkEquiv(t *testing.T, oracle, sharded *DB, queries []Summary, k int) {
 			if !matchesIdentical(gotRes, wantRes) {
 				t.Fatalf("query %d mode %v: matches diverge\n got: %+v\nwant: %+v", qi, mode, gotRes, wantRes)
 			}
-			if gotStats.Candidates != wantStats.Candidates || gotStats.SimilarityOps != wantStats.SimilarityOps {
+			if gotStats.Candidates != wantStats.Candidates ||
+				gotStats.SimilarityOps+gotStats.SignatureSkips != wantStats.SimilarityOps+wantStats.SignatureSkips {
 				t.Fatalf("query %d mode %v: work counters diverge: got %+v, oracle %+v",
 					qi, mode, gotStats, wantStats)
 			}
@@ -194,7 +200,8 @@ func TestShardEquivalenceSearchBatch(t *testing.T) {
 					t.Fatalf("query %d: batch matches diverge from oracle", i)
 				}
 				if gotBatch[i].Stats.Candidates != wantBatch[i].Stats.Candidates ||
-					gotBatch[i].Stats.SimilarityOps != wantBatch[i].Stats.SimilarityOps {
+					gotBatch[i].Stats.SimilarityOps+gotBatch[i].Stats.SignatureSkips !=
+						wantBatch[i].Stats.SimilarityOps+wantBatch[i].Stats.SignatureSkips {
 					t.Fatalf("query %d: work counters diverge: got %+v, oracle %+v",
 						i, gotBatch[i].Stats, wantBatch[i].Stats)
 				}
@@ -292,6 +299,51 @@ func TestShardEquivalenceDurable(t *testing.T) {
 			}
 			checkEquiv(t, oracle, sharded, queries, 8)
 		})
+	}
+}
+
+// TestShardEquivalencePreFilterOff crosses the shard matrix with the
+// engine knobs that must not change any observable: signature tier off,
+// unquantized float64 leaves, and both at once. Every configuration is
+// checked against the same default-engine oracle — bit-identical
+// rankings, byte-identical contents, equal candidate counts, and the
+// tier-invariant work sum (checkEquiv). Sharded configurations with the
+// tier disabled must report zero signature skips.
+func TestShardEquivalencePreFilterOff(t *testing.T) {
+	videos := ingestCorpus(87, 40)
+	queries := equivQueries(6)
+	oracle := New(Options{Epsilon: 0.3, Seed: 7})
+	equivApply(t, oracle, videos)
+	configs := []struct {
+		name string
+		opts Options
+	}{
+		{"prefilter-off", Options{Epsilon: 0.3, Seed: 7, DisablePreFilter: true}},
+		{"unquantized", Options{Epsilon: 0.3, Seed: 7, UnquantizedPages: true}},
+		{"both-off", Options{Epsilon: 0.3, Seed: 7, DisablePreFilter: true, UnquantizedPages: true}},
+	}
+	for _, n := range []int{1, 3} {
+		for _, cfg := range configs {
+			n, cfg := n, cfg
+			t.Run(shardName(n)+"/"+cfg.name, func(t *testing.T) {
+				opts := cfg.opts
+				opts.Shards = n
+				db := New(opts)
+				equivApply(t, db, videos)
+				checkEquiv(t, oracle, db, queries, 10)
+				if opts.DisablePreFilter {
+					for qi := range queries {
+						_, stats, err := db.SearchSummary(&queries[qi], 10, Composed)
+						if err != nil {
+							t.Fatalf("query %d: %v", qi, err)
+						}
+						if stats.SignatureSkips != 0 {
+							t.Fatalf("query %d: %d signature skips with the tier disabled", qi, stats.SignatureSkips)
+						}
+					}
+				}
+			})
+		}
 	}
 }
 

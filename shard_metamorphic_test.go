@@ -105,6 +105,54 @@ func TestShardMetamorphicInsertionOrder(t *testing.T) {
 	}
 }
 
+// TestShardMetamorphicPreFilterNeutral: the insertion-order metamorphic
+// property must hold regardless of the signature tier — permuted ingest
+// into a tier-off engine yields the same bit-identical ranking as the
+// canonical tier-on build, and the tier-on build's pruning accounting
+// (ops + skips) equals the tier-off build's op count query by query.
+func TestShardMetamorphicPreFilterNeutral(t *testing.T) {
+	videos := ingestCorpus(90, 32)
+	queries := equivQueries(6)
+	for _, shards := range []int{1, 3} {
+		shards := shards
+		t.Run(shardName(shards), func(t *testing.T) {
+			ref := buildVariant(t, videos, shards, "batch")
+			off := New(Options{Epsilon: 0.3, Seed: 7, Shards: shards, DisablePreFilter: true, UnquantizedPages: true})
+			for _, v := range permuted(videos, 4) {
+				if err := off.Add(v.ID, v.Frames); err != nil {
+					t.Fatalf("Add(%d): %v", v.ID, err)
+				}
+			}
+			if err := off.forceBuild(); err != nil {
+				t.Fatalf("forceBuild: %v", err)
+			}
+			if got, want := storeBytes(t, off), storeBytes(t, ref); !bytes.Equal(got, want) {
+				t.Fatal("tier-off permuted build diverges from canonical contents")
+			}
+			for qi := range queries {
+				for _, mode := range []QueryMode{Naive, Composed} {
+					wantRes, wantStats, err := off.SearchSummary(&queries[qi], 8, mode)
+					if err != nil {
+						t.Fatalf("tier-off search: %v", err)
+					}
+					gotRes, gotStats, err := ref.SearchSummary(&queries[qi], 8, mode)
+					if err != nil {
+						t.Fatalf("tier-on search: %v", err)
+					}
+					if !matchesIdentical(gotRes, wantRes) {
+						t.Fatalf("query %d mode %v: tier on/off builds disagree on the ranking", qi, mode)
+					}
+					if gotStats.Candidates != wantStats.Candidates ||
+						gotStats.SimilarityOps+gotStats.SignatureSkips != wantStats.SimilarityOps {
+						t.Fatalf("query %d mode %v: pruning accounting diverges: on %+v, off %+v",
+							qi, mode, gotStats, wantStats)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestShardMetamorphicRemovalNeutral: adding videos and removing them
 // again leaves search observables identical to a build that never saw
 // them, at both shard counts. (The removed set must not shift the bulk

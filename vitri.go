@@ -141,6 +141,18 @@ type Options struct {
 	// A durable store's shard count is fixed at creation and recorded in
 	// its manifest; later opens must pass the same value or 0 to adopt it.
 	Shards int
+	// DisablePreFilter turns off the memory-resident signature tier that
+	// discards provably zero-shared candidates before the exact
+	// sphere-intersection math. Search results are byte-identical either
+	// way (the tier's prunes are proofs, not guesses — see DESIGN.md §14);
+	// the knob exists for measurement and as an escape hatch.
+	DisablePreFilter bool
+	// UnquantizedPages keeps the legacy float64 leaf record encoding
+	// instead of the float32-quantized one that halves page reads per
+	// range scan. Similarity always folds exact float64 triplets from the
+	// in-memory catalog, so this trades I/O only — results are
+	// byte-identical either way.
+	UnquantizedPages bool
 }
 
 // DB is a searchable video database. All methods are safe for concurrent
@@ -358,6 +370,8 @@ func (db *DB) ensureIndexLocked() error {
 		Partitions:        db.opts.Partitions,
 		NewPager:          db.opts.NewPager,
 		SearchParallelism: db.opts.SearchParallelism,
+		DisableSignatures: db.opts.DisablePreFilter,
+		UnquantizedLeaves: db.opts.UnquantizedPages,
 	})
 	if err != nil {
 		return err
