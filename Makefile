@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmtcheck lint lint-stats benchguard race e2e fuzz-smoke crash check bench bench-ingest bench-checkpoint bench-shard bench-prefilter bench-search bench-all
+.PHONY: all build test vet fmtcheck lint lint-stats benchguard race e2e fuzz-smoke crash check bench bench-ingest bench-checkpoint bench-shard bench-prefilter bench-search bench-serve bench-all
 
 all: check
 
@@ -41,12 +41,14 @@ lint-stats:
 # contract has regressed: BENCH_checkpoint.json's engine p99 past 2x the
 # quiescent baseline (the non-blocking checkpoint; disk co-tenancy is
 # informational), BENCH_shard.json recording non-equivalent sharded
-# results or collapsed scatter-gather search throughput, or
+# results or collapsed scatter-gather search throughput,
 # BENCH_prefilter.json/BENCH_search.json recording non-equivalent
 # pre-filter results, page reads above 0.6x the float64 baseline, or a
-# signature-skip fraction below 50%.
+# signature-skip fraction below 50%, BENCH_serve.json missing one of the
+# three HTTP query workloads or recording request errors, or
+# BENCH_ingest.json missing a worker count or recording zero throughput.
 benchguard:
-	$(GO) run ./cmd/benchguard BENCH_checkpoint.json BENCH_shard.json BENCH_prefilter.json BENCH_search.json
+	$(GO) run ./cmd/benchguard BENCH_checkpoint.json BENCH_shard.json BENCH_prefilter.json BENCH_search.json BENCH_serve.json BENCH_ingest.json
 
 race:
 	$(GO) test -race ./...
@@ -59,14 +61,17 @@ e2e:
 
 # fuzz-smoke gives each fuzzer a short budget on every check: enough to
 # replay its corpus plus a few thousand fresh mutations. Covers the store
-# codec, the journal replayer, the signature codec, and the quantized
+# codec, the journal replayer, the signature codec, the quantized
 # leaf-record codec (hostile bytes must never panic or be misread as
-# valid records).
+# valid records), and temporal signature derivation/alignment (hostile
+# frame values — NaN/Inf included — must never panic or produce
+# out-of-range similarities).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadSummaries$$' -fuzztime 5s .
 	$(GO) test -run '^$$' -fuzz '^FuzzJournalReplay$$' -fuzztime 5s ./internal/journal/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeSignature$$' -fuzztime 5s ./internal/sig/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeRecordV3$$' -fuzztime 5s ./internal/index/
+	$(GO) test -run '^$$' -fuzz '^FuzzTemporalSignature$$' -fuzztime 5s ./internal/temporal/
 
 # crash runs the crash-simulation suite (crash_test.go): a simulated
 # power cut at every write/sync boundary of a snapshot + journal
@@ -122,5 +127,14 @@ bench-prefilter:
 bench-search:
 	$(GO) run ./cmd/vitribench search
 
+# bench-serve drives fixed-seed HTTP load through the full middleware
+# stack over all three query workloads — whole-video /search,
+# query-by-image /search/image and temporal /search/temporal — writing
+# per-endpoint throughput and latency percentiles to BENCH_serve.json.
+# benchguard gates on the report's shape (every workload present, zero
+# errors); the timings are informational.
+bench-serve:
+	$(GO) run ./cmd/vitribench serve
+
 # bench-all regenerates every committed BENCH_*.json with fixed seeds.
-bench-all: bench-ingest bench-checkpoint bench-shard bench-prefilter bench-search
+bench-all: bench-ingest bench-checkpoint bench-shard bench-prefilter bench-search bench-serve

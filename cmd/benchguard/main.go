@@ -31,6 +31,17 @@
 //     and its skip fraction must clear the same 0.5 floor; the absolute
 //     timings are machine-dependent and reported, not enforced.
 //
+//   - BENCH_serve*.json: validates the HTTP serving benchmark — all
+//     three query workloads (/search, /search/image, /search/temporal)
+//     must be present with a positive request count, zero errors, and
+//     p99 >= p50 > 0; the throughputs are machine-dependent and
+//     reported, not enforced.
+//
+//   - BENCH_ingest*.json: validates the batch-ingest profile — rows for
+//     worker counts 1/2/4/8 must be present, each with positive
+//     throughput; the absolute rates are machine-dependent and reported,
+//     not enforced.
+//
 // Usage:
 //
 //	benchguard [path ...]
@@ -90,6 +101,10 @@ func main() {
 			checkPrefilter(path, data)
 		case strings.HasPrefix(base, "BENCH_search"):
 			checkSearch(path, data)
+		case strings.HasPrefix(base, "BENCH_serve"):
+			checkServe(path, data)
+		case strings.HasPrefix(base, "BENCH_ingest"):
+			checkIngest(path, data)
 		default:
 			checkCheckpoint(path, data)
 		}
@@ -192,6 +207,77 @@ func checkSearch(path string, data []byte) {
 	}
 	fmt.Printf("benchguard: search profile %.0f q/s, p50 %.0fµs, p99 %.0fµs (informational), %.1f%% pruned (floor %.0f%%)\n",
 		b.QueriesPerSec, b.P50Micros, b.P99Micros, 100**b.SkipFraction, 100*minSkipFraction)
+}
+
+type benchServeWorkload struct {
+	Endpoint      string  `json:"endpoint"`
+	Requests      int     `json:"requests"`
+	Errors        int     `json:"errors"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	P50Micros     float64 `json:"p50_us"`
+	P99Micros     float64 `json:"p99_us"`
+}
+
+type benchServe struct {
+	Workloads []benchServeWorkload `json:"workloads"`
+}
+
+func checkServe(path string, data []byte) {
+	var b benchServe
+	if err := json.Unmarshal(data, &b); err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	byEndpoint := map[string]benchServeWorkload{}
+	for _, w := range b.Workloads {
+		byEndpoint[w.Endpoint] = w
+	}
+	for _, want := range []string{"/search", "/search/image", "/search/temporal"} {
+		w, ok := byEndpoint[want]
+		if !ok {
+			fatalf("%s: no workload row for %s — re-run make bench-serve", path, want)
+		}
+		if w.Requests <= 0 {
+			fatalf("%s: %s recorded no requests — re-run make bench-serve", path, want)
+		}
+		if w.Errors != 0 {
+			fatalf("%s: %s recorded %d request errors — the serving layer failed under its own benchmark", path, want, w.Errors)
+		}
+		if w.QueriesPerSec <= 0 || w.P50Micros <= 0 || w.P99Micros < w.P50Micros {
+			fatalf("%s: implausible %s profile (%.1f q/s, p50 %.0fµs, p99 %.0fµs) — re-run make bench-serve",
+				path, want, w.QueriesPerSec, w.P50Micros, w.P99Micros)
+		}
+	}
+	fmt.Printf("benchguard: serve profile covers all three workloads with zero errors (throughput informational)\n")
+}
+
+type benchIngestRow struct {
+	Parallelism  int     `json:"parallelism"`
+	VideosPerSec float64 `json:"videos_per_sec"`
+}
+
+type benchIngest struct {
+	Rows []benchIngestRow `json:"rows"`
+}
+
+func checkIngest(path string, data []byte) {
+	var b benchIngest
+	if err := json.Unmarshal(data, &b); err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	byWidth := map[int]benchIngestRow{}
+	for _, r := range b.Rows {
+		byWidth[r.Parallelism] = r
+	}
+	for _, want := range []int{1, 2, 4, 8} {
+		r, ok := byWidth[want]
+		if !ok {
+			fatalf("%s: no row for %d ingest workers — re-run make bench-ingest", path, want)
+		}
+		if r.VideosPerSec <= 0 {
+			fatalf("%s: %d-worker ingest recorded no throughput — re-run make bench-ingest", path, want)
+		}
+	}
+	fmt.Printf("benchguard: ingest profile covers worker counts 1/2/4/8 with positive throughput (rates informational)\n")
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -6,8 +6,9 @@
 //	vitribench [flags] [experiment ...]
 //
 // Experiments: table2 table3 fig14 fig15 fig16 fig17 fig18 fig19 parallel
-// ingest checkpoint shard prefilter search (default: all but ingest,
-// checkpoint, shard, prefilter and search, in paper order).
+// ingest checkpoint shard prefilter search serve (default: all but
+// ingest, checkpoint, shard, prefilter, search and serve, in paper
+// order).
 //
 // Examples:
 //
@@ -20,6 +21,7 @@
 //	vitribench shard                 # sharded engine throughput + equivalence
 //	vitribench prefilter             # signature tier + quantized pages vs exact baseline
 //	vitribench search                # default-engine per-query search profile
+//	vitribench serve                 # HTTP load over all three query workloads
 package main
 
 import (
@@ -47,6 +49,7 @@ func main() {
 		shardOut  = flag.String("shard-out", "BENCH_shard.json", "JSON output path for the shard experiment (empty = no file)")
 		prefOut   = flag.String("prefilter-out", "BENCH_prefilter.json", "JSON output path for the prefilter experiment (empty = no file)")
 		searchOut = flag.String("search-out", "BENCH_search.json", "JSON output path for the search experiment (empty = no file)")
+		serveOut  = flag.String("serve-out", "BENCH_serve.json", "JSON output path for the serve experiment (empty = no file)")
 	)
 	flag.Parse()
 
@@ -107,6 +110,9 @@ func main() {
 		"search": func(cfg experiments.Config) ([]*metrics.Table, error) {
 			return runSearch(cfg, *searchOut)
 		},
+		"serve": func(cfg experiments.Config) ([]*metrics.Table, error) {
+			return runServe(cfg, *serveOut)
+		},
 	}
 
 	names := flag.Args()
@@ -119,7 +125,7 @@ func main() {
 	for _, name := range names {
 		fn, ok := runners[strings.ToLower(name)]
 		if !ok {
-			fatalf("unknown experiment %q (have: table2 table3 fig14 fig15 fig16 fig17 fig18 fig19 parallel extension ingest checkpoint shard prefilter search)", name)
+			fatalf("unknown experiment %q (have: table2 table3 fig14 fig15 fig16 fig17 fig18 fig19 parallel extension ingest checkpoint shard prefilter search serve)", name)
 		}
 		tables, err := fn(cfg)
 		if err != nil {

@@ -5,11 +5,17 @@
 // -random N, as N random corpus videos). For each query it prints the
 // top-k matches with estimated similarities and the query's I/O cost.
 //
+// -mode selects the workload: "video" (default) searches each query
+// video's whole summary; "image" probes the query video's middle frame
+// as a query-by-image; "temporal" re-ranks the candidates by shot order
+// blended at -weight.
+//
 // Example:
 //
 //	vitrigen -scale 0.02 -o corpus.gob
 //	vitriquery -corpus corpus.gob -k 10 -random 3
-//	vitriquery -corpus corpus.gob 0 17 42
+//	vitriquery -corpus corpus.gob -mode image 0 17
+//	vitriquery -corpus corpus.gob -mode temporal -weight 0.7 0 17 42
 package main
 
 import (
@@ -44,9 +50,16 @@ func run(args []string, stdout io.Writer) error {
 		seed       = fs.Int64("seed", 1, "random seed")
 		exact      = fs.Bool("exact", false, "also print the exact frame-level similarity of each match (slow)")
 		stats      = fs.Bool("stats", false, "print index structure statistics")
+		mode       = fs.String("mode", "video", "query workload: video, image (query video's middle frame) or temporal")
+		weight     = fs.Float64("weight", 0.5, "temporal blend weight in [0, 1] (mode temporal)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch *mode {
+	case "video", "image", "temporal":
+	default:
+		return fmt.Errorf("unknown -mode %q (want video, image or temporal)", *mode)
 	}
 
 	c, err := dataset.Load(*corpusPath)
@@ -106,19 +119,46 @@ func run(args []string, stdout io.Writer) error {
 		if !ok {
 			return fmt.Errorf("video %d not in corpus", id)
 		}
-		q := vitri.Summarize(-1, frames, *epsilon, *seed)
-		matches, stats, err := db.SearchSummary(&q, *k, vitri.Composed)
-		if err != nil {
-			return fmt.Errorf("query %d: %w", id, err)
-		}
-		fmt.Fprintf(stdout, "\nquery video %d (%d frames, %d triplets): %d matches, %d page reads, %d similarity ops, %d signature skips\n",
-			id, len(frames), len(q.Triplets), len(matches), stats.PageReads, stats.SimilarityOps, stats.SignatureSkips)
-		for rank, m := range matches {
-			line := fmt.Sprintf("  #%-2d video %-6d similarity %.4f", rank+1, m.VideoID, m.Similarity)
-			if *exact {
-				line += fmt.Sprintf("  exact %.4f", vitri.ExactSimilarity(frames, byID[m.VideoID], *epsilon))
+		switch *mode {
+		case "image":
+			// The query video's middle frame stands in for an external
+			// still image probing the database.
+			frame := frames[len(frames)/2]
+			matches, stats, err := db.SearchImage(frame, *k, vitri.Composed)
+			if err != nil {
+				return fmt.Errorf("image query %d: %w", id, err)
 			}
-			fmt.Fprintln(stdout, line)
+			fmt.Fprintf(stdout, "\nimage query video %d middle frame: %d matches, %d page reads, %d similarity ops, %d signature skips\n",
+				id, len(matches), stats.PageReads, stats.SimilarityOps, stats.SignatureSkips)
+			for rank, m := range matches {
+				fmt.Fprintf(stdout, "  #%-2d video %-6d similarity %.4f\n", rank+1, m.VideoID, m.Similarity)
+			}
+		case "temporal":
+			matches, stats, err := db.SearchTemporal(frames, *k, *weight, vitri.Composed)
+			if err != nil {
+				return fmt.Errorf("temporal query %d: %w", id, err)
+			}
+			fmt.Fprintf(stdout, "\ntemporal query video %d (%d frames, weight %.2f): %d matches, %d page reads, %d similarity ops, %d signature skips\n",
+				id, len(frames), *weight, len(matches), stats.PageReads, stats.SimilarityOps, stats.SignatureSkips)
+			for rank, m := range matches {
+				fmt.Fprintf(stdout, "  #%-2d video %-6d score %.4f  bag %.4f  temporal %.4f\n",
+					rank+1, m.VideoID, m.Score, m.Bag, m.Temporal)
+			}
+		default:
+			q := vitri.Summarize(-1, frames, *epsilon, *seed)
+			matches, stats, err := db.SearchSummary(&q, *k, vitri.Composed)
+			if err != nil {
+				return fmt.Errorf("query %d: %w", id, err)
+			}
+			fmt.Fprintf(stdout, "\nquery video %d (%d frames, %d triplets): %d matches, %d page reads, %d similarity ops, %d signature skips\n",
+				id, len(frames), len(q.Triplets), len(matches), stats.PageReads, stats.SimilarityOps, stats.SignatureSkips)
+			for rank, m := range matches {
+				line := fmt.Sprintf("  #%-2d video %-6d similarity %.4f", rank+1, m.VideoID, m.Similarity)
+				if *exact {
+					line += fmt.Sprintf("  exact %.4f", vitri.ExactSimilarity(frames, byID[m.VideoID], *epsilon))
+				}
+				fmt.Fprintln(stdout, line)
+			}
 		}
 	}
 	return nil

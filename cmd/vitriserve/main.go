@@ -2,8 +2,11 @@
 // store (vitri .Save file) or a durable store directory, builds a ViTri
 // database once, and serves KNN queries over HTTP/JSON until terminated.
 //
-// Endpoints (see internal/server): POST /search, /insert, /remove,
-// /checkpoint and GET /healthz, /stats. Load shedding answers 429 +
+// Endpoints (see internal/server): POST /search (whole-video KNN),
+// /search/image (one frame histogram, videos ranked by best-matching
+// triplet), /search/temporal (frame sequence, order-aware blended
+// ranking), /insert, /remove, /checkpoint and GET /healthz, /stats.
+// Load shedding answers 429 +
 // Retry-After once -max-inflight requests are active; SIGINT/SIGTERM
 // trigger a graceful shutdown that drains in-flight queries before the
 // journal and page store close.

@@ -45,7 +45,9 @@ func (db *DB) AddBatch(videos []Video) ([]error, error) {
 	}
 	summaries, itemErrs := db.summarizeBatch(videos)
 	if db.sub != nil {
-		return db.addBatchSharded(summaries, itemErrs)
+		itemErrs, batchErr := db.addBatchSharded(summaries, itemErrs)
+		db.registerBatchTemporal(videos, summaries, itemErrs)
+		return itemErrs, batchErr
 	}
 	all := make([]int, len(videos))
 	for i := range all {
@@ -67,7 +69,20 @@ func (db *DB) AddBatch(videos []Video) ([]error, error) {
 			batchErr = cerr
 		}
 	}
+	db.registerBatchTemporal(videos, summaries, itemErrs)
 	return itemErrs, batchErr
+}
+
+// registerBatchTemporal records the temporal signature of every video the
+// batch durably inserted (nil item error), mirroring what Add does for
+// single inserts. Runs after every database lock is released; the
+// temporal registry is a leaf lock.
+func (db *DB) registerBatchTemporal(videos []Video, summaries []core.Summary, itemErrs []error) {
+	for i := range videos {
+		if itemErrs[i] == nil {
+			db.registerTemporal(videos[i].Frames, &summaries[i])
+		}
+	}
 }
 
 // summarizeBatch is AddBatch's CPU-bound phase: one summary per video,

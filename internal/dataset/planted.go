@@ -1,0 +1,240 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vitri/internal/vec"
+)
+
+// Planted corpora are the graded ground truth for the query workloads:
+// every video's relationship to every other is known by construction, so
+// oracle and metamorphic tests can assert rankings instead of eyeballing
+// them. A planted corpus contains
+//
+//   - originals: independent videos of well-separated shots (every shot's
+//     cluster sits far over ε from every other shot in the corpus, so
+//     summaries and temporal signatures are unambiguous);
+//   - near-duplicates: re-edits of an original at increasing distortion
+//     grades — a grade-g copy keeps all but g of the source's shots
+//     (replaced with fresh footage) under a mild re-encode jitter, so its
+//     oracle similarity to the source is (shots-g)/shots: strictly
+//     decreasing in the grade by construction;
+//   - re-cuts: the *same frames* as an original with its shot segments
+//     permuted — order-blind similarity cannot tell them from the source,
+//     temporal similarity strictly can;
+//   - distractors: independent videos sharing no footage with any
+//     original, the planted negatives.
+type PlantedVideo struct {
+	ID   int
+	Kind PlantedKind
+	// SourceID is the original this video derives from; -1 for originals
+	// and distractors.
+	SourceID int
+	// Grade is the near-duplicate distortion grade, 1 = mildest. Zero for
+	// other kinds.
+	Grade int
+	// ShotOrder is a re-cut's segment permutation: segment i of the re-cut
+	// is segment ShotOrder[i] of the source. Nil for other kinds.
+	ShotOrder []int
+	Frames    []vec.Vector
+}
+
+// PlantedKind classifies a planted video's role in the ground truth.
+type PlantedKind int
+
+const (
+	PlantedOriginal PlantedKind = iota
+	PlantedNearDup
+	PlantedRecut
+	PlantedDistractor
+)
+
+func (k PlantedKind) String() string {
+	switch k {
+	case PlantedOriginal:
+		return "original"
+	case PlantedNearDup:
+		return "neardup"
+	case PlantedRecut:
+		return "recut"
+	case PlantedDistractor:
+		return "distractor"
+	default:
+		return fmt.Sprintf("PlantedKind(%d)", int(k))
+	}
+}
+
+// PlantedConfig parameterizes GeneratePlanted.
+type PlantedConfig struct {
+	Dim           int // feature dimensionality
+	Originals     int // independent source videos
+	ShotsPerVideo int // segments per video (≥ 2 for re-cuts to exist)
+	FramesPerShot int // frames per segment
+	// NearDupGrades plants this many near-duplicates per original, at
+	// distortion grades 1..NearDupGrades (grade g replaces g shots).
+	// Must stay below ShotsPerVideo so every near-duplicate still shares
+	// footage with its source.
+	NearDupGrades int
+	// RecutsPerOriginal plants this many shot-permuted copies per
+	// original.
+	RecutsPerOriginal int
+	Distractors       int
+	// ShotNoise is the within-shot per-bin jitter; small against ε so
+	// each segment summarizes to one tight cluster.
+	ShotNoise float64
+	Seed      int64
+}
+
+// DefaultPlantedConfig is a corpus small enough for oracle tests to
+// brute-force and rich enough to exercise every planted kind.
+func DefaultPlantedConfig(seed int64) PlantedConfig {
+	return PlantedConfig{
+		Dim:               64,
+		Originals:         5,
+		ShotsPerVideo:     5,
+		FramesPerShot:     12,
+		NearDupGrades:     3,
+		RecutsPerOriginal: 1,
+		Distractors:       8,
+		ShotNoise:         0.004,
+		Seed:              seed,
+	}
+}
+
+func (cfg *PlantedConfig) validate() error {
+	if cfg.Dim < 4 {
+		return fmt.Errorf("dataset: planted dim %d too small", cfg.Dim)
+	}
+	if cfg.Originals < 1 || cfg.ShotsPerVideo < 1 || cfg.FramesPerShot < 1 {
+		return fmt.Errorf("dataset: invalid planted config %+v", *cfg)
+	}
+	if cfg.RecutsPerOriginal > 0 && cfg.ShotsPerVideo < 2 {
+		return fmt.Errorf("dataset: re-cuts need at least 2 shots per video")
+	}
+	if cfg.NearDupGrades < 0 || cfg.RecutsPerOriginal < 0 || cfg.Distractors < 0 {
+		return fmt.Errorf("dataset: negative planted counts %+v", *cfg)
+	}
+	if cfg.NearDupGrades >= cfg.ShotsPerVideo {
+		return fmt.Errorf("dataset: grade %d near-duplicates of %d-shot videos would share nothing", cfg.NearDupGrades, cfg.ShotsPerVideo)
+	}
+	centers := (cfg.Originals+cfg.Distractors)*cfg.ShotsPerVideo +
+		cfg.Originals*cfg.NearDupGrades*(cfg.NearDupGrades+1)/2
+	if max := cfg.Dim * (cfg.Dim - 1); centers > max {
+		return fmt.Errorf("dataset: %d shot centers exceed the %d separable palettes of dim %d", centers, max, cfg.Dim)
+	}
+	return nil
+}
+
+// GeneratePlanted builds a planted corpus: originals first, then each
+// original's near-duplicates (grade order) and re-cuts, then distractors,
+// with ids assigned in that order from 0. Output is deterministic in the
+// config.
+func GeneratePlanted(cfg PlantedConfig) ([]PlantedVideo, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Each independent video gets ShotsPerVideo globally distinct shot
+	// palettes: two distinct palettes differ in at least one of their two
+	// mass-bearing bins, putting their centers ≥ ~0.7 apart — far over
+	// any sensible ε — so no shot of any video ever matches a shot of
+	// another (except through planting).
+	nextCenter := 0
+	freshShot := func() []vec.Vector {
+		center := plantedPalette(nextCenter, cfg.Dim)
+		nextCenter++
+		shot := make([]vec.Vector, cfg.FramesPerShot)
+		for f := range shot {
+			shot[f] = jitterHistogram(rng, center, cfg.ShotNoise)
+		}
+		return shot
+	}
+	independent := func(kind PlantedKind, id int) PlantedVideo {
+		frames := make([]vec.Vector, 0, cfg.ShotsPerVideo*cfg.FramesPerShot)
+		for s := 0; s < cfg.ShotsPerVideo; s++ {
+			frames = append(frames, freshShot()...)
+		}
+		return PlantedVideo{ID: id, Kind: kind, SourceID: -1, Frames: frames}
+	}
+
+	var out []PlantedVideo
+	for o := 0; o < cfg.Originals; o++ {
+		out = append(out, independent(PlantedOriginal, len(out)))
+	}
+	for o := 0; o < cfg.Originals; o++ {
+		src := &out[o]
+		for g := 1; g <= cfg.NearDupGrades; g++ {
+			// Grade g: the first g shots are replaced with fresh footage,
+			// the rest survive under a mild re-encode jitter (small against
+			// ε, so kept shots still match their source frames).
+			frames := make([]vec.Vector, 0, len(src.Frames))
+			for s := 0; s < cfg.ShotsPerVideo; s++ {
+				if s < g {
+					frames = append(frames, freshShot()...)
+					continue
+				}
+				lo := s * cfg.FramesPerShot
+				frames = append(frames, PerturbFrames(src.Frames[lo:lo+cfg.FramesPerShot], plantedReencode, rng)...)
+			}
+			out = append(out, PlantedVideo{
+				ID:       len(out),
+				Kind:     PlantedNearDup,
+				SourceID: src.ID,
+				Grade:    g,
+				Frames:   frames,
+			})
+		}
+		for r := 0; r < cfg.RecutsPerOriginal; r++ {
+			order := nonIdentityPerm(rng, cfg.ShotsPerVideo)
+			frames := make([]vec.Vector, 0, len(src.Frames))
+			for _, seg := range order {
+				lo := seg * cfg.FramesPerShot
+				frames = append(frames, src.Frames[lo:lo+cfg.FramesPerShot]...)
+			}
+			out = append(out, PlantedVideo{
+				ID:        len(out),
+				Kind:      PlantedRecut,
+				SourceID:  src.ID,
+				ShotOrder: order,
+				Frames:    frames,
+			})
+		}
+	}
+	for d := 0; d < cfg.Distractors; d++ {
+		out = append(out, independent(PlantedDistractor, len(out)))
+	}
+	return out, nil
+}
+
+// plantedReencode is the mild jitter a near-duplicate's surviving shots
+// carry: visible in feature space, far inside ε, so a kept shot always
+// still matches its source.
+var plantedReencode = PerturbConfig{Noise: 0.002}
+
+// plantedPalette is the i-th separable shot palette: 60% of the mass on
+// one bin, 40% on another, the (a, b) pair distinct for every i below
+// dim·(dim-1). Any two distinct palettes differ on at least one heavy
+// bin, so their Euclidean distance is at least √(2·0.4²) ≈ 0.57.
+func plantedPalette(i, dim int) vec.Vector {
+	a := i % dim
+	b := (a + 1 + i/dim) % dim
+	h := make(vec.Vector, dim)
+	h[a] = 0.6
+	h[b] += 0.4
+	return h
+}
+
+// nonIdentityPerm draws a permutation of [0, n) that moves at least one
+// element — a re-cut must actually re-order the shots.
+func nonIdentityPerm(rng *rand.Rand, n int) []int {
+	for {
+		p := rng.Perm(n)
+		for i, v := range p {
+			if i != v {
+				return p
+			}
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package dataset
+
+import (
+	"reflect"
+	"testing"
+
+	"vitri/internal/baseline"
+	"vitri/internal/core"
+	"vitri/internal/temporal"
+)
+
+const plantedEps = 0.3
+
+// plantedByKind indexes a planted corpus for assertions.
+func plantedByKind(t *testing.T, seed int64) (all []PlantedVideo, byKind map[PlantedKind][]*PlantedVideo) {
+	t.Helper()
+	all, err := GeneratePlanted(DefaultPlantedConfig(seed))
+	if err != nil {
+		t.Fatalf("GeneratePlanted: %v", err)
+	}
+	byKind = make(map[PlantedKind][]*PlantedVideo)
+	for i := range all {
+		byKind[all[i].Kind] = append(byKind[all[i].Kind], &all[i])
+	}
+	return all, byKind
+}
+
+func TestPlantedDeterministic(t *testing.T) {
+	a, _ := plantedByKind(t, 7)
+	b, _ := plantedByKind(t, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two generations from the same config differ")
+	}
+}
+
+// TestPlantedGradedGroundTruth checks the planted structure against the
+// exact frame-level §3.1 oracle: near-duplicate similarity to the source
+// strictly decreases with the grade, every planted derivative scores far
+// above every distractor, and distractors share nothing with originals.
+func TestPlantedGradedGroundTruth(t *testing.T) {
+	all, byKind := plantedByKind(t, 7)
+	if len(byKind[PlantedOriginal]) == 0 || len(byKind[PlantedNearDup]) == 0 ||
+		len(byKind[PlantedRecut]) == 0 || len(byKind[PlantedDistractor]) == 0 {
+		t.Fatalf("corpus missing a planted kind: %v", len(all))
+	}
+	source := func(id int) *PlantedVideo { return &all[id] }
+
+	for _, orig := range byKind[PlantedOriginal] {
+		// Grades: strictly decreasing oracle similarity to the source.
+		prev := baseline.ExactSimilarity(orig.Frames, orig.Frames, plantedEps)
+		for _, nd := range byKind[PlantedNearDup] {
+			if nd.SourceID != orig.ID {
+				continue
+			}
+			sim := baseline.ExactSimilarity(orig.Frames, nd.Frames, plantedEps)
+			if sim <= 0 {
+				t.Errorf("near-dup %d (grade %d) shares nothing with source %d", nd.ID, nd.Grade, orig.ID)
+			}
+			if sim >= prev {
+				t.Errorf("near-dup %d grade %d similarity %.4f not below previous grade's %.4f", nd.ID, nd.Grade, sim, prev)
+			}
+			prev = sim
+		}
+		// Distractors: exactly zero shared footage.
+		for _, d := range byKind[PlantedDistractor] {
+			if sim := baseline.ExactSimilarity(orig.Frames, d.Frames, plantedEps); sim != 0 {
+				t.Errorf("distractor %d scores %.4f against original %d, want 0", d.ID, sim, orig.ID)
+			}
+		}
+	}
+
+	// Every derivative outranks every distractor against its source.
+	worstPlanted := 1.0
+	for _, nd := range byKind[PlantedNearDup] {
+		if sim := baseline.ExactSimilarity(source(nd.SourceID).Frames, nd.Frames, plantedEps); sim < worstPlanted {
+			worstPlanted = sim
+		}
+	}
+	if worstPlanted <= 0 {
+		t.Fatalf("worst planted near-dup similarity %.4f, want positive", worstPlanted)
+	}
+}
+
+// TestPlantedRecutOrderOnly checks the defining property of a re-cut: the
+// order-blind oracle cannot distinguish it from its source (same frames),
+// while the temporal signature strictly can.
+func TestPlantedRecutOrderOnly(t *testing.T) {
+	all, byKind := plantedByKind(t, 11)
+	for _, rc := range byKind[PlantedRecut] {
+		src := &all[rc.SourceID]
+		if len(rc.Frames) != len(src.Frames) {
+			t.Fatalf("recut %d has %d frames, source %d has %d", rc.ID, len(rc.Frames), src.ID, len(src.Frames))
+		}
+		// Bag-of-frames: identical frame multiset, identical oracle score.
+		self := baseline.ExactSimilarity(src.Frames, src.Frames, plantedEps)
+		cut := baseline.ExactSimilarity(src.Frames, rc.Frames, plantedEps)
+		if self != cut {
+			t.Errorf("order-blind oracle separates recut %d (%.6f) from source %d (%.6f)", rc.ID, cut, src.ID, self)
+		}
+
+		// Temporal: the source aligns perfectly with itself, the recut
+		// strictly less.
+		sum := core.Summarize(src.ID, src.Frames, core.Options{Epsilon: plantedEps, Seed: 1})
+		qsig, err := temporal.NewSignature(src.Frames, &sum)
+		if err != nil {
+			t.Fatalf("signature: %v", err)
+		}
+		rsig, err := temporal.NewSignature(rc.Frames, &sum)
+		if err != nil {
+			t.Fatalf("signature: %v", err)
+		}
+		selfT := temporal.Similarity(qsig, qsig)
+		cutT := temporal.Similarity(qsig, rsig)
+		if cutT >= selfT {
+			t.Errorf("temporal similarity does not separate recut %d (%.6f) from source self-match (%.6f)", rc.ID, cutT, selfT)
+		}
+	}
+}
+
+func TestPlantedConfigValidation(t *testing.T) {
+	bad := DefaultPlantedConfig(1)
+	bad.ShotsPerVideo = 1
+	if _, err := GeneratePlanted(bad); err == nil {
+		t.Error("re-cuts with one shot per video should be rejected")
+	}
+	huge := DefaultPlantedConfig(1)
+	huge.Dim = 4
+	huge.Originals = 100
+	if _, err := GeneratePlanted(huge); err == nil {
+		t.Error("more shot centers than separable palettes should be rejected")
+	}
+}

@@ -166,17 +166,34 @@ func (ix *Index) SearchParallel(q *core.Summary, k int, mode Mode, parallelism i
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 
-	var stats SearchStats
 	if len(q.Triplets) == 0 {
-		return nil, stats, nil
+		return nil, SearchStats{}, nil
 	}
+	qts, scores, stats, err := ix.scanQueryLocked(q, mode, parallelism)
+	if err != nil {
+		return nil, SearchStats{}, err
+	}
+	return ix.rankLocked(q, qts, scores, k), stats, nil
+}
 
+// scanQueryLocked is the scan pipeline every query shape shares: prepare
+// the query triplets (1-D ranges plus, when the tier is on, point
+// signatures), build the mode's disjoint scan tasks, run them on the
+// worker pool and merge the per-task score maps into one canonical cell
+// map per video. Only the final ranking differs between whole-video KNN
+// (rankLocked's clamped two-sided fold) and the image probe (rankImage's
+// best-cell fold) — both consume this function's output, so the stats
+// contract (exact per-query PageReads, SimilarityOps + SignatureSkips
+// invariant under the tier) holds for every workload by construction.
+// Caller holds at least a read lock and has checked q is non-empty.
+func (ix *Index) scanQueryLocked(q *core.Summary, mode Mode, parallelism int) ([]queryTriplet, map[int32]*videoScore, SearchStats, error) {
+	var stats SearchStats
 	cellW := sig.CellWidth(ix.opts.Epsilon)
 	qts := make([]queryTriplet, len(q.Triplets))
 	for i := range q.Triplets {
 		vt := &q.Triplets[i]
 		if len(vt.Position) != ix.dim {
-			return nil, stats, fmt.Errorf("index: query dimensionality %d, index is %d", len(vt.Position), ix.dim)
+			return nil, nil, stats, fmt.Errorf("index: query dimensionality %d, index is %d", len(vt.Position), ix.dim)
 		}
 		qts[i] = queryTriplet{
 			vt:     vt,
@@ -200,12 +217,12 @@ func (ix *Index) SearchParallel(q *core.Summary, k int, mode Mode, parallelism i
 			tasks = append(tasks, scanTask{lo: iv.lo, hi: iv.hi, members: iv.members})
 		}
 	default:
-		return nil, stats, fmt.Errorf("index: unknown mode %v", mode)
+		return nil, nil, stats, fmt.Errorf("index: unknown mode %v", mode)
 	}
 
 	results, err := ix.runTasks(qts, tasks, parallelism)
 	if err != nil {
-		return nil, stats, err
+		return nil, nil, stats, err
 	}
 
 	// Merge per-task score maps. Scores are canonical (qi, cluster) cells
@@ -224,7 +241,7 @@ func (ix *Index) SearchParallel(q *core.Summary, k int, mode Mode, parallelism i
 		}
 	}
 
-	return ix.rankLocked(q, qts, scores, k), stats, nil
+	return qts, scores, stats, nil
 }
 
 // runTasks executes every scan task, fanning out across min(parallelism,

@@ -1,0 +1,466 @@
+package server
+
+// End-to-end matrix for the two query workloads added in PR 10 —
+// POST /search/image and POST /search/temporal — run against a durable
+// shard-per-core engine at -shards 1, 2 and 8. The bars mirror the
+// whole-video suite: byte-identical responses at every shard count (the
+// shards=1 run is the oracle), exact cumulative /stats attribution for
+// the per-workload image_*/temporal_* counters, structured 400s on every
+// malformed body, 429 admission, 504 deadline expiry and a clean drain
+// with a query mid-flight. These run under `make e2e` (and `make check`,
+// with -race) via the TestE2E name prefix.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vitri"
+)
+
+// TestE2EQueryShardMatrix drives concurrent image and temporal queries
+// over a durable sharded corpus: every request completes with the
+// planted source video on top, the per-query stats carry real
+// accounting, the /stats image_* and temporal_* counters equal the sums
+// of per-response attributions, and a sequential verification pass must
+// return byte-identical bodies at every shard count. Temporal scores are
+// additionally re-checked against the blend formula after the JSON
+// round-trip (Go's float64 encoding is shortest-round-trip, so the
+// bitwise claim survives the wire).
+func TestE2EQueryShardMatrix(t *testing.T) {
+	const nVideos, nBodies, repeats = 16, 6, 2
+	var (
+		refImage    [][]matchJSON         // shards=1 image rankings: the oracle
+		refTemporal [][]temporalMatchJSON // shards=1 temporal rankings
+	)
+	for _, shards := range []int{1, 2, 8} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
+			db, videos := shardedDurableCorpus(t, nVideos, shards, vitri.Options{})
+			srv := New(db, Config{MaxInFlight: 64, RequestTimeout: time.Minute, ErrorLog: quietLog()})
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+
+			// Identical fixed-seed bodies at every shard count: image probes
+			// are exact corpus frames (their source must rank first),
+			// temporal queries are noisy copies of whole videos at the three
+			// interesting blend weights.
+			r := rand.New(rand.NewSource(43))
+			imageBodies := make([][]byte, nBodies)
+			temporalBodies := make([][]byte, nBodies)
+			weights := make([]float64, nBodies)
+			sources := make([]int, nBodies)
+			for i := 0; i < nBodies; i++ {
+				src := i % len(videos)
+				sources[i] = src
+				frame := videos[src][r.Intn(len(videos[src]))]
+				imageBodies[i] = mustMarshal(map[string]interface{}{"frame": []float64(frame), "k": 5})
+				weights[i] = []float64{0, 0.5, 1}[i%3]
+				temporalBodies[i] = mustMarshal(map[string]interface{}{
+					"frames": framesJSON(noisyCopy(r, videos[src], 0.005)),
+					"k":      5,
+					"weight": weights[i],
+				})
+			}
+
+			var (
+				wg                 sync.WaitGroup
+				imgReads, tmpReads atomic.Uint64
+				imgOps, imgSkips   atomic.Int64
+				tmpOps, tmpSkips   atomic.Int64
+				failures           atomic.Int64
+				firstFail          atomic.Value
+			)
+			fail := func(msg string) {
+				failures.Add(1)
+				firstFail.CompareAndSwap(nil, msg)
+			}
+			postImage := func(i int) (searchResponse, bool) {
+				var sr searchResponse
+				resp, err := http.Post(ts.URL+epSearchImage, "application/json", bytesReader(imageBodies[i]))
+				if err != nil {
+					fail(fmt.Sprintf("image %d: %v", i, err))
+					return sr, false
+				}
+				err = json.NewDecoder(resp.Body).Decode(&sr)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					fail(fmt.Sprintf("image %d: status %d, decode %v", i, resp.StatusCode, err))
+					return sr, false
+				}
+				if len(sr.Matches) == 0 || sr.Matches[0].VideoID != sources[i] {
+					fail(fmt.Sprintf("image %d: top match %+v, want video %d", i, sr.Matches, sources[i]))
+					return sr, false
+				}
+				if sr.Stats.SimilarityOps+sr.Stats.SignatureSkips == 0 {
+					fail(fmt.Sprintf("image %d: response carries no scan accounting: %+v", i, sr.Stats))
+					return sr, false
+				}
+				imgReads.Add(sr.Stats.PageReads)
+				imgOps.Add(int64(sr.Stats.SimilarityOps))
+				imgSkips.Add(int64(sr.Stats.SignatureSkips))
+				return sr, true
+			}
+			postTemporal := func(i int) (temporalSearchResponse, bool) {
+				var tr temporalSearchResponse
+				resp, err := http.Post(ts.URL+epSearchTemporal, "application/json", bytesReader(temporalBodies[i]))
+				if err != nil {
+					fail(fmt.Sprintf("temporal %d: %v", i, err))
+					return tr, false
+				}
+				err = json.NewDecoder(resp.Body).Decode(&tr)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					fail(fmt.Sprintf("temporal %d: status %d, decode %v", i, resp.StatusCode, err))
+					return tr, false
+				}
+				if len(tr.Matches) == 0 || tr.Matches[0].VideoID != sources[i] {
+					fail(fmt.Sprintf("temporal %d: top match %+v, want video %d", i, tr.Matches, sources[i]))
+					return tr, false
+				}
+				for _, m := range tr.Matches {
+					w := weights[i]
+					if blend := (1-w)*m.Bag + w*m.Temporal; math.Float64bits(m.Score) != math.Float64bits(blend) {
+						fail(fmt.Sprintf("temporal %d: video %d score %v is not the weight-%v blend of bag %v and temporal %v",
+							i, m.VideoID, m.Score, w, m.Bag, m.Temporal))
+						return tr, false
+					}
+				}
+				tmpReads.Add(tr.Stats.PageReads)
+				tmpOps.Add(int64(tr.Stats.SimilarityOps))
+				tmpSkips.Add(int64(tr.Stats.SignatureSkips))
+				return tr, true
+			}
+
+			// Concurrent load phase: both workloads interleaved.
+			for i := 0; i < nBodies; i++ {
+				for rep := 0; rep < repeats; rep++ {
+					wg.Add(2)
+					go func(i int) { defer wg.Done(); postImage(i) }(i)
+					go func(i int) { defer wg.Done(); postTemporal(i) }(i)
+				}
+			}
+			wg.Wait()
+			if n := failures.Load(); n > 0 {
+				t.Fatalf("%d request failures; first: %v", n, firstFail.Load())
+			}
+
+			// Sequential verification pass, recorded for the cross-shard
+			// comparison (and counted toward the cumulative stats).
+			gotImage := make([][]matchJSON, nBodies)
+			gotTemporal := make([][]temporalMatchJSON, nBodies)
+			for i := 0; i < nBodies; i++ {
+				sr, ok := postImage(i)
+				tr, ok2 := postTemporal(i)
+				if !ok || !ok2 {
+					t.Fatalf("verification pass failed: %v", firstFail.Load())
+				}
+				gotImage[i] = sr.Matches
+				gotTemporal[i] = tr.Matches
+			}
+
+			// Exact cumulative attribution for both workloads.
+			const perEndpoint = nBodies * (repeats + 1)
+			resp, err := http.Get(ts.URL + "/stats")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st statsResponse
+			decodeBody(t, resp, &st)
+			if st.ImageQueries != perEndpoint || st.TemporalQueries != perEndpoint {
+				t.Fatalf("image_queries = %d, temporal_queries = %d, want %d each",
+					st.ImageQueries, st.TemporalQueries, perEndpoint)
+			}
+			if st.ImagePageReads != imgReads.Load() || st.TemporalPageReads != tmpReads.Load() {
+				t.Fatalf("stats page reads (image %d, temporal %d) != client sums (%d, %d)",
+					st.ImagePageReads, st.TemporalPageReads, imgReads.Load(), tmpReads.Load())
+			}
+			if st.ImageSimilarityOps != uint64(imgOps.Load()) || st.ImageSignatureSkips != uint64(imgSkips.Load()) {
+				t.Fatalf("image ops/skips (%d/%d) != client sums (%d/%d)",
+					st.ImageSimilarityOps, st.ImageSignatureSkips, imgOps.Load(), imgSkips.Load())
+			}
+			if st.TemporalSimilarityOps != uint64(tmpOps.Load()) || st.TemporalSignatureSkips != uint64(tmpSkips.Load()) {
+				t.Fatalf("temporal ops/skips (%d/%d) != client sums (%d/%d)",
+					st.TemporalSimilarityOps, st.TemporalSignatureSkips, tmpOps.Load(), tmpSkips.Load())
+			}
+			if st.ImagePageReads == 0 || st.TemporalPageReads == 0 {
+				t.Fatal("a workload reported zero page reads over the whole run; the attribution claim is vacuous")
+			}
+			for _, ep := range []string{epSearchImage, epSearchTemporal} {
+				es, ok := st.Endpoints[ep]
+				if !ok {
+					t.Fatalf("/stats has no endpoint entry for %s", ep)
+				}
+				if es.Requests != perEndpoint || es.Errors5xx != 0 {
+					t.Fatalf("%s endpoint stats %+v, want %d requests and no 5xx", ep, es, perEndpoint)
+				}
+			}
+
+			// The sharding bar: byte-identical bodies at every shard count.
+			if shards == 1 {
+				refImage, refTemporal = gotImage, gotTemporal
+			} else {
+				for i := 0; i < nBodies; i++ {
+					if len(gotImage[i]) != len(refImage[i]) {
+						t.Fatalf("image query %d: %d matches at %d shards, oracle has %d",
+							i, len(gotImage[i]), shards, len(refImage[i]))
+					}
+					for j, m := range gotImage[i] {
+						if m != refImage[i][j] {
+							t.Fatalf("image query %d match %d at %d shards: got %+v, single-engine oracle %+v",
+								i, j, shards, m, refImage[i][j])
+						}
+					}
+					if len(gotTemporal[i]) != len(refTemporal[i]) {
+						t.Fatalf("temporal query %d: %d matches at %d shards, oracle has %d",
+							i, len(gotTemporal[i]), shards, len(refTemporal[i]))
+					}
+					for j, m := range gotTemporal[i] {
+						if m != refTemporal[i][j] {
+							t.Fatalf("temporal query %d match %d at %d shards: got %+v, single-engine oracle %+v",
+								i, j, shards, m, refTemporal[i][j])
+						}
+					}
+				}
+			}
+			if err := srv.Close(context.Background()); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+		})
+	}
+}
+
+// TestE2EQueryValidation sends every malformed body shape at the two
+// endpoints: each must answer 400 with a structured error message, none
+// may reach the engine (the cumulative query counters stay zero), and a
+// well-formed request must still succeed afterwards.
+func TestE2EQueryValidation(t *testing.T) {
+	db, videos := testCorpus(t, 6, vitri.Options{})
+	srv := New(db, Config{MaxK: 50, ErrorLog: quietLog()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := []struct{ name, path, body string }{
+		{"image-malformed", epSearchImage, `{"frame": [0.5`},
+		{"image-unknown-field", epSearchImage, `{"frame": [0.5], "frames": [[0.5]]}`},
+		{"image-empty-frame", epSearchImage, `{"frame": []}`},
+		{"image-missing-frame", epSearchImage, `{"k": 3}`},
+		{"image-bad-value-type", epSearchImage, `{"frame": [0.5, "x"]}`},
+		{"image-k-over-max", epSearchImage, `{"frame": [0.5], "k": 51}`},
+		{"image-k-negative", epSearchImage, `{"frame": [0.5], "k": -1}`},
+		{"image-bad-mode", epSearchImage, `{"frame": [0.5], "mode": "fast"}`},
+		{"temporal-malformed", epSearchTemporal, `{"frames": [[0.5]`},
+		{"temporal-unknown-field", epSearchTemporal, `{"frames": [[0.5]], "frame": [0.5]}`},
+		{"temporal-no-frames", epSearchTemporal, `{"frames": [], "k": 3}`},
+		{"temporal-missing-frames", epSearchTemporal, `{"weight": 0.5}`},
+		{"temporal-empty-frame", epSearchTemporal, `{"frames": [[]]}`},
+		{"temporal-ragged-dims", epSearchTemporal, `{"frames": [[0.5], [0.5, 0.5]]}`},
+		{"temporal-weight-high", epSearchTemporal, `{"frames": [[0.5]], "weight": 1.5}`},
+		{"temporal-weight-negative", epSearchTemporal, `{"frames": [[0.5]], "weight": -0.25}`},
+		{"temporal-bad-mode", epSearchTemporal, `{"frames": [[0.5]], "mode": "bm25"}`},
+		{"temporal-k-over-max", epSearchTemporal, `{"frames": [[0.5]], "k": 9000}`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		var e errorResponse
+		decodeBody(t, resp, &e)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d (error %q), want 400", tc.name, resp.StatusCode, e.Error)
+		}
+		if e.Error == "" {
+			t.Fatalf("%s: 400 with no error message", tc.name)
+		}
+	}
+
+	// None of the rejects may have counted as a served query.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	decodeBody(t, resp, &st)
+	if st.ImageQueries != 0 || st.TemporalQueries != 0 {
+		t.Fatalf("rejected bodies were counted as queries: image %d, temporal %d", st.ImageQueries, st.TemporalQueries)
+	}
+	for _, ep := range []string{epSearchImage, epSearchTemporal} {
+		if st.Endpoints[ep].Errors5xx != 0 {
+			t.Fatalf("%s reported 5xx on validation traffic: %+v", ep, st.Endpoints[ep])
+		}
+	}
+
+	// The endpoints still serve well-formed requests.
+	var sr searchResponse
+	resp = postJSON(t, ts.URL+epSearchImage, map[string]interface{}{"frame": []float64(videos[0][0])})
+	decodeBody(t, resp, &sr)
+	if resp.StatusCode != http.StatusOK || len(sr.Matches) == 0 {
+		t.Fatalf("image after rejects: status %d, %d matches", resp.StatusCode, len(sr.Matches))
+	}
+	var tr temporalSearchResponse
+	resp = postJSON(t, ts.URL+epSearchTemporal, map[string]interface{}{"frames": framesJSON(videos[0]), "weight": 1.0})
+	decodeBody(t, resp, &tr)
+	if resp.StatusCode != http.StatusOK || len(tr.Matches) == 0 {
+		t.Fatalf("temporal after rejects: status %d, %d matches", resp.StatusCode, len(tr.Matches))
+	}
+}
+
+// TestE2EQueryFailureModes exercises the serving-contract edges on the
+// new endpoints: load shedding (429 + Retry-After with the slots held
+// inside a query), deadline expiry (504 with the work hook stalled
+// beyond RequestTimeout), and a graceful drain begun while a temporal
+// query is mid-flight (the in-flight request completes, later requests
+// are gated).
+func TestE2EQueryFailureModes(t *testing.T) {
+	t.Run("admission", func(t *testing.T) {
+		db, videos := testCorpus(t, 4, vitri.Options{Shards: 2})
+		srv := New(db, Config{MaxInFlight: 1, RetryAfter: 2 * time.Second, ErrorLog: quietLog()})
+		entered := make(chan struct{}, 1)
+		release := make(chan struct{})
+		srv.testHookAdmitted = func() {
+			entered <- struct{}{}
+			<-release
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+
+		held := make(chan int, 1)
+		go func() {
+			resp := postJSON(t, ts.URL+epSearchImage, map[string]interface{}{"frame": []float64(videos[0][0])})
+			resp.Body.Close()
+			held <- resp.StatusCode
+		}()
+		<-entered // the only slot is provably held
+
+		for _, tc := range []struct {
+			path string
+			body interface{}
+		}{
+			{epSearchImage, map[string]interface{}{"frame": []float64(videos[0][0])}},
+			{epSearchTemporal, map[string]interface{}{"frames": framesJSON(videos[0])}},
+		} {
+			resp := postJSON(t, ts.URL+tc.path, tc.body)
+			var e errorResponse
+			decodeBody(t, resp, &e)
+			if resp.StatusCode != http.StatusTooManyRequests {
+				t.Fatalf("%s under load: status %d, want 429", tc.path, resp.StatusCode)
+			}
+			if ra := resp.Header.Get("Retry-After"); ra != "2" {
+				t.Fatalf("%s Retry-After = %q, want \"2\"", tc.path, ra)
+			}
+			if e.Error == "" {
+				t.Fatalf("%s: 429 body has no error message", tc.path)
+			}
+		}
+		close(release)
+		if code := <-held; code != http.StatusOK {
+			t.Fatalf("held request finished with %d", code)
+		}
+		if got := srv.met.shed.Value(); got != 2 {
+			t.Fatalf("shed counter = %d, want 2", got)
+		}
+		if err := srv.Close(context.Background()); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	})
+
+	t.Run("deadline", func(t *testing.T) {
+		db, videos := testCorpus(t, 4, vitri.Options{})
+		srv := New(db, Config{RequestTimeout: 30 * time.Millisecond, ErrorLog: quietLog()})
+		release := make(chan struct{})
+		srv.testHookWork = func() { <-release }
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+
+		for _, tc := range []struct {
+			path string
+			body interface{}
+		}{
+			{epSearchImage, map[string]interface{}{"frame": []float64(videos[0][0])}},
+			{epSearchTemporal, map[string]interface{}{"frames": framesJSON(videos[0])}},
+		} {
+			resp := postJSON(t, ts.URL+tc.path, tc.body)
+			var e errorResponse
+			decodeBody(t, resp, &e)
+			if resp.StatusCode != http.StatusGatewayTimeout || e.Error == "" {
+				t.Fatalf("%s past deadline: status %d, error %q; want structured 504", tc.path, resp.StatusCode, e.Error)
+			}
+		}
+		if got := srv.met.timeouts.Value(); got != 2 {
+			t.Fatalf("timeouts counter = %d, want 2", got)
+		}
+		close(release) // let the abandoned work goroutines finish
+		if err := srv.Close(context.Background()); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	})
+
+	t.Run("drain-during-query", func(t *testing.T) {
+		db, videos := testCorpus(t, 4, vitri.Options{Shards: 2})
+		srv := New(db, Config{RequestTimeout: time.Minute, ErrorLog: quietLog()})
+		started := make(chan struct{}, 1)
+		release := make(chan struct{})
+		var stalled atomic.Bool // only the first query stalls; the drain probes run free
+		srv.testHookWork = func() {
+			if stalled.CompareAndSwap(false, true) {
+				started <- struct{}{}
+				<-release
+			}
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+
+		inFlight := make(chan int, 1)
+		go func() {
+			resp := postJSON(t, ts.URL+epSearchTemporal, map[string]interface{}{"frames": framesJSON(videos[1]), "weight": 0.5})
+			resp.Body.Close()
+			inFlight <- resp.StatusCode
+		}()
+		<-started // the temporal query is provably mid-work
+
+		closeErr := make(chan error, 1)
+		go func() { closeErr <- srv.Close(context.Background()) }()
+
+		// The drain gate must turn away new queries with a structured
+		// response while the old one is still running. Close is
+		// asynchronous, so poll until the gate flips.
+		deadline := time.After(5 * time.Second)
+		for {
+			resp := postJSON(t, ts.URL+epSearchImage, map[string]interface{}{"frame": []float64(videos[0][0])})
+			var e errorResponse
+			decodeBody(t, resp, &e)
+			if resp.StatusCode == http.StatusServiceUnavailable {
+				if e.Error == "" {
+					t.Fatal("drain gate answered 503 with no error message")
+				}
+				break
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("during drain: status %d, error %q; want 200 or 503", resp.StatusCode, e.Error)
+			}
+			select {
+			case <-deadline:
+				t.Fatal("drain gate never rejected a new query")
+			case <-time.After(time.Millisecond):
+			}
+		}
+
+		close(release)
+		if code := <-inFlight; code != http.StatusOK {
+			t.Fatalf("mid-flight temporal query finished with %d during drain, want 200", code)
+		}
+		if err := <-closeErr; err != nil {
+			t.Fatalf("close with a query in flight: %v", err)
+		}
+	})
+}

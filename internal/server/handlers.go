@@ -79,14 +79,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusBadRequest, "epsilon must be positive and finite")
 		return
 	}
-	var mode vitri.QueryMode
-	switch req.Mode {
-	case "", "composed":
-		mode = vitri.Composed
-	case "naive":
-		mode = vitri.Naive
-	default:
-		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("unknown mode %q", req.Mode))
+	mode, ok := parseMode(w, req.Mode)
+	if !ok {
 		return
 	}
 
@@ -396,31 +390,49 @@ type statsResponse struct {
 	// Cumulative pre-filter accounting: exact similarity evaluations
 	// performed vs. candidates proven disjoint by the signature tier and
 	// skipped before any geometry ran.
-	SearchSimilarityOps  uint64                       `json:"search_similarity_ops"`
-	SearchSignatureSkips uint64                       `json:"search_signature_skips"`
-	Pager                pagerStatsJSON               `json:"pager"`
-	Cache                *cacheStatsJSON              `json:"cache,omitempty"`
-	Durability           *durabilityStatsJSON         `json:"durability,omitempty"`
-	Endpoints            map[string]endpointStatsJSON `json:"endpoints"`
+	SearchSimilarityOps  uint64 `json:"search_similarity_ops"`
+	SearchSignatureSkips uint64 `json:"search_signature_skips"`
+	// The same per-workload attribution for the query-by-image and
+	// temporal subsequence endpoints.
+	ImageQueries           uint64                       `json:"image_queries"`
+	ImagePageReads         uint64                       `json:"image_page_reads"`
+	ImageSimilarityOps     uint64                       `json:"image_similarity_ops"`
+	ImageSignatureSkips    uint64                       `json:"image_signature_skips"`
+	TemporalQueries        uint64                       `json:"temporal_queries"`
+	TemporalPageReads      uint64                       `json:"temporal_page_reads"`
+	TemporalSimilarityOps  uint64                       `json:"temporal_similarity_ops"`
+	TemporalSignatureSkips uint64                       `json:"temporal_signature_skips"`
+	Pager                  pagerStatsJSON               `json:"pager"`
+	Cache                  *cacheStatsJSON              `json:"cache,omitempty"`
+	Durability             *durabilityStatsJSON         `json:"durability,omitempty"`
+	Endpoints              map[string]endpointStatsJSON `json:"endpoints"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	ps := s.db.PagerStats()
 	resp := statsResponse{
-		Videos:               s.db.Len(),
-		Triplets:             s.db.Triplets(),
-		InFlight:             s.inflight.Load(),
-		AdmissionHeld:        s.adm.held(),
-		AdmissionLimit:       s.cfg.MaxInFlight,
-		Shed:                 s.met.shed.Value(),
-		Panics:               s.met.panics.Value(),
-		Timeouts:             s.met.timeouts.Value(),
-		SearchQueries:        s.met.searchQueries.Value(),
-		SearchPageReads:      s.met.searchPageReads.Value(),
-		SearchSimilarityOps:  s.met.searchSimOps.Value(),
-		SearchSignatureSkips: s.met.searchSignatureSkips.Value(),
-		Pager:                pagerStatsJSON{Reads: ps.Reads, Writes: ps.Writes, Allocs: ps.Allocs},
-		Endpoints:            make(map[string]endpointStatsJSON, len(s.met.endpoints)),
+		Videos:                 s.db.Len(),
+		Triplets:               s.db.Triplets(),
+		InFlight:               s.inflight.Load(),
+		AdmissionHeld:          s.adm.held(),
+		AdmissionLimit:         s.cfg.MaxInFlight,
+		Shed:                   s.met.shed.Value(),
+		Panics:                 s.met.panics.Value(),
+		Timeouts:               s.met.timeouts.Value(),
+		SearchQueries:          s.met.searchQueries.Value(),
+		SearchPageReads:        s.met.searchPageReads.Value(),
+		SearchSimilarityOps:    s.met.searchSimOps.Value(),
+		SearchSignatureSkips:   s.met.searchSignatureSkips.Value(),
+		ImageQueries:           s.met.imageQueries.Value(),
+		ImagePageReads:         s.met.imagePageReads.Value(),
+		ImageSimilarityOps:     s.met.imageSimOps.Value(),
+		ImageSignatureSkips:    s.met.imageSignatureSkips.Value(),
+		TemporalQueries:        s.met.temporalQueries.Value(),
+		TemporalPageReads:      s.met.temporalPageReads.Value(),
+		TemporalSimilarityOps:  s.met.temporalSimOps.Value(),
+		TemporalSignatureSkips: s.met.temporalSignatureSkips.Value(),
+		Pager:                  pagerStatsJSON{Reads: ps.Reads, Writes: ps.Writes, Allocs: ps.Allocs},
+		Endpoints:              make(map[string]endpointStatsJSON, len(s.met.endpoints)),
 	}
 	if s.cfg.CacheStats != nil {
 		accesses, hits, rate := s.cfg.CacheStats()

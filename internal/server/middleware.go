@@ -16,6 +16,8 @@ import (
 func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+epSearch, s.instrument(epSearch, true, s.handleSearch))
+	mux.HandleFunc("POST "+epSearchImage, s.instrument(epSearchImage, true, s.handleSearchImage))
+	mux.HandleFunc("POST "+epSearchTemporal, s.instrument(epSearchTemporal, true, s.handleSearchTemporal))
 	mux.HandleFunc("POST "+epInsert, s.instrument(epInsert, true, s.handleInsert))
 	mux.HandleFunc("POST "+epRemove, s.instrument(epRemove, true, s.handleRemove))
 	mux.HandleFunc("POST "+epCheckpoint, s.instrument(epCheckpoint, true, s.handleCheckpoint))

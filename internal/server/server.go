@@ -139,7 +139,7 @@ func New(db *vitri.DB, cfg Config) *Server {
 		cfg: cfg.withDefaults(),
 	}
 	s.adm = newAdmission(s.cfg.MaxInFlight)
-	s.met = newServerMetrics(epSearch, epInsert, epRemove, epCheckpoint, epHealthz, epStats)
+	s.met = newServerMetrics(epSearch, epSearchImage, epSearchTemporal, epInsert, epRemove, epCheckpoint, epHealthz, epStats)
 	s.mux = s.routes()
 	return s
 }
@@ -274,12 +274,14 @@ func CachedPager(newUnder func() pager.Pager, capacity int) (newPager func() pag
 
 // Endpoint names (also the /stats keys).
 const (
-	epSearch     = "/search"
-	epInsert     = "/insert"
-	epRemove     = "/remove"
-	epCheckpoint = "/checkpoint"
-	epHealthz    = "/healthz"
-	epStats      = "/stats"
+	epSearch         = "/search"
+	epSearchImage    = "/search/image"
+	epSearchTemporal = "/search/temporal"
+	epInsert         = "/insert"
+	epRemove         = "/remove"
+	epCheckpoint     = "/checkpoint"
+	epHealthz        = "/healthz"
+	epStats          = "/stats"
 )
 
 // maybeCheckpoint triggers an automatic checkpoint when the journal has
@@ -350,11 +352,18 @@ func (s *Server) checkpointHealth() (lastErr error, lastErrTime, lastOK time.Tim
 }
 
 // serverMetrics aggregates the service's counters and latency histograms.
+// Each query workload (whole-video /search, query-by-image /search/image,
+// temporal /search/temporal) gets its own query/work counters so /stats
+// attributes page reads and pre-filter skips per workload.
 type serverMetrics struct {
-	shed, panics, timeouts             metrics.Counter
-	searchQueries, searchPageReads     metrics.Counter
-	searchSimOps, searchSignatureSkips metrics.Counter
-	endpoints                          map[string]*endpointMetrics
+	shed, panics, timeouts                 metrics.Counter
+	searchQueries, searchPageReads         metrics.Counter
+	searchSimOps, searchSignatureSkips     metrics.Counter
+	imageQueries, imagePageReads           metrics.Counter
+	imageSimOps, imageSignatureSkips       metrics.Counter
+	temporalQueries, temporalPageReads     metrics.Counter
+	temporalSimOps, temporalSignatureSkips metrics.Counter
+	endpoints                              map[string]*endpointMetrics
 }
 
 type endpointMetrics struct {

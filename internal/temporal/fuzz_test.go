@@ -1,0 +1,160 @@
+package temporal
+
+import (
+	"math"
+	"testing"
+
+	"vitri/internal/core"
+	"vitri/internal/vec"
+)
+
+// FuzzTemporalSignature drives signature derivation, alignment and
+// re-ranking from arbitrary bytes. The input decodes into a frame
+// sequence (with explicit escapes for NaN and ±Inf values, which the
+// serving layer filters but the package must still survive); the
+// invariants are structural, so they hold for every input:
+//
+//   - nothing panics, hostile values included;
+//   - a signature's run lengths are positive, sum to the frame count,
+//     reference real triplets, and never repeat consecutively;
+//   - Similarity is symmetric and always lands in [0, 1];
+//   - Rerank returns a sorted permutation of its candidates and leaves
+//     signature-less candidates' scores untouched.
+func FuzzTemporalSignature(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("\x00\xff\xfe\xfd"))                 // NaN, +Inf, -Inf frames
+	f.Add([]byte("\x00AAAAAA"))                       // one long run
+	f.Add([]byte("\x00\x00\xc8\x00\xc8\x00\xc8"))     // alternating assignments
+	f.Add([]byte("\x03\x10\x20\x30\x40\x50\x60\x70")) // dim 4, two frames
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frames, sane := decodeFuzzFrames(data)
+		if len(frames) == 0 {
+			// No frames decode to no triplets; derivation must refuse.
+			if _, err := NewSignature(nil, &core.Summary{VideoID: 7}); err == nil {
+				t.Fatal("NewSignature accepted a summary with no triplets")
+			}
+			return
+		}
+		// The summary comes from the sanitized copy (the engine never
+		// summarizes non-finite frames); the signature is derived from
+		// the raw frames, NaN and Inf included.
+		sum := core.Summarize(7, sane, core.Options{Epsilon: 0.3, Seed: 1})
+		sig, err := NewSignature(frames, &sum)
+		if err != nil {
+			t.Fatalf("NewSignature on %d same-dim frames: %v", len(frames), err)
+		}
+		checkRuns(t, sig, len(frames), len(sum.Triplets))
+
+		// Reversal: same run multiset in reverse, and similarity to the
+		// forward signature stays a valid score both ways.
+		rev := make([]vec.Vector, len(frames))
+		for i := range frames {
+			rev[len(frames)-1-i] = frames[i]
+		}
+		rsig, err := NewSignature(rev, &sum)
+		if err != nil {
+			t.Fatalf("NewSignature on reversed frames: %v", err)
+		}
+		checkRuns(t, rsig, len(frames), len(sum.Triplets))
+		ab, ba := Similarity(sig, rsig), Similarity(rsig, sig)
+		if math.Float64bits(ab) != math.Float64bits(ba) {
+			t.Fatalf("Similarity asymmetric: %v vs %v", ab, ba)
+		}
+		for _, s := range []float64{ab, Similarity(sig, sig)} {
+			if !(s >= 0 && s <= 1) { // NaN fails both comparisons
+				t.Fatalf("Similarity out of range: %v", s)
+			}
+		}
+
+		// Rerank: a sorted permutation; candidates without signatures
+		// keep their score bit-for-bit.
+		cands := []Scored{
+			{VideoID: 7, Score: 0.25},
+			{VideoID: 1, Score: 0.5},
+			{VideoID: 2, Score: 0.5},
+			{VideoID: 3, Score: ab},
+		}
+		out := Rerank(sig, cands, map[int]*Signature{7: rsig}, 0.75)
+		if len(out) != len(cands) {
+			t.Fatalf("Rerank changed the candidate count: %d -> %d", len(cands), len(out))
+		}
+		seen := make(map[int]Scored, len(out))
+		for i, c := range out {
+			seen[c.VideoID] = c
+			if i > 0 && (out[i-1].Score < c.Score ||
+				(out[i-1].Score == c.Score && out[i-1].VideoID > c.VideoID)) {
+				t.Fatalf("Rerank output unsorted at %d: %+v", i, out)
+			}
+		}
+		for _, c := range cands {
+			got, ok := seen[c.VideoID]
+			if !ok {
+				t.Fatalf("Rerank dropped candidate %d", c.VideoID)
+			}
+			if c.VideoID != 7 && math.Float64bits(got.Score) != math.Float64bits(c.Score) {
+				t.Fatalf("Rerank touched signature-less candidate %d: %v -> %v", c.VideoID, c.Score, got.Score)
+			}
+		}
+	})
+}
+
+// decodeFuzzFrames maps fuzz bytes onto a frame sequence: the first byte
+// selects the dimensionality (1..8), each following byte is one value —
+// 0xff, 0xfe, 0xfd escape to NaN, +Inf, -Inf; anything else lands in
+// [0, 1]. Returns the raw frames and a sanitized copy with the escapes
+// replaced by finite values.
+func decodeFuzzFrames(data []byte) (raw, sane []vec.Vector) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	dim := 1 + int(data[0])%8
+	vals := data[1:]
+	if len(vals) > 128 {
+		vals = vals[:128]
+	}
+	for len(vals) >= dim {
+		rf := make(vec.Vector, dim)
+		sf := make(vec.Vector, dim)
+		for i := 0; i < dim; i++ {
+			switch vals[i] {
+			case 0xff:
+				rf[i], sf[i] = math.NaN(), 0.5
+			case 0xfe:
+				rf[i], sf[i] = math.Inf(1), 0.5
+			case 0xfd:
+				rf[i], sf[i] = math.Inf(-1), 0.5
+			default:
+				v := float64(vals[i]) / 255
+				rf[i], sf[i] = v, v
+			}
+		}
+		raw = append(raw, rf)
+		sane = append(sane, sf)
+		vals = vals[dim:]
+	}
+	return raw, sane
+}
+
+// checkRuns asserts a signature's structural invariants.
+func checkRuns(t *testing.T, sig *Signature, frames, triplets int) {
+	t.Helper()
+	if sig.FrameCount != frames {
+		t.Fatalf("FrameCount = %d, want %d", sig.FrameCount, frames)
+	}
+	total := 0
+	for i, r := range sig.Runs {
+		if r.Length < 1 {
+			t.Fatalf("run %d has length %d", i, r.Length)
+		}
+		if r.Triplet < 0 || r.Triplet >= triplets {
+			t.Fatalf("run %d references triplet %d of %d", i, r.Triplet, triplets)
+		}
+		if i > 0 && sig.Runs[i-1].Triplet == r.Triplet {
+			t.Fatalf("runs %d and %d share triplet %d without merging", i-1, i, r.Triplet)
+		}
+		total += r.Length
+	}
+	if total != frames {
+		t.Fatalf("run lengths sum to %d, want %d", total, frames)
+	}
+}

@@ -175,6 +175,17 @@ func (db *DB) addBatchSharded(summaries []core.Summary, itemErrs []error) ([]err
 // empty, matching the single-shard contract. Stats are the exact sum of
 // the per-shard counters (each shard attributes page reads per query).
 func (db *DB) scatterSearch(q *Summary, k int, mode QueryMode, parallelism int, concurrent bool) ([]Match, SearchStats, error) {
+	return db.scatter(k, concurrent, func(sh *DB) ([]Match, SearchStats, error) {
+		return sh.searchSummaryP(q, k, mode, parallelism)
+	})
+}
+
+// scatter runs one per-shard search closure on every shard and merges
+// the per-shard top-k — the fan-out skeleton scatterSearch and
+// scatterImage share. The closure must rank by the engine's canonical
+// total order (similarity descending, id ascending) for mergeTopK's
+// merge-then-truncate to reproduce the single-shard ranking.
+func (db *DB) scatter(k int, concurrent bool, run func(sh *DB) ([]Match, SearchStats, error)) ([]Match, SearchStats, error) {
 	type shardOut struct {
 		res   []Match
 		stats SearchStats
@@ -188,14 +199,14 @@ func (db *DB) scatterSearch(q *Summary, k int, mode QueryMode, parallelism int, 
 			go func(i int) {
 				defer wg.Done()
 				o := &outs[i]
-				o.res, o.stats, o.err = db.sub[i].searchSummaryP(q, k, mode, parallelism)
+				o.res, o.stats, o.err = run(db.sub[i])
 			}(i)
 		}
 		wg.Wait()
 	} else {
 		for i := 0; i < len(db.sub); i++ {
 			o := &outs[i]
-			o.res, o.stats, o.err = db.sub[i].searchSummaryP(q, k, mode, parallelism)
+			o.res, o.stats, o.err = run(db.sub[i])
 		}
 	}
 	var stats SearchStats

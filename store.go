@@ -116,13 +116,21 @@ func readSummaries(r io.Reader) (float64, []core.Summary, error) {
 // fsynced to disk.
 func (db *DB) Remove(videoID int) error {
 	if db.sub != nil {
-		return db.removeSharded(videoID)
+		if err := db.removeSharded(videoID); err != nil {
+			return err
+		}
+		db.dropTemporal(videoID)
+		return nil
 	}
 	dur, seq, err := db.removeApply(videoID)
 	if err != nil {
 		return err
 	}
-	return dur.commitSeq(seq)
+	if err := dur.commitSeq(seq); err != nil {
+		return err
+	}
+	db.dropTemporal(videoID)
+	return nil
 }
 
 // removeApply is Remove's apply phase — journal then apply under one

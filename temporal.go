@@ -1,7 +1,12 @@
 package vitri
 
 import (
+	"errors"
+	"math"
+
+	"vitri/internal/core"
 	"vitri/internal/temporal"
+	"vitri/internal/vec"
 )
 
 // Temporal re-ranking (the paper's §7 future work): the core measure is
@@ -41,4 +46,116 @@ func RerankTemporal(query *TemporalSignature, matches []Match, sigs map[int]*Tem
 		out[i] = Match{VideoID: r.VideoID, Similarity: r.Score}
 	}
 	return out
+}
+
+// TemporalMatch is one result of a temporal subsequence search: the
+// blended score it ranked by, decomposed into its order-blind and
+// order-preserving components.
+type TemporalMatch struct {
+	VideoID int
+	// Score is the blended ranking score:
+	// (1-weight)·Bag + weight·Temporal, or just Bag for videos with no
+	// registered temporal signature.
+	Score float64
+	// Bag is the order-blind §3.1 similarity the index reported.
+	Bag float64
+	// Temporal is the order-preserving similarity of the video's shot
+	// sequence to the query's. Zero for videos with no registered
+	// signature (ingested as bare summaries or recovered from disk).
+	Temporal float64
+}
+
+// SearchTemporal answers a temporal subsequence query: the frames are
+// summarized and searched like a whole video, and the candidate set is
+// re-ranked by blending each match's order-blind similarity with the
+// order-preserving similarity of its shot sequence to the query's
+// (weight 0 ranks purely by the bag measure, weight 1 purely by order).
+// Candidate retrieval is the byte-identical scatter-gather KNN every
+// other workload uses, so the candidate set — and hence the final
+// ranking — does not depend on the shard count or ingestion order.
+// Videos ingested without frames (AddSummary, durable recovery) have no
+// shot order on record and keep their bag score, as RerankTemporal
+// documents. Stats reports the candidate search's work.
+func (db *DB) SearchTemporal(frames []Vector, k int, weight float64, mode QueryMode) ([]TemporalMatch, SearchStats, error) {
+	if len(frames) == 0 {
+		return nil, SearchStats{}, errors.New("vitri: empty temporal query")
+	}
+	if math.IsNaN(weight) || weight < 0 || weight > 1 {
+		return nil, SearchStats{}, errors.New("vitri: temporal weight must be in [0, 1]")
+	}
+	q := core.Summarize(-1, toVec(frames), core.Options{
+		Epsilon: db.opts.Epsilon,
+		Seed:    db.opts.Seed,
+	})
+	qsig, err := temporal.NewSignature(toVec(frames), &q)
+	if err != nil {
+		return nil, SearchStats{}, err
+	}
+	matches, stats, err := db.SearchSummary(&q, k, mode)
+	if err != nil {
+		return nil, stats, err
+	}
+	bag := make(map[int]float64, len(matches))
+	cands := make([]temporal.Scored, len(matches))
+	for i, m := range matches {
+		bag[m.VideoID] = m.Similarity
+		cands[i] = temporal.Scored{VideoID: m.VideoID, Score: m.Similarity}
+	}
+	ranked := temporal.Rerank(qsig, cands, db.temporalSnapshot(), weight)
+	out := make([]TemporalMatch, len(ranked))
+	for i, r := range ranked {
+		out[i] = TemporalMatch{
+			VideoID:  r.VideoID,
+			Score:    r.Score,
+			Bag:      bag[r.VideoID],
+			Temporal: r.Temporal,
+		}
+	}
+	return out, stats, nil
+}
+
+// toVec reexposes a []Vector as the internal []vec.Vector. Vector is an
+// alias of vec.Vector, so this is a type-identity copy-free conversion.
+func toVec(frames []Vector) []vec.Vector {
+	return frames
+}
+
+// registerTemporal derives and records a video's temporal signature so
+// SearchTemporal can re-rank it by shot order. Called after a successful
+// frame-bearing ingest (Add, AddBatch), with no other database lock
+// held. Summaries of non-empty videos always carry at least one triplet,
+// so signature derivation cannot fail here; the guard only protects the
+// registry's invariant (registered ⇒ usable signature).
+func (db *DB) registerTemporal(frames []Vector, s *Summary) {
+	sig, err := temporal.NewSignature(toVec(frames), s)
+	if err != nil {
+		return
+	}
+	db.tempoMu.Lock()
+	if db.tsigs == nil {
+		db.tsigs = make(map[int]*temporal.Signature)
+	}
+	db.tsigs[s.VideoID] = sig
+	db.tempoMu.Unlock()
+}
+
+// dropTemporal forgets a removed video's temporal signature. A no-op for
+// videos that never had one.
+func (db *DB) dropTemporal(videoID int) {
+	db.tempoMu.Lock()
+	delete(db.tsigs, videoID)
+	db.tempoMu.Unlock()
+}
+
+// temporalSnapshot returns the registry as a map usable without the
+// lock. Signatures are immutable once registered, so sharing the
+// pointers is safe; only the map itself is copied.
+func (db *DB) temporalSnapshot() map[int]*temporal.Signature {
+	db.tempoMu.Lock()
+	defer db.tempoMu.Unlock()
+	snap := make(map[int]*temporal.Signature, len(db.tsigs))
+	for id, sig := range db.tsigs {
+		snap[id] = sig
+	}
+	return snap
 }

@@ -1,0 +1,307 @@
+package vitri
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vitri/internal/dataset"
+)
+
+// Metamorphic suite for the temporal subsequence workload, on the planted
+// corpus whose ground truth is known by construction (see
+// internal/dataset/planted.go): re-ranked results must be bitwise
+// invariant under ingestion order and shard count, the blend must follow
+// its formula exactly, and a re-cut — indistinguishable from its source
+// by the order-blind measure — must rank strictly below it whenever
+// order carries any weight.
+
+// plantedVideos loads the default planted corpus as ingestable videos.
+func plantedVideos(t *testing.T, seed int64) ([]Video, []dataset.PlantedVideo) {
+	t.Helper()
+	planted, err := dataset.GeneratePlanted(dataset.DefaultPlantedConfig(seed))
+	if err != nil {
+		t.Fatalf("GeneratePlanted: %v", err)
+	}
+	videos := make([]Video, len(planted))
+	for i := range planted {
+		videos[i] = Video{ID: planted[i].ID, Frames: planted[i].Frames}
+	}
+	return videos, planted
+}
+
+// temporalIdentical compares two temporal rankings bit-for-bit across all
+// three score components.
+func temporalIdentical(a, b []TemporalMatch) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].VideoID != b[i].VideoID ||
+			math.Float64bits(a[i].Score) != math.Float64bits(b[i].Score) ||
+			math.Float64bits(a[i].Bag) != math.Float64bits(b[i].Bag) ||
+			math.Float64bits(a[i].Temporal) != math.Float64bits(b[i].Temporal) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSearchTemporalMetamorphic: for every shard count in {1, 2, 3, 8}
+// and three ingestion orders (natural, reversed, shuffled; mixed between
+// AddBatch and an Add loop), SearchTemporal over the planted corpus must
+// return bitwise-identical rankings to the single-shard natural-order
+// reference, at several blend weights. Summaries are seeded per video id
+// and the candidate fold is canonical, so nothing observable may depend
+// on how the database was assembled.
+func TestSearchTemporalMetamorphic(t *testing.T) {
+	videos, planted := plantedVideos(t, 3)
+	k := len(videos) + 4
+	weights := []float64{0, 0.5, 1}
+
+	// Queries: one original's frames, one re-cut's frames, one near-dup's.
+	var queries [][]Vector
+	for _, kind := range []dataset.PlantedKind{dataset.PlantedOriginal, dataset.PlantedRecut, dataset.PlantedNearDup} {
+		for i := range planted {
+			if planted[i].Kind == kind {
+				queries = append(queries, videos[planted[i].ID].Frames)
+				break
+			}
+		}
+	}
+	if len(queries) != 3 {
+		t.Fatalf("planted corpus missing a query kind: %d", len(queries))
+	}
+
+	reference := New(Options{Epsilon: 0.3, Seed: 7})
+	if _, err := reference.AddBatch(videos); err != nil {
+		t.Fatalf("reference AddBatch: %v", err)
+	}
+	want := make(map[[2]int][]TemporalMatch)
+	for qi, q := range queries {
+		for wi, w := range weights {
+			res, _, err := reference.SearchTemporal(q, k, w, Composed)
+			if err != nil {
+				t.Fatalf("reference SearchTemporal: %v", err)
+			}
+			want[[2]int{qi, wi}] = res
+		}
+	}
+
+	r := rand.New(rand.NewSource(41))
+	orders := map[string][]Video{
+		"natural":  videos,
+		"reversed": make([]Video, len(videos)),
+		"shuffled": make([]Video, len(videos)),
+	}
+	copy(orders["reversed"], videos)
+	for i, j := 0, len(videos)-1; i < j; i, j = i+1, j-1 {
+		orders["reversed"][i], orders["reversed"][j] = orders["reversed"][j], orders["reversed"][i]
+	}
+	copy(orders["shuffled"], videos)
+	r.Shuffle(len(videos), func(i, j int) {
+		orders["shuffled"][i], orders["shuffled"][j] = orders["shuffled"][j], orders["shuffled"][i]
+	})
+
+	for _, shards := range equivShardCounts {
+		for name, order := range orders {
+			db := New(Options{Epsilon: 0.3, Seed: 7, Shards: shards})
+			// Mixed ingest paths: first half batched, second half one by
+			// one — both register temporal signatures.
+			half := len(order) / 2
+			if _, err := db.AddBatch(order[:half]); err != nil {
+				t.Fatalf("shards=%d %s: AddBatch: %v", shards, name, err)
+			}
+			for _, v := range order[half:] {
+				if err := db.Add(v.ID, v.Frames); err != nil {
+					t.Fatalf("shards=%d %s: Add(%d): %v", shards, name, v.ID, err)
+				}
+			}
+			for qi, q := range queries {
+				for wi, w := range weights {
+					got, _, err := db.SearchTemporal(q, k, w, Composed)
+					if err != nil {
+						t.Fatalf("shards=%d %s: SearchTemporal: %v", shards, name, err)
+					}
+					if !temporalIdentical(got, want[[2]int{qi, wi}]) {
+						t.Fatalf("shards=%d order=%s query=%d weight=%v: temporal ranking diverges from reference",
+							shards, name, qi, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSearchTemporalRecutRanksBelow is the planted ground-truth claim:
+// with any positive order weight, an original strictly outranks its
+// re-cut against a query of the original's own frames — while at weight
+// zero the two are bag-score ties the order measure cannot create. Also
+// pins the blend arithmetic: every returned score must equal
+// (1-w)·bag + w·temporal bitwise.
+func TestSearchTemporalRecutRanksBelow(t *testing.T) {
+	videos, planted := plantedVideos(t, 3)
+	db := New(Options{Epsilon: 0.3, Seed: 7})
+	if _, err := db.AddBatch(videos); err != nil {
+		t.Fatalf("AddBatch: %v", err)
+	}
+	k := len(videos) + 4
+
+	checked := 0
+	for i := range planted {
+		if planted[i].Kind != dataset.PlantedRecut {
+			continue
+		}
+		recut := &planted[i]
+		query := videos[recut.SourceID].Frames
+
+		for _, w := range []float64{0.25, 0.5, 1} {
+			res, _, err := db.SearchTemporal(query, k, w, Composed)
+			if err != nil {
+				t.Fatalf("SearchTemporal: %v", err)
+			}
+			var srcScore, cutScore float64
+			srcAt, cutAt := -1, -1
+			for pos, m := range res {
+				if gotScore := (1-w)*m.Bag + w*m.Temporal; math.Float64bits(m.Score) != math.Float64bits(gotScore) {
+					t.Fatalf("weight %v: video %d score %v != blend of bag %v and temporal %v",
+						w, m.VideoID, m.Score, m.Bag, m.Temporal)
+				}
+				switch m.VideoID {
+				case recut.SourceID:
+					srcScore, srcAt = m.Score, pos
+				case recut.ID:
+					cutScore, cutAt = m.Score, pos
+				}
+			}
+			if srcAt < 0 || cutAt < 0 {
+				t.Fatalf("weight %v: source %d or recut %d missing from results", w, recut.SourceID, recut.ID)
+			}
+			if cutScore >= srcScore || cutAt < srcAt {
+				t.Errorf("weight %v: recut %d (score %.6f at #%d) does not rank strictly below source %d (score %.6f at #%d)",
+					w, recut.ID, cutScore, cutAt, recut.SourceID, srcScore, srcAt)
+			}
+		}
+
+		// Weight zero: order-blind. The recut's same-frame bag score must
+		// be what keeps the pair inseparable — a strict gap here would
+		// mean the corpus stopped exercising the order-only distinction.
+		res, _, err := db.SearchTemporal(query, k, 0, Composed)
+		if err != nil {
+			t.Fatalf("SearchTemporal: %v", err)
+		}
+		var srcBag, cutBag float64
+		for _, m := range res {
+			if m.VideoID == recut.SourceID {
+				srcBag = m.Bag
+			}
+			if m.VideoID == recut.ID {
+				cutBag = m.Bag
+			}
+			if math.Float64bits(m.Score) != math.Float64bits(m.Bag) {
+				t.Fatalf("weight 0: video %d score %v != bag %v", m.VideoID, m.Score, m.Bag)
+			}
+		}
+		if math.Abs(srcBag-cutBag) > 0.05 {
+			t.Errorf("bag scores separate source (%.4f) from recut (%.4f); the order-only planting is broken", srcBag, cutBag)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("planted corpus contains no re-cuts")
+	}
+}
+
+// TestSearchTemporalBlendHasTeeth re-ranks with a deliberately broken
+// blend — the weight applied to the bag component instead of the temporal
+// one — and requires the result to diverge from SearchTemporal's. If the
+// two ever agree across the whole query set, the metamorphic suite above
+// has stopped constraining the blend.
+func TestSearchTemporalBlendHasTeeth(t *testing.T) {
+	videos, planted := plantedVideos(t, 3)
+	db := New(Options{Epsilon: 0.3, Seed: 7})
+	if _, err := db.AddBatch(videos); err != nil {
+		t.Fatalf("AddBatch: %v", err)
+	}
+	k := len(videos) + 4
+	const w = 0.25
+
+	diverged := false
+	for i := range planted {
+		if planted[i].Kind != dataset.PlantedOriginal {
+			continue
+		}
+		res, _, err := db.SearchTemporal(videos[planted[i].ID].Frames, k, w, Composed)
+		if err != nil {
+			t.Fatalf("SearchTemporal: %v", err)
+		}
+		for _, m := range res {
+			broken := w*m.Bag + (1-w)*m.Temporal
+			if math.Float64bits(m.Score) != math.Float64bits(broken) {
+				diverged = true
+			}
+		}
+	}
+	if !diverged {
+		t.Fatal("swapped-weight blend is indistinguishable on every query; the blend assertions have no teeth")
+	}
+}
+
+// TestSearchTemporalNoSignatures: videos ingested as bare summaries have
+// no recorded shot order; SearchTemporal must keep their bag score and
+// report zero temporal similarity instead of guessing.
+func TestSearchTemporalNoSignatures(t *testing.T) {
+	videos, _ := plantedVideos(t, 5)
+	db := New(Options{Epsilon: 0.3, Seed: 7})
+	for _, v := range videos {
+		s := Summarize(v.ID, v.Frames, 0.3, 7+int64(v.ID))
+		if err := db.AddSummary(s); err != nil {
+			t.Fatalf("AddSummary(%d): %v", v.ID, err)
+		}
+	}
+	res, _, err := db.SearchTemporal(videos[0].Frames, 10, 0.9, Composed)
+	if err != nil {
+		t.Fatalf("SearchTemporal: %v", err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	for _, m := range res {
+		if math.Float64bits(m.Score) != math.Float64bits(m.Bag) || m.Temporal != 0 {
+			t.Errorf("video %d without a signature got score %v (bag %v, temporal %v); want the bag score kept",
+				m.VideoID, m.Score, m.Bag, m.Temporal)
+		}
+	}
+}
+
+// TestSearchTemporalValidation covers the query-side error paths.
+func TestSearchTemporalValidation(t *testing.T) {
+	videos, _ := plantedVideos(t, 5)
+	db := New(Options{Epsilon: 0.3, Seed: 7})
+	if _, err := db.AddBatch(videos); err != nil {
+		t.Fatalf("AddBatch: %v", err)
+	}
+	q := videos[0].Frames
+	if _, _, err := db.SearchTemporal(nil, 5, 0.5, Composed); err == nil {
+		t.Error("empty query accepted")
+	}
+	for _, w := range []float64{-0.1, 1.1, math.NaN(), math.Inf(1)} {
+		if _, _, err := db.SearchTemporal(q, 5, w, Composed); err == nil {
+			t.Errorf("weight %v accepted", w)
+		}
+	}
+	// Removal drops the signature: the removed video must not reappear,
+	// and a re-added one must rank again.
+	if err := db.Remove(videos[0].ID); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	res, _, err := db.SearchTemporal(q, len(videos), 0.5, Composed)
+	if err != nil {
+		t.Fatalf("SearchTemporal after Remove: %v", err)
+	}
+	for _, m := range res {
+		if m.VideoID == videos[0].ID {
+			t.Fatal("removed video still ranked")
+		}
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"vitri/internal/pager"
 	"vitri/internal/refpoint"
 	"vitri/internal/storefmt"
+	"vitri/internal/temporal"
 	"vitri/internal/vec"
 )
 
@@ -199,6 +200,21 @@ type DB struct {
 	// journaled under mu and group-committed (fsynced) after release.
 	dur *durableState // guarded by mu
 
+	// tempoMu guards tsigs, the temporal-signature registry SearchTemporal
+	// reranks with. It is a leaf lock outside the engine hierarchy: it is
+	// only ever taken with no other vitri lock held (registration happens
+	// after a mutation's locks are released, the search snapshot after
+	// SearchSummary returns) and nothing is called while holding it.
+	tempoMu sync.Mutex
+	// tsigs maps video id -> temporal signature for videos ingested with
+	// frames (Add/AddBatch) on this handle. Videos loaded as bare
+	// summaries or recovered from a durable store have no frames to
+	// derive order from; they simply keep their order-blind score when
+	// reranked (see SearchTemporal). Lives on the top-level DB — a shard
+	// router keeps one registry for all shards, since frames are only
+	// seen before routing. guarded by tempoMu
+	tsigs map[int]*temporal.Signature
+
 	// Test hooks, nil outside tests and set before any checkpoint runs
 	// (read without synchronization). The crash and equivalence suites
 	// use them to run mutations inside a checkpoint's unlocked windows:
@@ -275,7 +291,14 @@ func (db *DB) Add(videoID int, frames []Vector) error {
 		Epsilon: db.opts.Epsilon,
 		Seed:    db.opts.Seed + int64(videoID),
 	})
-	return db.AddSummary(s)
+	if err := db.AddSummary(s); err != nil {
+		return err
+	}
+	// Only frame-bearing ingest paths can record shot order; bare
+	// summaries (AddSummary, recovery) cannot, and SearchTemporal keeps
+	// their order-blind score.
+	db.registerTemporal(frames, &s)
+	return nil
 }
 
 // AddSummary adds a pre-computed summary (e.g. produced offline or loaded
